@@ -1,0 +1,69 @@
+// Ablation for §4.3: the architecture choices of Fig. 5 — 64 RNN units,
+// two stacked levels, bidirectionality, and the two ETSB enrichment
+// branches (attribute metadata, length_norm). Varies one axis at a time
+// against the paper's configuration on a subset of datasets.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/report.h"
+
+namespace birnn::bench {
+namespace {
+
+struct Variant {
+  std::string name;
+  void (*apply)(core::DetectorOptions*);
+};
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  AddCommonFlags(&flags);
+  BenchConfig config =
+      ParseCommonFlags(&flags, argc, argv, "bench_ablation_architecture");
+  // Two contrasting datasets by default: one typo-driven, one format-driven.
+  if (config.datasets.empty()) config.datasets = {"hospital", "beers"};
+
+  const std::vector<Variant> variants{
+      {"paper (etsb,64u,2s,bi)", [](core::DetectorOptions*) {}},
+      {"units=16",
+       [](core::DetectorOptions* o) { o->units = 16; }},
+      {"units=32",
+       [](core::DetectorOptions* o) { o->units = 32; }},
+      {"stacks=1",
+       [](core::DetectorOptions* o) { o->stacks = 1; }},
+      {"unidirectional",
+       [](core::DetectorOptions* o) { o->bidirectional = false; }},
+      {"no attr branch",
+       [](core::DetectorOptions* o) { o->use_attr_branch = false; }},
+      {"no length branch",
+       [](core::DetectorOptions* o) { o->use_length_branch = false; }},
+      {"tsb (no enrichment)",
+       [](core::DetectorOptions* o) { o->model = "tsb"; }},
+  };
+
+  std::cout << "=== Ablation: architecture choices of Fig. 5 ("
+            << config.reps << " reps, " << config.epochs << " epochs) ===\n\n";
+  eval::TableWriter writer({"Dataset", "Variant", "P", "R", "F1", "F1 S.D."});
+  for (const std::string& dataset : DatasetList(config)) {
+    const datagen::DatasetPair pair = MakePair(dataset, config);
+    std::cerr << "[architecture] " << dataset << "...\n";
+    for (const Variant& variant : variants) {
+      eval::RunnerOptions options = MakeRunnerOptions(config, "etsb");
+      variant.apply(&options.detector);
+      const eval::RepeatedResult result =
+          eval::RunRepeatedDetector(pair, options);
+      writer.AddRow({dataset, variant.name, eval::Fmt2(result.precision.mean),
+                     eval::Fmt2(result.recall.mean),
+                     eval::Fmt2(result.f1.mean),
+                     eval::Fmt2(result.f1.stddev)});
+    }
+  }
+  writer.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace birnn::bench
+
+int main(int argc, char** argv) { return birnn::bench::Run(argc, argv); }

@@ -1,0 +1,59 @@
+// Ablation for the §2 claim: "Compared to LSTM or GRU, RNNs are less
+// complex and therefore do not need as much time for training." Swaps the
+// recurrent cell family in both architecture branches and reports F1,
+// weight count, and training time.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/model.h"
+#include "eval/report.h"
+#include "util/string_util.h"
+
+namespace birnn::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  AddCommonFlags(&flags);
+  BenchConfig config =
+      ParseCommonFlags(&flags, argc, argv, "bench_ablation_cell_type");
+  if (config.datasets.empty()) config.datasets = {"hospital", "beers"};
+
+  std::cout << "=== Ablation: recurrent cell family (ETSB architecture, "
+            << config.reps << " reps, " << config.epochs << " epochs) ===\n\n";
+
+  eval::TableWriter writer({"Dataset", "Cell", "Weights", "F1", "F1 S.D.",
+                            "train time [s]", "vs rnn"});
+  for (const std::string& dataset : DatasetList(config)) {
+    const datagen::DatasetPair pair = MakePair(dataset, config);
+    std::cerr << "[cell_type] " << dataset << "...\n";
+    double rnn_time = 0.0;
+    for (const char* cell : {"rnn", "gru", "lstm"}) {
+      eval::RunnerOptions options = MakeRunnerOptions(config, "etsb");
+      options.detector.cell_type = cell;
+      const eval::RepeatedResult result =
+          eval::RunRepeatedDetector(pair, options);
+      if (std::string(cell) == "rnn") rnn_time = result.train_seconds.mean;
+      // Weight count from a throwaway model with this dataset's dims.
+      core::ModelConfig model_config =
+          core::BuildModelConfig(options.detector, 80, 32,
+                                 pair.dirty.num_columns());
+      core::ErrorDetectionModel probe(model_config);
+      writer.AddRow(
+          {dataset, cell, std::to_string(probe.NumWeights()),
+           eval::Fmt2(result.f1.mean), eval::Fmt2(result.f1.stddev),
+           FormatFixed(result.train_seconds.mean, 2),
+           rnn_time > 0
+               ? FormatFixed(result.train_seconds.mean / rnn_time, 2) + "x"
+               : "-"});
+    }
+  }
+  writer.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace birnn::bench
+
+int main(int argc, char** argv) { return birnn::bench::Run(argc, argv); }

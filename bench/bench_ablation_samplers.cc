@@ -1,0 +1,57 @@
+// Ablation for §4.2/§5.2: the paper states "we reached the best results
+// with our novel Algorithm 3 (DiverSet)". This bench compares the three
+// trainset-selection algorithms — RandomSet (Alg. 1), RahaSet (Alg. 2)
+// and DiverSet (Alg. 3) — feeding the same ETSB-RNN on every dataset.
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "eval/report.h"
+#include "util/stats.h"
+
+namespace birnn::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  AddCommonFlags(&flags);
+  const BenchConfig config =
+      ParseCommonFlags(&flags, argc, argv, "bench_ablation_samplers");
+
+  std::cout << "=== Ablation: trainset-selection algorithms (ETSB-RNN, "
+            << config.n_label_tuples << " tuples, " << config.reps
+            << " reps) ===\n\n";
+
+  const std::vector<std::string> samplers{"randomset", "rahaset", "diverset"};
+  eval::TableWriter writer(
+      {"Dataset", "RandomSet F1", "S.D.", "RahaSet F1", "S.D.",
+       "DiverSet F1", "S.D."});
+  std::map<std::string, std::vector<double>> f1_by_sampler;
+  for (const std::string& dataset : DatasetList(config)) {
+    const datagen::DatasetPair pair = MakePair(dataset, config);
+    std::cerr << "[samplers] " << dataset << "...\n";
+    std::vector<std::string> row{dataset};
+    for (const std::string& sampler : samplers) {
+      const eval::RepeatedResult result = eval::RunRepeatedDetector(
+          pair, MakeRunnerOptions(config, "etsb", sampler));
+      row.push_back(eval::Fmt2(result.f1.mean));
+      row.push_back(eval::Fmt2(result.f1.stddev));
+      f1_by_sampler[sampler].push_back(result.f1.mean);
+    }
+    writer.AddRow(std::move(row));
+  }
+  std::vector<std::string> avg_row{"AVG"};
+  for (const std::string& sampler : samplers) {
+    avg_row.push_back(eval::Fmt2(Mean(f1_by_sampler[sampler])));
+    avg_row.push_back(eval::Fmt2(SampleStdDev(f1_by_sampler[sampler])));
+  }
+  writer.AddRow(std::move(avg_row));
+  writer.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace birnn::bench
+
+int main(int argc, char** argv) { return birnn::bench::Run(argc, argv); }

@@ -1,0 +1,56 @@
+// Ablation for §4.1: "If the value has more than 128 characters ... we cut
+// them off. Our experiments showed that this approach achieves good
+// F1-score results and reduced the training time." Sweeps the truncation
+// length on the long-value datasets (movies, rayyan by default) and
+// reports F1 and training time per setting.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/report.h"
+#include "util/string_util.h"
+
+namespace birnn::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  AddCommonFlags(&flags);
+  flags.AddString("lengths", "16,32,64,128,256",
+                  "comma-separated truncation lengths to sweep");
+  FlagSet* f = &flags;
+  BenchConfig config =
+      ParseCommonFlags(f, argc, argv, "bench_ablation_truncation");
+  // Long-value datasets by default (the ones §4.1 names).
+  if (config.datasets.empty()) config.datasets = {"movies", "rayyan"};
+
+  std::vector<int> lengths;
+  for (const std::string& s : Split(flags.GetString("lengths"), ',')) {
+    lengths.push_back(std::atoi(s.c_str()));
+  }
+
+  std::cout << "=== Ablation: value truncation length (ETSB-RNN, "
+            << config.reps << " reps) ===\n\n";
+  eval::TableWriter writer({"Dataset", "max_len", "F1", "F1 S.D.",
+                            "train time [s]"});
+  for (const std::string& dataset : DatasetList(config)) {
+    const datagen::DatasetPair pair = MakePair(dataset, config);
+    std::cerr << "[truncation] " << dataset << "...\n";
+    for (int max_len : lengths) {
+      eval::RunnerOptions options = MakeRunnerOptions(config, "etsb");
+      options.detector.prepare.max_value_len = max_len;
+      const eval::RepeatedResult result =
+          eval::RunRepeatedDetector(pair, options);
+      writer.AddRow({dataset, std::to_string(max_len),
+                     eval::Fmt2(result.f1.mean), eval::Fmt2(result.f1.stddev),
+                     FormatFixed(result.train_seconds.mean, 2)});
+    }
+  }
+  writer.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace birnn::bench
+
+int main(int argc, char** argv) { return birnn::bench::Run(argc, argv); }

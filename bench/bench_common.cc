@@ -1,0 +1,96 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace birnn::bench {
+
+void AddCommonFlags(FlagSet* flags) {
+  flags->AddInt("reps", 3, "repetitions per experiment (paper: 10)");
+  flags->AddInt("epochs", 80, "training epochs (paper: 120)");
+  flags->AddInt("tuples", 20, "labeled tuples for training (paper: 20)");
+  flags->AddDouble("scale", 0.0,
+                   "dataset row-count scale; 0 = fast per-dataset default");
+  flags->AddInt("seed", 1000, "base seed");
+  flags->AddBool("paper-fidelity", false,
+                 "use the paper's full settings (reps=10, epochs=120, "
+                 "scale=1). Slow on one core.");
+  flags->AddString("datasets", "",
+                   "comma-separated subset (beers,flights,hospital,movies,"
+                   "rayyan,tax); empty = all");
+}
+
+BenchConfig ParseCommonFlags(FlagSet* flags, int argc, char** argv,
+                             const char* program) {
+  Status st = flags->Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags->Usage(program).c_str());
+    std::exit(2);
+  }
+  if (flags->help_requested()) {
+    std::printf("%s", flags->Usage(program).c_str());
+    std::exit(0);
+  }
+  BenchConfig config;
+  config.reps = flags->GetInt("reps");
+  config.epochs = flags->GetInt("epochs");
+  config.n_label_tuples = flags->GetInt("tuples");
+  config.scale = flags->GetDouble("scale");
+  config.seed = static_cast<uint64_t>(flags->GetInt("seed"));
+  config.paper_fidelity = flags->GetBool("paper-fidelity");
+  if (config.paper_fidelity) {
+    config.reps = 10;
+    config.epochs = 120;
+    config.scale = 1.0;
+  }
+  const std::string list = flags->GetString("datasets");
+  if (!list.empty()) {
+    for (const std::string& name : Split(list, ',')) {
+      if (!name.empty()) config.datasets.push_back(ToLower(Trim(name)));
+    }
+  }
+  return config;
+}
+
+double DefaultScale(const std::string& dataset, const BenchConfig& config) {
+  if (config.scale > 0.0) return config.scale;
+  auto spec = datagen::FindDatasetSpec(dataset);
+  BIRNN_CHECK(spec.ok()) << spec.status().ToString();
+  return 300.0 / spec->paper_rows;
+}
+
+datagen::DatasetPair MakePair(const std::string& dataset,
+                              const BenchConfig& config) {
+  datagen::GenOptions options;
+  options.scale = DefaultScale(dataset, config);
+  options.seed = config.seed ^ 0xDA7AULL;
+  auto pair = datagen::MakeDataset(dataset, options);
+  BIRNN_CHECK(pair.ok()) << pair.status().ToString();
+  return std::move(*pair);
+}
+
+std::vector<std::string> DatasetList(const BenchConfig& config) {
+  if (!config.datasets.empty()) return config.datasets;
+  std::vector<std::string> out;
+  for (const auto& spec : datagen::AllDatasetSpecs()) out.push_back(spec.name);
+  return out;
+}
+
+eval::RunnerOptions MakeRunnerOptions(const BenchConfig& config,
+                                      const std::string& model,
+                                      const std::string& sampler) {
+  eval::RunnerOptions options;
+  options.repetitions = config.reps;
+  options.base_seed = config.seed;
+  options.detector.model = model;
+  options.detector.sampler = sampler;
+  options.detector.n_label_tuples = config.n_label_tuples;
+  options.detector.trainer.epochs = config.epochs;
+  return options;
+}
+
+}  // namespace birnn::bench

@@ -1,0 +1,53 @@
+#ifndef BIRNN_BENCH_BENCH_COMMON_H_
+#define BIRNN_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/datasets.h"
+#include "eval/runner.h"
+#include "util/flags.h"
+
+namespace birnn::bench {
+
+/// Settings shared by every experiment binary. Defaults are sized for a
+/// 1-core machine; `--paper-fidelity` switches to the paper's full setup
+/// (10 repetitions, 120 epochs, unscaled datasets). EXPERIMENTS.md records
+/// which configuration produced the committed outputs.
+struct BenchConfig {
+  int reps = 3;
+  int epochs = 80;
+  int n_label_tuples = 20;
+  double scale = 0.0;  ///< 0 = per-dataset default targeting ~300 rows.
+  uint64_t seed = 1000;
+  bool paper_fidelity = false;
+  std::vector<std::string> datasets;  ///< empty = all six.
+};
+
+/// Registers the shared flags on `flags`.
+void AddCommonFlags(FlagSet* flags);
+
+/// Reads the shared flags back; exits with usage on --help or parse error.
+BenchConfig ParseCommonFlags(FlagSet* flags, int argc, char** argv,
+                             const char* program);
+
+/// Default generation scale for a dataset so benches finish on one core
+/// (~300 rows each); 1.0 under paper fidelity.
+double DefaultScale(const std::string& dataset, const BenchConfig& config);
+
+/// Generates one dataset pair under the bench configuration.
+datagen::DatasetPair MakePair(const std::string& dataset,
+                              const BenchConfig& config);
+
+/// The dataset list this run covers (config.datasets or all six).
+std::vector<std::string> DatasetList(const BenchConfig& config);
+
+/// Builds detector-based runner options with the bench configuration
+/// applied (model "tsb"/"etsb", sampler name).
+eval::RunnerOptions MakeRunnerOptions(const BenchConfig& config,
+                                      const std::string& model,
+                                      const std::string& sampler = "diverset");
+
+}  // namespace birnn::bench
+
+#endif  // BIRNN_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,76 @@
+// Regenerates the paper's Figure 6: average test accuracy per training
+// epoch (with 95% confidence intervals) for TSB-RNN and ETSB-RNN on each
+// dataset, plus the epochs the best-train-loss checkpoint selected per
+// repetition (the red dots / blue triangles of the figure).
+//
+// Output is plain epoch/mean/ci columns per (dataset, model) series —
+// directly plottable with gnuplot/matplotlib.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/report.h"
+#include "util/string_util.h"
+
+namespace birnn::bench {
+namespace {
+
+/// Best (lowest train loss) epoch of one repetition's history.
+int BestEpoch(const std::vector<core::EpochStats>& history) {
+  int best = 0;
+  for (size_t e = 1; e < history.size(); ++e) {
+    if (history[e].train_loss < history[static_cast<size_t>(best)].train_loss) {
+      best = static_cast<int>(e);
+    }
+  }
+  return best;
+}
+
+void PrintSeries(const std::string& dataset, const std::string& model,
+                 const eval::RepeatedResult& result) {
+  eval::PrintCurve("Fig6 " + dataset + " " + model + " test-accuracy",
+                   eval::AverageTestAccuracyCurve(result), std::cout);
+  std::cout << "# selected epochs (best train loss per repetition): ";
+  for (size_t rep = 0; rep < result.histories.size(); ++rep) {
+    const int best = BestEpoch(result.histories[rep]);
+    std::cout << (rep > 0 ? ", " : "") << best << " (acc="
+              << FormatFixed(result.histories[rep][static_cast<size_t>(best)]
+                                 .test_accuracy,
+                             3)
+              << ")";
+  }
+  std::cout << "\n\n";
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  AddCommonFlags(&flags);
+  flags.AddInt("eval-cells", 1500,
+               "test cells sampled for the per-epoch accuracy sweep");
+  const BenchConfig config =
+      ParseCommonFlags(&flags, argc, argv, "bench_fig6_test_accuracy");
+
+  std::cout << "=== Figure 6: average test-accuracy during training "
+            << "(" << config.reps << " repetitions, CI95) ===\n\n";
+
+  for (const std::string& dataset : DatasetList(config)) {
+    const datagen::DatasetPair pair = MakePair(dataset, config);
+    std::cerr << "[fig6] " << dataset << "...\n";
+    for (const char* model : {"tsb", "etsb"}) {
+      eval::RunnerOptions options = MakeRunnerOptions(config, model);
+      options.detector.trainer.track_test_accuracy = true;
+      options.detector.trainer.test_eval_max_cells =
+          flags.GetInt("eval-cells");
+      const eval::RepeatedResult result =
+          eval::RunRepeatedDetector(pair, options);
+      PrintSeries(dataset, result.system, result);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace birnn::bench
+
+int main(int argc, char** argv) { return birnn::bench::Run(argc, argv); }

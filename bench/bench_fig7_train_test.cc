@@ -1,0 +1,78 @@
+// Regenerates the paper's Figure 7: average train- vs test-accuracy per
+// epoch for ETSB-RNN (with 95% confidence intervals), plus per-repetition
+// markers for the epoch with the lowest train loss (green dots = train
+// accuracy at that epoch, blue triangles = test accuracy) — the paper's
+// overfitting analysis.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/report.h"
+#include "util/string_util.h"
+
+namespace birnn::bench {
+namespace {
+
+int BestEpoch(const std::vector<core::EpochStats>& history) {
+  int best = 0;
+  for (size_t e = 1; e < history.size(); ++e) {
+    if (history[e].train_loss < history[static_cast<size_t>(best)].train_loss) {
+      best = static_cast<int>(e);
+    }
+  }
+  return best;
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  AddCommonFlags(&flags);
+  flags.AddInt("eval-cells", 1500,
+               "test cells sampled for the per-epoch accuracy sweep");
+  const BenchConfig config =
+      ParseCommonFlags(&flags, argc, argv, "bench_fig7_train_test");
+
+  std::cout << "=== Figure 7: ETSB-RNN train- vs test-accuracy per epoch "
+            << "(" << config.reps << " repetitions, CI95) ===\n\n";
+
+  for (const std::string& dataset : DatasetList(config)) {
+    const datagen::DatasetPair pair = MakePair(dataset, config);
+    std::cerr << "[fig7] " << dataset << "...\n";
+    eval::RunnerOptions options = MakeRunnerOptions(config, "etsb");
+    options.detector.trainer.track_test_accuracy = true;
+    options.detector.trainer.test_eval_max_cells = flags.GetInt("eval-cells");
+    const eval::RepeatedResult result =
+        eval::RunRepeatedDetector(pair, options);
+
+    eval::PrintCurve("Fig7 " + dataset + " ETSB-RNN train-accuracy",
+                     eval::AverageTrainAccuracyCurve(result), std::cout);
+    eval::PrintCurve("Fig7 " + dataset + " ETSB-RNN test-accuracy",
+                     eval::AverageTestAccuracyCurve(result), std::cout);
+    std::cout << "# best-train-loss epochs (train acc / test acc): ";
+    for (size_t rep = 0; rep < result.histories.size(); ++rep) {
+      const auto& history = result.histories[rep];
+      const int best = BestEpoch(history);
+      const auto& stats = history[static_cast<size_t>(best)];
+      std::cout << (rep > 0 ? ", " : "") << best << " ("
+                << FormatFixed(stats.train_accuracy, 3) << "/"
+                << FormatFixed(stats.test_accuracy, 3) << ")";
+    }
+    std::cout << "\n";
+    // Overfitting verdict, as §5.4 reads the figure.
+    const auto train_curve = eval::AverageTrainAccuracyCurve(result);
+    const auto test_curve = eval::AverageTestAccuracyCurve(result);
+    if (!train_curve.empty() && !test_curve.empty()) {
+      const double gap = train_curve.back().mean - test_curve.back().mean;
+      std::cout << "# final train/test gap: " << FormatFixed(gap, 3)
+                << (gap > 0.15 ? "  (large gap — model struggles here, like "
+                                 "Flights in the paper)"
+                               : "  (no critical overfitting)")
+                << "\n\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace birnn::bench
+
+int main(int argc, char** argv) { return birnn::bench::Run(argc, argv); }

@@ -1,0 +1,192 @@
+// Microbenchmarks of the neural-network substrate (google-benchmark):
+// dense kernels, RNN steps, full model forward/backward, inference
+// throughput, and the data-preparation / sampling pipeline stages.
+
+#include <benchmark/benchmark.h>
+
+#include "core/model.h"
+#include "core/trainer.h"
+#include "data/dictionary.h"
+#include "data/encoding.h"
+#include "data/prepare.h"
+#include "datagen/datasets.h"
+#include "nn/graph.h"
+#include "nn/init.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "sampling/sampler.h"
+#include "util/rng.h"
+
+namespace birnn {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  nn::Tensor a(n, n);
+  nn::Tensor b(n, n);
+  nn::NormalInit(&a, 1.0f, &rng);
+  nn::NormalInit(&b, 1.0f, &rng);
+  nn::Tensor c;
+  for (auto _ : state) {
+    nn::MatMul(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2ll * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_RnnStepForward(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  Rng rng(2);
+  nn::RnnCell cell("c", 32, 64, &rng);
+  nn::Tensor x(batch, 32);
+  nn::Tensor h(batch, 64);
+  nn::NormalInit(&x, 1.0f, &rng);
+  nn::Tensor out;
+  for (auto _ : state) {
+    cell.StepForward(x, h, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_RnnStepForward)->Arg(32)->Arg(256);
+
+void BM_BiRnnSequenceForward(benchmark::State& state) {
+  const int t_steps = static_cast<int>(state.range(0));
+  Rng rng(3);
+  nn::StackedBiRnn rnn("r", 32, 64, 2, true, &rng);
+  std::vector<nn::Tensor> steps(static_cast<size_t>(t_steps),
+                                nn::Tensor(64, 32));
+  for (auto& s : steps) nn::NormalInit(&s, 1.0f, &rng);
+  nn::Tensor out;
+  for (auto _ : state) {
+    rnn.ApplyForward(steps, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_BiRnnSequenceForward)->Arg(16)->Arg(64);
+
+core::ModelConfig BenchModelConfig(bool enriched) {
+  core::ModelConfig config;
+  config.vocab = 80;
+  config.max_len = 24;
+  config.n_attrs = 11;
+  config.enriched = enriched;
+  config.seed = 4;
+  return config;
+}
+
+core::BatchInput BenchBatch(const core::ModelConfig& config, int batch) {
+  Rng rng(5);
+  core::BatchInput b;
+  b.batch = batch;
+  b.char_steps.assign(static_cast<size_t>(config.max_len),
+                      std::vector<int>(static_cast<size_t>(batch)));
+  for (auto& step : b.char_steps) {
+    for (auto& id : step) {
+      id = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(config.vocab)));
+    }
+  }
+  for (int i = 0; i < batch; ++i) {
+    b.attr_ids.push_back(static_cast<int>(rng.UniformInt(11)));
+    b.length_norm.push_back(rng.UniformFloat(0.0f, 1.0f));
+    b.labels.push_back(static_cast<int>(rng.UniformInt(2)));
+  }
+  return b;
+}
+
+void BM_ModelInference(benchmark::State& state) {
+  const bool enriched = state.range(0) != 0;
+  const core::ModelConfig config = BenchModelConfig(enriched);
+  core::ErrorDetectionModel model(config);
+  const core::BatchInput batch = BenchBatch(config, 128);
+  std::vector<float> probs;
+  for (auto _ : state) {
+    model.PredictProbs(batch, &probs);
+    benchmark::DoNotOptimize(probs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 128);  // cells per second
+}
+BENCHMARK(BM_ModelInference)->Arg(0)->Arg(1);
+
+void BM_ModelTrainStep(benchmark::State& state) {
+  const bool enriched = state.range(0) != 0;
+  const core::ModelConfig config = BenchModelConfig(enriched);
+  core::ErrorDetectionModel model(config);
+  const core::BatchInput batch = BenchBatch(config, 55);
+  std::vector<nn::Parameter*> params = model.Params();
+  nn::RmsProp opt(1e-3f);
+  for (auto _ : state) {
+    nn::Graph g;
+    nn::Graph::Var logits = model.Forward(&g, batch, true);
+    nn::Graph::Var loss = g.SoftmaxCrossEntropy(logits, batch.labels);
+    nn::ZeroGrads(params);
+    g.Backward(loss);
+    opt.Step(params);
+    benchmark::DoNotOptimize(g.value(loss).scalar());
+  }
+  state.SetItemsProcessed(state.iterations() * 55);
+}
+BENCHMARK(BM_ModelTrainStep)->Arg(0)->Arg(1);
+
+void BM_PreparePipeline(benchmark::State& state) {
+  datagen::GenOptions gen;
+  gen.scale = 0.2;
+  const datagen::DatasetPair pair = datagen::MakeBeers(gen);
+  for (auto _ : state) {
+    auto frame = data::PrepareData(pair.dirty, pair.clean);
+    benchmark::DoNotOptimize(frame->num_cells());
+  }
+}
+BENCHMARK(BM_PreparePipeline);
+
+void BM_DiverSetSampling(benchmark::State& state) {
+  datagen::GenOptions gen;
+  gen.scale = 0.2;
+  const datagen::DatasetPair pair = datagen::MakeBeers(gen);
+  auto frame = data::PrepareData(pair.dirty, pair.clean);
+  sampling::DiverSetSampler sampler;
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    auto ids = sampler.Select(*frame, 20, &rng);
+    benchmark::DoNotOptimize(ids->size());
+  }
+}
+BENCHMARK(BM_DiverSetSampling);
+
+void BM_RahaSetSampling(benchmark::State& state) {
+  datagen::GenOptions gen;
+  gen.scale = 0.1;
+  const datagen::DatasetPair pair = datagen::MakeBeers(gen);
+  auto frame = data::PrepareData(pair.dirty, pair.clean);
+  sampling::RahaSetSampler sampler;
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    auto ids = sampler.Select(*frame, 20, &rng);
+    benchmark::DoNotOptimize(ids->size());
+  }
+}
+BENCHMARK(BM_RahaSetSampling);
+
+void BM_EncodeCells(benchmark::State& state) {
+  datagen::GenOptions gen;
+  gen.scale = 0.2;
+  const datagen::DatasetPair pair = datagen::MakeBeers(gen);
+  auto frame = data::PrepareData(pair.dirty, pair.clean);
+  const data::CharIndex chars = data::CharIndex::Build(*frame);
+  for (auto _ : state) {
+    data::EncodedDataset ds = data::EncodeCells(*frame, chars);
+    benchmark::DoNotOptimize(ds.num_cells());
+  }
+}
+BENCHMARK(BM_EncodeCells);
+
+}  // namespace
+}  // namespace birnn
+
+BENCHMARK_MAIN();

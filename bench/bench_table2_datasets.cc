@@ -1,0 +1,57 @@
+// Regenerates the paper's Table 2: dataset overview with size, error rate,
+// number of distinct characters and error types — for both the paper's
+// reference numbers and this repo's synthetic reproductions.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "datagen/stats.h"
+#include "eval/report.h"
+#include "util/string_util.h"
+
+namespace birnn::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  AddCommonFlags(&flags);
+  const BenchConfig config =
+      ParseCommonFlags(&flags, argc, argv, "bench_table2_datasets");
+
+  std::cout << "=== Table 2: Overview of datasets with error types ===\n";
+  std::cout << "(paper reference vs. this repo's synthetic reproduction; "
+               "rows scale with --scale)\n\n";
+
+  eval::TableWriter writer({"Name", "Size (paper)", "Size (generated)",
+                            "Error Rate (paper)", "Error Rate (gen)",
+                            "Diff. Chars (paper)", "Diff. Chars (gen)",
+                            "Error Types"});
+  for (const std::string& name : DatasetList(config)) {
+    const auto spec_or = datagen::FindDatasetSpec(name);
+    if (!spec_or.ok()) {
+      std::cerr << spec_or.status().ToString() << "\n";
+      return 1;
+    }
+    const datagen::DatasetSpec& spec = *spec_or;
+    const datagen::DatasetPair pair = MakePair(name, config);
+    const datagen::DatasetStats stats = datagen::ComputeStats(pair);
+
+    writer.AddRow({spec.name,
+                   std::to_string(spec.paper_rows) + "x" +
+                       std::to_string(spec.paper_cols),
+                   std::to_string(stats.rows) + "x" +
+                       std::to_string(stats.cols),
+                   FormatFixed(spec.paper_error_rate, 2),
+                   FormatFixed(stats.error_rate, 2),
+                   std::to_string(spec.paper_distinct_chars),
+                   std::to_string(stats.distinct_chars),
+                   stats.error_types});
+  }
+  writer.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace birnn::bench
+
+int main(int argc, char** argv) { return birnn::bench::Run(argc, argv); }

@@ -1,0 +1,136 @@
+// Regenerates the paper's Table 3 (precision/recall/F1 of Raha, Rotom,
+// Rotom+SSL, TSB-RNN and ETSB-RNN on the six datasets, with standard
+// deviations over repeated runs) and Table 4 (average F1 and S.D. across
+// datasets, without and with Flights).
+//
+// The RNN systems use 20 labeled tuples selected by DiverSet; the
+// Rotom-style baselines use 200 labeled cells, mirroring the comparison
+// protocol of §5.3.
+
+#include <fstream>
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "eval/report.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace birnn::bench {
+namespace {
+
+struct SystemResult {
+  std::string system;
+  std::map<std::string, eval::RepeatedResult> per_dataset;
+};
+
+void PrintTable4(const std::vector<SystemResult>& systems) {
+  std::cout << "\n=== Table 4: Average F1-score (AVG) and Standard "
+               "Deviation (S.D.) across datasets ===\n\n";
+  eval::TableWriter writer({"Name", "AVG w/o Flights", "S.D. w/o Flights",
+                            "AVG with Flights", "S.D. with Flights"});
+  for (const SystemResult& sys : systems) {
+    std::vector<double> without_flights;
+    std::vector<double> with_flights;
+    for (const auto& [dataset, result] : sys.per_dataset) {
+      with_flights.push_back(result.f1.mean);
+      if (dataset != "flights") without_flights.push_back(result.f1.mean);
+    }
+    writer.AddRow({sys.system, eval::Fmt2(Mean(without_flights)),
+                   eval::Fmt2(SampleStdDev(without_flights)),
+                   eval::Fmt2(Mean(with_flights)),
+                   eval::Fmt2(SampleStdDev(with_flights))});
+  }
+  writer.Print(std::cout);
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  AddCommonFlags(&flags);
+  flags.AddInt("rotom-cells", 200,
+               "labeled cells for the Rotom baselines (paper: 200)");
+  flags.AddString("out", "table3_metrics.csv",
+                  "CSV file for raw per-run metrics (read by "
+                  "bench_table4_aggregate); empty = don't write");
+  flags.AddBool("skip-baselines", false,
+                "run only TSB-RNN and ETSB-RNN (faster)");
+  const BenchConfig config =
+      ParseCommonFlags(&flags, argc, argv, "bench_table3_comparison");
+  const int rotom_cells = flags.GetInt("rotom-cells");
+  const bool skip_baselines = flags.GetBool("skip-baselines");
+
+  std::cout << "=== Table 3: Comparison between the different models ("
+            << config.n_label_tuples << " labeled tuples, " << config.reps
+            << " repetitions, " << config.epochs << " epochs) ===\n\n";
+
+  std::vector<SystemResult> systems;
+  if (!skip_baselines) {
+    systems.push_back({"Raha", {}});
+    systems.push_back({"Rotom", {}});
+    systems.push_back({"Rotom+SSL", {}});
+  }
+  systems.push_back({"TSB-RNN", {}});
+  systems.push_back({"ETSB-RNN", {}});
+
+  eval::TableWriter writer({"System", "Dataset", "P", "R", "F1"});
+  Stopwatch total_timer;
+  for (const std::string& dataset : DatasetList(config)) {
+    const datagen::DatasetPair pair = MakePair(dataset, config);
+    std::cerr << "[table3] " << dataset << " (" << pair.dirty.num_rows()
+              << " rows)...\n";
+
+    for (SystemResult& sys : systems) {
+      eval::RepeatedResult result;
+      if (sys.system == "Raha") {
+        result = eval::RunRepeatedRaha(pair, config.reps,
+                                       config.n_label_tuples, config.seed);
+      } else if (sys.system == "Rotom") {
+        result = eval::RunRepeatedRotom(pair, config.reps, rotom_cells,
+                                        /*ssl=*/false, config.seed);
+      } else if (sys.system == "Rotom+SSL") {
+        result = eval::RunRepeatedRotom(pair, config.reps, rotom_cells,
+                                        /*ssl=*/true, config.seed);
+      } else {
+        const std::string model =
+            sys.system == "TSB-RNN" ? "tsb" : "etsb";
+        result = eval::RunRepeatedDetector(pair,
+                                           MakeRunnerOptions(config, model));
+        result.system = sys.system;
+      }
+      writer.AddRow({sys.system, dataset, eval::Fmt2(result.precision.mean),
+                     eval::Fmt2(result.recall.mean),
+                     eval::Fmt2(result.f1.mean)});
+      writer.AddRow({"  S.D.", "", eval::Fmt2(result.precision.stddev),
+                     eval::Fmt2(result.recall.stddev),
+                     eval::Fmt2(result.f1.stddev)});
+      sys.per_dataset[dataset] = std::move(result);
+    }
+  }
+  writer.Print(std::cout);
+  PrintTable4(systems);
+  std::cout << "\nTotal wall-clock: "
+            << FormatFixed(total_timer.ElapsedSeconds(), 1) << " s\n";
+
+  const std::string out_path = flags.GetString("out");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << "system,dataset,rep,precision,recall,f1\n";
+    for (const SystemResult& sys : systems) {
+      for (const auto& [dataset, result] : sys.per_dataset) {
+        for (size_t rep = 0; rep < result.runs.size(); ++rep) {
+          out << sys.system << "," << dataset << "," << rep << ","
+              << result.runs[rep].precision << "," << result.runs[rep].recall
+              << "," << result.runs[rep].f1 << "\n";
+        }
+      }
+    }
+    std::cout << "Raw metrics written to " << out_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace birnn::bench
+
+int main(int argc, char** argv) { return birnn::bench::Run(argc, argv); }

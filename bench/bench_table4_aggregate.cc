@@ -1,0 +1,119 @@
+// Regenerates the paper's Table 4 standalone: average F1 and standard
+// deviation across datasets, with and without Flights, for every system.
+//
+// Either aggregates a CSV produced by `bench_table3_comparison --out ...`
+// (--from), or reruns a reduced comparison itself (default).
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "bench_common.h"
+#include "eval/report.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+
+namespace birnn::bench {
+namespace {
+
+// system -> dataset -> per-rep F1 values.
+using F1Map = std::map<std::string, std::map<std::string, std::vector<double>>>;
+
+StatusOr<F1Map> LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  F1Map map;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    const std::vector<std::string> fields = Split(line, ',');
+    if (fields.size() != 6) continue;
+    double f1 = 0.0;
+    if (!ParseDouble(fields[5], &f1)) continue;
+    map[fields[0]][fields[1]].push_back(f1);
+  }
+  if (map.empty()) return Status::InvalidArgument("no rows in " + path);
+  return map;
+}
+
+F1Map ComputeFresh(const BenchConfig& config, int rotom_cells) {
+  F1Map map;
+  for (const std::string& dataset : DatasetList(config)) {
+    const datagen::DatasetPair pair = MakePair(dataset, config);
+    std::cerr << "[table4] " << dataset << "...\n";
+    auto add = [&](const eval::RepeatedResult& result) {
+      for (const auto& m : result.runs) {
+        map[result.system][dataset].push_back(m.f1);
+      }
+    };
+    add(eval::RunRepeatedRaha(pair, config.reps, config.n_label_tuples,
+                              config.seed));
+    add(eval::RunRepeatedRotom(pair, config.reps, rotom_cells, false,
+                               config.seed));
+    add(eval::RunRepeatedRotom(pair, config.reps, rotom_cells, true,
+                               config.seed));
+    auto tsb = eval::RunRepeatedDetector(pair, MakeRunnerOptions(config, "tsb"));
+    tsb.system = "TSB-RNN";
+    add(tsb);
+    auto etsb =
+        eval::RunRepeatedDetector(pair, MakeRunnerOptions(config, "etsb"));
+    etsb.system = "ETSB-RNN";
+    add(etsb);
+  }
+  return map;
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  AddCommonFlags(&flags);
+  flags.AddString("from", "table3_metrics.csv",
+                  "CSV from bench_table3_comparison --out; if the file is "
+                  "missing the comparison is rerun here");
+  flags.AddInt("rotom-cells", 200, "labeled cells for the Rotom baselines");
+  const BenchConfig config =
+      ParseCommonFlags(&flags, argc, argv, "bench_table4_aggregate");
+
+  F1Map map;
+  const std::string from = flags.GetString("from");
+  bool loaded_from_csv = false;
+  if (!from.empty()) {
+    auto loaded = LoadCsv(from);
+    if (loaded.ok()) {
+      map = std::move(*loaded);
+      loaded_from_csv = true;
+      std::cout << "(aggregating " << from << ")\n";
+    } else {
+      std::cerr << "note: " << loaded.status().ToString()
+                << " — rerunning the comparison\n";
+    }
+  }
+  if (!loaded_from_csv) {
+    map = ComputeFresh(config, flags.GetInt("rotom-cells"));
+  }
+
+  std::cout << "=== Table 4: Average F1-score (AVG) and Standard Deviation "
+               "(S.D.) for the different models ===\n\n";
+  eval::TableWriter writer({"Name", "AVG w/o Flights", "S.D. w/o Flights",
+                            "AVG with Flights", "S.D. with Flights"});
+  for (const auto& [system, datasets] : map) {
+    std::vector<double> without_flights;
+    std::vector<double> with_flights;
+    for (const auto& [dataset, f1s] : datasets) {
+      const double mean_f1 = Mean(f1s);
+      with_flights.push_back(mean_f1);
+      if (dataset != "flights") without_flights.push_back(mean_f1);
+    }
+    writer.AddRow({system, eval::Fmt2(Mean(without_flights)),
+                   eval::Fmt2(SampleStdDev(without_flights)),
+                   eval::Fmt2(Mean(with_flights)),
+                   eval::Fmt2(SampleStdDev(with_flights))});
+  }
+  writer.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace birnn::bench
+
+int main(int argc, char** argv) { return birnn::bench::Run(argc, argv); }

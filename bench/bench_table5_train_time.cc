@@ -1,0 +1,65 @@
+// Regenerates the paper's Table 5: training time per dataset for TSB-RNN
+// and ETSB-RNN (average and standard deviation over repetitions).
+//
+// Absolute numbers reflect this machine, not the paper's Colab GPUs; the
+// reproduced claims are relative — ETSB-RNN costs slightly more than
+// TSB-RNN, and time scales with the number of attributes, the alphabet
+// size and the longest value (§5.6).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/report.h"
+#include "util/string_util.h"
+
+namespace birnn::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  AddCommonFlags(&flags);
+  const BenchConfig config =
+      ParseCommonFlags(&flags, argc, argv, "bench_table5_train_time");
+
+  std::cout << "=== Table 5: Training time [sec] for the different datasets "
+               "using TSB-RNN and ETSB-RNN ===\n"
+            << "(" << config.reps << " repetitions, " << config.epochs
+            << " epochs; CPU wall-clock on this machine)\n\n";
+
+  eval::TableWriter writer({"Name", "TSB AVG", "TSB S.D.", "ETSB AVG",
+                            "ETSB S.D.", "ETSB/TSB"});
+  double tsb_total = 0.0;
+  double etsb_total = 0.0;
+  int n_datasets = 0;
+  for (const std::string& dataset : DatasetList(config)) {
+    const datagen::DatasetPair pair = MakePair(dataset, config);
+    std::cerr << "[table5] " << dataset << "...\n";
+    const eval::RepeatedResult tsb =
+        eval::RunRepeatedDetector(pair, MakeRunnerOptions(config, "tsb"));
+    const eval::RepeatedResult etsb =
+        eval::RunRepeatedDetector(pair, MakeRunnerOptions(config, "etsb"));
+    const double ratio = tsb.train_seconds.mean > 0
+                             ? etsb.train_seconds.mean / tsb.train_seconds.mean
+                             : 0.0;
+    writer.AddRow({dataset, FormatFixed(tsb.train_seconds.mean, 2),
+                   FormatFixed(tsb.train_seconds.stddev, 2),
+                   FormatFixed(etsb.train_seconds.mean, 2),
+                   FormatFixed(etsb.train_seconds.stddev, 2),
+                   FormatFixed(ratio, 2)});
+    tsb_total += tsb.train_seconds.mean;
+    etsb_total += etsb.train_seconds.mean;
+    ++n_datasets;
+  }
+  if (n_datasets > 0) {
+    writer.AddRow({"AVG", FormatFixed(tsb_total / n_datasets, 2), "",
+                   FormatFixed(etsb_total / n_datasets, 2), "",
+                   FormatFixed(etsb_total / tsb_total, 2)});
+  }
+  writer.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace birnn::bench
+
+int main(int argc, char** argv) { return birnn::bench::Run(argc, argv); }

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Final assembly of bench_output.txt.
+
+The CORRECTION block was appended to all.out while bench_table5's stdout
+was still buffered, so its table body landed after the block. This script
+moves the correction block to the end of the file where it belongs, then
+writes /root/repo/bench_output.txt with a provenance header.
+"""
+import io
+import os
+
+os.chdir(os.path.dirname(os.path.abspath(__file__)))
+
+with io.open("all.out", encoding="utf-8", errors="replace") as f:
+    text = f.read()
+
+marker = "=== CORRECTION: Table 3/4 rerun for the Tax dataset ==="
+start = text.find(marker)
+if start >= 0:
+    # The block ends with the corrected Table 4's last row (TSB-RNN line).
+    tail = text[start:]
+    end_token = "| TSB-RNN   | 0.69            | 0.25             | 0.69             | 0.22              |\n"
+    end = tail.find(end_token)
+    if end >= 0:
+        block = tail[: end + len(end_token)]
+        text = text[:start] + tail[end + len(end_token):]
+        text = text.rstrip("\n") + "\n\n" + block
+    else:
+        print("warning: correction end token not found; leaving in place")
+
+header = """# Benchmark sweep output — one harness per paper table/figure.
+# Produced by bench_results/run_all.sh (Tables 2-4: reps=3, epochs=80,
+# ~300-row datasets) and bench_results/fast_rest.sh (Table 5, Figures 6/7,
+# ablations: reps<=2, epochs 35-40 — time-boxed for a 1-core machine).
+# Every harness accepts --paper-fidelity for the paper's full protocol
+# (reps=10, epochs=120, unscaled datasets). See EXPERIMENTS.md.
+
+"""
+
+with io.open("/root/repo/bench_output.txt", "w", encoding="utf-8") as f:
+    f.write(header + text)
+print("bench_output.txt written,", len(text.splitlines()), "lines")

@@ -1,0 +1,143 @@
+// clean_csv — detect errors in your own CSV files.
+//
+// Experiment mode (you have ground truth, get metrics):
+//   ./build/examples/clean_csv --dirty dirty.csv --clean clean.csv
+//
+// Deployment mode (no ground truth; the tool prints the tuples you must
+// label, reads 0/1 labels non-interactively from --labels, then flags
+// cells). For a self-contained demo, run with no arguments: a synthetic
+// Flights dataset is generated, written next to the report, and cleaned.
+//
+// Output: an error report CSV (row, column, value, flagged).
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "core/detector.h"
+#include "data/csv.h"
+#include "datagen/datasets.h"
+#include "util/flags.h"
+
+namespace {
+
+using birnn::Status;
+
+int RunTool(int argc, char** argv) {
+  birnn::FlagSet flags;
+  flags.AddString("dirty", "", "CSV with the data to check (required unless "
+                               "running the built-in demo)");
+  flags.AddString("clean", "", "optional ground-truth CSV (enables metrics)");
+  flags.AddString("report", "error_report.csv", "output report path");
+  flags.AddString("model", "etsb", "tsb | etsb");
+  flags.AddInt("tuples", 20, "labeled tuples for training");
+  flags.AddInt("epochs", 60, "training epochs");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.Usage("clean_csv").c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage("clean_csv").c_str());
+    return 0;
+  }
+
+  birnn::data::Table dirty;
+  birnn::data::Table clean;
+  bool have_clean = false;
+  if (flags.GetString("dirty").empty()) {
+    std::puts("no --dirty given; running the built-in Flights demo");
+    birnn::datagen::GenOptions gen;
+    gen.scale = 0.1;
+    auto pair = birnn::datagen::MakeFlights(gen);
+    dirty = std::move(pair.dirty);
+    clean = std::move(pair.clean);
+    have_clean = true;
+  } else {
+    auto dirty_or = birnn::data::ReadCsvFile(flags.GetString("dirty"));
+    if (!dirty_or.ok()) {
+      std::fprintf(stderr, "reading dirty CSV: %s\n",
+                   dirty_or.status().ToString().c_str());
+      return 1;
+    }
+    dirty = std::move(*dirty_or);
+    if (!flags.GetString("clean").empty()) {
+      auto clean_or = birnn::data::ReadCsvFile(flags.GetString("clean"));
+      if (!clean_or.ok()) {
+        std::fprintf(stderr, "reading clean CSV: %s\n",
+                     clean_or.status().ToString().c_str());
+        return 1;
+      }
+      clean = std::move(*clean_or);
+      have_clean = true;
+    }
+  }
+
+  birnn::core::DetectorOptions options;
+  options.model = flags.GetString("model");
+  options.n_label_tuples = flags.GetInt("tuples");
+  options.trainer.epochs = flags.GetInt("epochs");
+  birnn::core::ErrorDetector detector(options);
+
+  birnn::StatusOr<birnn::core::DetectionReport> report_or(
+      Status::Internal("unset"));
+  if (have_clean) {
+    report_or = detector.Run(dirty, clean);
+  } else {
+    // Deployment mode without ground truth: this demo oracle treats empty
+    // values as errors. Replace it with real user input in your pipeline.
+    birnn::core::LabelOracle oracle = [&dirty](int64_t row, int attr) {
+      const std::string& v = dirty.cell(static_cast<int>(row), attr);
+      return v.empty() || v == "NaN" ? 1 : 0;
+    };
+    report_or = detector.RunWithOracle(dirty, oracle);
+  }
+  if (!report_or.ok()) {
+    std::fprintf(stderr, "detection failed: %s\n",
+                 report_or.status().ToString().c_str());
+    return 1;
+  }
+  const birnn::core::DetectionReport& report = *report_or;
+
+  if (have_clean) {
+    std::printf("test metrics: %s\n", report.test_metrics.ToString().c_str());
+  }
+  std::printf("tuples that were labeled:");
+  for (int64_t t : report.labeled_tuples) {
+    std::printf(" %ld", static_cast<long>(t));
+  }
+  std::printf("\n");
+
+  // Write the per-cell report.
+  birnn::data::Table out(std::vector<std::string>{
+      "row", "column", "value", "flagged"});
+  const int n_attrs = dirty.num_columns();
+  int64_t flagged = 0;
+  for (int row = 0; row < dirty.num_rows(); ++row) {
+    for (int col = 0; col < n_attrs; ++col) {
+      const size_t cell = static_cast<size_t>(row) * n_attrs + col;
+      if (!report.predicted[cell]) continue;
+      ++flagged;
+      Status append = out.AppendRow({std::to_string(row),
+                                     dirty.column_names()[col],
+                                     dirty.cell(row, col), "1"});
+      if (!append.ok()) {
+        std::fprintf(stderr, "%s\n", append.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  st = birnn::data::WriteCsvFile(out, flags.GetString("report"));
+  if (!st.ok()) {
+    std::fprintf(stderr, "writing report: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%ld suspicious cells written to %s\n",
+              static_cast<long>(flagged), flags.GetString("report").c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return RunTool(argc, argv); }

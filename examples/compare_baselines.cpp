@@ -1,0 +1,104 @@
+// compare_baselines — run all four detection systems on one dataset and
+// print a head-to-head comparison (a miniature Table 3).
+//
+//   ./build/examples/compare_baselines --dataset rayyan
+
+#include <cstdio>
+
+#include "core/detector.h"
+#include "datagen/datasets.h"
+#include "eval/metrics.h"
+#include "raha/detector.h"
+#include "rotom/baseline.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+void PrintRow(const char* system, const birnn::eval::Metrics& m,
+              double seconds) {
+  std::printf("%-12s P=%.2f R=%.2f F1=%.2f   (%.1f s)\n", system, m.precision,
+              m.recall, m.f1, seconds);
+}
+
+int Run(int argc, char** argv) {
+  birnn::FlagSet flags;
+  flags.AddString("dataset", "rayyan", "benchmark dataset");
+  flags.AddDouble("scale", 0.25, "dataset scale");
+  flags.AddInt("epochs", 40, "RNN training epochs");
+  flags.AddInt("seed", 13, "seed");
+  birnn::Status st = flags.Parse(argc, argv);
+  if (!st.ok() || flags.help_requested()) {
+    std::printf("%s", flags.Usage("compare_baselines").c_str());
+    return st.ok() ? 0 : 2;
+  }
+
+  birnn::datagen::GenOptions gen;
+  gen.scale = flags.GetDouble("scale");
+  gen.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  auto pair_or = birnn::datagen::MakeDataset(flags.GetString("dataset"), gen);
+  if (!pair_or.ok()) {
+    std::fprintf(stderr, "%s\n", pair_or.status().ToString().c_str());
+    return 1;
+  }
+  const birnn::datagen::DatasetPair& pair = *pair_or;
+  std::printf("dataset %s: %d rows x %d attributes\n\n", pair.name.c_str(),
+              pair.dirty.num_rows(), pair.dirty.num_columns());
+
+  // Raha-style ensemble (20 labeled tuples).
+  {
+    birnn::Stopwatch timer;
+    birnn::raha::RahaDetector raha;
+    birnn::Rng rng(gen.seed);
+    std::vector<int64_t> labeled;
+    const auto mask = raha.DetectErrors(pair.dirty, pair.clean, &rng, &labeled);
+    birnn::eval::Confusion confusion;
+    std::vector<uint8_t> in_train(static_cast<size_t>(pair.dirty.num_rows()));
+    for (int64_t r : labeled) in_train[static_cast<size_t>(r)] = 1;
+    for (int r = 0; r < pair.dirty.num_rows(); ++r) {
+      if (in_train[static_cast<size_t>(r)]) continue;
+      for (int c = 0; c < pair.dirty.num_columns(); ++c) {
+        confusion.Add(
+            mask[static_cast<size_t>(r) * pair.dirty.num_columns() + c],
+            pair.dirty.cell(r, c) != pair.clean.cell(r, c) ? 1 : 0);
+      }
+    }
+    PrintRow("Raha", birnn::eval::Metrics::From(confusion),
+             timer.ElapsedSeconds());
+  }
+
+  // Rotom-style augmentation baseline (200 labeled cells).
+  for (const bool ssl : {false, true}) {
+    birnn::Stopwatch timer;
+    birnn::rotom::RotomOptions options;
+    options.ssl = ssl;
+    options.seed = gen.seed;
+    birnn::rotom::RotomBaseline rotom(options);
+    auto result = rotom.Detect(pair.dirty, pair.clean);
+    if (result.ok()) {
+      PrintRow(ssl ? "Rotom+SSL" : "Rotom", result->test_metrics,
+               timer.ElapsedSeconds());
+    }
+  }
+
+  // This paper's models (20 labeled tuples via DiverSet).
+  for (const char* model : {"tsb", "etsb"}) {
+    birnn::Stopwatch timer;
+    birnn::core::DetectorOptions options;
+    options.model = model;
+    options.trainer.epochs = flags.GetInt("epochs");
+    options.seed = gen.seed;
+    birnn::core::ErrorDetector detector(options);
+    auto report = detector.Run(pair.dirty, pair.clean);
+    if (report.ok()) {
+      PrintRow(model == std::string("tsb") ? "TSB-RNN" : "ETSB-RNN",
+               report->test_metrics, timer.ElapsedSeconds());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,65 @@
+// Quickstart: the paper's "system in action" loop in ~40 lines.
+//
+// 1. Get a dirty table and its clean ground truth (here: the synthetic
+//    Beers benchmark).
+// 2. Configure the ErrorDetector: ETSB-RNN model, DiverSet sampling,
+//    20 labeled tuples.
+// 3. Run — the detector prepares the data, picks the tuples to label,
+//    trains, and flags every suspicious cell.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/detector.h"
+#include "datagen/datasets.h"
+
+int main() {
+  // A small Beers instance: ~240 rows, 11 attributes, 16% cell errors.
+  birnn::datagen::GenOptions gen;
+  gen.scale = 0.1;
+  gen.seed = 42;
+  const birnn::datagen::DatasetPair beers = birnn::datagen::MakeBeers(gen);
+  std::printf("dataset: %s (%d rows x %d attributes)\n", beers.name.c_str(),
+              beers.dirty.num_rows(), beers.dirty.num_columns());
+
+  birnn::core::DetectorOptions options;
+  options.model = "etsb";        // Enriched Two-Stacked Bidirectional RNN
+  options.sampler = "diverset";  // Algorithm 3
+  options.n_label_tuples = 20;
+  options.trainer.epochs = 40;   // paper uses 120; 40 is plenty here
+
+  birnn::core::ErrorDetector detector(options);
+  auto report = detector.Run(beers.dirty, beers.clean);
+  if (!report.ok()) {
+    std::fprintf(stderr, "detection failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("labeled tuples: %zu  train cells: %ld  test cells: %ld\n",
+              report->labeled_tuples.size(),
+              static_cast<long>(report->train_cells),
+              static_cast<long>(report->test_cells));
+  std::printf("test metrics:   %s\n",
+              report->test_metrics.ToString().c_str());
+  std::printf("best epoch:     %d (train loss %.4f)\n",
+              report->history.best_epoch, report->history.best_train_loss);
+
+  // Show a few flagged cells with their ground truth.
+  std::printf("\nsample of flagged cells:\n");
+  int shown = 0;
+  const int n_attrs = beers.dirty.num_columns();
+  for (int row = 0; row < beers.dirty.num_rows() && shown < 8; ++row) {
+    for (int col = 0; col < n_attrs && shown < 8; ++col) {
+      const size_t cell = static_cast<size_t>(row) * n_attrs + col;
+      if (!report->predicted[cell]) continue;
+      std::printf("  row %3d  %-14s dirty='%s'  clean='%s'\n", row,
+                  beers.dirty.column_names()[col].c_str(),
+                  beers.dirty.cell(row, col).c_str(),
+                  beers.clean.cell(row, col).c_str());
+      ++shown;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,162 @@
+#include "core/detector.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "data/dictionary.h"
+#include "data/encoding.h"
+#include "raha/strategy.h"
+#include "sampling/sampler.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/threadpool.h"
+
+namespace birnn::core {
+
+ErrorDetector::ErrorDetector(DetectorOptions options)
+    : options_(std::move(options)) {}
+
+ModelConfig BuildModelConfig(const DetectorOptions& options, int vocab,
+                             int max_len, int n_attrs) {
+  ModelConfig config;
+  config.vocab = vocab;
+  config.max_len = max_len;
+  config.n_attrs = n_attrs;
+  config.char_emb_dim = options.char_emb_dim;
+  config.units = options.units;
+  config.stacks = options.stacks;
+  config.bidirectional = options.bidirectional;
+  auto cell = nn::ParseCellType(options.cell_type);
+  config.cell_type = cell.ok() ? *cell : nn::CellType::kVanilla;
+  config.enriched = ToLower(options.model) == "etsb";
+  config.use_attr_branch = options.use_attr_branch;
+  config.use_length_branch = options.use_length_branch;
+  config.seed = options.seed;
+  return config;
+}
+
+StatusOr<DetectionReport> ErrorDetector::Run(const data::Table& dirty,
+                                             const data::Table& clean) {
+  // Ground-truth oracle: the user "labels" by consulting the clean table.
+  LabelOracle oracle = [&dirty, &clean](int64_t row, int attr) {
+    return TrimLeft(dirty.cell(static_cast<int>(row), attr)) !=
+                   TrimLeft(clean.cell(static_cast<int>(row), attr))
+               ? 1
+               : 0;
+  };
+  return RunInternal(dirty, &clean, oracle);
+}
+
+StatusOr<DetectionReport> ErrorDetector::RunWithOracle(
+    const data::Table& dirty, const LabelOracle& oracle) {
+  return RunInternal(dirty, nullptr, oracle);
+}
+
+StatusOr<DetectionReport> ErrorDetector::RunInternal(
+    const data::Table& dirty, const data::Table* clean,
+    const LabelOracle& oracle) {
+  const std::string model_name = ToLower(options_.model);
+  if (model_name != "tsb" && model_name != "etsb") {
+    return Status::InvalidArgument("unknown model: " + options_.model);
+  }
+  if (!nn::ParseCellType(options_.cell_type).ok()) {
+    return Status::InvalidArgument("unknown cell type: " + options_.cell_type);
+  }
+
+  // 1. Data preparation (§4.1).
+  data::CellFrame frame;
+  if (clean != nullptr) {
+    BIRNN_ASSIGN_OR_RETURN(frame,
+                           data::PrepareData(dirty, *clean, options_.prepare));
+  } else {
+    BIRNN_ASSIGN_OR_RETURN(frame,
+                           data::PrepareDirtyOnly(dirty, options_.prepare));
+  }
+  const data::CharIndex chars = data::CharIndex::Build(frame);
+  data::EncodedDataset all = data::EncodeCells(frame, chars);
+
+  // 2. Trainset selection (§4.2).
+  BIRNN_ASSIGN_OR_RETURN(auto sampler,
+                         sampling::MakeSampler(options_.sampler));
+  Rng rng(options_.seed);
+  BIRNN_ASSIGN_OR_RETURN(
+      std::vector<int64_t> train_ids,
+      sampler->Select(frame, options_.n_label_tuples, &rng));
+
+  // 3. User labeling: overwrite the labels of the sampled tuples with the
+  // oracle's answers (in experiment mode these equal the prepared labels;
+  // in deployment mode they are the only labels we have).
+  std::unordered_set<int64_t> train_id_set(train_ids.begin(), train_ids.end());
+  for (int64_t i = 0; i < all.num_cells(); ++i) {
+    const int64_t row = all.row_ids[static_cast<size_t>(i)];
+    if (train_id_set.count(row) > 0) {
+      all.labels[static_cast<size_t>(i)] =
+          oracle(row, all.attrs[static_cast<size_t>(i)]);
+    }
+  }
+
+  data::EncodedDataset train;
+  data::EncodedDataset test;
+  data::SplitByRowIds(all, train_ids, &train, &test);
+  if (train.num_cells() == 0) {
+    return Status::FailedPrecondition("sampler selected no tuples");
+  }
+
+  // 4. Training.
+  ModelConfig config = BuildModelConfig(options_, all.vocab, all.max_len,
+                                        all.n_attrs);
+  ErrorDetectionModel model(config);
+  TrainerOptions trainer_options = options_.trainer;
+  trainer_options.seed = options_.seed ^ 0x5EEDULL;
+  Trainer trainer(trainer_options);
+
+  DetectionReport report;
+  report.history = trainer.Fit(&model, train, &test);
+  report.labeled_tuples = train_ids;
+  report.train_cells = train.num_cells();
+  report.test_cells = test.num_cells();
+
+  // 5. Detection over every cell of the frame.
+  std::vector<uint8_t> all_predictions;
+  if (options_.eval_threads > 0) {
+    ThreadPool pool(options_.eval_threads);
+    PredictDataset(model, all, options_.trainer.eval_batch, &all_predictions,
+                   &pool);
+  } else {
+    PredictDataset(model, all, options_.trainer.eval_batch, &all_predictions);
+  }
+  report.predicted = std::move(all_predictions);
+
+  // Optional §5.7 ensemble: cross-attribute errors (violated dependencies,
+  // duplicate-source disagreements) that a per-cell character model cannot
+  // see are OR-ed in from the rule-based strategies.
+  if (options_.use_fd_ensemble) {
+    raha::DetectionMask fd_mask(report.predicted.size(), 0);
+    raha::FdViolationStrategy fd(0.85);
+    fd.Detect(dirty, &fd_mask);
+    raha::KeyDuplicateStrategy dup;
+    dup.Detect(dirty, &fd_mask);
+    for (size_t i = 0; i < report.predicted.size(); ++i) {
+      report.predicted[i] = report.predicted[i] || fd_mask[i];
+    }
+  }
+
+  // 6. Evaluation on the test cells (experiment mode only).
+  if (clean != nullptr) {
+    report.truth.reserve(frame.cells().size());
+    for (const auto& cell : frame.cells()) report.truth.push_back(cell.label);
+    eval::Confusion confusion;
+    for (int64_t i = 0; i < all.num_cells(); ++i) {
+      const int64_t row = all.row_ids[static_cast<size_t>(i)];
+      if (train_id_set.count(row) > 0) continue;  // test cells only
+      confusion.Add(report.predicted[static_cast<size_t>(i)],
+                    report.truth[static_cast<size_t>(i)]);
+    }
+    report.test_confusion = confusion;
+    report.test_metrics = eval::Metrics::From(confusion);
+  }
+  return report;
+}
+
+}  // namespace birnn::core

@@ -1,0 +1,110 @@
+#ifndef BIRNN_CORE_DETECTOR_H_
+#define BIRNN_CORE_DETECTOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "core/trainer.h"
+#include "data/prepare.h"
+#include "data/table.h"
+#include "eval/metrics.h"
+#include "util/status.h"
+
+namespace birnn::core {
+
+/// Answers "is cell (row_id, attr) erroneous?" for the tuples the sampler
+/// proposed — the human-in-the-loop labeling step. Experiments back it
+/// with ground truth; deployments with an actual user.
+using LabelOracle = std::function<int(int64_t row_id, int attr)>;
+
+/// End-to-end configuration: "The user gives our system a dataset and
+/// chooses the number of tuples for training" (§1, System in action).
+struct DetectorOptions {
+  /// "tsb" (value branch only) or "etsb" (enriched).
+  std::string model = "etsb";
+  /// "randomset" | "rahaset" | "diverset" (paper default: DiverSet).
+  std::string sampler = "diverset";
+  /// Labeled-tuple budget (paper: 20).
+  int n_label_tuples = 20;
+
+  data::PrepareOptions prepare;
+  TrainerOptions trainer;
+
+  /// Architecture overrides (defaults are the paper's).
+  int units = 64;
+  int stacks = 2;
+  bool bidirectional = true;
+  /// "rnn" (paper), "gru", or "lstm".
+  std::string cell_type = "rnn";
+  int char_emb_dim = 32;
+  bool use_attr_branch = true;
+  bool use_length_branch = true;
+
+  /// Worker threads for the final whole-table inference sweep (0 = run on
+  /// the calling thread; useful on multi-core machines, a no-op here).
+  int eval_threads = 0;
+
+  /// §5.7 future-work extension: OR the model's verdict with the
+  /// functional-dependency and duplicate-record strategies, which catch the
+  /// cross-attribute errors the character model cannot see.
+  bool use_fd_ensemble = false;
+
+  uint64_t seed = 42;
+};
+
+/// Everything a detection run produces.
+struct DetectionReport {
+  /// Per-cell prediction over the *whole* frame, tuple-major
+  /// (row_id * n_attrs + attr).
+  std::vector<uint8_t> predicted;
+  /// Ground-truth labels in the same layout (empty in deployment mode).
+  std::vector<int32_t> truth;
+  /// Tuples the sampler selected for labeling.
+  std::vector<int64_t> labeled_tuples;
+  /// Metrics over the test cells only (cells of non-labeled tuples),
+  /// matching the paper's evaluation protocol.
+  eval::Metrics test_metrics;
+  eval::Confusion test_confusion;
+  /// Training curve + best-epoch bookkeeping.
+  TrainHistory history;
+  /// Sizes, for reporting ("trainset of size 220, testset of size 26,290").
+  int64_t train_cells = 0;
+  int64_t test_cells = 0;
+};
+
+/// The paper's end-to-end system: data preparation -> trainset selection ->
+/// user labeling -> training -> per-cell error detection.
+class ErrorDetector {
+ public:
+  explicit ErrorDetector(DetectorOptions options = {});
+
+  /// Experiment mode: the clean table provides both the oracle labels for
+  /// the sampled tuples and the ground truth for evaluation.
+  StatusOr<DetectionReport> Run(const data::Table& dirty,
+                                const data::Table& clean);
+
+  /// Deployment mode: no clean table; `oracle` labels the sampled tuples
+  /// (e.g. by asking a human). The report's truth vector and test metrics
+  /// are empty/zero.
+  StatusOr<DetectionReport> RunWithOracle(const data::Table& dirty,
+                                          const LabelOracle& oracle);
+
+  const DetectorOptions& options() const { return options_; }
+
+ private:
+  StatusOr<DetectionReport> RunInternal(const data::Table& dirty,
+                                        const data::Table* clean,
+                                        const LabelOracle& oracle);
+
+  DetectorOptions options_;
+};
+
+/// Builds a ModelConfig from detector options + encoded data properties.
+ModelConfig BuildModelConfig(const DetectorOptions& options, int vocab,
+                             int max_len, int n_attrs);
+
+}  // namespace birnn::core
+
+#endif  // BIRNN_CORE_DETECTOR_H_

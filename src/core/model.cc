@@ -1,0 +1,270 @@
+#include "core/model.h"
+
+#include <algorithm>
+
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+#include "util/rng.h"
+
+namespace birnn::core {
+
+Status ModelConfig::Validate() const {
+  if (vocab < 2) return Status::InvalidArgument("vocab must be >= 2");
+  if (max_len < 1) return Status::InvalidArgument("max_len must be >= 1");
+  if (enriched && use_attr_branch && n_attrs < 1) {
+    return Status::InvalidArgument("enriched model needs n_attrs >= 1");
+  }
+  if (units < 1 || stacks < 1) {
+    return Status::InvalidArgument("units and stacks must be >= 1");
+  }
+  return Status::OK();
+}
+
+BatchInput MakeBatch(const data::EncodedDataset& ds,
+                     const std::vector<int64_t>& indices) {
+  BatchInput b;
+  b.batch = static_cast<int>(indices.size());
+  b.char_steps.assign(static_cast<size_t>(ds.max_len),
+                      std::vector<int>(indices.size()));
+  b.attr_ids.resize(indices.size());
+  b.length_norm.resize(indices.size());
+  b.labels.resize(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t cell = indices[i];
+    for (int t = 0; t < ds.max_len; ++t) {
+      b.char_steps[static_cast<size_t>(t)][i] = ds.seq_at(cell, t);
+    }
+    b.attr_ids[i] = ds.attrs[static_cast<size_t>(cell)];
+    b.length_norm[i] = ds.length_norm[static_cast<size_t>(cell)];
+    b.labels[i] = ds.labels[static_cast<size_t>(cell)];
+  }
+  return b;
+}
+
+ErrorDetectionModel::ErrorDetectionModel(const ModelConfig& config)
+    : config_(config), name_(config.enriched ? "ETSB-RNN" : "TSB-RNN") {
+  BIRNN_CHECK(config.Validate().ok()) << config.Validate().ToString();
+  Rng rng(config.seed ^ 0xE75BULL);
+
+  char_emb_ = std::make_unique<nn::Embedding>("char_emb", config.vocab,
+                                              config.char_emb_dim, &rng);
+  value_rnn_ = std::make_unique<nn::StackedBiRecurrent>(
+      config.cell_type, "value_rnn", config.char_emb_dim, config.units,
+      config.stacks, config.bidirectional, &rng);
+
+  if (config.enriched && config.use_attr_branch) {
+    attr_emb_ = std::make_unique<nn::Embedding>("attr_emb", config.n_attrs,
+                                                config.attr_emb_dim, &rng);
+    attr_rnn_ = std::make_unique<nn::StackedBiRecurrent>(
+        config.cell_type, "attr_rnn", config.attr_emb_dim, config.attr_units,
+        config.stacks, config.bidirectional, &rng);
+  }
+  if (config.enriched && config.use_length_branch) {
+    length_dense_ = std::make_unique<nn::Dense>(
+        "length_dense", 1, config.length_dense_dim,
+        nn::Dense::Activation::kRelu, &rng);
+  }
+
+  hidden_dense_ = std::make_unique<nn::Dense>("hidden_dense", ConcatDim(),
+                                              config.hidden_dense_dim,
+                                              nn::Dense::Activation::kRelu,
+                                              &rng);
+  batch_norm_ =
+      std::make_unique<nn::BatchNorm1d>("batch_norm", config.hidden_dense_dim);
+  output_dense_ = std::make_unique<nn::Dense>("output_dense",
+                                              config.hidden_dense_dim, 2,
+                                              nn::Dense::Activation::kNone,
+                                              &rng);
+}
+
+int ErrorDetectionModel::ConcatDim() const {
+  int dim = value_rnn_->output_dim();
+  if (attr_rnn_ != nullptr) dim += attr_rnn_->output_dim();
+  if (length_dense_ != nullptr) dim += config_.length_dense_dim;
+  return dim;
+}
+
+nn::Graph::Var ErrorDetectionModel::Forward(nn::Graph* g,
+                                            const BatchInput& batch,
+                                            bool training) {
+  BIRNN_CHECK_EQ(static_cast<int>(batch.char_steps.size()), config_.max_len);
+
+  // Value branch: character embedding -> two-stacked bidirectional RNN.
+  const nn::Graph::Var char_table = char_emb_->Bind(g);
+  std::vector<nn::Graph::Var> steps;
+  steps.reserve(batch.char_steps.size());
+  for (const auto& ids : batch.char_steps) {
+    steps.push_back(g->Embedding(char_table, ids));
+  }
+  nn::Graph::Var features = value_rnn_->Apply(g, steps, batch.batch);
+
+  std::vector<nn::Graph::Var> parts{features};
+  if (attr_rnn_ != nullptr) {
+    // Attribute branch: the attribute id is a length-1 sequence through its
+    // own embedding + BiRNN (Fig. 5, bottom left).
+    const nn::Graph::Var attr_table = attr_emb_->Bind(g);
+    std::vector<nn::Graph::Var> attr_steps{
+        g->Embedding(attr_table, batch.attr_ids)};
+    parts.push_back(attr_rnn_->Apply(g, attr_steps, batch.batch));
+  }
+  if (length_dense_ != nullptr) {
+    // Length branch: length_norm scalar -> Dense(64) ReLU.
+    nn::Tensor len(batch.batch, 1);
+    for (int i = 0; i < batch.batch; ++i) {
+      len.at(i, 0) = batch.length_norm[static_cast<size_t>(i)];
+    }
+    parts.push_back(length_dense_->Bind(g).Apply(g->Input(std::move(len))));
+  }
+  nn::Graph::Var concat =
+      parts.size() == 1 ? parts[0] : g->ConcatCols(parts);
+
+  // Head: Dense(32) ReLU -> BatchNorm -> Dense(2) (softmax applied by the
+  // loss / by PredictProbs).
+  nn::Graph::Var hidden = hidden_dense_->Bind(g).Apply(concat);
+  nn::Graph::Var normed = batch_norm_->Apply(g, hidden, training);
+  return output_dense_->Bind(g).Apply(normed);
+}
+
+void ErrorDetectionModel::ForwardHidden(const BatchInput& batch,
+                                        nn::Tensor* hidden) const {
+  BIRNN_CHECK_EQ(static_cast<int>(batch.char_steps.size()), config_.max_len);
+
+  std::vector<nn::Tensor> steps(batch.char_steps.size());
+  for (size_t t = 0; t < batch.char_steps.size(); ++t) {
+    char_emb_->LookupForward(batch.char_steps[t], &steps[t]);
+  }
+  nn::Tensor features;
+  value_rnn_->ApplyForward(steps, &features);
+
+  std::vector<nn::Tensor> parts_storage;
+  parts_storage.reserve(3);
+  parts_storage.push_back(std::move(features));
+  if (attr_rnn_ != nullptr) {
+    nn::Tensor attr_emb;
+    attr_emb_->LookupForward(batch.attr_ids, &attr_emb);
+    std::vector<nn::Tensor> attr_steps{std::move(attr_emb)};
+    nn::Tensor attr_out;
+    attr_rnn_->ApplyForward(attr_steps, &attr_out);
+    parts_storage.push_back(std::move(attr_out));
+  }
+  if (length_dense_ != nullptr) {
+    nn::Tensor len(batch.batch, 1);
+    for (int i = 0; i < batch.batch; ++i) {
+      len.at(i, 0) = batch.length_norm[static_cast<size_t>(i)];
+    }
+    nn::Tensor len_out;
+    length_dense_->ApplyForward(len, &len_out);
+    parts_storage.push_back(std::move(len_out));
+  }
+  nn::Tensor concat;
+  if (parts_storage.size() == 1) {
+    concat = std::move(parts_storage[0]);
+  } else {
+    std::vector<const nn::Tensor*> ptrs;
+    for (const auto& t : parts_storage) ptrs.push_back(&t);
+    nn::ConcatCols(ptrs, &concat);
+  }
+
+  hidden_dense_->ApplyForward(concat, hidden);
+}
+
+void ErrorDetectionModel::PredictProbs(const BatchInput& batch,
+                                       std::vector<float>* p_error) const {
+  nn::Tensor hidden;
+  ForwardHidden(batch, &hidden);
+  nn::Tensor normed;
+  batch_norm_->ApplyForward(hidden, &normed);
+  nn::Tensor logits;
+  output_dense_->ApplyForward(normed, &logits);
+  nn::Tensor probs;
+  nn::SoftmaxRows(logits, &probs);
+
+  p_error->resize(static_cast<size_t>(batch.batch));
+  for (int i = 0; i < batch.batch; ++i) {
+    (*p_error)[static_cast<size_t>(i)] = probs.at(i, 1);
+  }
+}
+
+void ErrorDetectionModel::CalibrateBatchNorm(const data::EncodedDataset& ds,
+                                             int batch_size) {
+  if (ds.num_cells() == 0) return;
+  const int features = config_.hidden_dense_dim;
+  std::vector<double> sum(static_cast<size_t>(features), 0.0);
+  std::vector<double> sum_sq(static_cast<size_t>(features), 0.0);
+  int64_t count = 0;
+
+  std::vector<int64_t> indices;
+  nn::Tensor hidden;
+  for (int64_t start = 0; start < ds.num_cells(); start += batch_size) {
+    const int64_t end = std::min<int64_t>(start + batch_size, ds.num_cells());
+    indices.clear();
+    for (int64_t i = start; i < end; ++i) indices.push_back(i);
+    const BatchInput batch = MakeBatch(ds, indices);
+    ForwardHidden(batch, &hidden);
+    for (int i = 0; i < hidden.rows(); ++i) {
+      for (int j = 0; j < features; ++j) {
+        const double v = hidden.at(i, j);
+        sum[static_cast<size_t>(j)] += v;
+        sum_sq[static_cast<size_t>(j)] += v * v;
+      }
+    }
+    count += hidden.rows();
+  }
+
+  nn::Tensor mean(std::vector<int>{features});
+  nn::Tensor var(std::vector<int>{features});
+  for (int j = 0; j < features; ++j) {
+    const size_t sj = static_cast<size_t>(j);
+    const double m = sum[sj] / static_cast<double>(count);
+    mean[sj] = static_cast<float>(m);
+    var[sj] = static_cast<float>(
+        std::max(0.0, sum_sq[sj] / static_cast<double>(count) - m * m));
+  }
+  batch_norm_->SetRunningStats(std::move(mean), std::move(var));
+}
+
+void ErrorDetectionModel::Predict(const BatchInput& batch,
+                                  std::vector<uint8_t>* labels) const {
+  std::vector<float> p;
+  PredictProbs(batch, &p);
+  labels->resize(p.size());
+  for (size_t i = 0; i < p.size(); ++i) {
+    (*labels)[i] = p[i] > 0.5f ? 1 : 0;
+  }
+}
+
+std::vector<nn::Parameter*> ErrorDetectionModel::Params() {
+  std::vector<nn::Parameter*> out;
+  auto append = [&out](std::vector<nn::Parameter*> ps) {
+    out.insert(out.end(), ps.begin(), ps.end());
+  };
+  append(char_emb_->Params());
+  append(value_rnn_->Params());
+  if (attr_emb_ != nullptr) append(attr_emb_->Params());
+  if (attr_rnn_ != nullptr) append(attr_rnn_->Params());
+  if (length_dense_ != nullptr) append(length_dense_->Params());
+  append(hidden_dense_->Params());
+  append(batch_norm_->Params());
+  append(output_dense_->Params());
+  return out;
+}
+
+ModelSnapshot ErrorDetectionModel::Snapshot() {
+  ModelSnapshot s;
+  s.params = nn::SnapshotParams(Params());
+  s.bn_mean = batch_norm_->running_mean();
+  s.bn_var = batch_norm_->running_var();
+  return s;
+}
+
+void ErrorDetectionModel::Restore(const ModelSnapshot& snapshot) {
+  nn::RestoreParams(snapshot.params, Params());
+  batch_norm_->SetRunningStats(snapshot.bn_mean, snapshot.bn_var);
+}
+
+size_t ErrorDetectionModel::NumWeights() {
+  return nn::CountWeights(Params());
+}
+
+}  // namespace birnn::core

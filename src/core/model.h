@@ -1,0 +1,133 @@
+#ifndef BIRNN_CORE_MODEL_H_
+#define BIRNN_CORE_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/encoding.h"
+#include "nn/graph.h"
+#include "nn/layers.h"
+#include "nn/recurrent.h"
+#include "util/status.h"
+
+namespace birnn::core {
+
+/// Hyper-parameters of the paper's architectures (Fig. 5). The defaults are
+/// the paper's settings; ablation benches vary them.
+struct ModelConfig {
+  // --- data-derived (required) ---
+  int vocab = 0;     ///< character vocabulary size (pad + chars + unk).
+  int max_len = 0;   ///< padded sequence length.
+  int n_attrs = 0;   ///< number of attributes (ETSB metadata branch).
+
+  // --- value branch (both models) ---
+  int char_emb_dim = 32;     ///< character embedding width.
+  int units = 64;            ///< RNN units (paper: 64).
+  int stacks = 2;            ///< stacked RNN levels (paper: two-stacked).
+  bool bidirectional = true; ///< forward + backward chains (paper: yes).
+  /// Recurrent cell family. The paper uses plain tanh RNNs and argues (§2)
+  /// they train faster than LSTM/GRU; bench_ablation_cell_type measures it.
+  nn::CellType cell_type = nn::CellType::kVanilla;
+
+  // --- enrichment (ETSB-RNN only) ---
+  bool enriched = false;        ///< false = TSB-RNN, true = ETSB-RNN.
+  bool use_attr_branch = true;  ///< attribute-metadata branch on/off.
+  bool use_length_branch = true;///< length_norm branch on/off.
+  int attr_emb_dim = 8;         ///< attribute embedding width.
+  int attr_units = 8;           ///< attribute BiRNN units (paper: 8).
+  int length_dense_dim = 64;    ///< length branch dense width (paper: 64).
+
+  // --- head (both models) ---
+  int hidden_dense_dim = 32;    ///< pre-batchnorm dense width (paper: 32).
+
+  uint64_t seed = 1;            ///< weight initialization seed.
+
+  /// Validates data-derived fields.
+  Status Validate() const;
+};
+
+/// A mini-batch in the layout the models consume: per-time-step character
+/// id columns plus the enrichment inputs.
+struct BatchInput {
+  int batch = 0;
+  /// char_steps[t][i] = character id of cell i at time step t.
+  std::vector<std::vector<int>> char_steps;
+  std::vector<int> attr_ids;        ///< attribute id per cell.
+  std::vector<float> length_norm;   ///< length_norm per cell.
+  std::vector<int> labels;          ///< 0/1 per cell (training only).
+};
+
+/// Assembles a BatchInput from dataset cells `indices`.
+BatchInput MakeBatch(const data::EncodedDataset& ds,
+                     const std::vector<int64_t>& indices);
+
+/// Weight snapshot including batch-norm running statistics — what the
+/// best-train-loss checkpoint callback captures.
+struct ModelSnapshot {
+  std::vector<nn::Tensor> params;
+  nn::Tensor bn_mean;
+  nn::Tensor bn_var;
+};
+
+/// The paper's error-detection network. With `config.enriched == false`
+/// this is TSB-RNN (value branch only); with `true` it is ETSB-RNN (value
+/// branch + attribute-metadata branch + length_norm branch). See Fig. 5.
+class ErrorDetectionModel {
+ public:
+  explicit ErrorDetectionModel(const ModelConfig& config);
+
+  ErrorDetectionModel(const ErrorDetectionModel&) = delete;
+  ErrorDetectionModel& operator=(const ErrorDetectionModel&) = delete;
+
+  /// Training-mode forward pass on an autograd graph; returns the logits
+  /// Var (batch, 2). Pair with Graph::SoftmaxCrossEntropy.
+  nn::Graph::Var Forward(nn::Graph* g, const BatchInput& batch, bool training);
+
+  /// Forward-only inference: probability that each cell is erroneous
+  /// (class 1). No tape overhead; uses batch-norm running statistics.
+  void PredictProbs(const BatchInput& batch, std::vector<float>* p_error) const;
+
+  /// Replaces the batch-norm running statistics with the exact mean and
+  /// variance of the pre-normalization activations over `ds`, computed with
+  /// the current weights. Run after restoring a checkpoint: the momentum-EMA
+  /// estimates trail the rapidly moving activations of a small trainset and
+  /// can wreck inference (see DESIGN.md, "BatchNorm calibration").
+  void CalibrateBatchNorm(const data::EncodedDataset& ds, int batch_size = 256);
+
+  /// Thresholded predictions (p_error > 0.5 -> 1).
+  void Predict(const BatchInput& batch, std::vector<uint8_t>* labels) const;
+
+  std::vector<nn::Parameter*> Params();
+
+  /// Checkpointing of weights + batch-norm running stats.
+  ModelSnapshot Snapshot();
+  void Restore(const ModelSnapshot& snapshot);
+
+  const ModelConfig& config() const { return config_; }
+  const std::string& name() const { return name_; }
+  size_t NumWeights();
+
+ private:
+  int ConcatDim() const;
+
+  /// Forward-only pipeline up to the pre-batch-norm hidden activations.
+  void ForwardHidden(const BatchInput& batch, nn::Tensor* hidden) const;
+
+  ModelConfig config_;
+  std::string name_;
+
+  std::unique_ptr<nn::Embedding> char_emb_;
+  std::unique_ptr<nn::StackedBiRecurrent> value_rnn_;
+  std::unique_ptr<nn::Embedding> attr_emb_;            // enriched only
+  std::unique_ptr<nn::StackedBiRecurrent> attr_rnn_;   // enriched only
+  std::unique_ptr<nn::Dense> length_dense_;    // enriched only
+  std::unique_ptr<nn::Dense> hidden_dense_;
+  std::unique_ptr<nn::BatchNorm1d> batch_norm_;
+  std::unique_ptr<nn::Dense> output_dense_;
+};
+
+}  // namespace birnn::core
+
+#endif  // BIRNN_CORE_MODEL_H_

@@ -1,0 +1,170 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/optimizer.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace birnn::core {
+
+Trainer::Trainer(TrainerOptions options) : options_(options) {}
+
+void PredictDataset(const ErrorDetectionModel& model,
+                    const data::EncodedDataset& ds, int eval_batch,
+                    std::vector<uint8_t>* predictions, ThreadPool* pool) {
+  predictions->assign(static_cast<size_t>(ds.num_cells()), 0);
+  const int64_t n_batches =
+      (ds.num_cells() + eval_batch - 1) / std::max(1, eval_batch);
+  auto run_batch = [&](int64_t b) {
+    const int64_t start = b * eval_batch;
+    const int64_t end = std::min<int64_t>(start + eval_batch, ds.num_cells());
+    std::vector<int64_t> indices;
+    indices.reserve(static_cast<size_t>(end - start));
+    for (int64_t i = start; i < end; ++i) indices.push_back(i);
+    const BatchInput batch = MakeBatch(ds, indices);
+    std::vector<uint8_t> labels;
+    model.Predict(batch, &labels);
+    for (int64_t i = start; i < end; ++i) {
+      (*predictions)[static_cast<size_t>(i)] =
+          labels[static_cast<size_t>(i - start)];
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(n_batches, run_batch);
+  } else {
+    for (int64_t b = 0; b < n_batches; ++b) run_batch(b);
+  }
+}
+
+double DatasetAccuracy(const ErrorDetectionModel& model,
+                       const data::EncodedDataset& ds, int eval_batch,
+                       const std::vector<int64_t>& indices) {
+  std::vector<int64_t> eval_indices = indices;
+  if (eval_indices.empty()) {
+    eval_indices.resize(static_cast<size_t>(ds.num_cells()));
+    for (int64_t i = 0; i < ds.num_cells(); ++i) {
+      eval_indices[static_cast<size_t>(i)] = i;
+    }
+  }
+  if (eval_indices.empty()) return 0.0;
+
+  int64_t correct = 0;
+  std::vector<int64_t> chunk;
+  for (size_t start = 0; start < eval_indices.size();
+       start += static_cast<size_t>(eval_batch)) {
+    const size_t end = std::min(start + static_cast<size_t>(eval_batch),
+                                eval_indices.size());
+    chunk.assign(eval_indices.begin() + static_cast<std::ptrdiff_t>(start),
+                 eval_indices.begin() + static_cast<std::ptrdiff_t>(end));
+    const BatchInput batch = MakeBatch(ds, chunk);
+    std::vector<uint8_t> labels;
+    model.Predict(batch, &labels);
+    for (size_t i = 0; i < labels.size(); ++i) {
+      if (labels[i] == batch.labels[i]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(eval_indices.size());
+}
+
+TrainHistory Trainer::Fit(ErrorDetectionModel* model,
+                          const data::EncodedDataset& train,
+                          const data::EncodedDataset* test) {
+  BIRNN_CHECK_GT(train.num_cells(), 0);
+  Stopwatch timer;
+  Rng rng(options_.seed ^ 0x7124139ULL);
+
+  const int64_t n = train.num_cells();
+  const int batch_size = std::max<int>(
+      1, static_cast<int>(std::lround(options_.batch_fraction *
+                                      static_cast<double>(n))));
+
+  std::vector<nn::Parameter*> params = model->Params();
+  nn::RmsProp optimizer(options_.learning_rate, options_.rmsprop_rho);
+
+  // Fixed subsample of test cells for the per-epoch accuracy curve.
+  std::vector<int64_t> test_indices;
+  if (test != nullptr && options_.track_test_accuracy &&
+      test->num_cells() > 0) {
+    if (options_.test_eval_max_cells > 0 &&
+        test->num_cells() > options_.test_eval_max_cells) {
+      const auto picks = rng.SampleWithoutReplacement(
+          static_cast<size_t>(test->num_cells()),
+          static_cast<size_t>(options_.test_eval_max_cells));
+      for (size_t p : picks) test_indices.push_back(static_cast<int64_t>(p));
+    } else {
+      for (int64_t i = 0; i < test->num_cells(); ++i) test_indices.push_back(i);
+    }
+  }
+
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+
+  TrainHistory history;
+  ModelSnapshot best = model->Snapshot();
+  double best_loss = std::numeric_limits<double>::infinity();
+  int best_epoch = -1;
+
+  std::vector<int64_t> batch_indices;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    if (options_.shuffle) rng.Shuffle(&order);
+
+    double loss_sum = 0.0;
+    int64_t correct = 0;
+    int64_t seen = 0;
+    int batches = 0;
+    for (int64_t start = 0; start < n; start += batch_size) {
+      const int64_t end = std::min<int64_t>(start + batch_size, n);
+      batch_indices.assign(order.begin() + start, order.begin() + end);
+      const BatchInput batch = MakeBatch(train, batch_indices);
+
+      nn::Graph g;
+      const nn::Graph::Var logits = model->Forward(&g, batch, /*training=*/true);
+      const nn::Graph::Var loss = g.SoftmaxCrossEntropy(logits, batch.labels);
+      nn::ZeroGrads(params);
+      g.Backward(loss);
+      optimizer.Step(params);
+
+      loss_sum += g.value(loss).scalar();
+      ++batches;
+      const nn::Tensor& probs = g.Probs(loss);
+      for (int i = 0; i < batch.batch; ++i) {
+        const int pred = probs.at(i, 1) > probs.at(i, 0) ? 1 : 0;
+        if (pred == batch.labels[static_cast<size_t>(i)]) ++correct;
+        ++seen;
+      }
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = loss_sum / std::max(1, batches);
+    stats.train_accuracy =
+        seen == 0 ? 0.0
+                  : static_cast<double>(correct) / static_cast<double>(seen);
+    if (!test_indices.empty()) {
+      stats.test_accuracy = DatasetAccuracy(*model, *test,
+                                            options_.eval_batch, test_indices);
+      stats.has_test = true;
+    }
+    history.epochs.push_back(stats);
+
+    // Checkpoint callback: keep the weights with the lowest train loss.
+    if (stats.train_loss < best_loss) {
+      best_loss = stats.train_loss;
+      best_epoch = epoch;
+      best = model->Snapshot();
+    }
+  }
+
+  if (best_epoch >= 0) model->Restore(best);
+  if (options_.calibrate_batchnorm) model->CalibrateBatchNorm(train);
+  history.best_epoch = best_epoch;
+  history.best_train_loss = best_loss;
+  history.train_seconds = timer.ElapsedSeconds();
+  return history;
+}
+
+}  // namespace birnn::core

@@ -1,0 +1,95 @@
+#ifndef BIRNN_CORE_TRAINER_H_
+#define BIRNN_CORE_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model.h"
+#include "data/encoding.h"
+#include "util/threadpool.h"
+
+namespace birnn::core {
+
+/// Training setup of the paper's §5.2: 120 epochs, RMSprop, binary
+/// cross-entropy, batch size = a quarter of the trainset, checkpointing the
+/// weights whenever the epoch's train loss improves.
+struct TrainerOptions {
+  int epochs = 120;
+  float learning_rate = 1e-3f;
+  float rmsprop_rho = 0.9f;
+  /// Batch size as a fraction of the trainset (paper: 1/4).
+  double batch_fraction = 0.25;
+  bool shuffle = true;
+  uint64_t seed = 99;
+
+  /// After restoring the best checkpoint, replace the batch-norm running
+  /// statistics with the exact trainset statistics under those weights.
+  /// The EMA estimates trail the fast-moving activations of a 220-cell
+  /// trainset badly enough to flip inference wholesale; calibration removes
+  /// that failure mode (documented in DESIGN.md).
+  bool calibrate_batchnorm = true;
+
+  /// Record test accuracy per epoch (Fig. 6/7). Costs one inference sweep
+  /// per epoch over up to `test_eval_max_cells` test cells. The per-epoch
+  /// sweep intentionally uses the *uncalibrated* running stats — that is
+  /// what produces the wavy test-accuracy curves with "gaps" the paper
+  /// describes in §5.4.
+  bool track_test_accuracy = false;
+  /// Subsample size for the per-epoch test sweep; 0 = use all test cells.
+  int64_t test_eval_max_cells = 2000;
+  /// Inference batch size.
+  int eval_batch = 256;
+};
+
+/// Per-epoch measurements.
+struct EpochStats {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  bool has_test = false;
+};
+
+/// Outcome of one training run.
+struct TrainHistory {
+  std::vector<EpochStats> epochs;
+  int best_epoch = -1;          ///< epoch with the lowest train loss.
+  double best_train_loss = 0.0;
+  double train_seconds = 0.0;   ///< wall-clock time of Fit().
+};
+
+/// Trains an ErrorDetectionModel on an encoded trainset.
+class Trainer {
+ public:
+  explicit Trainer(TrainerOptions options = {});
+
+  /// Runs the full training loop. If `test` is non-null and
+  /// `track_test_accuracy` is set, records test accuracy every epoch. On
+  /// return the model holds the best-train-loss weights (checkpoint
+  /// restore), matching the paper's callback behaviour.
+  TrainHistory Fit(ErrorDetectionModel* model,
+                   const data::EncodedDataset& train,
+                   const data::EncodedDataset* test = nullptr);
+
+ private:
+  TrainerOptions options_;
+};
+
+/// Runs thresholded inference over every cell of `ds` in batches. When
+/// `pool` is non-null, batches are evaluated concurrently (the model's
+/// inference path is const and thread-safe); results are positionally
+/// identical to the sequential path.
+void PredictDataset(const ErrorDetectionModel& model,
+                    const data::EncodedDataset& ds, int eval_batch,
+                    std::vector<uint8_t>* predictions,
+                    ThreadPool* pool = nullptr);
+
+/// Fraction of cells of `ds` (restricted to `indices`, or all cells if
+/// empty) whose thresholded prediction matches the label.
+double DatasetAccuracy(const ErrorDetectionModel& model,
+                       const data::EncodedDataset& ds, int eval_batch,
+                       const std::vector<int64_t>& indices);
+
+}  // namespace birnn::core
+
+#endif  // BIRNN_CORE_TRAINER_H_

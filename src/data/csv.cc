@@ -1,0 +1,171 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace birnn::data {
+
+namespace {
+
+/// Incremental CSV record parser. Returns false at end of input.
+/// Handles quoted fields per RFC 4180 including embedded newlines.
+bool ReadRecord(std::istream& in, char delimiter,
+                std::vector<std::string>* fields, Status* error) {
+  fields->clear();
+  *error = Status::OK();
+  if (in.peek() == EOF) return false;
+
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any = false;
+  int c;
+  while ((c = in.get()) != EOF) {
+    saw_any = true;
+    const char ch = static_cast<char>(c);
+    if (in_quotes) {
+      if (ch == '"') {
+        if (in.peek() == '"') {
+          in.get();
+          field += '"';
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += ch;
+      }
+      continue;
+    }
+    if (ch == '"') {
+      // Opening quote only valid at field start; mid-field quotes are kept
+      // literally (lenient, matches how pandas reads dirty data).
+      if (field.empty()) {
+        in_quotes = true;
+      } else {
+        field += ch;
+      }
+    } else if (ch == delimiter) {
+      fields->push_back(std::move(field));
+      field.clear();
+    } else if (ch == '\r') {
+      if (in.peek() == '\n') in.get();
+      fields->push_back(std::move(field));
+      return true;
+    } else if (ch == '\n') {
+      fields->push_back(std::move(field));
+      return true;
+    } else {
+      field += ch;
+    }
+  }
+  if (in_quotes) {
+    *error = Status::InvalidArgument("unterminated quoted field at EOF");
+    return false;
+  }
+  if (saw_any) {
+    fields->push_back(std::move(field));
+    return true;
+  }
+  return false;
+}
+
+bool NeedsQuoting(const std::string& s, char delimiter) {
+  for (char c : s) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void WriteField(std::ostream& out, const std::string& s, char delimiter) {
+  if (!NeedsQuoting(s, delimiter)) {
+    out << s;
+    return;
+  }
+  out << '"';
+  for (char c : s) {
+    if (c == '"') out << "\"\"";
+    else out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+StatusOr<Table> ReadCsv(std::istream& in, const CsvOptions& options) {
+  std::vector<std::string> fields;
+  Status error;
+
+  std::vector<std::string> header;
+  if (options.has_header) {
+    if (!ReadRecord(in, options.delimiter, &fields, &error)) {
+      if (!error.ok()) return error;
+      return Status::InvalidArgument("empty CSV input (no header)");
+    }
+    header = fields;
+  }
+
+  Table table;
+  bool first_data_row = true;
+  int line = options.has_header ? 2 : 1;
+  while (ReadRecord(in, options.delimiter, &fields, &error)) {
+    if (first_data_row) {
+      if (!options.has_header) {
+        header.clear();
+        for (size_t i = 0; i < fields.size(); ++i) {
+          header.push_back("col" + std::to_string(i));
+        }
+      }
+      table = Table(header);
+      first_data_row = false;
+    }
+    Status st = table.AppendRow(fields);
+    if (!st.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(line) + ": " +
+                                     st.message());
+    }
+    ++line;
+  }
+  if (!error.ok()) return error;
+  if (first_data_row) {
+    // Header only (or completely empty without header): valid empty table.
+    table = Table(header);
+  }
+  return table;
+}
+
+StatusOr<Table> ReadCsvFile(const std::string& path,
+                            const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open: " + path);
+  return ReadCsv(in, options);
+}
+
+Status WriteCsv(const Table& table, std::ostream& out,
+                const CsvOptions& options) {
+  if (options.has_header) {
+    const auto& cols = table.column_names();
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (i > 0) out << options.delimiter;
+      WriteField(out, cols[i], options.delimiter);
+    }
+    out << '\n';
+  }
+  for (int r = 0; r < table.num_rows(); ++r) {
+    const auto& row = table.row(r);
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << options.delimiter;
+      WriteField(out, row[i], options.delimiter);
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("CSV write failed");
+  return Status::OK();
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  return WriteCsv(table, out, options);
+}
+
+}  // namespace birnn::data

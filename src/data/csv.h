@@ -1,0 +1,41 @@
+#ifndef BIRNN_DATA_CSV_H_
+#define BIRNN_DATA_CSV_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "data/table.h"
+#include "util/status.h"
+
+namespace birnn::data {
+
+/// RFC 4180-style CSV options.
+struct CsvOptions {
+  char delimiter = ',';
+  /// First row is the header (column names). If false, columns are named
+  /// "col0", "col1", ...
+  bool has_header = true;
+};
+
+/// Parses CSV from a stream. Supports quoted fields with embedded
+/// delimiters, escaped quotes ("") and embedded newlines; tolerates CRLF.
+/// Rows with a differing field count are an InvalidArgument error.
+StatusOr<Table> ReadCsv(std::istream& in, const CsvOptions& options = {});
+
+/// Reads a CSV file from disk.
+StatusOr<Table> ReadCsvFile(const std::string& path,
+                            const CsvOptions& options = {});
+
+/// Writes a table as CSV, quoting fields that contain the delimiter,
+/// quotes, or newlines.
+Status WriteCsv(const Table& table, std::ostream& out,
+                const CsvOptions& options = {});
+
+/// Writes a CSV file to disk.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace birnn::data
+
+#endif  // BIRNN_DATA_CSV_H_

@@ -1,0 +1,50 @@
+#include "data/dictionary.h"
+
+namespace birnn::data {
+
+CharIndex CharIndex::Build(const CellFrame& frame) {
+  CharIndex idx;
+  for (const auto& cell : frame.cells()) {
+    for (char c : cell.value) {
+      const auto u = static_cast<unsigned char>(c);
+      if (idx.index_of_[u] == 0) {
+        idx.index_of_[u] = ++idx.num_chars_;
+      }
+    }
+  }
+  return idx;
+}
+
+CharIndex CharIndex::BuildFromStrings(const std::vector<std::string>& values) {
+  CharIndex idx;
+  for (const auto& v : values) {
+    for (char c : v) {
+      const auto u = static_cast<unsigned char>(c);
+      if (idx.index_of_[u] == 0) {
+        idx.index_of_[u] = ++idx.num_chars_;
+      }
+    }
+  }
+  return idx;
+}
+
+int CharIndex::IndexOf(char c) const {
+  const int i = index_of_[static_cast<unsigned char>(c)];
+  return i == 0 ? unknown_index() : i;
+}
+
+std::vector<int> CharIndex::Encode(const std::string& s) const {
+  std::vector<int> out;
+  out.reserve(s.size());
+  for (char c : s) out.push_back(IndexOf(c));
+  return out;
+}
+
+int AttributeIndex::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace birnn::data

@@ -1,0 +1,85 @@
+#include "data/encoding.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace birnn::data {
+
+EncodedDataset EncodeCells(const CellFrame& frame, const CharIndex& chars) {
+  EncodedDataset ds;
+  ds.max_len = std::max(1, frame.MaxValueLength());
+  ds.vocab = chars.vocab_size();
+  ds.n_attrs = frame.num_attrs();
+
+  const int64_t n = frame.num_cells();
+  ds.seqs.assign(static_cast<size_t>(n) * ds.max_len, 0);
+  ds.attrs.reserve(static_cast<size_t>(n));
+  ds.length_norm.reserve(static_cast<size_t>(n));
+  ds.labels.reserve(static_cast<size_t>(n));
+  ds.row_ids.reserve(static_cast<size_t>(n));
+
+  int64_t i = 0;
+  for (const auto& cell : frame.cells()) {
+    const std::vector<int> ids = chars.Encode(cell.value);
+    BIRNN_CHECK_LE(ids.size(), static_cast<size_t>(ds.max_len));
+    for (size_t t = 0; t < ids.size(); ++t) {
+      ds.seqs[static_cast<size_t>(i) * ds.max_len + t] = ids[t];
+    }
+    ds.attrs.push_back(cell.attr);
+    ds.length_norm.push_back(cell.length_norm);
+    ds.labels.push_back(cell.label);
+    ds.row_ids.push_back(cell.row_id);
+    ++i;
+  }
+  return ds;
+}
+
+namespace {
+EncodedDataset EmptyLike(const EncodedDataset& all) {
+  EncodedDataset out;
+  out.max_len = all.max_len;
+  out.vocab = all.vocab;
+  out.n_attrs = all.n_attrs;
+  return out;
+}
+
+void AppendCell(const EncodedDataset& all, int64_t i, EncodedDataset* out) {
+  const size_t base = static_cast<size_t>(i) * all.max_len;
+  out->seqs.insert(out->seqs.end(), all.seqs.begin() + base,
+                   all.seqs.begin() + base + all.max_len);
+  out->attrs.push_back(all.attrs[static_cast<size_t>(i)]);
+  out->length_norm.push_back(all.length_norm[static_cast<size_t>(i)]);
+  out->labels.push_back(all.labels[static_cast<size_t>(i)]);
+  out->row_ids.push_back(all.row_ids[static_cast<size_t>(i)]);
+}
+}  // namespace
+
+void SplitByRowIds(const EncodedDataset& all,
+                   const std::vector<int64_t>& train_ids, EncodedDataset* train,
+                   EncodedDataset* test) {
+  std::unordered_set<int64_t> in_train(train_ids.begin(), train_ids.end());
+  *train = EmptyLike(all);
+  *test = EmptyLike(all);
+  for (int64_t i = 0; i < all.num_cells(); ++i) {
+    if (in_train.count(all.row_ids[static_cast<size_t>(i)]) > 0) {
+      AppendCell(all, i, train);
+    } else {
+      AppendCell(all, i, test);
+    }
+  }
+}
+
+EncodedDataset TakeCells(const EncodedDataset& all,
+                         const std::vector<int64_t>& indices) {
+  EncodedDataset out = EmptyLike(all);
+  for (int64_t i : indices) {
+    BIRNN_CHECK_GE(i, 0);
+    BIRNN_CHECK_LT(i, all.num_cells());
+    AppendCell(all, i, &out);
+  }
+  return out;
+}
+
+}  // namespace birnn::data

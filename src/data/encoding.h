@@ -1,0 +1,52 @@
+#ifndef BIRNN_DATA_ENCODING_H_
+#define BIRNN_DATA_ENCODING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dictionary.h"
+#include "data/prepare.h"
+
+namespace birnn::data {
+
+/// Numeric model inputs for a set of cells: fixed-length padded character
+/// index sequences (X), attribute ids (X_attribute), length_norm values and
+/// labels (Y). Produced from a CellFrame by `EncodeCells`.
+struct EncodedDataset {
+  int max_len = 0;   ///< padded sequence length (global, per the paper).
+  int vocab = 0;     ///< character vocabulary incl. pad + unknown.
+  int n_attrs = 0;   ///< attribute vocabulary for the metadata branch.
+
+  /// Character ids, row-major: seqs[i * max_len + t]; 0-padded at the end.
+  std::vector<int32_t> seqs;
+  std::vector<int32_t> attrs;        ///< attribute id per cell.
+  std::vector<float> length_norm;    ///< per cell.
+  std::vector<int32_t> labels;       ///< 0/1 per cell.
+  std::vector<int64_t> row_ids;      ///< owning tuple id per cell.
+
+  int64_t num_cells() const { return static_cast<int64_t>(labels.size()); }
+
+  /// Character id of cell i at time step t.
+  int32_t seq_at(int64_t i, int t) const {
+    return seqs[static_cast<size_t>(i) * max_len + static_cast<size_t>(t)];
+  }
+};
+
+/// Encodes every cell of `frame` using the value dictionary: character
+/// sequences padded with 0 ("end indicator") to the global maximum length.
+EncodedDataset EncodeCells(const CellFrame& frame, const CharIndex& chars);
+
+/// Train/test split by tuple id: cells whose row_id is in `train_ids` form
+/// `train`, all other cells form `test` (the paper's setup: 20 labeled
+/// tuples for training, everything else for testing).
+void SplitByRowIds(const EncodedDataset& all,
+                   const std::vector<int64_t>& train_ids, EncodedDataset* train,
+                   EncodedDataset* test);
+
+/// Extracts the subset of cells at `indices` (in order).
+EncodedDataset TakeCells(const EncodedDataset& all,
+                         const std::vector<int64_t>& indices);
+
+}  // namespace birnn::data
+
+#endif  // BIRNN_DATA_ENCODING_H_

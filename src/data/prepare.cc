@@ -1,0 +1,140 @@
+#include "data/prepare.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace birnn::data {
+
+CellFrame::CellFrame(std::vector<std::string> attr_names,
+                     std::vector<CellRecord> cells)
+    : attr_names_(std::move(attr_names)), cells_(std::move(cells)) {
+  BIRNN_CHECK(!attr_names_.empty());
+  BIRNN_CHECK_EQ(cells_.size() % attr_names_.size(), 0u);
+}
+
+const CellRecord& CellFrame::cell(int64_t row_id, int attr) const {
+  BIRNN_CHECK_GE(row_id, 0);
+  BIRNN_CHECK_LT(row_id, num_tuples());
+  BIRNN_CHECK_GE(attr, 0);
+  BIRNN_CHECK_LT(attr, num_attrs());
+  return cells_[static_cast<size_t>(row_id) * num_attrs() +
+                static_cast<size_t>(attr)];
+}
+
+double CellFrame::ErrorRate() const {
+  if (cells_.empty()) return 0.0;
+  int64_t wrong = 0;
+  for (const auto& c : cells_) wrong += c.label;
+  return static_cast<double>(wrong) / static_cast<double>(cells_.size());
+}
+
+int CellFrame::DistinctCharacters() const {
+  std::set<char> chars;
+  for (const auto& c : cells_) {
+    for (char ch : c.value) chars.insert(ch);
+  }
+  return static_cast<int>(chars.size());
+}
+
+int CellFrame::MaxValueLength() const {
+  size_t mx = 0;
+  for (const auto& c : cells_) mx = std::max(mx, c.value.size());
+  return static_cast<int>(mx);
+}
+
+namespace {
+
+bool IsEmptyValue(const std::string& v, const PrepareOptions& options) {
+  if (v.empty()) return true;
+  if (options.treat_nan_as_empty && (v == "NaN" || v == "nan")) return true;
+  return false;
+}
+
+/// Builds the long-format frame. `clean` may be null (deployment mode).
+StatusOr<CellFrame> BuildFrame(const Table& dirty, const Table* clean,
+                               const PrepareOptions& options) {
+  if (dirty.num_columns() == 0) {
+    return Status::InvalidArgument("dirty table has no columns");
+  }
+  if (clean != nullptr) {
+    if (clean->num_columns() != dirty.num_columns()) {
+      return Status::InvalidArgument(
+          "dirty and clean tables have different column counts");
+    }
+    if (clean->num_rows() != dirty.num_rows()) {
+      return Status::InvalidArgument(
+          "dirty and clean tables have different row counts");
+    }
+  }
+
+  // Structure transformation: the dirty columns take the clean dataset's
+  // names so both sides merge on identical attributes.
+  const std::vector<std::string>& attr_names =
+      clean != nullptr ? clean->column_names() : dirty.column_names();
+
+  const int n_attrs = dirty.num_columns();
+  const int n_rows = dirty.num_rows();
+  std::vector<CellRecord> cells;
+  cells.reserve(static_cast<size_t>(n_rows) * n_attrs);
+
+  for (int r = 0; r < n_rows; ++r) {
+    for (int a = 0; a < n_attrs; ++a) {
+      CellRecord rec;
+      rec.row_id = r;
+      rec.attr = a;
+      std::string vx = dirty.cell(r, a);
+      if (options.trim_leading_whitespace) vx = TrimLeft(vx);
+      std::string vy;
+      if (clean != nullptr) {
+        vy = clean->cell(r, a);
+        if (options.trim_leading_whitespace) vy = TrimLeft(vy);
+      }
+      // Label from the untruncated values; truncation only affects the
+      // model input.
+      rec.label = (clean != nullptr && vx != vy) ? 1 : 0;
+      if (static_cast<int>(vx.size()) > options.max_value_len) {
+        vx.resize(static_cast<size_t>(options.max_value_len));
+      }
+      if (static_cast<int>(vy.size()) > options.max_value_len) {
+        vy.resize(static_cast<size_t>(options.max_value_len));
+      }
+      rec.empty = IsEmptyValue(vx, options);
+      rec.concat = attr_names[static_cast<size_t>(a)] + '\x1F' + vx;
+      rec.value = std::move(vx);
+      rec.clean_value = std::move(vy);
+      cells.push_back(std::move(rec));
+    }
+  }
+
+  // length_norm: value length relative to the longest value per attribute.
+  std::vector<size_t> max_len(static_cast<size_t>(n_attrs), 0);
+  for (const auto& c : cells) {
+    max_len[static_cast<size_t>(c.attr)] =
+        std::max(max_len[static_cast<size_t>(c.attr)], c.value.size());
+  }
+  for (auto& c : cells) {
+    const size_t mx = max_len[static_cast<size_t>(c.attr)];
+    c.length_norm =
+        mx == 0 ? 0.0f
+                : static_cast<float>(c.value.size()) / static_cast<float>(mx);
+  }
+
+  return CellFrame(attr_names, std::move(cells));
+}
+
+}  // namespace
+
+StatusOr<CellFrame> PrepareData(const Table& dirty, const Table& clean,
+                                const PrepareOptions& options) {
+  return BuildFrame(dirty, &clean, options);
+}
+
+StatusOr<CellFrame> PrepareDirtyOnly(const Table& dirty,
+                                     const PrepareOptions& options) {
+  return BuildFrame(dirty, nullptr, options);
+}
+
+}  // namespace birnn::data

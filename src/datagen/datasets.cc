@@ -1,0 +1,617 @@
+#include "datagen/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "datagen/vocab.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace birnn::datagen {
+
+namespace {
+
+int ScaledRows(int paper_rows, double scale) {
+  const int rows = static_cast<int>(std::lround(paper_rows * scale));
+  return std::max(30, rows);
+}
+
+std::string Itoa(int64_t v) { return std::to_string(v); }
+
+std::string Percent(int value) { return Itoa(value) + "%"; }
+
+}  // namespace
+
+const std::vector<DatasetSpec>& AllDatasetSpecs() {
+  static const auto& specs = *new std::vector<DatasetSpec>{
+      {"beers", 2410, 11, 0.16, 86,
+       {ErrorType::kMissingValue, ErrorType::kFormattingIssue,
+        ErrorType::kViolatedAttributeDependency}},
+      {"flights", 2376, 7, 0.30, 70,
+       {ErrorType::kMissingValue, ErrorType::kFormattingIssue,
+        ErrorType::kViolatedAttributeDependency}},
+      {"hospital", 1000, 20, 0.03, 46,
+       {ErrorType::kTypo, ErrorType::kViolatedAttributeDependency}},
+      {"movies", 7390, 17, 0.06, 135,
+       {ErrorType::kMissingValue, ErrorType::kFormattingIssue}},
+      {"rayyan", 1000, 10, 0.09, 101,
+       {ErrorType::kMissingValue, ErrorType::kTypo,
+        ErrorType::kFormattingIssue,
+        ErrorType::kViolatedAttributeDependency}},
+      {"tax", 200000, 15, 0.04, 69,
+       {ErrorType::kTypo, ErrorType::kFormattingIssue,
+        ErrorType::kViolatedAttributeDependency}},
+  };
+  return specs;
+}
+
+StatusOr<DatasetSpec> FindDatasetSpec(const std::string& name) {
+  const std::string lower = ToLower(name);
+  for (const auto& spec : AllDatasetSpecs()) {
+    if (spec.name == lower) return spec;
+  }
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+// ------------------------------------------------------------------- Beers
+
+DatasetPair MakeBeers(const GenOptions& options) {
+  Rng rng(options.seed ^ 0xBEE25ULL);
+  const int rows = ScaledRows(2410, options.scale);
+
+  data::Table clean(std::vector<std::string>{
+      "index", "id", "beer_name", "style", "ounces", "abv", "ibu",
+      "brewery_id", "brewery_name", "city", "state"});
+
+  static const char* kBeerSuffix[] = {"IPA",  "Ale",   "Lager",
+                                      "Stout", "Porter", "Pilsner"};
+  static const char* kOunces[] = {"12.0", "16.0", "8.4", "24.0", "32.0"};
+  for (int r = 0; r < rows; ++r) {
+    const CityState& cs = rng.Choice(CityStates());
+    const int brewery_id = static_cast<int>(rng.UniformRange(1, 400));
+    char abv[16];
+    std::snprintf(abv, sizeof(abv), "0.%03d",
+                  static_cast<int>(rng.UniformRange(35, 120)));
+    std::vector<std::string> row{
+        Itoa(r),
+        Itoa(1000 + r),
+        rng.Choice(BreweryWords()) + " " +
+            kBeerSuffix[rng.UniformInt(std::size(kBeerSuffix))],
+        rng.Choice(BeerStyles()),
+        kOunces[rng.UniformInt(std::size(kOunces))],
+        abv,
+        Itoa(rng.UniformRange(5, 120)),
+        Itoa(brewery_id),
+        rng.Choice(BreweryWords()) + " Brewing Company",
+        cs.city,
+        cs.state,
+    };
+    BIRNN_CHECK(clean.AppendRow(std::move(row)).ok());
+  }
+
+  // State domain for VAD swaps.
+  std::vector<std::string> states;
+  for (const auto& cs : CityStates()) states.push_back(cs.state);
+
+  std::vector<ColumnCorruption> corruptions;
+  corruptions.push_back({clean.ColumnIndex("ounces"), 2.0,
+                         ErrorType::kFormattingIssue,
+                         [](const std::string& v, int, Rng*) {
+                           return CorruptAppendSuffix(v, " oz");
+                         }});
+  corruptions.push_back({clean.ColumnIndex("abv"), 2.0,
+                         ErrorType::kFormattingIssue,
+                         [](const std::string& v, int, Rng*) {
+                           return CorruptAppendSuffix(v, "%");
+                         }});
+  corruptions.push_back({clean.ColumnIndex("state"), 1.5,
+                         ErrorType::kMissingValue,
+                         [](const std::string& v, int, Rng* rng) {
+                           return CorruptMissing(v, rng);
+                         }});
+  corruptions.push_back({clean.ColumnIndex("ibu"), 1.0,
+                         ErrorType::kMissingValue,
+                         [](const std::string& v, int, Rng* rng) {
+                           return CorruptMissing(v, rng);
+                         }});
+  corruptions.push_back({clean.ColumnIndex("state"), 1.5,
+                         ErrorType::kViolatedAttributeDependency,
+                         [states](const std::string& v, int, Rng* rng) {
+                           return CorruptSwapDomainValue(v, states, rng);
+                         }});
+
+  DatasetPair pair;
+  pair.name = "beers";
+  pair.dirty = InjectErrors(clean, corruptions, 0.16, &rng, &pair.injected_errors);
+  pair.clean = std::move(clean);
+  pair.error_types = {ErrorType::kMissingValue, ErrorType::kFormattingIssue,
+                      ErrorType::kViolatedAttributeDependency};
+  return pair;
+}
+
+// ----------------------------------------------------------------- Flights
+
+DatasetPair MakeFlights(const GenOptions& options) {
+  Rng rng(options.seed ^ 0xF11457ULL);
+  const int rows = ScaledRows(2376, options.scale);
+  static const char* kSources[] = {"aa",          "orbitz", "flightstats",
+                                   "travelocity", "expedia", "kayak"};
+  const int sources_per_flight = static_cast<int>(std::size(kSources));
+  const int flights = std::max(1, rows / sources_per_flight);
+
+  data::Table clean(std::vector<std::string>{
+      "tuple_id", "src", "flight", "sched_dep_time", "act_dep_time",
+      "sched_arr_time", "act_arr_time"});
+
+  int emitted = 0;
+  for (int f = 0; f < flights && emitted < rows; ++f) {
+    const std::string& origin = rng.Choice(Airports());
+    std::string dest = rng.Choice(Airports());
+    if (dest == origin) dest = origin == "JFK" ? "SFO" : "JFK";
+    const std::string flight_id =
+        rng.Choice(Airlines()) + "-" + Itoa(rng.UniformRange(100, 2999)) +
+        "-" + origin + "-" + dest;
+    const std::string sched_dep = RandomClockTime(&rng);
+    const std::string act_dep = RandomClockTime(&rng);
+    const std::string sched_arr = RandomClockTime(&rng);
+    const std::string act_arr = RandomClockTime(&rng);
+    for (int s = 0; s < sources_per_flight && emitted < rows; ++s) {
+      std::vector<std::string> row{
+          std::string(kSources[s]) + "@" + flight_id,
+          kSources[s],
+          flight_id,
+          sched_dep,
+          act_dep,
+          sched_arr,
+          act_arr,
+      };
+      BIRNN_CHECK(clean.AppendRow(std::move(row)).ok());
+      ++emitted;
+    }
+  }
+
+  std::vector<ColumnCorruption> corruptions;
+  for (const char* col :
+       {"sched_dep_time", "act_dep_time", "sched_arr_time", "act_arr_time"}) {
+    const int c = clean.ColumnIndex(col);
+    corruptions.push_back({c, 1.5, ErrorType::kMissingValue,
+                           [](const std::string&, int, Rng*) {
+                             return std::string();  // '' rather than a time
+                           }});
+    corruptions.push_back({c, 1.0, ErrorType::kFormattingIssue,
+                           [](const std::string& v, int, Rng* rng) {
+                             return CorruptPrependDate(v, rng);
+                           }});
+    corruptions.push_back({c, 2.0, ErrorType::kViolatedAttributeDependency,
+                           [](const std::string& v, int, Rng* rng) {
+                             return CorruptShiftTimeMinutes(v, rng);
+                           }});
+  }
+
+  DatasetPair pair;
+  pair.name = "flights";
+  pair.dirty = InjectErrors(clean, corruptions, 0.30, &rng, &pair.injected_errors);
+  pair.clean = std::move(clean);
+  pair.error_types = {ErrorType::kMissingValue, ErrorType::kFormattingIssue,
+                      ErrorType::kViolatedAttributeDependency};
+  return pair;
+}
+
+// ---------------------------------------------------------------- Hospital
+
+DatasetPair MakeHospital(const GenOptions& options) {
+  Rng rng(options.seed ^ 0x805417A1ULL);
+  const int rows = ScaledRows(1000, options.scale);
+
+  data::Table clean(std::vector<std::string>{
+      "provider_number", "hospital_name", "address_1", "address_2",
+      "address_3", "city", "state", "zip_code", "county_name",
+      "phone_number", "hospital_type", "hospital_owner", "emergency_service",
+      "condition", "measure_code", "measure_name", "score", "sample",
+      "stateavg", "measure_id"});
+
+  // ~10 measures per hospital: hospital attributes repeat across rows,
+  // which is what makes VAD detectable.
+  struct Hospital {
+    std::string provider;
+    std::string name;
+    std::string address;
+    std::string city;
+    std::string state;
+    std::string zip;
+    std::string county;
+    std::string phone;
+    std::string owner;
+    std::string emergency;
+  };
+  const int n_hospitals = std::max(1, rows / 10);
+  std::vector<Hospital> hospitals;
+  hospitals.reserve(static_cast<size_t>(n_hospitals));
+  static const char* kOwners[] = {"government - state",
+                                  "voluntary non-profit - private",
+                                  "proprietary", "government - local"};
+  for (int h = 0; h < n_hospitals; ++h) {
+    const CityState& cs = rng.Choice(CityStates());
+    Hospital hosp;
+    hosp.provider = RandomDigits(5, &rng);
+    hosp.name = ToLower(cs.city) + " regional medical center";
+    hosp.address = RandomDigits(3, &rng) + " " +
+                   ToLower(rng.Choice(StreetWords()));
+    hosp.city = ToLower(cs.city);
+    hosp.state = ToLower(cs.state);
+    hosp.zip = RandomDigits(5, &rng);
+    hosp.county = ToLower(cs.city) + " county";
+    hosp.phone = RandomDigits(10, &rng);
+    hosp.owner = kOwners[rng.UniformInt(std::size(kOwners))];
+    hosp.emergency = rng.Bernoulli(0.7) ? "yes" : "no";
+    hospitals.push_back(std::move(hosp));
+  }
+
+  const auto& measures = HospitalMeasures();
+  for (int r = 0; r < rows; ++r) {
+    const Hospital& hosp = hospitals[static_cast<size_t>(r) % hospitals.size()];
+    const size_t mi = rng.UniformInt(measures.size());
+    const std::string code =
+        "ami-" + Itoa(static_cast<int64_t>(mi) + 1);
+    std::vector<std::string> row{
+        hosp.provider,
+        hosp.name,
+        hosp.address,
+        "",  // address_2 is empty in the real dataset
+        "",  // address_3 likewise
+        hosp.city,
+        hosp.state,
+        hosp.zip,
+        hosp.county,
+        hosp.phone,
+        "acute care hospitals",
+        hosp.owner,
+        hosp.emergency,
+        rng.Choice(HospitalConditions()),
+        code,
+        measures[mi],
+        Percent(static_cast<int>(rng.UniformRange(40, 99))),
+        Itoa(rng.UniformRange(10, 900)) + " patients",
+        hosp.state + "_" + code,
+        code + "_" + hosp.provider,
+    };
+    BIRNN_CHECK(clean.AppendRow(std::move(row)).ok());
+  }
+
+  std::vector<ColumnCorruption> corruptions;
+  // The hallmark Hospital error: typos that replace characters with 'x'
+  // ("hexrt fxilure"). In the real dataset the violated attribute
+  // dependencies ARE these typos — an 'x'-typo in city breaks the
+  // city -> state/zip dependency — so the VAD corruption uses the same
+  // signature on the FD-participating columns.
+  for (const char* col : {"hospital_name", "county_name", "measure_name",
+                          "condition", "hospital_owner"}) {
+    corruptions.push_back({clean.ColumnIndex(col), 2.0, ErrorType::kTypo,
+                           [](const std::string& v, int, Rng* rng) {
+                             return CorruptTypoX(v, rng);
+                           }});
+  }
+  for (const char* col : {"city", "state", "zip_code"}) {
+    corruptions.push_back({clean.ColumnIndex(col), 1.3,
+                           ErrorType::kViolatedAttributeDependency,
+                           [](const std::string& v, int, Rng* rng) {
+                             return CorruptTypoX(v, rng);
+                           }});
+  }
+
+  DatasetPair pair;
+  pair.name = "hospital";
+  pair.dirty = InjectErrors(clean, corruptions, 0.03, &rng, &pair.injected_errors);
+  pair.clean = std::move(clean);
+  pair.error_types = {ErrorType::kTypo,
+                      ErrorType::kViolatedAttributeDependency};
+  return pair;
+}
+
+// ------------------------------------------------------------------ Movies
+
+DatasetPair MakeMovies(const GenOptions& options) {
+  Rng rng(options.seed ^ 0x30F1E5ULL);
+  const int rows = ScaledRows(7390, options.scale);
+
+  data::Table clean(std::vector<std::string>{
+      "id", "name", "year", "release_date", "director", "creator", "actors",
+      "cast", "language", "country", "duration", "rating_value",
+      "rating_count", "review_count", "genre", "filming_locations",
+      "description"});
+
+  static const char* kMonths[] = {"January", "February", "March",   "April",
+                                  "May",     "June",     "July",    "August",
+                                  "September", "October", "November",
+                                  "December"};
+  auto person = [&rng]() {
+    return rng.Choice(FirstNames()) + " " + rng.Choice(LastNames());
+  };
+  for (int r = 0; r < rows; ++r) {
+    const int year = static_cast<int>(rng.UniformRange(1960, 2020));
+    std::string name = RandomPhrase(MovieTitleWords(), 3, &rng);
+    if (rng.Bernoulli(0.15)) {
+      name += " and " + rng.Choice(MovieTitleWords());
+    }
+    const CityState& cs = rng.Choice(CityStates());
+    std::vector<std::string> row{
+        "tt" + RandomDigits(7, &rng),
+        name,
+        Itoa(year),
+        Itoa(rng.UniformRange(1, 28)) + " " +
+            kMonths[rng.UniformInt(std::size(kMonths))] + " " + Itoa(year),
+        person(),
+        person() + ", " + person(),
+        person() + "," + person() + "," + person(),
+        person() + "," + person(),
+        rng.Choice(Languages()),
+        rng.Choice(Countries()),
+        Itoa(rng.UniformRange(70, 210)) + " min",
+        FormatFixed(rng.UniformDouble() * 4.0 + 5.0, 1),
+        Itoa(rng.UniformRange(1000, 999999)),
+        Itoa(rng.UniformRange(10, 5000)),
+        rng.Choice(MovieGenres()) + "," + rng.Choice(MovieGenres()),
+        std::string(cs.city) + ", " + cs.state + ", USA",
+        RandomPhrase(ArticleWords(), 8, &rng),
+    };
+    BIRNN_CHECK(clean.AppendRow(std::move(row)).ok());
+  }
+
+  std::vector<ColumnCorruption> corruptions;
+  corruptions.push_back({clean.ColumnIndex("duration"), 2.0,
+                         ErrorType::kMissingValue,
+                         [](const std::string&, int, Rng*) {
+                           return std::string("NaN");
+                         }});
+  corruptions.push_back({clean.ColumnIndex("rating_count"), 2.0,
+                         ErrorType::kFormattingIssue,
+                         [](const std::string& v, int, Rng*) {
+                           return CorruptThousandsSeparators(v);
+                         }});
+  corruptions.push_back({clean.ColumnIndex("rating_value"), 1.5,
+                         ErrorType::kFormattingIssue,
+                         [](const std::string& v, int, Rng*) {
+                           // '8.0' rather than '8': add a superfluous digit
+                           // of precision.
+                           return v + "0";
+                         }});
+  corruptions.push_back({clean.ColumnIndex("name"), 1.5,
+                         ErrorType::kFormattingIssue,
+                         [](const std::string& v, int, Rng*) {
+                           // 'Frankie & Johnny' rather than
+                           // 'Frankie and Johnny'.
+                           const size_t pos = v.find(" and ");
+                           if (pos == std::string::npos) return v;
+                           return v.substr(0, pos) + " & " + v.substr(pos + 5);
+                         }});
+  corruptions.push_back({clean.ColumnIndex("creator"), 1.5,
+                         ErrorType::kFormattingIssue,
+                         [](const std::string& v, int, Rng*) {
+                           // Missing parts: 'Roger Kumble' instead of
+                           // 'Choderlos de Laclos, Roger Kumble'.
+                           const size_t pos = v.find(", ");
+                           if (pos == std::string::npos) return v;
+                           return v.substr(pos + 2);
+                         }});
+  corruptions.push_back({clean.ColumnIndex("year"), 1.0,
+                         ErrorType::kFormattingIssue,
+                         [](const std::string& v, int, Rng* rng) {
+                           // Several year indications instead of one.
+                           const int y = std::atoi(v.c_str());
+                           return v + " " +
+                                  Itoa(y + rng->UniformRange(1, 3));
+                         }});
+
+  DatasetPair pair;
+  pair.name = "movies";
+  pair.dirty = InjectErrors(clean, corruptions, 0.06, &rng, &pair.injected_errors);
+  pair.clean = std::move(clean);
+  pair.error_types = {ErrorType::kMissingValue, ErrorType::kFormattingIssue};
+  return pair;
+}
+
+// ------------------------------------------------------------------ Rayyan
+
+DatasetPair MakeRayyan(const GenOptions& options) {
+  Rng rng(options.seed ^ 0x4A77A9ULL);
+  const int rows = ScaledRows(1000, options.scale);
+
+  data::Table clean(std::vector<std::string>{
+      "article_title", "journal_title", "journal_issn", "journal_volume",
+      "journal_issue", "article_pagination", "author_list", "language",
+      "journal_abbreviation", "article_year"});
+
+  static const char* kMonths[] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                  "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+  auto person = [&rng]() {
+    return rng.Choice(LastNames()) + " " +
+           std::string(1, rng.Choice(FirstNames())[0]) + ".";
+  };
+  for (int r = 0; r < rows; ++r) {
+    std::string journal = "Journal of " + RandomPhrase(JournalWords(), 2, &rng);
+    // Abbreviation functionally depends on the title (VAD target).
+    std::string abbrev = "J";
+    for (size_t i = 11; i < journal.size(); ++i) {
+      if (journal[i - 1] == ' ') {
+        abbrev += ' ';
+        abbrev += journal[i];
+      }
+    }
+    abbrev += ".";
+    const int page_start = static_cast<int>(rng.UniformRange(1, 900));
+    std::vector<std::string> row{
+        RandomPhrase(ArticleWords(), 7, &rng),
+        journal,
+        RandomDigits(4, &rng) + "-" + RandomDigits(4, &rng),
+        Itoa(rng.UniformRange(1, 60)),
+        Itoa(rng.UniformRange(1, 12)) + "-" +
+            kMonths[rng.UniformInt(std::size(kMonths))],
+        Itoa(page_start) + "-" + Itoa(page_start +
+                                      rng.UniformRange(2, 20)),
+        person() + "; " + person() + "; " + person(),
+        rng.Choice(Languages()),
+        abbrev,
+        Itoa(rng.UniformRange(1980, 2020)),
+    };
+    BIRNN_CHECK(clean.AppendRow(std::move(row)).ok());
+  }
+
+  std::vector<ColumnCorruption> corruptions;
+  corruptions.push_back({clean.ColumnIndex("journal_issue"), 2.0,
+                         ErrorType::kMissingValue,
+                         [](const std::string& v, int, Rng* rng) {
+                           return CorruptMissing(v, rng);
+                         }});
+  corruptions.push_back({clean.ColumnIndex("journal_issue"), 1.5,
+                         ErrorType::kFormattingIssue,
+                         [](const std::string& v, int, Rng*) {
+                           // 'Mar-22' rather than '22-Mar'.
+                           return CorruptSwapDashParts(v);
+                         }});
+  corruptions.push_back({clean.ColumnIndex("article_pagination"), 2.0,
+                         ErrorType::kFormattingIssue,
+                         [](const std::string& v, int, Rng*) {
+                           // '70-6' rather than '70-76': drop the shared
+                           // prefix of the end page.
+                           const size_t dash = v.find('-');
+                           if (dash == std::string::npos) return v;
+                           std::string lo = v.substr(0, dash);
+                           std::string hi = v.substr(dash + 1);
+                           size_t k = 0;
+                           while (k < lo.size() && k < hi.size() &&
+                                  lo[k] == hi[k]) {
+                             ++k;
+                           }
+                           if (k == 0 || k >= hi.size()) return v;
+                           return lo + "-" + hi.substr(k);
+                         }});
+  for (const char* col : {"journal_title", "article_title"}) {
+    corruptions.push_back({clean.ColumnIndex(col), 1.5, ErrorType::kTypo,
+                           [](const std::string& v, int, Rng* rng) {
+                             return CorruptTypo(v, rng);
+                           }});
+  }
+  corruptions.push_back({clean.ColumnIndex("journal_abbreviation"), 1.0,
+                         ErrorType::kViolatedAttributeDependency,
+                         [](const std::string& v, int, Rng* rng) {
+                           return CorruptTypo(v, rng);
+                         }});
+
+  DatasetPair pair;
+  pair.name = "rayyan";
+  pair.dirty = InjectErrors(clean, corruptions, 0.09, &rng, &pair.injected_errors);
+  pair.clean = std::move(clean);
+  pair.error_types = {ErrorType::kMissingValue, ErrorType::kTypo,
+                      ErrorType::kFormattingIssue,
+                      ErrorType::kViolatedAttributeDependency};
+  return pair;
+}
+
+// --------------------------------------------------------------------- Tax
+
+DatasetPair MakeTax(const GenOptions& options) {
+  Rng rng(options.seed ^ 0x7A4157ULL);
+  const int rows = ScaledRows(200000, options.scale);
+
+  data::Table clean(std::vector<std::string>{
+      "f_name", "l_name", "gender", "area_code", "phone", "city", "state",
+      "zip", "marital_status", "has_child", "salary", "rate", "single_exemp",
+      "married_exemp", "child_exemp"});
+
+  for (int r = 0; r < rows; ++r) {
+    const CityState& cs = rng.Choice(CityStates());
+    const bool married = rng.Bernoulli(0.5);
+    const bool has_child = married && rng.Bernoulli(0.5);
+    // Clean rates are whole percentages and clean zips are uniformly
+    // 5-digit (~30% with a leading zero, like New England zips): that is
+    // what makes '7.0' and the zero-stripped '1907' detectable outliers in
+    // the real dataset.
+    std::string rate = Itoa(rng.UniformRange(2, 9));
+    const std::string zip =
+        (rng.Bernoulli(0.3) ? "0" : Itoa(rng.UniformRange(1, 9))) +
+        RandomDigits(4, &rng);
+    std::vector<std::string> row{
+        ToUpper(rng.Choice(FirstNames())),
+        ToUpper(rng.Choice(LastNames())),
+        rng.Bernoulli(0.5) ? "M" : "F",
+        RandomDigits(3, &rng),
+        RandomDigits(3, &rng) + "-" + RandomDigits(4, &rng),
+        ToUpper(cs.city),
+        cs.state,
+        zip,
+        married ? "M" : "S",
+        has_child ? "Y" : "N",
+        Itoa(rng.UniformRange(20000, 180000)),
+        rate,
+        married ? "0" : Itoa(rng.UniformRange(1, 9) * 250),
+        married ? Itoa(rng.UniformRange(1, 9) * 500) : "0",
+        has_child ? Itoa(rng.UniformRange(1, 6) * 200) : "0",
+    };
+    BIRNN_CHECK(clean.AppendRow(std::move(row)).ok());
+  }
+
+  std::vector<std::string> states;
+  for (const auto& cs : CityStates()) states.push_back(cs.state);
+
+  std::vector<ColumnCorruption> corruptions;
+  corruptions.push_back({clean.ColumnIndex("f_name"), 2.0, ErrorType::kTypo,
+                         [](const std::string& v, int, Rng* rng) {
+                           // 'Jun"ichi' rather than 'Jun'ichi'.
+                           const size_t apo = v.find('\'');
+                           if (apo != std::string::npos) {
+                             std::string out = v;
+                             out[apo] = '"';
+                             return out;
+                           }
+                           return CorruptTypo(v, rng);
+                         }});
+  corruptions.push_back({clean.ColumnIndex("city"), 2.0, ErrorType::kTypo,
+                         [](const std::string& v, int, Rng*) {
+                           // 'ARCHIE-*' rather than 'ARCHIE'.
+                           return v + "-*";
+                         }});
+  corruptions.push_back({clean.ColumnIndex("zip"), 2.0,
+                         ErrorType::kFormattingIssue,
+                         [](const std::string& v, int, Rng*) {
+                           return CorruptStripLeadingZeros(v);
+                         }});
+  corruptions.push_back({clean.ColumnIndex("rate"), 2.0,
+                         ErrorType::kFormattingIssue,
+                         [](const std::string& v, int, Rng*) {
+                           return CorruptAppendDecimal(v);
+                         }});
+  corruptions.push_back({clean.ColumnIndex("state"), 1.5,
+                         ErrorType::kViolatedAttributeDependency,
+                         [states](const std::string& v, int, Rng* rng) {
+                           return CorruptSwapDomainValue(v, states, rng);
+                         }});
+  corruptions.push_back({clean.ColumnIndex("has_child"), 1.5,
+                         ErrorType::kViolatedAttributeDependency,
+                         [](const std::string& v, int, Rng*) {
+                           return v == "Y" ? std::string("N")
+                                           : std::string("Y");
+                         }});
+
+  DatasetPair pair;
+  pair.name = "tax";
+  pair.dirty = InjectErrors(clean, corruptions, 0.04, &rng, &pair.injected_errors);
+  pair.clean = std::move(clean);
+  pair.error_types = {ErrorType::kTypo, ErrorType::kFormattingIssue,
+                      ErrorType::kViolatedAttributeDependency};
+  return pair;
+}
+
+StatusOr<DatasetPair> MakeDataset(const std::string& name,
+                                  const GenOptions& options) {
+  const std::string lower = ToLower(name);
+  if (lower == "beers") return MakeBeers(options);
+  if (lower == "flights") return MakeFlights(options);
+  if (lower == "hospital") return MakeHospital(options);
+  if (lower == "movies") return MakeMovies(options);
+  if (lower == "rayyan") return MakeRayyan(options);
+  if (lower == "tax") return MakeTax(options);
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+}  // namespace birnn::datagen

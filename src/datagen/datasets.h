@@ -1,0 +1,55 @@
+#ifndef BIRNN_DATAGEN_DATASETS_H_
+#define BIRNN_DATAGEN_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/injector.h"
+#include "util/status.h"
+
+namespace birnn::datagen {
+
+/// Options shared by every dataset generator.
+struct GenOptions {
+  /// Row count multiplier relative to the paper's dataset size (Table 2).
+  /// scale=1.0 reproduces the paper's row counts; benches use smaller
+  /// scales on constrained machines (documented in EXPERIMENTS.md).
+  double scale = 1.0;
+  /// Seed for the clean data and the error injection.
+  uint64_t seed = 7;
+};
+
+/// Static description of one of the six benchmark datasets (paper Table 2).
+struct DatasetSpec {
+  std::string name;
+  int paper_rows = 0;
+  int paper_cols = 0;
+  double paper_error_rate = 0.0;
+  int paper_distinct_chars = 0;
+  std::vector<ErrorType> error_types;
+};
+
+/// The six benchmark datasets, in the paper's order.
+const std::vector<DatasetSpec>& AllDatasetSpecs();
+
+/// Spec lookup by (case-insensitive) name.
+StatusOr<DatasetSpec> FindDatasetSpec(const std::string& name);
+
+/// Synthetic reproductions of the paper's datasets: a clean table with
+/// realistic attribute distributions plus a dirty twin with the error
+/// signatures §5.1/§5.5 describe, injected at the Table 2 error rates.
+DatasetPair MakeBeers(const GenOptions& options = {});
+DatasetPair MakeFlights(const GenOptions& options = {});
+DatasetPair MakeHospital(const GenOptions& options = {});
+DatasetPair MakeMovies(const GenOptions& options = {});
+DatasetPair MakeRayyan(const GenOptions& options = {});
+DatasetPair MakeTax(const GenOptions& options = {});
+
+/// Generator dispatch by dataset name ("beers", "flights", ...).
+StatusOr<DatasetPair> MakeDataset(const std::string& name,
+                                  const GenOptions& options = {});
+
+}  // namespace birnn::datagen
+
+#endif  // BIRNN_DATAGEN_DATASETS_H_

@@ -1,0 +1,248 @@
+#include "datagen/injector.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace birnn::datagen {
+
+const char* ErrorTypeCode(ErrorType type) {
+  switch (type) {
+    case ErrorType::kMissingValue:
+      return "MV";
+    case ErrorType::kTypo:
+      return "T";
+    case ErrorType::kFormattingIssue:
+      return "FI";
+    case ErrorType::kViolatedAttributeDependency:
+      return "VAD";
+  }
+  return "?";
+}
+
+data::Table InjectErrors(const data::Table& clean,
+                         const std::vector<ColumnCorruption>& corruptions,
+                         double target_cell_error_rate, Rng* rng,
+                         std::vector<InjectedError>* injected_out) {
+  BIRNN_CHECK(!corruptions.empty());
+  BIRNN_CHECK_GE(target_cell_error_rate, 0.0);
+  BIRNN_CHECK_LT(target_cell_error_rate, 1.0);
+
+  data::Table dirty = clean;
+  const int64_t total_cells =
+      static_cast<int64_t>(clean.num_rows()) * clean.num_columns();
+  const auto target_errors =
+      static_cast<int64_t>(target_cell_error_rate *
+                           static_cast<double>(total_cells) + 0.5);
+
+  double total_weight = 0.0;
+  for (const auto& c : corruptions) total_weight += c.weight;
+  BIRNN_CHECK_GT(total_weight, 0.0);
+
+  std::unordered_set<int64_t> corrupted;  // row * n_cols + col
+  int64_t injected = 0;
+  // Bounded attempts so a pathological corruption set cannot loop forever.
+  int64_t attempts = 0;
+  const int64_t max_attempts = 50 * std::max<int64_t>(1, target_errors) + 1000;
+  while (injected < target_errors && attempts < max_attempts) {
+    ++attempts;
+    // Weighted column pick.
+    double pick = rng->UniformDouble() * total_weight;
+    const ColumnCorruption* chosen = &corruptions.back();
+    for (const auto& c : corruptions) {
+      pick -= c.weight;
+      if (pick <= 0.0) {
+        chosen = &c;
+        break;
+      }
+    }
+    const int row = static_cast<int>(
+        rng->UniformInt(static_cast<uint64_t>(clean.num_rows())));
+    const int64_t key =
+        static_cast<int64_t>(row) * clean.num_columns() + chosen->col;
+    if (corrupted.count(key) > 0) continue;
+
+    const std::string& original = clean.cell(row, chosen->col);
+    std::string bad = chosen->corrupt(original, row, rng);
+    if (bad == original) continue;  // corruption was a no-op; try elsewhere
+    dirty.set_cell(row, chosen->col, std::move(bad));
+    corrupted.insert(key);
+    if (injected_out != nullptr) {
+      injected_out->push_back({row, chosen->col, chosen->type});
+    }
+    ++injected;
+  }
+  if (injected < target_errors) {
+    BIRNN_LOG(Warning) << "InjectErrors: wanted " << target_errors
+                       << " errors but only injected " << injected;
+  }
+  return dirty;
+}
+
+std::string CorruptMissing(const std::string& value, Rng* rng) {
+  (void)value;
+  return rng->Bernoulli(0.5) ? std::string() : std::string("NaN");
+}
+
+std::string CorruptTypoX(const std::string& value, Rng* rng) {
+  // Replace one or two alphabetic characters with 'x' ("hexrt fxilure").
+  std::vector<size_t> candidates;
+  for (size_t i = 0; i < value.size(); ++i) {
+    const auto c = static_cast<unsigned char>(value[i]);
+    if (std::isalpha(c) && value[i] != 'x' && value[i] != 'X') {
+      candidates.push_back(i);
+    }
+  }
+  if (candidates.empty()) return value + "x";
+  std::string out = value;
+  const size_t n_typos = (candidates.size() > 1 && rng->Bernoulli(0.5)) ? 2 : 1;
+  for (size_t k = 0; k < n_typos; ++k) {
+    const size_t pick = rng->UniformInt(candidates.size());
+    const size_t pos = candidates[pick];
+    out[pos] = std::isupper(static_cast<unsigned char>(out[pos])) ? 'X' : 'x';
+    candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(pick));
+    if (candidates.empty()) break;
+  }
+  return out;
+}
+
+std::string CorruptTypo(const std::string& value, Rng* rng) {
+  std::string out = value;
+  if (out.empty()) return "?";
+  const uint64_t kind = rng->UniformInt(4);
+  const size_t pos = rng->UniformInt(out.size());
+  static constexpr char kNoise[] = "abcdefghijklmnopqrstuvwxyz'*-";
+  const char noise = kNoise[rng->UniformInt(sizeof(kNoise) - 1)];
+  switch (kind) {
+    case 0:  // replace
+      out[pos] = noise;
+      break;
+    case 1:  // insert
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(pos), noise);
+      break;
+    case 2:  // delete
+      out.erase(out.begin() + static_cast<std::ptrdiff_t>(pos));
+      break;
+    case 3:  // transpose with next char
+      if (pos + 1 < out.size()) {
+        std::swap(out[pos], out[pos + 1]);
+      } else {
+        out += noise;
+      }
+      break;
+  }
+  return out;
+}
+
+std::string CorruptThousandsSeparators(const std::string& value) {
+  // Find the longest digit run and add commas every 3 digits from the right.
+  size_t best_start = std::string::npos;
+  size_t best_len = 0;
+  size_t i = 0;
+  while (i < value.size()) {
+    if (std::isdigit(static_cast<unsigned char>(value[i]))) {
+      size_t j = i;
+      while (j < value.size() &&
+             std::isdigit(static_cast<unsigned char>(value[j]))) {
+        ++j;
+      }
+      if (j - i > best_len) {
+        best_len = j - i;
+        best_start = i;
+      }
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  if (best_start == std::string::npos || best_len < 4) return value;
+  std::string digits = value.substr(best_start, best_len);
+  std::string grouped;
+  const size_t n = digits.size();
+  for (size_t k = 0; k < n; ++k) {
+    if (k > 0 && (n - k) % 3 == 0) grouped += ',';
+    grouped += digits[k];
+  }
+  return value.substr(0, best_start) + grouped +
+         value.substr(best_start + best_len);
+}
+
+std::string CorruptAppendSuffix(const std::string& value,
+                                const std::string& suffix) {
+  return value + suffix;
+}
+
+std::string CorruptStripLeadingZeros(const std::string& value) {
+  size_t i = 0;
+  while (i + 1 < value.size() && value[i] == '0') ++i;
+  return value.substr(i);
+}
+
+std::string CorruptAppendDecimal(const std::string& value) {
+  if (value.find('.') != std::string::npos) return value;
+  return value + ".0";
+}
+
+std::string CorruptSwapDashParts(const std::string& value) {
+  const size_t dash = value.find('-');
+  if (dash == std::string::npos || dash == 0 || dash + 1 >= value.size()) {
+    return value;
+  }
+  return value.substr(dash + 1) + "-" + value.substr(0, dash);
+}
+
+std::string CorruptPrependDate(const std::string& value, Rng* rng) {
+  const int month = static_cast<int>(rng->UniformRange(1, 12));
+  const int day = static_cast<int>(rng->UniformRange(1, 28));
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d/%02d/2011 ", month, day);
+  return std::string(buf) + value;
+}
+
+std::string CorruptShiftTimeMinutes(const std::string& value, Rng* rng) {
+  // Expect "H:MM a.m." / "HH:MM p.m.".
+  const size_t colon = value.find(':');
+  if (colon == std::string::npos || colon + 2 >= value.size()) return value;
+  int hour = 0;
+  int minute = 0;
+  for (size_t i = 0; i < colon; ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(value[i]))) return value;
+    hour = hour * 10 + (value[i] - '0');
+  }
+  if (!std::isdigit(static_cast<unsigned char>(value[colon + 1])) ||
+      !std::isdigit(static_cast<unsigned char>(value[colon + 2]))) {
+    return value;
+  }
+  minute = (value[colon + 1] - '0') * 10 + (value[colon + 2] - '0');
+  int delta = static_cast<int>(rng->UniformRange(1, 25));
+  if (rng->Bernoulli(0.5)) delta = -delta;
+  minute += delta;
+  while (minute < 0) {
+    minute += 60;
+    --hour;
+  }
+  while (minute >= 60) {
+    minute -= 60;
+    ++hour;
+  }
+  if (hour < 1) hour = 12;
+  if (hour > 12) hour -= 12;
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "%d:%02d", hour, minute);
+  return std::string(buf) + value.substr(colon + 3);
+}
+
+std::string CorruptSwapDomainValue(const std::string& value,
+                                   const std::vector<std::string>& domain,
+                                   Rng* rng) {
+  BIRNN_CHECK(!domain.empty());
+  for (int tries = 0; tries < 16; ++tries) {
+    const std::string& candidate = rng->Choice(domain);
+    if (candidate != value) return candidate;
+  }
+  return value + "-*";  // degenerate domain; force a difference
+}
+
+}  // namespace birnn::datagen

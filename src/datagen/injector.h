@@ -1,0 +1,109 @@
+#ifndef BIRNN_DATAGEN_INJECTOR_H_
+#define BIRNN_DATAGEN_INJECTOR_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/table.h"
+#include "util/rng.h"
+
+namespace birnn::datagen {
+
+/// Error taxonomy of the paper's Table 2 (definitions from Raha).
+enum class ErrorType {
+  kMissingValue,               ///< MV: value removed or replaced by NaN.
+  kTypo,                       ///< T: character-level misspelling.
+  kFormattingIssue,            ///< FI: same content, wrong representation.
+  kViolatedAttributeDependency  ///< VAD: value inconsistent with a
+                               ///  functionally dependent attribute.
+};
+
+/// Short code used in Table 2 ("MV", "T", "FI", "VAD").
+const char* ErrorTypeCode(ErrorType type);
+
+/// One injected corruption: where, and which error class it belongs to.
+/// Enables per-error-type recall analysis (paper §5.5).
+struct InjectedError {
+  int row = 0;
+  int col = 0;
+  ErrorType type = ErrorType::kTypo;
+};
+
+/// A clean table, its corrupted twin, and metadata; what a benchmark
+/// dataset consists of.
+struct DatasetPair {
+  std::string name;
+  data::Table clean;
+  data::Table dirty;
+  std::vector<ErrorType> error_types;
+  /// Every cell the injector corrupted, with its error class.
+  std::vector<InjectedError> injected_errors;
+};
+
+/// How one column may be corrupted: a weighted cell-rewriting function.
+/// `corrupt` receives the clean value and must return a *different* value
+/// (the injector retries/falls back when it doesn't).
+struct ColumnCorruption {
+  int col = 0;
+  double weight = 1.0;
+  ErrorType type = ErrorType::kTypo;
+  std::function<std::string(const std::string& value, int row, Rng* rng)>
+      corrupt;
+};
+
+/// Corrupts random cells of `clean` until the fraction of changed cells
+/// reaches `target_cell_error_rate` (over all cells of the table). Never
+/// corrupts the same cell twice. Columns are chosen by corruption weight;
+/// rows uniformly. Returns the dirty table; if `injected` is non-null it
+/// receives one record per corrupted cell.
+data::Table InjectErrors(const data::Table& clean,
+                         const std::vector<ColumnCorruption>& corruptions,
+                         double target_cell_error_rate, Rng* rng,
+                         std::vector<InjectedError>* injected = nullptr);
+
+// ---------------------------------------------------------------------------
+// Reusable cell corruption primitives (the error signatures §5.1 documents).
+// ---------------------------------------------------------------------------
+
+/// MV: "" or the literal "NaN" (pandas-style missing marker).
+std::string CorruptMissing(const std::string& value, Rng* rng);
+
+/// T (Hospital-style): replaces one letter with 'x' ("heart" -> "hexrt").
+std::string CorruptTypoX(const std::string& value, Rng* rng);
+
+/// T (generic): random insert / delete / replace / transpose of one char.
+std::string CorruptTypo(const std::string& value, Rng* rng);
+
+/// FI: inserts thousands separators into a digit run ("379998" -> "379,998").
+std::string CorruptThousandsSeparators(const std::string& value);
+
+/// FI: appends a unit suffix ("12.0" -> "12.0 oz").
+std::string CorruptAppendSuffix(const std::string& value,
+                                const std::string& suffix);
+
+/// FI: strips leading zeros ("01907" -> "1907").
+std::string CorruptStripLeadingZeros(const std::string& value);
+
+/// FI: integer -> trailing ".0" ("8" -> "8.0"); non-integers get ".0" too.
+std::string CorruptAppendDecimal(const std::string& value);
+
+/// FI: swaps the halves of an A-B token ("22-Mar" -> "Mar-22").
+std::string CorruptSwapDashParts(const std::string& value);
+
+/// FI: prefixes a timestamp date ("6:55 a.m." -> "12/02/2011 6:55 a.m.").
+std::string CorruptPrependDate(const std::string& value, Rng* rng);
+
+/// VAD (Flights-style): shifts the minutes of an "H:MM a.m./p.m." time by a
+/// few minutes ("8:42 a.m." -> "9:00 a.m.").
+std::string CorruptShiftTimeMinutes(const std::string& value, Rng* rng);
+
+/// VAD (generic): replaces the value with a different member of `domain`.
+std::string CorruptSwapDomainValue(const std::string& value,
+                                   const std::vector<std::string>& domain,
+                                   Rng* rng);
+
+}  // namespace birnn::datagen
+
+#endif  // BIRNN_DATAGEN_INJECTOR_H_

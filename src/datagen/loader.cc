@@ -1,0 +1,40 @@
+#include "datagen/loader.h"
+
+#include "data/csv.h"
+
+namespace birnn::datagen {
+
+StatusOr<DatasetPair> LoadDatasetPair(const std::string& dirty_csv,
+                                      const std::string& clean_csv,
+                                      const std::string& name) {
+  BIRNN_ASSIGN_OR_RETURN(data::Table dirty, data::ReadCsvFile(dirty_csv));
+  BIRNN_ASSIGN_OR_RETURN(data::Table clean, data::ReadCsvFile(clean_csv));
+  if (dirty.num_columns() != clean.num_columns()) {
+    return Status::InvalidArgument(
+        "dirty and clean CSVs have different column counts (" +
+        std::to_string(dirty.num_columns()) + " vs " +
+        std::to_string(clean.num_columns()) + ")");
+  }
+  if (dirty.num_rows() != clean.num_rows()) {
+    return Status::InvalidArgument(
+        "dirty and clean CSVs have different row counts (" +
+        std::to_string(dirty.num_rows()) + " vs " +
+        std::to_string(clean.num_rows()) + ")");
+  }
+  DatasetPair pair;
+  pair.name = name;
+  pair.dirty = std::move(dirty);
+  pair.clean = std::move(clean);
+  return pair;
+}
+
+StatusOr<DatasetPair> LoadDatasetDir(const std::string& dir) {
+  std::string base = dir;
+  while (!base.empty() && base.back() == '/') base.pop_back();
+  const size_t slash = base.find_last_of('/');
+  const std::string name =
+      slash == std::string::npos ? base : base.substr(slash + 1);
+  return LoadDatasetPair(base + "/dirty.csv", base + "/clean.csv", name);
+}
+
+}  // namespace birnn::datagen

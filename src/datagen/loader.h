@@ -1,0 +1,25 @@
+#ifndef BIRNN_DATAGEN_LOADER_H_
+#define BIRNN_DATAGEN_LOADER_H_
+
+#include <string>
+
+#include "datagen/injector.h"
+#include "util/status.h"
+
+namespace birnn::datagen {
+
+/// Loads a dirty/clean CSV pair from explicit paths. Validates that both
+/// tables have matching shapes. Use this to run the harnesses against the
+/// *original* benchmark datasets (the Raha repository ships each dataset
+/// as a directory with dirty.csv and clean.csv).
+StatusOr<DatasetPair> LoadDatasetPair(const std::string& dirty_csv,
+                                      const std::string& clean_csv,
+                                      const std::string& name);
+
+/// Loads `<dir>/dirty.csv` and `<dir>/clean.csv`; the dataset name is the
+/// directory's base name.
+StatusOr<DatasetPair> LoadDatasetDir(const std::string& dir);
+
+}  // namespace birnn::datagen
+
+#endif  // BIRNN_DATAGEN_LOADER_H_

@@ -1,0 +1,39 @@
+#include "datagen/stats.h"
+
+#include <set>
+
+#include "util/string_util.h"
+
+namespace birnn::datagen {
+
+DatasetStats ComputeStats(const DatasetPair& pair) {
+  DatasetStats stats;
+  stats.name = pair.name;
+  stats.rows = pair.dirty.num_rows();
+  stats.cols = pair.dirty.num_columns();
+
+  int64_t wrong = 0;
+  std::set<char> chars;
+  for (int r = 0; r < pair.dirty.num_rows(); ++r) {
+    for (int c = 0; c < pair.dirty.num_columns(); ++c) {
+      const std::string vx = TrimLeft(pair.dirty.cell(r, c));
+      const std::string vy = TrimLeft(pair.clean.cell(r, c));
+      if (vx != vy) ++wrong;
+      for (char ch : vx) chars.insert(ch);
+    }
+  }
+  const int64_t total =
+      static_cast<int64_t>(stats.rows) * static_cast<int64_t>(stats.cols);
+  stats.error_rate = total == 0 ? 0.0
+                                : static_cast<double>(wrong) /
+                                      static_cast<double>(total);
+  stats.distinct_chars = static_cast<int>(chars.size());
+
+  for (size_t i = 0; i < pair.error_types.size(); ++i) {
+    if (i > 0) stats.error_types += ", ";
+    stats.error_types += ErrorTypeCode(pair.error_types[i]);
+  }
+  return stats;
+}
+
+}  // namespace birnn::datagen

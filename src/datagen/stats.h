@@ -1,0 +1,27 @@
+#ifndef BIRNN_DATAGEN_STATS_H_
+#define BIRNN_DATAGEN_STATS_H_
+
+#include <string>
+
+#include "datagen/injector.h"
+
+namespace birnn::datagen {
+
+/// Summary statistics of a generated dataset pair — the columns of the
+/// paper's Table 2.
+struct DatasetStats {
+  std::string name;
+  int rows = 0;
+  int cols = 0;
+  double error_rate = 0.0;    ///< fraction of cells where dirty != clean.
+  int distinct_chars = 0;     ///< distinct characters across dirty values.
+  std::string error_types;    ///< e.g. "MV, FI, VAD".
+};
+
+/// Computes Table 2 statistics from a dataset pair (left-trimming values,
+/// matching the preparation pipeline's label definition).
+DatasetStats ComputeStats(const DatasetPair& pair);
+
+}  // namespace birnn::datagen
+
+#endif  // BIRNN_DATAGEN_STATS_H_

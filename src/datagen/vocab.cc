@@ -1,0 +1,205 @@
+#include "datagen/vocab.h"
+
+#include <cstdio>
+
+namespace birnn::datagen {
+
+const std::vector<CityState>& CityStates() {
+  static const auto& v = *new std::vector<CityState>{
+      {"San Francisco", "CA"}, {"Los Angeles", "CA"}, {"San Diego", "CA"},
+      {"Portland", "OR"},      {"Seattle", "WA"},     {"Denver", "CO"},
+      {"Boulder", "CO"},       {"Austin", "TX"},      {"Houston", "TX"},
+      {"Dallas", "TX"},        {"Chicago", "IL"},     {"Springfield", "IL"},
+      {"Boston", "MA"},        {"Cambridge", "MA"},   {"New York", "NY"},
+      {"Buffalo", "NY"},       {"Miami", "FL"},       {"Tampa", "FL"},
+      {"Atlanta", "GA"},       {"Savannah", "GA"},    {"Birmingham", "AL"},
+      {"Montgomery", "AL"},    {"Nashville", "TN"},   {"Memphis", "TN"},
+      {"Phoenix", "AZ"},       {"Tucson", "AZ"},      {"Las Vegas", "NV"},
+      {"Reno", "NV"},          {"Detroit", "MI"},     {"Ann Arbor", "MI"},
+      {"Cleveland", "OH"},     {"Columbus", "OH"},    {"Baltimore", "MD"},
+      {"Annapolis", "MD"},     {"Richmond", "VA"},    {"Norfolk", "VA"},
+      {"Milwaukee", "WI"},     {"Madison", "WI"},     {"Minneapolis", "MN"},
+      {"St Paul", "MN"},       {"Kansas City", "MO"}, {"St Louis", "MO"},
+      {"New Orleans", "LA"},   {"Baton Rouge", "LA"}, {"Salt Lake City", "UT"},
+      {"Provo", "UT"},         {"Boise", "ID"},       {"Anchorage", "AK"},
+      {"Honolulu", "HI"},      {"Charlotte", "NC"},
+  };
+  return v;
+}
+
+const std::vector<std::string>& FirstNames() {
+  static const auto& v = *new std::vector<std::string>{
+      "James",  "Mary",   "John",    "Patricia", "Robert", "Jennifer",
+      "Michael", "Linda",  "William", "Elizabeth", "David", "Barbara",
+      "Richard", "Susan",  "Joseph",  "Jessica",  "Thomas", "Sarah",
+      "Charles", "Karen",  "Jun'ichi", "Akira",   "Maria",  "Jose",
+      "Anna",    "Luis",   "Carmen",  "Pedro",    "Sofia",  "Diego",
+  };
+  return v;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const auto& v = *new std::vector<std::string>{
+      "Smith",    "Johnson", "Williams", "Brown",   "Jones",   "Garcia",
+      "Miller",   "Davis",   "Rodriguez", "Martinez", "Hernandez", "Lopez",
+      "Gonzalez", "Wilson",  "Anderson", "Thomas",  "Taylor",  "Moore",
+      "Jackson",  "Martin",  "O'Brien",  "O'Connor", "Nakamura", "Tanaka",
+  };
+  return v;
+}
+
+const std::vector<std::string>& BeerStyles() {
+  static const auto& v = *new std::vector<std::string>{
+      "American IPA",          "American Pale Ale (APA)",
+      "American Amber / Red Ale", "American Blonde Ale",
+      "American Double / Imperial IPA", "American Porter",
+      "American Stout",        "Fruit / Vegetable Beer",
+      "Hefeweizen",            "Witbier",
+      "Saison / Farmhouse Ale", "Kolsch",
+      "English Brown Ale",     "Oatmeal Stout",
+      "Scotch Ale / Wee Heavy", "Vienna Lager",
+      "Czech Pilsener",        "Märzen / Oktoberfest",
+  };
+  return v;
+}
+
+const std::vector<std::string>& BreweryWords() {
+  static const auto& v = *new std::vector<std::string>{
+      "Anchor", "Golden", "River",  "Mountain", "Valley", "Iron",
+      "Copper", "Stone",  "Cedar",  "Lakeside", "Harbor", "Summit",
+      "Prairie", "Canyon", "Redwood", "Granite", "Pioneer", "Frontier",
+  };
+  return v;
+}
+
+const std::vector<std::string>& HospitalConditions() {
+  static const auto& v = *new std::vector<std::string>{
+      "heart attack",       "heart failure",  "pneumonia",
+      "surgical infection prevention", "children's asthma care",
+  };
+  return v;
+}
+
+const std::vector<std::string>& HospitalMeasures() {
+  static const auto& v = *new std::vector<std::string>{
+      "heart attack patients given aspirin at arrival",
+      "heart attack patients given aspirin at discharge",
+      "heart attack patients given beta blocker at arrival",
+      "heart failure patients given ace inhibitor or arb for lvsd",
+      "heart failure patients given an evaluation of left ventricular systolic function",
+      "pneumonia patients given initial antibiotic within 6 hours after arrival",
+      "pneumonia patients given the most appropriate initial antibiotic",
+      "surgery patients who were given an antibiotic at the right time",
+      "surgery patients whose preventive antibiotics were stopped at the right time",
+      "children and their caregivers who received home management plan of care document",
+  };
+  return v;
+}
+
+const std::vector<std::string>& MovieTitleWords() {
+  static const auto& v = *new std::vector<std::string>{
+      "Dark",   "Night",  "Return", "Lost",    "City",  "Dream",
+      "Secret", "Last",   "First",  "King",    "Queen", "Shadow",
+      "Light",  "Winter", "Summer", "Stone",   "Fire",  "Water",
+      "Broken", "Silent", "Golden", "Hidden",  "Iron",  "Glass",
+  };
+  return v;
+}
+
+const std::vector<std::string>& MovieGenres() {
+  static const auto& v = *new std::vector<std::string>{
+      "Drama",    "Comedy", "Action",   "Thriller", "Romance",
+      "Horror",   "Sci-Fi", "Adventure", "Crime",    "Fantasy",
+      "Animation", "Mystery",
+  };
+  return v;
+}
+
+const std::vector<std::string>& Languages() {
+  static const auto& v = *new std::vector<std::string>{
+      "English", "French", "Spanish", "German", "Italian",
+      "Japanese", "Mandarin", "Hindi", "Korean", "Portuguese",
+  };
+  return v;
+}
+
+const std::vector<std::string>& Countries() {
+  static const auto& v = *new std::vector<std::string>{
+      "USA",   "UK",    "France", "Germany", "Italy",
+      "Japan", "China", "India",  "Canada",  "Australia",
+  };
+  return v;
+}
+
+const std::vector<std::string>& JournalWords() {
+  static const auto& v = *new std::vector<std::string>{
+      "Journal", "International", "Review", "Annals",  "Archives",
+      "Clinical", "Medicine",     "Surgery", "Pediatrics", "Oncology",
+      "Cardiology", "Neurology",  "Psychiatry", "Epidemiology", "Therapeutics",
+  };
+  return v;
+}
+
+const std::vector<std::string>& ArticleWords() {
+  static const auto& v = *new std::vector<std::string>{
+      "randomized", "controlled", "trial",     "systematic", "review",
+      "meta-analysis", "cohort",  "study",     "treatment",  "outcomes",
+      "efficacy",   "safety",     "patients",  "chronic",    "acute",
+      "management", "therapy",    "diagnosis", "risk",       "factors",
+  };
+  return v;
+}
+
+const std::vector<std::string>& StreetWords() {
+  static const auto& v = *new std::vector<std::string>{
+      "Main St",   "Oak Ave",   "Park Blvd", "First St", "Second Ave",
+      "Maple Dr",  "Cedar Ln",  "Elm St",    "Lake Rd",  "Hill St",
+  };
+  return v;
+}
+
+const std::vector<std::string>& Airports() {
+  static const auto& v = *new std::vector<std::string>{
+      "JFK", "SFO", "LAX", "ORD", "DFW", "DEN", "SEA", "ATL",
+      "BOS", "MIA", "PHX", "IAH", "EWR", "MSP", "DTW", "PHL",
+  };
+  return v;
+}
+
+const std::vector<std::string>& Airlines() {
+  static const auto& v = *new std::vector<std::string>{
+      "AA", "UA", "DL", "WN", "B6", "AS", "NK", "F9",
+  };
+  return v;
+}
+
+std::string RandomDigits(int width, Rng* rng) {
+  std::string out;
+  out.reserve(static_cast<size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    out += static_cast<char>('0' + rng->UniformInt(10));
+  }
+  return out;
+}
+
+std::string RandomClockTime(Rng* rng) {
+  const int hour = static_cast<int>(rng->UniformRange(1, 12));
+  const int minute = static_cast<int>(rng->UniformRange(0, 59));
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%d:%02d %s", hour, minute,
+                rng->Bernoulli(0.5) ? "a.m." : "p.m.");
+  return std::string(buf);
+}
+
+std::string RandomPhrase(const std::vector<std::string>& pool, int max_words,
+                         Rng* rng) {
+  const int n = static_cast<int>(rng->UniformRange(1, max_words));
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) out += ' ';
+    out += rng->Choice(pool);
+  }
+  return out;
+}
+
+}  // namespace birnn::datagen

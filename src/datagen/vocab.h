@@ -1,0 +1,51 @@
+#ifndef BIRNN_DATAGEN_VOCAB_H_
+#define BIRNN_DATAGEN_VOCAB_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace birnn::datagen {
+
+/// Shared word material for the synthetic dataset generators. Each accessor
+/// returns a reference to a function-local static vector (no global
+/// destructors of non-trivial type at namespace scope, per style guide).
+
+/// (city, state-abbreviation) pairs with a consistent city->state mapping —
+/// the functional dependency Beers/Hospital/Tax violate via VAD errors.
+struct CityState {
+  const char* city;
+  const char* state;
+};
+const std::vector<CityState>& CityStates();
+
+const std::vector<std::string>& FirstNames();
+const std::vector<std::string>& LastNames();
+const std::vector<std::string>& BeerStyles();
+const std::vector<std::string>& BreweryWords();
+const std::vector<std::string>& HospitalConditions();
+const std::vector<std::string>& HospitalMeasures();
+const std::vector<std::string>& MovieTitleWords();
+const std::vector<std::string>& MovieGenres();
+const std::vector<std::string>& Languages();
+const std::vector<std::string>& Countries();
+const std::vector<std::string>& JournalWords();
+const std::vector<std::string>& ArticleWords();
+const std::vector<std::string>& StreetWords();
+const std::vector<std::string>& Airports();
+const std::vector<std::string>& Airlines();
+
+/// Random zero-padded integer of fixed width ("00421").
+std::string RandomDigits(int width, Rng* rng);
+
+/// "H:MM a.m." / "H:MM p.m." clock time.
+std::string RandomClockTime(Rng* rng);
+
+/// Joins 1..max_words random words from `pool`, space-separated.
+std::string RandomPhrase(const std::vector<std::string>& pool, int max_words,
+                         Rng* rng);
+
+}  // namespace birnn::datagen
+
+#endif  // BIRNN_DATAGEN_VOCAB_H_

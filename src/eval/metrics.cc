@@ -1,0 +1,44 @@
+#include "eval/metrics.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace birnn::eval {
+
+double Confusion::Precision() const {
+  const int64_t denom = tp + fp;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double Confusion::Recall() const {
+  const int64_t denom = tp + fn;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double Confusion::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double Confusion::Accuracy() const {
+  const int64_t n = total();
+  return n == 0 ? 0.0 : static_cast<double>(tp + tn) / static_cast<double>(n);
+}
+
+Confusion Evaluate(const std::vector<uint8_t>& predicted,
+                   const std::vector<int32_t>& truth) {
+  BIRNN_CHECK_EQ(predicted.size(), truth.size());
+  Confusion c;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    c.Add(predicted[i], truth[i]);
+  }
+  return c;
+}
+
+std::string Metrics::ToString() const {
+  return "P=" + FormatFixed(precision, 2) + " R=" + FormatFixed(recall, 2) +
+         " F1=" + FormatFixed(f1, 2) + " Acc=" + FormatFixed(accuracy, 2);
+}
+
+}  // namespace birnn::eval

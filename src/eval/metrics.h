@@ -1,0 +1,63 @@
+#ifndef BIRNN_EVAL_METRICS_H_
+#define BIRNN_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace birnn::eval {
+
+/// Binary confusion counts for error detection. The positive class is
+/// "cell is erroneous" (label 1), matching the paper's P/R/F1 definitions.
+struct Confusion {
+  int64_t tp = 0;
+  int64_t fp = 0;
+  int64_t fn = 0;
+  int64_t tn = 0;
+
+  int64_t total() const { return tp + fp + fn + tn; }
+
+  /// Adds one (prediction, truth) observation.
+  void Add(int predicted, int truth) {
+    if (predicted == 1 && truth == 1) {
+      ++tp;
+    } else if (predicted == 1 && truth == 0) {
+      ++fp;
+    } else if (predicted == 0 && truth == 1) {
+      ++fn;
+    } else {
+      ++tn;
+    }
+  }
+
+  /// tp / (tp + fp); 0 when nothing was predicted positive.
+  double Precision() const;
+  /// tp / (tp + fn); 0 when there are no positives.
+  double Recall() const;
+  /// Harmonic mean of precision and recall; 0 when both are 0.
+  double F1() const;
+  /// (tp + tn) / total.
+  double Accuracy() const;
+};
+
+/// Builds a confusion matrix from parallel prediction/truth vectors.
+Confusion Evaluate(const std::vector<uint8_t>& predicted,
+                   const std::vector<int32_t>& truth);
+
+/// Point metrics extracted from a confusion matrix.
+struct Metrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double accuracy = 0.0;
+
+  static Metrics From(const Confusion& c) {
+    return Metrics{c.Precision(), c.Recall(), c.F1(), c.Accuracy()};
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace birnn::eval
+
+#endif  // BIRNN_EVAL_METRICS_H_

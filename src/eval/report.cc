@@ -1,0 +1,62 @@
+#include "eval/report.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace birnn::eval {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TableWriter::AddRow(std::vector<std::string> cells) {
+  BIRNN_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TableWriter::Print(std::ostream& out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << " " << row[c] << std::string(widths[c] - row[c].size(), ' ')
+          << " |";
+    }
+    out << "\n";
+  };
+  print_row(headers_);
+  out << "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Fmt2(double v) { return FormatFixed(v, 2); }
+
+void AppendTable3Rows(const RepeatedResult& result, TableWriter* writer) {
+  writer->AddRow({result.system, result.dataset, Fmt2(result.precision.mean),
+                  Fmt2(result.recall.mean), Fmt2(result.f1.mean)});
+  writer->AddRow({"  S.D.", "", Fmt2(result.precision.stddev),
+                  Fmt2(result.recall.stddev), Fmt2(result.f1.stddev)});
+}
+
+void PrintCurve(const std::string& title,
+                const std::vector<CurvePoint>& curve, std::ostream& out) {
+  out << "# " << title << "\n";
+  out << "# epoch  mean_accuracy  ci95\n";
+  for (const CurvePoint& p : curve) {
+    out << p.epoch << "\t" << FormatFixed(p.mean, 4) << "\t"
+        << FormatFixed(p.ci95, 4) << "\n";
+  }
+}
+
+}  // namespace birnn::eval

@@ -1,0 +1,43 @@
+#ifndef BIRNN_EVAL_REPORT_H_
+#define BIRNN_EVAL_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "eval/runner.h"
+
+namespace birnn::eval {
+
+/// Markdown-ish table writer used by the bench binaries to print the
+/// paper's tables.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with column alignment:
+  ///   | Name  |  P   |  R   |
+  ///   |-------|------|------|
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "0.85" / "0.03" formatting used throughout the paper's tables.
+std::string Fmt2(double v);
+
+/// Prints a RepeatedResult as one Table 3 row block (mean line + S.D. line).
+void AppendTable3Rows(const RepeatedResult& result, TableWriter* writer);
+
+/// Prints an epoch/accuracy series (Fig. 6/7) as aligned columns:
+/// epoch, mean, ci95 — consumable by any plotting tool.
+void PrintCurve(const std::string& title,
+                const std::vector<CurvePoint>& curve, std::ostream& out);
+
+}  // namespace birnn::eval
+
+#endif  // BIRNN_EVAL_REPORT_H_

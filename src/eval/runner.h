@@ -1,0 +1,66 @@
+#ifndef BIRNN_EVAL_RUNNER_H_
+#define BIRNN_EVAL_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "datagen/datasets.h"
+#include "eval/metrics.h"
+#include "util/stats.h"
+
+namespace birnn::eval {
+
+/// Aggregated outcome of repeating one experiment `n` times with different
+/// seeds (the paper repeats 10 times and reports AVG and S.D.).
+struct RepeatedResult {
+  std::string dataset;
+  std::string system;  ///< "TSB-RNN", "ETSB-RNN", "Raha", ...
+  Summary precision;
+  Summary recall;
+  Summary f1;
+  Summary train_seconds;
+  /// Raw per-repetition metrics, for downstream aggregation.
+  std::vector<Metrics> runs;
+  /// Per-epoch accuracy curves per repetition (empty unless tracked).
+  std::vector<std::vector<core::EpochStats>> histories;
+};
+
+/// Options shared by the experiment harness binaries.
+struct RunnerOptions {
+  int repetitions = 10;
+  uint64_t base_seed = 1000;
+  core::DetectorOptions detector;
+};
+
+/// Runs the paper's neural detector `repetitions` times on a dataset pair,
+/// re-generating nothing (same data, different model/sampler seeds), and
+/// aggregates precision/recall/F1.
+RepeatedResult RunRepeatedDetector(const datagen::DatasetPair& pair,
+                                   const RunnerOptions& options);
+
+/// Runs the Raha baseline `repetitions` times (different sampling seeds).
+RepeatedResult RunRepeatedRaha(const datagen::DatasetPair& pair,
+                               int repetitions, int n_label_tuples,
+                               uint64_t base_seed);
+
+/// Runs the Rotom-style augmentation baseline `repetitions` times.
+/// `ssl` selects the self-training variant (Rotom+SSL in Table 3).
+RepeatedResult RunRepeatedRotom(const datagen::DatasetPair& pair,
+                                int repetitions, int n_label_cells, bool ssl,
+                                uint64_t base_seed);
+
+/// Mean epoch curve across repetitions: element e is the average of
+/// `histories[*][e].test_accuracy` (or train_accuracy), together with its
+/// 95% confidence half-width.
+struct CurvePoint {
+  int epoch = 0;
+  double mean = 0.0;
+  double ci95 = 0.0;
+};
+std::vector<CurvePoint> AverageTestAccuracyCurve(const RepeatedResult& result);
+std::vector<CurvePoint> AverageTrainAccuracyCurve(const RepeatedResult& result);
+
+}  // namespace birnn::eval
+
+#endif  // BIRNN_EVAL_RUNNER_H_

@@ -1,0 +1,55 @@
+#include "nn/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/optimizer.h"
+
+namespace birnn::nn {
+
+GradCheckResult CheckParameterGradients(
+    const std::vector<Parameter*>& params,
+    const std::function<float(bool with_backward)>& loss_fn, Rng* rng,
+    float delta, float tol, size_t max_elements_per_param) {
+  GradCheckResult result;
+  result.ok = true;
+
+  ZeroGrads(params);
+  (void)loss_fn(/*with_backward=*/true);
+  // Copy analytic gradients before we start perturbing values.
+  std::vector<Tensor> analytic;
+  analytic.reserve(params.size());
+  for (Parameter* p : params) analytic.push_back(p->grad);
+
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Parameter* p = params[pi];
+    const size_t n = p->value.size();
+    std::vector<size_t> elems;
+    if (n <= max_elements_per_param) {
+      for (size_t i = 0; i < n; ++i) elems.push_back(i);
+    } else {
+      elems = rng->SampleWithoutReplacement(n, max_elements_per_param);
+    }
+    for (size_t ei : elems) {
+      const float original = p->value[ei];
+      p->value[ei] = original + delta;
+      const double loss_plus = loss_fn(false);
+      p->value[ei] = original - delta;
+      const double loss_minus = loss_fn(false);
+      p->value[ei] = original;
+
+      const double numeric = (loss_plus - loss_minus) / (2.0 * delta);
+      const double a = analytic[pi][ei];
+      const double abs_diff = std::fabs(a - numeric);
+      const double rel_diff =
+          abs_diff / std::max(1.0, std::fabs(a) + std::fabs(numeric));
+      result.max_abs_diff = std::max(result.max_abs_diff, abs_diff);
+      result.max_rel_diff = std::max(result.max_rel_diff, rel_diff);
+      ++result.checked_elements;
+      if (rel_diff > tol) result.ok = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace birnn::nn

@@ -1,0 +1,39 @@
+#ifndef BIRNN_NN_GRADCHECK_H_
+#define BIRNN_NN_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "util/rng.h"
+
+namespace birnn::nn {
+
+/// Result of comparing analytic parameter gradients against central finite
+/// differences.
+struct GradCheckResult {
+  double max_abs_diff = 0.0;
+  double max_rel_diff = 0.0;
+  size_t checked_elements = 0;
+  bool ok = false;
+};
+
+/// Verifies analytic gradients.
+///
+/// `loss_fn` must rebuild the computation from the *current* parameter
+/// values and return the scalar loss. When `with_backward` is true it must
+/// also run Backward so gradients land in `Parameter::grad` (which this
+/// function zeroes beforehand).
+///
+/// Checks up to `max_elements_per_param` randomly chosen elements of each
+/// parameter with perturbation `delta`. Gradients match when the relative
+/// difference |a-n| / max(1, |a|+|n|) stays below `tol`.
+GradCheckResult CheckParameterGradients(
+    const std::vector<Parameter*>& params,
+    const std::function<float(bool with_backward)>& loss_fn, Rng* rng,
+    float delta = 1e-3f, float tol = 1e-2f,
+    size_t max_elements_per_param = 16);
+
+}  // namespace birnn::nn
+
+#endif  // BIRNN_NN_GRADCHECK_H_

@@ -1,0 +1,392 @@
+#include "nn/graph.h"
+
+#include <cmath>
+#include <utility>
+
+#include "nn/ops.h"
+
+namespace birnn::nn {
+
+Graph::Var Graph::Input(Tensor value) { return NewNode(std::move(value)); }
+
+Graph::Var Graph::Param(Parameter* p) {
+  BIRNN_CHECK(p != nullptr);
+  Var v = NewNode(p->value);
+  node(v).param = p;
+  return v;
+}
+
+Graph::Var Graph::MatMul(Var a, Var b) {
+  Tensor out;
+  nn::MatMul(value(a), value(b), &out);
+  Var c = NewNode(std::move(out));
+  node(c).backward = [this, a, b, c]() {
+    // dA += dC * B^T ; dB += A^T * dC
+    MatMulTransposeBAcc(nodes_[c].grad, nodes_[b].value, &nodes_[a].grad);
+    MatMulTransposeAAcc(nodes_[a].value, nodes_[c].grad, &nodes_[b].grad);
+  };
+  return c;
+}
+
+Graph::Var Graph::Add(Var a, Var b) {
+  Tensor out;
+  AddElem(value(a), value(b), &out);
+  Var c = NewNode(std::move(out));
+  node(c).backward = [this, a, b, c]() {
+    nodes_[a].grad.Add(nodes_[c].grad);
+    nodes_[b].grad.Add(nodes_[c].grad);
+  };
+  return c;
+}
+
+Graph::Var Graph::AddBias(Var x, Var bias) {
+  Tensor out;
+  nn::AddBias(value(x), value(bias), &out);
+  Var c = NewNode(std::move(out));
+  node(c).backward = [this, x, bias, c]() {
+    nodes_[x].grad.Add(nodes_[c].grad);
+    Tensor colsum;
+    ColSum(nodes_[c].grad, &colsum);
+    // Bias may be stored as (m) or (1,m); accumulate respecting its shape.
+    Tensor reshaped = colsum.Reshaped(nodes_[bias].grad.shape());
+    nodes_[bias].grad.Add(reshaped);
+  };
+  return c;
+}
+
+Graph::Var Graph::Sub(Var a, Var b) {
+  Tensor out;
+  SubElem(value(a), value(b), &out);
+  Var c = NewNode(std::move(out));
+  node(c).backward = [this, a, b, c]() {
+    nodes_[a].grad.Add(nodes_[c].grad);
+    Tensor neg = nodes_[c].grad;
+    neg.Scale(-1.0f);
+    nodes_[b].grad.Add(neg);
+  };
+  return c;
+}
+
+Graph::Var Graph::Mul(Var a, Var b) {
+  Tensor out;
+  MulElem(value(a), value(b), &out);
+  Var c = NewNode(std::move(out));
+  node(c).backward = [this, a, b, c]() {
+    Tensor da;
+    MulElem(nodes_[c].grad, nodes_[b].value, &da);
+    nodes_[a].grad.Add(da);
+    Tensor db;
+    MulElem(nodes_[c].grad, nodes_[a].value, &db);
+    nodes_[b].grad.Add(db);
+  };
+  return c;
+}
+
+Graph::Var Graph::ScaleBy(Var a, float s) {
+  Tensor out = value(a);
+  out.Scale(s);
+  Var c = NewNode(std::move(out));
+  node(c).backward = [this, a, c, s]() {
+    Tensor da = nodes_[c].grad;
+    da.Scale(s);
+    nodes_[a].grad.Add(da);
+  };
+  return c;
+}
+
+Graph::Var Graph::Tanh(Var x) {
+  Tensor out;
+  TanhElem(value(x), &out);
+  Var c = NewNode(std::move(out));
+  node(c).backward = [this, x, c]() {
+    // d tanh = 1 - tanh^2
+    const Tensor& y = nodes_[c].value;
+    const Tensor& dy = nodes_[c].grad;
+    Tensor& dx = nodes_[x].grad;
+    for (size_t i = 0; i < y.size(); ++i) {
+      dx[i] += dy[i] * (1.0f - y[i] * y[i]);
+    }
+  };
+  return c;
+}
+
+Graph::Var Graph::Relu(Var x) {
+  Tensor out;
+  ReluElem(value(x), &out);
+  Var c = NewNode(std::move(out));
+  node(c).backward = [this, x, c]() {
+    const Tensor& xin = nodes_[x].value;
+    const Tensor& dy = nodes_[c].grad;
+    Tensor& dx = nodes_[x].grad;
+    for (size_t i = 0; i < xin.size(); ++i) {
+      if (xin[i] > 0.0f) dx[i] += dy[i];
+    }
+  };
+  return c;
+}
+
+Graph::Var Graph::Sigmoid(Var x) {
+  Tensor out;
+  SigmoidElem(value(x), &out);
+  Var c = NewNode(std::move(out));
+  node(c).backward = [this, x, c]() {
+    const Tensor& y = nodes_[c].value;
+    const Tensor& dy = nodes_[c].grad;
+    Tensor& dx = nodes_[x].grad;
+    for (size_t i = 0; i < y.size(); ++i) {
+      dx[i] += dy[i] * y[i] * (1.0f - y[i]);
+    }
+  };
+  return c;
+}
+
+Graph::Var Graph::ConcatCols(const std::vector<Var>& parts) {
+  std::vector<const Tensor*> tensors;
+  tensors.reserve(parts.size());
+  for (Var p : parts) tensors.push_back(&value(p));
+  Tensor out;
+  nn::ConcatCols(tensors, &out);
+  Var c = NewNode(std::move(out));
+  std::vector<Var> saved = parts;
+  node(c).backward = [this, saved, c]() {
+    const Tensor& dy = nodes_[c].grad;
+    const int n = dy.rows();
+    const int total = dy.cols();
+    int off = 0;
+    for (Var p : saved) {
+      Tensor& dp = nodes_[p].grad;
+      const int m = dp.cols();
+      for (int i = 0; i < n; ++i) {
+        const float* src = dy.data() + static_cast<size_t>(i) * total + off;
+        float* dst = dp.data() + static_cast<size_t>(i) * m;
+        for (int j = 0; j < m; ++j) dst[j] += src[j];
+      }
+      off += m;
+    }
+    BIRNN_CHECK_EQ(off, total);
+  };
+  return c;
+}
+
+Graph::Var Graph::SliceCols(Var x, int start, int count) {
+  Tensor out;
+  nn::SliceCols(value(x), start, count, &out);
+  Var c = NewNode(std::move(out));
+  node(c).backward = [this, x, c, start, count]() {
+    const Tensor& dy = nodes_[c].grad;
+    Tensor& dx = nodes_[x].grad;
+    const int n = dy.rows();
+    const int m = dx.cols();
+    for (int i = 0; i < n; ++i) {
+      const float* src = dy.data() + static_cast<size_t>(i) * count;
+      float* dst = dx.data() + static_cast<size_t>(i) * m + start;
+      for (int j = 0; j < count; ++j) dst[j] += src[j];
+    }
+  };
+  return c;
+}
+
+Graph::Var Graph::Embedding(Var table, std::vector<int> ids) {
+  Tensor out;
+  GatherRows(value(table), ids, &out);
+  Var c = NewNode(std::move(out));
+  node(c).backward = [this, table, ids = std::move(ids), c]() {
+    ScatterAddRows(nodes_[c].grad, ids, &nodes_[table].grad);
+  };
+  return c;
+}
+
+Graph::Var Graph::BatchNormTrain(Var x, Var gamma, Var beta,
+                                 Tensor* running_mean, Tensor* running_var,
+                                 float momentum, float eps) {
+  const Tensor& xin = value(x);
+  BIRNN_CHECK_EQ(xin.rank(), 2);
+  const int n = xin.rows();
+  const int m = xin.cols();
+  BIRNN_CHECK_EQ(value(gamma).size(), static_cast<size_t>(m));
+  BIRNN_CHECK_EQ(value(beta).size(), static_cast<size_t>(m));
+
+  std::vector<float> mu(m, 0.0f);
+  std::vector<float> var(m, 0.0f);
+  for (int i = 0; i < n; ++i) {
+    const float* row = xin.data() + static_cast<size_t>(i) * m;
+    for (int j = 0; j < m; ++j) mu[static_cast<size_t>(j)] += row[j];
+  }
+  for (int j = 0; j < m; ++j) mu[static_cast<size_t>(j)] /= static_cast<float>(n);
+  for (int i = 0; i < n; ++i) {
+    const float* row = xin.data() + static_cast<size_t>(i) * m;
+    for (int j = 0; j < m; ++j) {
+      const float d = row[j] - mu[static_cast<size_t>(j)];
+      var[static_cast<size_t>(j)] += d * d;
+    }
+  }
+  for (int j = 0; j < m; ++j) var[static_cast<size_t>(j)] /= static_cast<float>(n);
+
+  // Update running statistics in-place.
+  BIRNN_CHECK_EQ(running_mean->size(), static_cast<size_t>(m));
+  BIRNN_CHECK_EQ(running_var->size(), static_cast<size_t>(m));
+  for (int j = 0; j < m; ++j) {
+    (*running_mean)[static_cast<size_t>(j)] =
+        momentum * (*running_mean)[static_cast<size_t>(j)] +
+        (1.0f - momentum) * mu[static_cast<size_t>(j)];
+    (*running_var)[static_cast<size_t>(j)] =
+        momentum * (*running_var)[static_cast<size_t>(j)] +
+        (1.0f - momentum) * var[static_cast<size_t>(j)];
+  }
+
+  // Saved state packed as (n+1, m): rows 0..n-1 hold xhat, row n holds
+  // inv_std per feature (single aux slot per node).
+  auto aux = std::make_shared<Tensor>(n + 1, m);
+  for (int j = 0; j < m; ++j) {
+    aux->at(n, j) = 1.0f / std::sqrt(var[static_cast<size_t>(j)] + eps);
+  }
+  Tensor out(n, m);
+  const Tensor& g = value(gamma);
+  const Tensor& b = value(beta);
+  for (int i = 0; i < n; ++i) {
+    const float* row = xin.data() + static_cast<size_t>(i) * m;
+    float* orow = out.data() + static_cast<size_t>(i) * m;
+    for (int j = 0; j < m; ++j) {
+      const size_t sj = static_cast<size_t>(j);
+      const float xhat = (row[j] - mu[sj]) * aux->at(n, j);
+      aux->at(i, j) = xhat;
+      orow[j] = g[sj] * xhat + b[sj];
+    }
+  }
+
+  Var c = NewNode(std::move(out));
+  node(c).aux = aux;
+  node(c).backward = [this, x, gamma, beta, c, n, m]() {
+    const Tensor& dy = nodes_[c].grad;
+    const Tensor& aux_t = *nodes_[c].aux;
+    const Tensor& g = nodes_[gamma].value;
+    Tensor& dx = nodes_[x].grad;
+    Tensor& dgamma = nodes_[gamma].grad;
+    Tensor& dbeta = nodes_[beta].grad;
+
+    std::vector<float> sum_dy(static_cast<size_t>(m), 0.0f);
+    std::vector<float> sum_dy_xhat(static_cast<size_t>(m), 0.0f);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < m; ++j) {
+        const size_t sj = static_cast<size_t>(j);
+        sum_dy[sj] += dy.at(i, j);
+        sum_dy_xhat[sj] += dy.at(i, j) * aux_t.at(i, j);
+      }
+    }
+    for (int j = 0; j < m; ++j) {
+      const size_t sj = static_cast<size_t>(j);
+      dgamma[sj] += sum_dy_xhat[sj];
+      dbeta[sj] += sum_dy[sj];
+    }
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < m; ++j) {
+        const size_t sj = static_cast<size_t>(j);
+        const float inv_std_j = aux_t.at(n, j);
+        const float term = static_cast<float>(n) * dy.at(i, j) - sum_dy[sj] -
+                           aux_t.at(i, j) * sum_dy_xhat[sj];
+        dx.at(i, j) += g[sj] * inv_std_j * inv_n * term;
+      }
+    }
+  };
+  return c;
+}
+
+Graph::Var Graph::BatchNormInfer(Var x, Var gamma, Var beta,
+                                 const Tensor& running_mean,
+                                 const Tensor& running_var, float eps) {
+  const Tensor& xin = value(x);
+  BIRNN_CHECK_EQ(xin.rank(), 2);
+  const int n = xin.rows();
+  const int m = xin.cols();
+  BIRNN_CHECK_EQ(running_mean.size(), static_cast<size_t>(m));
+  BIRNN_CHECK_EQ(running_var.size(), static_cast<size_t>(m));
+
+  // y = gamma * (x - rm) * inv_std + beta; save xhat (n,m) + inv_std row.
+  auto aux = std::make_shared<Tensor>(n + 1, m);
+  Tensor out(n, m);
+  const Tensor& g = value(gamma);
+  const Tensor& b = value(beta);
+  for (int j = 0; j < m; ++j) {
+    aux->at(n, j) = 1.0f / std::sqrt(running_var[static_cast<size_t>(j)] + eps);
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      const size_t sj = static_cast<size_t>(j);
+      const float xhat = (xin.at(i, j) - running_mean[sj]) * aux->at(n, j);
+      aux->at(i, j) = xhat;
+      out.at(i, j) = g[sj] * xhat + b[sj];
+    }
+  }
+  Var c = NewNode(std::move(out));
+  node(c).aux = aux;
+  node(c).backward = [this, x, gamma, beta, c, n, m]() {
+    const Tensor& dy = nodes_[c].grad;
+    const Tensor& aux_t = *nodes_[c].aux;
+    const Tensor& g = nodes_[gamma].value;
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < m; ++j) {
+        const size_t sj = static_cast<size_t>(j);
+        nodes_[x].grad.at(i, j) += dy.at(i, j) * g[sj] * aux_t.at(n, j);
+        nodes_[gamma].grad[sj] += dy.at(i, j) * aux_t.at(i, j);
+        nodes_[beta].grad[sj] += dy.at(i, j);
+      }
+    }
+  };
+  return c;
+}
+
+Graph::Var Graph::SoftmaxCrossEntropy(Var logits, std::vector<int> labels) {
+  auto probs = std::make_shared<Tensor>();
+  const float loss =
+      SoftmaxCrossEntropyLoss(value(logits), labels, probs.get());
+  Var c = NewNode(Tensor::Scalar(loss));
+  node(c).aux = probs;
+  node(c).backward = [this, logits, labels = std::move(labels), c]() {
+    const float dloss = nodes_[c].grad[0];
+    const Tensor& p = *nodes_[c].aux;
+    Tensor& dl = nodes_[logits].grad;
+    const int n = p.rows();
+    const int m = p.cols();
+    const float scale = dloss / static_cast<float>(std::max(1, n));
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < m; ++j) {
+        const float onehot =
+            (labels[static_cast<size_t>(i)] == j) ? 1.0f : 0.0f;
+        dl.at(i, j) += scale * (p.at(i, j) - onehot);
+      }
+    }
+  };
+  return c;
+}
+
+const Tensor& Graph::Probs(Var loss) const {
+  const Node& nd = nodes_[CheckVar(loss)];
+  BIRNN_CHECK(nd.aux != nullptr) << "Probs() on a non-cross-entropy node";
+  return *nd.aux;
+}
+
+void Graph::Backward(Var loss) {
+  const size_t li = CheckVar(loss);
+  BIRNN_CHECK_EQ(nodes_[li].value.size(), 1u)
+      << "Backward requires a scalar loss";
+  // Allocate/zero all gradients.
+  for (Node& nd : nodes_) {
+    nd.grad = Tensor(nd.value.shape());
+  }
+  nodes_[li].grad[0] = 1.0f;
+  for (size_t i = nodes_.size(); i-- > 0;) {
+    if (nodes_[i].backward) nodes_[i].backward();
+  }
+  // Flush parameter gradients.
+  for (Node& nd : nodes_) {
+    if (nd.param != nullptr) {
+      if (nd.param->grad.shape() != nd.grad.shape()) {
+        nd.param->grad = Tensor(nd.grad.shape());
+      }
+      nd.param->grad.Add(nd.grad);
+    }
+  }
+}
+
+}  // namespace birnn::nn

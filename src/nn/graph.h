@@ -1,0 +1,126 @@
+#ifndef BIRNN_NN_GRAPH_H_
+#define BIRNN_NN_GRAPH_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "nn/tensor.h"
+
+namespace birnn::nn {
+
+/// Define-by-run reverse-mode autodiff tape.
+///
+/// Operations execute eagerly and record a backward closure; calling
+/// `Backward(loss)` walks the tape in reverse, accumulating gradients into
+/// every node and finally into the bound `Parameter::grad` buffers.
+///
+/// A Graph is built per training step and then discarded. It is not
+/// thread-safe. Inference paths should use the forward-only kernels in
+/// `nn/ops.h` directly (no tape overhead).
+class Graph {
+ public:
+  /// Handle to a node on the tape.
+  using Var = int;
+
+  Graph() = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  /// Leaf holding a constant input; no gradient flows out of the graph.
+  Var Input(Tensor value);
+
+  /// Leaf bound to a trainable parameter. After Backward, the node's
+  /// gradient is accumulated into `p->grad`.
+  Var Param(Parameter* p);
+
+  /// c = a * b (matrix product).
+  Var MatMul(Var a, Var b);
+
+  /// Elementwise sum; shapes must match.
+  Var Add(Var a, Var b);
+
+  /// x (n,m) plus a bias vector (m) broadcast over rows.
+  Var AddBias(Var x, Var bias);
+
+  /// Elementwise difference / product.
+  Var Sub(Var a, Var b);
+  Var Mul(Var a, Var b);
+
+  /// Elementwise scale by a constant.
+  Var ScaleBy(Var a, float s);
+
+  /// Elementwise nonlinearities.
+  Var Tanh(Var x);
+  Var Relu(Var x);
+  Var Sigmoid(Var x);
+
+  /// Concatenates matrices with equal row counts along the column axis.
+  Var ConcatCols(const std::vector<Var>& parts);
+
+  /// Columns [start, start+count) of x.
+  Var SliceCols(Var x, int start, int count);
+
+  /// Embedding lookup: rows of `table` (a Param or Input of shape (V,E))
+  /// selected by integer ids; result is (|ids|, E).
+  Var Embedding(Var table, std::vector<int> ids);
+
+  /// Batch normalization over the feature (column) axis, training mode:
+  /// normalizes with batch statistics and updates the running estimates
+  /// in-place: running = momentum * running + (1-momentum) * batch.
+  Var BatchNormTrain(Var x, Var gamma, Var beta, Tensor* running_mean,
+                     Tensor* running_var, float momentum = 0.9f,
+                     float eps = 1e-5f);
+
+  /// Batch normalization, inference mode: uses the provided running
+  /// statistics (still differentiable w.r.t. x, gamma, beta).
+  Var BatchNormInfer(Var x, Var gamma, Var beta, const Tensor& running_mean,
+                     const Tensor& running_var, float eps = 1e-5f);
+
+  /// Mean softmax cross-entropy of `logits` (n,C) against integer labels;
+  /// returns a scalar node. The softmax probabilities are retained and can
+  /// be read back with `Probs`.
+  Var SoftmaxCrossEntropy(Var logits, std::vector<int> labels);
+
+  /// Softmax probabilities saved by SoftmaxCrossEntropy for node `loss`.
+  const Tensor& Probs(Var loss) const;
+
+  /// Runs reverse-mode accumulation from `loss` (must be a scalar node).
+  /// Parameter gradients are *added* to `Parameter::grad` — call
+  /// `Parameter::ZeroGrad()` between steps.
+  void Backward(Var loss);
+
+  const Tensor& value(Var v) const { return nodes_[CheckVar(v)].value; }
+  const Tensor& grad(Var v) const { return nodes_[CheckVar(v)].grad; }
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Tensor value;
+    Tensor grad;
+    std::function<void()> backward;  // empty for leaves
+    Parameter* param = nullptr;
+    std::shared_ptr<Tensor> aux;  // op-specific saved forward state
+  };
+
+  size_t CheckVar(Var v) const {
+    BIRNN_CHECK_GE(v, 0);
+    BIRNN_CHECK_LT(static_cast<size_t>(v), nodes_.size());
+    return static_cast<size_t>(v);
+  }
+
+  Var NewNode(Tensor value) {
+    nodes_.push_back(Node{std::move(value), Tensor(), nullptr, nullptr, {}});
+    return static_cast<Var>(nodes_.size() - 1);
+  }
+
+  Node& node(Var v) { return nodes_[CheckVar(v)]; }
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace birnn::nn
+
+#endif  // BIRNN_NN_GRAPH_H_

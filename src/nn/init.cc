@@ -1,0 +1,80 @@
+#include "nn/init.h"
+
+#include <cmath>
+#include <vector>
+
+namespace birnn::nn {
+
+void GlorotUniform(Tensor* t, Rng* rng) {
+  BIRNN_CHECK_EQ(t->rank(), 2);
+  const float limit = std::sqrt(6.0f / static_cast<float>(t->rows() + t->cols()));
+  UniformInit(t, limit, rng);
+}
+
+void UniformInit(Tensor* t, float scale, Rng* rng) {
+  for (size_t i = 0; i < t->size(); ++i) {
+    (*t)[i] = rng->UniformFloat(-scale, scale);
+  }
+}
+
+void NormalInit(Tensor* t, float stddev, Rng* rng) {
+  for (size_t i = 0; i < t->size(); ++i) {
+    (*t)[i] = static_cast<float>(rng->Normal(0.0, stddev));
+  }
+}
+
+void OrthogonalInit(Tensor* t, Rng* rng) {
+  BIRNN_CHECK_EQ(t->rank(), 2);
+  const int n = t->rows();
+  const int m = t->cols();
+  // Work on rows of an n x m Gaussian matrix; orthonormalize the rows if
+  // n <= m, otherwise the columns (via the transposed problem).
+  const bool transpose = n > m;
+  const int r = transpose ? m : n;  // number of vectors
+  const int d = transpose ? n : m;  // vector dimension
+  std::vector<std::vector<float>> v(static_cast<size_t>(r),
+                                    std::vector<float>(static_cast<size_t>(d)));
+  for (auto& row : v) {
+    for (auto& x : row) x = static_cast<float>(rng->Normal());
+  }
+  // Modified Gram–Schmidt.
+  for (int i = 0; i < r; ++i) {
+    for (int j = 0; j < i; ++j) {
+      float dot = 0.0f;
+      for (int k = 0; k < d; ++k) {
+        dot += v[static_cast<size_t>(i)][static_cast<size_t>(k)] *
+               v[static_cast<size_t>(j)][static_cast<size_t>(k)];
+      }
+      for (int k = 0; k < d; ++k) {
+        v[static_cast<size_t>(i)][static_cast<size_t>(k)] -=
+            dot * v[static_cast<size_t>(j)][static_cast<size_t>(k)];
+      }
+    }
+    float norm = 0.0f;
+    for (int k = 0; k < d; ++k) {
+      const float x = v[static_cast<size_t>(i)][static_cast<size_t>(k)];
+      norm += x * x;
+    }
+    norm = std::sqrt(norm);
+    if (norm < 1e-8f) {
+      // Degenerate draw; re-randomize this vector and retry once.
+      for (int k = 0; k < d; ++k) {
+        v[static_cast<size_t>(i)][static_cast<size_t>(k)] =
+            static_cast<float>(rng->Normal());
+      }
+      --i;
+      continue;
+    }
+    for (int k = 0; k < d; ++k) {
+      v[static_cast<size_t>(i)][static_cast<size_t>(k)] /= norm;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      t->at(i, j) = transpose ? v[static_cast<size_t>(j)][static_cast<size_t>(i)]
+                              : v[static_cast<size_t>(i)][static_cast<size_t>(j)];
+    }
+  }
+}
+
+}  // namespace birnn::nn

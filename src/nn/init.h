@@ -1,0 +1,26 @@
+#ifndef BIRNN_NN_INIT_H_
+#define BIRNN_NN_INIT_H_
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace birnn::nn {
+
+/// Fills a (fan_in, fan_out) matrix with Glorot/Xavier-uniform values:
+/// U(-limit, limit) with limit = sqrt(6 / (fan_in + fan_out)).
+void GlorotUniform(Tensor* t, Rng* rng);
+
+/// Fills with U(-scale, scale).
+void UniformInit(Tensor* t, float scale, Rng* rng);
+
+/// Fills with N(0, stddev).
+void NormalInit(Tensor* t, float stddev, Rng* rng);
+
+/// Fills a square-or-rectangular matrix with a (semi-)orthogonal matrix via
+/// Gram–Schmidt on a random Gaussian matrix. Keras uses this for recurrent
+/// kernels; it keeps repeated multiplication from exploding/vanishing.
+void OrthogonalInit(Tensor* t, Rng* rng);
+
+}  // namespace birnn::nn
+
+#endif  // BIRNN_NN_INIT_H_

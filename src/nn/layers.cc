@@ -1,0 +1,251 @@
+#include "nn/layers.h"
+
+#include <cmath>
+#include <utility>
+
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace birnn::nn {
+
+// ---------------------------------------------------------------- Embedding
+
+Embedding::Embedding(std::string name, int vocab, int dim, Rng* rng)
+    : table_(name + "/table", Tensor(vocab, dim)) {
+  // Keras Embedding default: uniform(-0.05, 0.05).
+  UniformInit(&table_.value, 0.05f, rng);
+}
+
+void Embedding::LookupForward(const std::vector<int>& ids, Tensor* out) const {
+  GatherRows(table_.value, ids, out);
+}
+
+// -------------------------------------------------------------------- Dense
+
+Dense::Dense(std::string name, int input_dim, int output_dim, Activation act,
+             Rng* rng)
+    : w_(name + "/w", Tensor(input_dim, output_dim)),
+      b_(name + "/b", Tensor(std::vector<int>{output_dim})),
+      act_(act) {
+  GlorotUniform(&w_.value, rng);
+}
+
+Graph::Var Dense::Bound::Apply(Graph::Var x) const {
+  Graph::Var z = g->AddBias(g->MatMul(x, w), b);
+  switch (act) {
+    case Activation::kNone:
+      return z;
+    case Activation::kRelu:
+      return g->Relu(z);
+    case Activation::kTanh:
+      return g->Tanh(z);
+  }
+  return z;
+}
+
+Dense::Bound Dense::Bind(Graph* g) {
+  return Bound{g, g->Param(&w_), g->Param(&b_), act_};
+}
+
+void Dense::ApplyForward(const Tensor& x, Tensor* out) const {
+  Tensor z;
+  MatMul(x, w_.value, &z);
+  Tensor zb;
+  AddBias(z, b_.value, &zb);
+  switch (act_) {
+    case Activation::kNone:
+      *out = std::move(zb);
+      return;
+    case Activation::kRelu:
+      ReluElem(zb, out);
+      return;
+    case Activation::kTanh:
+      TanhElem(zb, out);
+      return;
+  }
+}
+
+// -------------------------------------------------------------- BatchNorm1d
+
+BatchNorm1d::BatchNorm1d(std::string name, int features, float momentum,
+                         float eps)
+    : gamma_(name + "/gamma", Tensor::Full({features}, 1.0f)),
+      beta_(name + "/beta", Tensor(std::vector<int>{features})),
+      running_mean_(std::vector<int>{features}),
+      running_var_(Tensor::Full({features}, 1.0f)),
+      momentum_(momentum),
+      eps_(eps) {}
+
+Graph::Var BatchNorm1d::Apply(Graph* g, Graph::Var x, bool training) {
+  Graph::Var gamma = g->Param(&gamma_);
+  Graph::Var beta = g->Param(&beta_);
+  if (training) {
+    return g->BatchNormTrain(x, gamma, beta, &running_mean_, &running_var_,
+                             momentum_, eps_);
+  }
+  return g->BatchNormInfer(x, gamma, beta, running_mean_, running_var_, eps_);
+}
+
+void BatchNorm1d::ApplyForward(const Tensor& x, Tensor* out) const {
+  BIRNN_CHECK_EQ(x.rank(), 2);
+  const int n = x.rows();
+  const int m = x.cols();
+  BIRNN_CHECK_EQ(running_mean_.size(), static_cast<size_t>(m));
+  *out = Tensor(n, m);
+  for (int j = 0; j < m; ++j) {
+    const size_t sj = static_cast<size_t>(j);
+    const float inv_std =
+        1.0f / std::sqrt(running_var_[sj] + eps_);
+    const float g = gamma_.value[sj];
+    const float b = beta_.value[sj];
+    const float mu = running_mean_[sj];
+    for (int i = 0; i < n; ++i) {
+      out->at(i, j) = g * (x.at(i, j) - mu) * inv_std + b;
+    }
+  }
+}
+
+void BatchNorm1d::SetRunningStats(Tensor mean, Tensor var) {
+  BIRNN_CHECK(mean.shape() == running_mean_.shape());
+  BIRNN_CHECK(var.shape() == running_var_.shape());
+  running_mean_ = std::move(mean);
+  running_var_ = std::move(var);
+}
+
+// ------------------------------------------------------------------ RnnCell
+
+RnnCell::RnnCell(std::string name, int input_dim, int units, Rng* rng)
+    : wx_(name + "/wx", Tensor(input_dim, units)),
+      wh_(name + "/wh", Tensor(units, units)),
+      bh_(name + "/bh", Tensor(std::vector<int>{units})) {
+  // Keras SimpleRNN defaults: glorot-uniform input kernel, orthogonal
+  // recurrent kernel, zero bias.
+  GlorotUniform(&wx_.value, rng);
+  OrthogonalInit(&wh_.value, rng);
+}
+
+Graph::Var RnnCell::Bound::Step(Graph::Var x, Graph::Var h_prev) const {
+  Graph::Var z =
+      g->AddBias(g->Add(g->MatMul(x, wx), g->MatMul(h_prev, wh)), bh);
+  return g->Tanh(z);
+}
+
+RnnCell::Bound RnnCell::Bind(Graph* g) {
+  return Bound{g, g->Param(&wx_), g->Param(&wh_), g->Param(&bh_)};
+}
+
+void RnnCell::StepForward(const Tensor& x, const Tensor& h_prev,
+                          Tensor* h_out) const {
+  Tensor zx;
+  MatMul(x, wx_.value, &zx);
+  MatMulAcc(h_prev, wh_.value, &zx);
+  Tensor zb;
+  AddBias(zx, bh_.value, &zb);
+  TanhElem(zb, h_out);
+}
+
+// -------------------------------------------------------------- StackedBiRnn
+
+StackedBiRnn::StackedBiRnn(std::string name, int input_dim, int units,
+                           int stacks, bool bidirectional, Rng* rng)
+    : units_(units), stacks_(stacks), bidirectional_(bidirectional) {
+  BIRNN_CHECK_GE(stacks, 1);
+  const int dirs = bidirectional ? 2 : 1;
+  cells_.resize(static_cast<size_t>(dirs));
+  for (int d = 0; d < dirs; ++d) {
+    cells_[static_cast<size_t>(d)].reserve(static_cast<size_t>(stacks));
+    for (int l = 0; l < stacks; ++l) {
+      const int in_dim = (l == 0) ? input_dim : units;
+      cells_[static_cast<size_t>(d)].emplace_back(
+          name + "/dir" + std::to_string(d) + "/level" + std::to_string(l),
+          in_dim, units, rng);
+    }
+  }
+}
+
+Graph::Var StackedBiRnn::RunDirection(Graph* g,
+                                      const std::vector<Graph::Var>& steps,
+                                      int batch, bool backward_direction,
+                                      const std::vector<RnnCell*>& cells) {
+  std::vector<RnnCell::Bound> bound;
+  bound.reserve(cells.size());
+  for (RnnCell* c : cells) bound.push_back(c->Bind(g));
+
+  // One hidden state Var per level, initialized to zeros.
+  std::vector<Graph::Var> h(cells.size());
+  for (size_t l = 0; l < cells.size(); ++l) {
+    h[l] = g->Input(Tensor(batch, units_));
+  }
+  const int t_count = static_cast<int>(steps.size());
+  for (int i = 0; i < t_count; ++i) {
+    const int t = backward_direction ? (t_count - 1 - i) : i;
+    Graph::Var x = steps[static_cast<size_t>(t)];
+    for (size_t l = 0; l < cells.size(); ++l) {
+      h[l] = bound[l].Step(x, h[l]);
+      x = h[l];  // level l+1 consumes level l's hidden state
+    }
+  }
+  return h.back();
+}
+
+Graph::Var StackedBiRnn::Apply(Graph* g, const std::vector<Graph::Var>& steps,
+                               int batch) {
+  BIRNN_CHECK(!steps.empty());
+  std::vector<RnnCell*> fwd;
+  for (auto& c : cells_[0]) fwd.push_back(&c);
+  Graph::Var out_fwd = RunDirection(g, steps, batch, /*backward=*/false, fwd);
+  if (!bidirectional_) return out_fwd;
+  std::vector<RnnCell*> bwd;
+  for (auto& c : cells_[1]) bwd.push_back(&c);
+  Graph::Var out_bwd = RunDirection(g, steps, batch, /*backward=*/true, bwd);
+  return g->ConcatCols({out_fwd, out_bwd});
+}
+
+void StackedBiRnn::RunDirectionForward(
+    const std::vector<Tensor>& steps, bool backward_direction,
+    const std::vector<const RnnCell*>& cells, Tensor* out) const {
+  const int batch = steps[0].rows();
+  std::vector<Tensor> h(cells.size(), Tensor(batch, units_));
+  Tensor next;
+  const int t_count = static_cast<int>(steps.size());
+  for (int i = 0; i < t_count; ++i) {
+    const int t = backward_direction ? (t_count - 1 - i) : i;
+    const Tensor* x = &steps[static_cast<size_t>(t)];
+    for (size_t l = 0; l < cells.size(); ++l) {
+      cells[l]->StepForward(*x, h[l], &next);
+      h[l] = next;
+      x = &h[l];
+    }
+  }
+  *out = h.back();
+}
+
+void StackedBiRnn::ApplyForward(const std::vector<Tensor>& steps,
+                                Tensor* out) const {
+  BIRNN_CHECK(!steps.empty());
+  std::vector<const RnnCell*> fwd;
+  for (const auto& c : cells_[0]) fwd.push_back(&c);
+  Tensor out_fwd;
+  RunDirectionForward(steps, /*backward=*/false, fwd, &out_fwd);
+  if (!bidirectional_) {
+    *out = std::move(out_fwd);
+    return;
+  }
+  std::vector<const RnnCell*> bwd;
+  for (const auto& c : cells_[1]) bwd.push_back(&c);
+  Tensor out_bwd;
+  RunDirectionForward(steps, /*backward=*/true, bwd, &out_bwd);
+  ConcatCols({&out_fwd, &out_bwd}, out);
+}
+
+std::vector<Parameter*> StackedBiRnn::Params() {
+  std::vector<Parameter*> out;
+  for (auto& dir : cells_) {
+    for (auto& cell : dir) {
+      for (Parameter* p : cell.Params()) out.push_back(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace birnn::nn

@@ -1,0 +1,169 @@
+#ifndef BIRNN_NN_LAYERS_H_
+#define BIRNN_NN_LAYERS_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/graph.h"
+#include "nn/parameter.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace birnn::nn {
+
+/// Character/attribute embedding table of shape (vocab, dim). Index 0 is the
+/// padding/end indicator (the paper pads short sequences with index 0); it is
+/// trained like any other row, matching the Keras default.
+class Embedding {
+ public:
+  Embedding(std::string name, int vocab, int dim, Rng* rng);
+
+  /// Creates the table node on `g` (call once per graph, reuse the Var).
+  Graph::Var Bind(Graph* g) { return g->Param(&table_); }
+
+  /// Forward-only lookup for inference.
+  void LookupForward(const std::vector<int>& ids, Tensor* out) const;
+
+  std::vector<Parameter*> Params() { return {&table_}; }
+  int vocab() const { return table_.value.rows(); }
+  int dim() const { return table_.value.cols(); }
+  Parameter& table() { return table_; }
+
+ private:
+  Parameter table_;
+};
+
+/// Fully connected layer: y = act(x W + b).
+class Dense {
+ public:
+  enum class Activation { kNone, kRelu, kTanh };
+
+  Dense(std::string name, int input_dim, int output_dim, Activation act,
+        Rng* rng);
+
+  /// Handles to this layer's nodes on one graph.
+  struct Bound {
+    Graph* g;
+    Graph::Var w;
+    Graph::Var b;
+    Activation act;
+    Graph::Var Apply(Graph::Var x) const;
+  };
+  Bound Bind(Graph* g);
+
+  /// Forward-only application for inference.
+  void ApplyForward(const Tensor& x, Tensor* out) const;
+
+  std::vector<Parameter*> Params() { return {&w_, &b_}; }
+  int input_dim() const { return w_.value.rows(); }
+  int output_dim() const { return w_.value.cols(); }
+
+ private:
+  Parameter w_;
+  Parameter b_;
+  Activation act_;
+};
+
+/// Batch normalization over the feature axis with running statistics for
+/// inference (Ioffe & Szegedy 2015), as used before the softmax in both
+/// paper architectures.
+class BatchNorm1d {
+ public:
+  BatchNorm1d(std::string name, int features, float momentum = 0.9f,
+              float eps = 1e-5f);
+
+  /// Training-mode application on a graph: uses batch statistics and
+  /// updates the running estimates. `training=false` uses running stats.
+  Graph::Var Apply(Graph* g, Graph::Var x, bool training);
+
+  /// Forward-only inference using running statistics.
+  void ApplyForward(const Tensor& x, Tensor* out) const;
+
+  std::vector<Parameter*> Params() { return {&gamma_, &beta_}; }
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+  /// Overwrites the running statistics (used by checkpoint restore).
+  void SetRunningStats(Tensor mean, Tensor var);
+
+ private:
+  Parameter gamma_;
+  Parameter beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+  float momentum_;
+  float eps_;
+};
+
+/// Elman RNN cell with tanh activation (paper Eq. 1–2):
+///   h_t = tanh(x_t Wx + h_{t-1} Wh + b).
+class RnnCell {
+ public:
+  RnnCell(std::string name, int input_dim, int units, Rng* rng);
+
+  struct Bound {
+    Graph* g;
+    Graph::Var wx;
+    Graph::Var wh;
+    Graph::Var bh;
+    /// One recurrence step on the graph.
+    Graph::Var Step(Graph::Var x, Graph::Var h_prev) const;
+  };
+  Bound Bind(Graph* g);
+
+  /// Forward-only step for inference.
+  void StepForward(const Tensor& x, const Tensor& h_prev, Tensor* h_out) const;
+
+  std::vector<Parameter*> Params() { return {&wx_, &wh_, &bh_}; }
+  int input_dim() const { return wx_.value.rows(); }
+  int units() const { return wx_.value.cols(); }
+
+ private:
+  Parameter wx_;
+  Parameter wh_;
+  Parameter bh_;
+};
+
+/// A stack of RNN levels run in one or two directions over a sequence
+/// (paper §4.3: "two-stacked bidirectional RNN"). Level l consumes the
+/// hidden states of level l-1 at every time step (Fig. 2); the forward and
+/// backward chains are independent stacks whose final top-level states are
+/// concatenated (output dim = units * directions).
+class StackedBiRnn {
+ public:
+  StackedBiRnn(std::string name, int input_dim, int units, int stacks,
+               bool bidirectional, Rng* rng);
+
+  /// Runs the stack over `steps` (one (batch, input_dim) Var per time step)
+  /// and returns the concatenated final hidden state(s).
+  Graph::Var Apply(Graph* g, const std::vector<Graph::Var>& steps, int batch);
+
+  /// Forward-only version for inference.
+  void ApplyForward(const std::vector<Tensor>& steps, Tensor* out) const;
+
+  std::vector<Parameter*> Params();
+  int output_dim() const { return units_ * (bidirectional_ ? 2 : 1); }
+  int units() const { return units_; }
+  int stacks() const { return stacks_; }
+  bool bidirectional() const { return bidirectional_; }
+
+ private:
+  /// Runs one direction (ascending or descending t) and returns the final
+  /// top-level hidden state Var.
+  Graph::Var RunDirection(Graph* g, const std::vector<Graph::Var>& steps,
+                          int batch, bool backward_direction,
+                          const std::vector<RnnCell*>& cells);
+  void RunDirectionForward(const std::vector<Tensor>& steps,
+                           bool backward_direction,
+                           const std::vector<const RnnCell*>& cells,
+                           Tensor* out) const;
+
+  int units_;
+  int stacks_;
+  bool bidirectional_;
+  // cells_[dir][level]; dir 0 = forward, dir 1 = backward (if enabled).
+  std::vector<std::vector<RnnCell>> cells_;
+};
+
+}  // namespace birnn::nn
+
+#endif  // BIRNN_NN_LAYERS_H_

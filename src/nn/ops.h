@@ -1,0 +1,74 @@
+#ifndef BIRNN_NN_OPS_H_
+#define BIRNN_NN_OPS_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace birnn::nn {
+
+/// Low-level dense math kernels shared by the autograd graph (training) and
+/// the forward-only prediction paths (inference). All functions CHECK shape
+/// compatibility; `out` parameters are fully overwritten unless the name says
+/// "Acc" (accumulate).
+
+/// out = a(n,k) * b(k,m). `out` is resized/zeroed internally.
+void MatMul(const Tensor& a, const Tensor& b, Tensor* out);
+
+/// out += a * b (accumulating matmul); `out` must already be (n,m).
+void MatMulAcc(const Tensor& a, const Tensor& b, Tensor* out);
+
+/// out += a^T * b where a is (n,k), b is (n,m), out is (k,m).
+void MatMulTransposeAAcc(const Tensor& a, const Tensor& b, Tensor* out);
+
+/// out += a * b^T where a is (n,m), b is (k,m), out is (n,k).
+void MatMulTransposeBAcc(const Tensor& a, const Tensor& b, Tensor* out);
+
+/// out = x(n,m) with bias(m) or bias(1,m) added to every row.
+void AddBias(const Tensor& x, const Tensor& bias, Tensor* out);
+
+/// Elementwise c = a + b (same shape).
+void AddElem(const Tensor& a, const Tensor& b, Tensor* out);
+
+/// Elementwise c = a - b.
+void SubElem(const Tensor& a, const Tensor& b, Tensor* out);
+
+/// Elementwise c = a * b.
+void MulElem(const Tensor& a, const Tensor& b, Tensor* out);
+
+/// out = tanh(x), elementwise.
+void TanhElem(const Tensor& x, Tensor* out);
+
+/// out = max(0, x).
+void ReluElem(const Tensor& x, Tensor* out);
+
+/// out = 1 / (1 + exp(-x)).
+void SigmoidElem(const Tensor& x, Tensor* out);
+
+/// Row-wise numerically stable softmax of logits (n,m).
+void SoftmaxRows(const Tensor& logits, Tensor* out);
+
+/// Concatenates matrices with equal row counts along columns.
+void ConcatCols(const std::vector<const Tensor*>& parts, Tensor* out);
+
+/// Copies columns [start, start+count) of x (n,m) into out (n,count).
+void SliceCols(const Tensor& x, int start, int count, Tensor* out);
+
+/// Gathers rows of `table` (V,E) by `ids` (values in [0,V)) into out (n,E).
+void GatherRows(const Tensor& table, const std::vector<int>& ids, Tensor* out);
+
+/// Scatter-adds each row of `grad` (n,E) into row ids[i] of `table_grad`.
+void ScatterAddRows(const Tensor& grad, const std::vector<int>& ids,
+                    Tensor* table_grad);
+
+/// Column sums of x (n,m) into out (m).
+void ColSum(const Tensor& x, Tensor* out);
+
+/// Mean cross-entropy of softmax(logits) against integer labels; also
+/// returns the softmax probabilities if `probs` is non-null.
+float SoftmaxCrossEntropyLoss(const Tensor& logits,
+                              const std::vector<int>& labels, Tensor* probs);
+
+}  // namespace birnn::nn
+
+#endif  // BIRNN_NN_OPS_H_

@@ -1,0 +1,36 @@
+#ifndef BIRNN_NN_PARAMETER_H_
+#define BIRNN_NN_PARAMETER_H_
+
+#include <string>
+#include <utility>
+
+#include "nn/tensor.h"
+
+namespace birnn::nn {
+
+/// A trainable tensor together with its gradient accumulator. Layers own
+/// their Parameters; optimizers and checkpoints reference them by pointer.
+struct Parameter {
+  Parameter() = default;
+  Parameter(std::string name_in, Tensor value_in)
+      : name(std::move(name_in)), value(std::move(value_in)) {
+    grad = Tensor(value.shape());
+  }
+
+  /// Resets the gradient accumulator to zero (shape follows value).
+  void ZeroGrad() {
+    if (grad.shape() != value.shape()) {
+      grad = Tensor(value.shape());
+    } else {
+      grad.Zero();
+    }
+  }
+
+  std::string name;
+  Tensor value;
+  Tensor grad;
+};
+
+}  // namespace birnn::nn
+
+#endif  // BIRNN_NN_PARAMETER_H_

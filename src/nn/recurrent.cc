@@ -1,0 +1,325 @@
+#include "nn/recurrent.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+#include "nn/ops.h"
+#include "util/string_util.h"
+
+namespace birnn::nn {
+
+const char* CellTypeName(CellType type) {
+  switch (type) {
+    case CellType::kVanilla:
+      return "rnn";
+    case CellType::kGru:
+      return "gru";
+    case CellType::kLstm:
+      return "lstm";
+  }
+  return "?";
+}
+
+StatusOr<CellType> ParseCellType(const std::string& name) {
+  const std::string lower = ToLower(name);
+  if (lower == "rnn" || lower == "vanilla" || lower == "simple") {
+    return CellType::kVanilla;
+  }
+  if (lower == "gru") return CellType::kGru;
+  if (lower == "lstm") return CellType::kLstm;
+  return Status::NotFound("unknown cell type: " + name);
+}
+
+namespace {
+int GateCount(CellType type) {
+  switch (type) {
+    case CellType::kVanilla:
+      return 1;
+    case CellType::kGru:
+      return 3;  // z | r | h~
+    case CellType::kLstm:
+      return 4;  // i | f | g | o
+  }
+  return 1;
+}
+}  // namespace
+
+RecurrentCell::RecurrentCell(CellType type, std::string name, int input_dim,
+                             int units, Rng* rng)
+    : type_(type),
+      input_dim_(input_dim),
+      units_(units),
+      wx_(name + "/wx", Tensor(input_dim, units * GateCount(type))),
+      wh_(name + "/wh", Tensor(units, units * GateCount(type))),
+      b_(name + "/b", Tensor(std::vector<int>{units * GateCount(type)})) {
+  const int gates = GateCount(type);
+  // Per-gate initialization: Glorot on each (input_dim, units) block of the
+  // input kernel, orthogonal on each (units, units) block of the recurrent
+  // kernel — the Keras defaults for all three families.
+  for (int g = 0; g < gates; ++g) {
+    Tensor block_x(input_dim, units);
+    GlorotUniform(&block_x, rng);
+    for (int i = 0; i < input_dim; ++i) {
+      for (int j = 0; j < units; ++j) {
+        wx_.value.at(i, g * units + j) = block_x.at(i, j);
+      }
+    }
+    Tensor block_h(units, units);
+    OrthogonalInit(&block_h, rng);
+    for (int i = 0; i < units; ++i) {
+      for (int j = 0; j < units; ++j) {
+        wh_.value.at(i, g * units + j) = block_h.at(i, j);
+      }
+    }
+  }
+  if (type == CellType::kLstm) {
+    // Unit forget-gate bias (gate block 1 in [i | f | g | o]).
+    for (int j = 0; j < units; ++j) {
+      b_.value[static_cast<size_t>(units + j)] = 1.0f;
+    }
+  }
+}
+
+RecurrentCell::Bound RecurrentCell::Bind(Graph* g) const {
+  return Bound{this, g, g->Param(&wx_), g->Param(&wh_), g->Param(&b_)};
+}
+
+RecurrentState RecurrentCell::InitialState(Graph* g, int batch) const {
+  RecurrentState state;
+  state.h = g->Input(Tensor(batch, units_));
+  if (type_ == CellType::kLstm) {
+    state.c = g->Input(Tensor(batch, units_));
+  }
+  return state;
+}
+
+RecurrentTensors RecurrentCell::InitialTensors(int batch) const {
+  RecurrentTensors state;
+  state.h = Tensor(batch, units_);
+  if (type_ == CellType::kLstm) state.c = Tensor(batch, units_);
+  return state;
+}
+
+RecurrentState RecurrentCell::Bound::Step(Graph::Var x,
+                                          const RecurrentState& prev) const {
+  Graph* graph = g;
+  const int u = cell->units();
+  const int batch = graph->value(prev.h).rows();
+  RecurrentState next;
+  switch (cell->type()) {
+    case CellType::kVanilla: {
+      Graph::Var z = graph->AddBias(
+          graph->Add(graph->MatMul(x, wx), graph->MatMul(prev.h, wh)), b);
+      next.h = graph->Tanh(z);
+      return next;
+    }
+    case CellType::kGru: {
+      // Reset-after GRU (Keras v2 / cuDNN layout): the reset gate scales
+      // the recurrent projection, not the state.
+      Graph::Var xg = graph->AddBias(graph->MatMul(x, wx), b);
+      Graph::Var hg = graph->MatMul(prev.h, wh);
+      Graph::Var z = graph->Sigmoid(graph->Add(graph->SliceCols(xg, 0, u),
+                                               graph->SliceCols(hg, 0, u)));
+      Graph::Var r = graph->Sigmoid(graph->Add(graph->SliceCols(xg, u, u),
+                                               graph->SliceCols(hg, u, u)));
+      Graph::Var h_cand = graph->Tanh(graph->Add(
+          graph->SliceCols(xg, 2 * u, u),
+          graph->Mul(r, graph->SliceCols(hg, 2 * u, u))));
+      Graph::Var ones = graph->Input(Tensor::Full({batch, u}, 1.0f));
+      next.h = graph->Add(graph->Mul(graph->Sub(ones, z), prev.h),
+                          graph->Mul(z, h_cand));
+      return next;
+    }
+    case CellType::kLstm: {
+      Graph::Var gates = graph->AddBias(
+          graph->Add(graph->MatMul(x, wx), graph->MatMul(prev.h, wh)), b);
+      Graph::Var i = graph->Sigmoid(graph->SliceCols(gates, 0, u));
+      Graph::Var f = graph->Sigmoid(graph->SliceCols(gates, u, u));
+      Graph::Var g_cand = graph->Tanh(graph->SliceCols(gates, 2 * u, u));
+      Graph::Var o = graph->Sigmoid(graph->SliceCols(gates, 3 * u, u));
+      next.c = graph->Add(graph->Mul(f, prev.c), graph->Mul(i, g_cand));
+      next.h = graph->Mul(o, graph->Tanh(next.c));
+      return next;
+    }
+  }
+  return next;
+}
+
+void RecurrentCell::StepForward(const Tensor& x, const RecurrentTensors& prev,
+                                RecurrentTensors* out) const {
+  const int u = units_;
+  const int batch = prev.h.rows();
+  switch (type_) {
+    case CellType::kVanilla: {
+      Tensor z;
+      MatMul(x, wx_.value, &z);
+      MatMulAcc(prev.h, wh_.value, &z);
+      Tensor zb;
+      AddBias(z, b_.value, &zb);
+      TanhElem(zb, &out->h);
+      return;
+    }
+    case CellType::kGru: {
+      Tensor xg_raw;
+      MatMul(x, wx_.value, &xg_raw);
+      Tensor xg;
+      AddBias(xg_raw, b_.value, &xg);
+      Tensor hg;
+      MatMul(prev.h, wh_.value, &hg);
+      out->h = Tensor(batch, u);
+      for (int i = 0; i < batch; ++i) {
+        for (int j = 0; j < u; ++j) {
+          const float z =
+              1.0f / (1.0f + std::exp(-(xg.at(i, j) + hg.at(i, j))));
+          const float r =
+              1.0f / (1.0f + std::exp(-(xg.at(i, u + j) + hg.at(i, u + j))));
+          const float cand =
+              std::tanh(xg.at(i, 2 * u + j) + r * hg.at(i, 2 * u + j));
+          out->h.at(i, j) = (1.0f - z) * prev.h.at(i, j) + z * cand;
+        }
+      }
+      return;
+    }
+    case CellType::kLstm: {
+      Tensor gates_raw;
+      MatMul(x, wx_.value, &gates_raw);
+      MatMulAcc(prev.h, wh_.value, &gates_raw);
+      Tensor gates;
+      AddBias(gates_raw, b_.value, &gates);
+      out->h = Tensor(batch, u);
+      out->c = Tensor(batch, u);
+      for (int i = 0; i < batch; ++i) {
+        for (int j = 0; j < u; ++j) {
+          const auto sigmoid = [](float v) {
+            return 1.0f / (1.0f + std::exp(-v));
+          };
+          const float in_gate = sigmoid(gates.at(i, j));
+          const float forget = sigmoid(gates.at(i, u + j));
+          const float cand = std::tanh(gates.at(i, 2 * u + j));
+          const float out_gate = sigmoid(gates.at(i, 3 * u + j));
+          const float c_new = forget * prev.c.at(i, j) + in_gate * cand;
+          out->c.at(i, j) = c_new;
+          out->h.at(i, j) = out_gate * std::tanh(c_new);
+        }
+      }
+      return;
+    }
+  }
+}
+
+std::vector<Parameter*> RecurrentCell::Params() const {
+  return {&wx_, &wh_, &b_};
+}
+
+// ---------------------------------------------------------- StackedBiRecurrent
+
+StackedBiRecurrent::StackedBiRecurrent(CellType type, std::string name,
+                                       int input_dim, int units, int stacks,
+                                       bool bidirectional, Rng* rng)
+    : type_(type), units_(units), stacks_(stacks),
+      bidirectional_(bidirectional) {
+  BIRNN_CHECK_GE(stacks, 1);
+  const int dirs = bidirectional ? 2 : 1;
+  cells_.resize(static_cast<size_t>(dirs));
+  for (int d = 0; d < dirs; ++d) {
+    cells_[static_cast<size_t>(d)].reserve(static_cast<size_t>(stacks));
+    for (int l = 0; l < stacks; ++l) {
+      const int in_dim = (l == 0) ? input_dim : units;
+      cells_[static_cast<size_t>(d)].emplace_back(
+          type,
+          name + "/dir" + std::to_string(d) + "/level" + std::to_string(l),
+          in_dim, units, rng);
+    }
+  }
+}
+
+Graph::Var StackedBiRecurrent::RunDirection(
+    Graph* g, const std::vector<Graph::Var>& steps, int batch,
+    bool backward_direction,
+    const std::vector<const RecurrentCell*>& cells) const {
+  std::vector<RecurrentCell::Bound> bound;
+  std::vector<RecurrentState> state;
+  bound.reserve(cells.size());
+  state.reserve(cells.size());
+  for (const RecurrentCell* cell : cells) {
+    bound.push_back(cell->Bind(g));
+    state.push_back(cell->InitialState(g, batch));
+  }
+  const int t_count = static_cast<int>(steps.size());
+  for (int i = 0; i < t_count; ++i) {
+    const int t = backward_direction ? (t_count - 1 - i) : i;
+    Graph::Var x = steps[static_cast<size_t>(t)];
+    for (size_t l = 0; l < cells.size(); ++l) {
+      state[l] = bound[l].Step(x, state[l]);
+      x = state[l].h;
+    }
+  }
+  return state.back().h;
+}
+
+Graph::Var StackedBiRecurrent::Apply(Graph* g,
+                                     const std::vector<Graph::Var>& steps,
+                                     int batch) const {
+  BIRNN_CHECK(!steps.empty());
+  std::vector<const RecurrentCell*> fwd;
+  for (const auto& c : cells_[0]) fwd.push_back(&c);
+  Graph::Var out_fwd = RunDirection(g, steps, batch, false, fwd);
+  if (!bidirectional_) return out_fwd;
+  std::vector<const RecurrentCell*> bwd;
+  for (const auto& c : cells_[1]) bwd.push_back(&c);
+  Graph::Var out_bwd = RunDirection(g, steps, batch, true, bwd);
+  return g->ConcatCols({out_fwd, out_bwd});
+}
+
+void StackedBiRecurrent::RunDirectionForward(
+    const std::vector<Tensor>& steps, bool backward_direction,
+    const std::vector<const RecurrentCell*>& cells, Tensor* out) const {
+  const int batch = steps[0].rows();
+  std::vector<RecurrentTensors> state;
+  state.reserve(cells.size());
+  for (const RecurrentCell* cell : cells) {
+    state.push_back(cell->InitialTensors(batch));
+  }
+  RecurrentTensors next;
+  const int t_count = static_cast<int>(steps.size());
+  for (int i = 0; i < t_count; ++i) {
+    const int t = backward_direction ? (t_count - 1 - i) : i;
+    const Tensor* x = &steps[static_cast<size_t>(t)];
+    for (size_t l = 0; l < cells.size(); ++l) {
+      cells[l]->StepForward(*x, state[l], &next);
+      state[l] = next;
+      x = &state[l].h;
+    }
+  }
+  *out = state.back().h;
+}
+
+void StackedBiRecurrent::ApplyForward(const std::vector<Tensor>& steps,
+                                      Tensor* out) const {
+  BIRNN_CHECK(!steps.empty());
+  std::vector<const RecurrentCell*> fwd;
+  for (const auto& c : cells_[0]) fwd.push_back(&c);
+  Tensor out_fwd;
+  RunDirectionForward(steps, false, fwd, &out_fwd);
+  if (!bidirectional_) {
+    *out = std::move(out_fwd);
+    return;
+  }
+  std::vector<const RecurrentCell*> bwd;
+  for (const auto& c : cells_[1]) bwd.push_back(&c);
+  Tensor out_bwd;
+  RunDirectionForward(steps, true, bwd, &out_bwd);
+  ConcatCols({&out_fwd, &out_bwd}, out);
+}
+
+std::vector<Parameter*> StackedBiRecurrent::Params() const {
+  std::vector<Parameter*> out;
+  for (const auto& dir : cells_) {
+    for (const auto& cell : dir) {
+      for (Parameter* p : cell.Params()) out.push_back(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace birnn::nn

@@ -1,0 +1,108 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+namespace birnn::nn {
+
+namespace {
+constexpr char kMagic[8] = {'B', 'R', 'N', 'N', 'C', 'K', 'P', 'T'};
+
+void WriteU32(std::ofstream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU32(std::ifstream& in, uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+}  // namespace
+
+std::vector<Tensor> SnapshotParams(const std::vector<Parameter*>& params) {
+  std::vector<Tensor> out;
+  out.reserve(params.size());
+  for (const Parameter* p : params) out.push_back(p->value);
+  return out;
+}
+
+void RestoreParams(const std::vector<Tensor>& snapshot,
+                   const std::vector<Parameter*>& params) {
+  BIRNN_CHECK_EQ(snapshot.size(), params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    BIRNN_CHECK(snapshot[i].shape() == params[i]->value.shape())
+        << "snapshot shape mismatch for " << params[i]->name;
+    params[i]->value = snapshot[i];
+  }
+}
+
+Status SaveParameters(const std::vector<Parameter*>& params,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  WriteU32(out, static_cast<uint32_t>(params.size()));
+  for (const Parameter* p : params) {
+    WriteU32(out, static_cast<uint32_t>(p->name.size()));
+    out.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    WriteU32(out, static_cast<uint32_t>(p->value.rank()));
+    for (int d : p->value.shape()) {
+      const int32_t dim = d;
+      out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    }
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadParameters(const std::string& path,
+                      const std::vector<Parameter*>& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a BRNNCKPT file: " + path);
+  }
+  uint32_t count = 0;
+  if (!ReadU32(in, &count)) return Status::IoError("truncated header");
+
+  std::map<std::string, Tensor> loaded;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    if (!ReadU32(in, &name_len)) return Status::IoError("truncated entry");
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    uint32_t rank = 0;
+    if (!ReadU32(in, &rank)) return Status::IoError("truncated entry");
+    std::vector<int> shape(rank);
+    for (uint32_t d = 0; d < rank; ++d) {
+      int32_t dim = 0;
+      in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+      if (dim < 0) return Status::InvalidArgument("negative dimension");
+      shape[d] = dim;
+    }
+    Tensor t(shape);
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+    if (!in) return Status::IoError("truncated tensor data for " + name);
+    loaded.emplace(std::move(name), std::move(t));
+  }
+
+  for (Parameter* p : params) {
+    auto it = loaded.find(p->name);
+    if (it == loaded.end()) {
+      return Status::NotFound("checkpoint missing parameter: " + p->name);
+    }
+    if (it->second.shape() != p->value.shape()) {
+      return Status::InvalidArgument("shape mismatch for " + p->name);
+    }
+    p->value = it->second;
+  }
+  return Status::OK();
+}
+
+}  // namespace birnn::nn

@@ -1,0 +1,34 @@
+#ifndef BIRNN_NN_SERIALIZE_H_
+#define BIRNN_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "util/status.h"
+
+namespace birnn::nn {
+
+/// In-memory snapshot of parameter values (the paper's "save the training
+/// weights with a callback if the loss improved"). Order matters: restore
+/// into the same parameter list.
+std::vector<Tensor> SnapshotParams(const std::vector<Parameter*>& params);
+
+/// Writes snapshot values back into the parameters. Shapes must match.
+void RestoreParams(const std::vector<Tensor>& snapshot,
+                   const std::vector<Parameter*>& params);
+
+/// Binary on-disk checkpoint. Format: magic "BRNNCKPT", u32 count, then per
+/// parameter: u32 name length, name bytes, u32 rank, dims (i32 each),
+/// float32 data. Little-endian (the only platform we target).
+Status SaveParameters(const std::vector<Parameter*>& params,
+                      const std::string& path);
+
+/// Loads a checkpoint saved by SaveParameters. Parameters are matched by
+/// name; a missing or shape-mismatched entry is an error.
+Status LoadParameters(const std::string& path,
+                      const std::vector<Parameter*>& params);
+
+}  // namespace birnn::nn
+
+#endif  // BIRNN_NN_SERIALIZE_H_

@@ -1,0 +1,100 @@
+#include "raha/cluster.h"
+
+#include <map>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace birnn::raha {
+
+ColumnClustering ClusterColumn(const FeatureMatrix& features, int col,
+                               int target_clusters) {
+  BIRNN_CHECK_GE(target_clusters, 1);
+  const int n = features.n_rows;
+  const int fs = features.n_strategies;
+
+  // Distinct feature vectors with member rows. The distinct count is
+  // bounded by 2^n_strategies and in practice tiny, which keeps the O(k^3)
+  // agglomeration cheap.
+  std::map<std::vector<uint8_t>, std::vector<int>> distinct;
+  for (int r = 0; r < n; ++r) {
+    const uint8_t* f = features.cell(r, col);
+    distinct[std::vector<uint8_t>(f, f + fs)].push_back(r);
+  }
+
+  struct Cluster {
+    std::vector<const std::vector<uint8_t>*> vectors;
+    std::vector<int> rows;
+    bool alive = true;
+  };
+  std::vector<Cluster> clusters;
+  clusters.reserve(distinct.size());
+  for (const auto& [vec, rows] : distinct) {
+    Cluster c;
+    c.vectors.push_back(&vec);
+    c.rows = rows;
+    clusters.push_back(std::move(c));
+  }
+
+  auto average_distance = [fs](const Cluster& a, const Cluster& b) {
+    int64_t total = 0;
+    for (const auto* va : a.vectors) {
+      for (const auto* vb : b.vectors) {
+        total += HammingDistance(va->data(), vb->data(), fs);
+      }
+    }
+    return static_cast<double>(total) /
+           (static_cast<double>(a.vectors.size()) *
+            static_cast<double>(b.vectors.size()));
+  };
+
+  int alive = static_cast<int>(clusters.size());
+  while (alive > target_clusters) {
+    // Find the closest pair of alive clusters.
+    double best = -1.0;
+    int bi = -1;
+    int bj = -1;
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      if (!clusters[i].alive) continue;
+      for (size_t j = i + 1; j < clusters.size(); ++j) {
+        if (!clusters[j].alive) continue;
+        const double d = average_distance(clusters[i], clusters[j]);
+        if (bi < 0 || d < best) {
+          best = d;
+          bi = static_cast<int>(i);
+          bj = static_cast<int>(j);
+        }
+      }
+    }
+    if (bi < 0) break;
+    auto& a = clusters[static_cast<size_t>(bi)];
+    auto& b = clusters[static_cast<size_t>(bj)];
+    a.vectors.insert(a.vectors.end(), b.vectors.begin(), b.vectors.end());
+    a.rows.insert(a.rows.end(), b.rows.begin(), b.rows.end());
+    b.alive = false;
+    --alive;
+  }
+
+  ColumnClustering out;
+  out.cell_cluster.assign(static_cast<size_t>(n), 0);
+  int next_id = 0;
+  for (const auto& c : clusters) {
+    if (!c.alive) continue;
+    for (int r : c.rows) out.cell_cluster[static_cast<size_t>(r)] = next_id;
+    ++next_id;
+  }
+  out.n_clusters = next_id;
+  return out;
+}
+
+std::vector<ColumnClustering> ClusterAllColumns(const FeatureMatrix& features,
+                                                int target_clusters) {
+  std::vector<ColumnClustering> out;
+  out.reserve(static_cast<size_t>(features.n_cols));
+  for (int c = 0; c < features.n_cols; ++c) {
+    out.push_back(ClusterColumn(features, c, target_clusters));
+  }
+  return out;
+}
+
+}  // namespace birnn::raha

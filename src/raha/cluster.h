@@ -1,0 +1,31 @@
+#ifndef BIRNN_RAHA_CLUSTER_H_
+#define BIRNN_RAHA_CLUSTER_H_
+
+#include <vector>
+
+#include "raha/features.h"
+
+namespace birnn::raha {
+
+/// Clustering of one column's cells by feature-vector similarity. Raha
+/// groups "similar cells with the help of the previously created vectors"
+/// and later propagates user labels within each cluster.
+struct ColumnClustering {
+  int n_clusters = 0;
+  /// Cluster id of row r's cell in this column.
+  std::vector<int> cell_cluster;
+};
+
+/// Hierarchical agglomerative clustering (average linkage over Hamming
+/// distance) of the distinct feature vectors in `col`, merged down to at
+/// most `target_clusters` clusters.
+ColumnClustering ClusterColumn(const FeatureMatrix& features, int col,
+                               int target_clusters);
+
+/// Clusters every column.
+std::vector<ColumnClustering> ClusterAllColumns(const FeatureMatrix& features,
+                                                int target_clusters);
+
+}  // namespace birnn::raha
+
+#endif  // BIRNN_RAHA_CLUSTER_H_

@@ -1,0 +1,32 @@
+#include "raha/features.h"
+
+namespace birnn::raha {
+
+FeatureMatrix BuildFeatures(
+    const data::Table& table,
+    const std::vector<std::unique_ptr<Strategy>>& strategies) {
+  FeatureMatrix fm;
+  fm.n_rows = table.num_rows();
+  fm.n_cols = table.num_columns();
+  fm.n_strategies = static_cast<int>(strategies.size());
+  const size_t n_cells = static_cast<size_t>(fm.n_rows) * fm.n_cols;
+  fm.bits.assign(n_cells * fm.n_strategies, 0);
+
+  DetectionMask mask;
+  for (size_t s = 0; s < strategies.size(); ++s) {
+    mask.assign(n_cells, 0);
+    strategies[s]->Detect(table, &mask);
+    for (size_t cell = 0; cell < n_cells; ++cell) {
+      fm.bits[cell * strategies.size() + s] = mask[cell];
+    }
+  }
+  return fm;
+}
+
+int HammingDistance(const uint8_t* a, const uint8_t* b, int n) {
+  int d = 0;
+  for (int i = 0; i < n; ++i) d += (a[i] != b[i]) ? 1 : 0;
+  return d;
+}
+
+}  // namespace birnn::raha

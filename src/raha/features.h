@@ -1,0 +1,49 @@
+#ifndef BIRNN_RAHA_FEATURES_H_
+#define BIRNN_RAHA_FEATURES_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/table.h"
+#include "raha/strategy.h"
+
+namespace birnn::raha {
+
+/// One bit per strategy per cell — Raha's representation of "the results of
+/// various error detection algorithms as a feature vector".
+struct FeatureMatrix {
+  int n_rows = 0;
+  int n_cols = 0;
+  int n_strategies = 0;
+  /// features[(row * n_cols + col) * n_strategies + s]
+  std::vector<uint8_t> bits;
+
+  /// Feature vector of one cell (n_strategies bytes).
+  const uint8_t* cell(int row, int col) const {
+    return bits.data() +
+           (static_cast<size_t>(row) * n_cols + static_cast<size_t>(col)) *
+               n_strategies;
+  }
+
+  /// Number of strategies that flagged this cell.
+  int VoteCount(int row, int col) const {
+    const uint8_t* f = cell(row, col);
+    int votes = 0;
+    for (int s = 0; s < n_strategies; ++s) votes += f[s];
+    return votes;
+  }
+};
+
+/// Runs every strategy over the table and assembles the per-cell feature
+/// vectors.
+FeatureMatrix BuildFeatures(
+    const data::Table& table,
+    const std::vector<std::unique_ptr<Strategy>>& strategies);
+
+/// Hamming distance between two feature vectors of length n.
+int HammingDistance(const uint8_t* a, const uint8_t* b, int n);
+
+}  // namespace birnn::raha
+
+#endif  // BIRNN_RAHA_FEATURES_H_

@@ -1,0 +1,357 @@
+#include "raha/strategy.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "data/type_inference.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace birnn::raha {
+
+namespace {
+
+size_t CellIndex(const data::Table& table, int row, int col) {
+  return static_cast<size_t>(row) * table.num_columns() +
+         static_cast<size_t>(col);
+}
+
+bool IsMissingSpelling(const std::string& v) {
+  if (v.empty()) return true;
+  const std::string lower = ToLower(Trim(v));
+  return lower.empty() || lower == "nan" || lower == "n/a" ||
+         lower == "null" || lower == "-" || lower == "none";
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ NullStrategy
+
+void NullStrategy::Detect(const data::Table& table,
+                          DetectionMask* mask) const {
+  for (int r = 0; r < table.num_rows(); ++r) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (IsMissingSpelling(table.cell(r, c))) {
+        (*mask)[CellIndex(table, r, c)] = 1;
+      }
+    }
+  }
+}
+
+// -------------------------------------------------- GaussianOutlierStrategy
+
+std::string GaussianOutlierStrategy::name() const {
+  return "gaussian_outlier(" + FormatFixed(k_, 1) + ")";
+}
+
+void GaussianOutlierStrategy::Detect(const data::Table& table,
+                                     DetectionMask* mask) const {
+  const int n = table.num_rows();
+  for (int c = 0; c < table.num_columns(); ++c) {
+    // Only statistically profile columns the type inferencer calls numeric.
+    const data::ColumnTypeInfo type_info = data::InferColumnType(table, c);
+    if (!type_info.IsNumeric(0.6)) continue;
+
+    std::vector<double> values(static_cast<size_t>(n));
+    std::vector<bool> parsed(static_cast<size_t>(n), false);
+    int n_parsed = 0;
+    for (int r = 0; r < n; ++r) {
+      const std::string& v = table.cell(r, c);
+      if (IsMissingSpelling(v)) continue;
+      double x = 0.0;
+      if (ParseDouble(v, &x)) {
+        values[static_cast<size_t>(r)] = x;
+        parsed[static_cast<size_t>(r)] = true;
+        ++n_parsed;
+      }
+    }
+    if (n_parsed < 4) continue;
+    double mean = 0.0;
+    for (int r = 0; r < n; ++r) {
+      if (parsed[static_cast<size_t>(r)]) mean += values[static_cast<size_t>(r)];
+    }
+    mean /= n_parsed;
+    double var = 0.0;
+    for (int r = 0; r < n; ++r) {
+      if (parsed[static_cast<size_t>(r)]) {
+        const double d = values[static_cast<size_t>(r)] - mean;
+        var += d * d;
+      }
+    }
+    var /= n_parsed;
+    const double stddev = std::sqrt(var);
+    for (int r = 0; r < n; ++r) {
+      const std::string& v = table.cell(r, c);
+      if (IsMissingSpelling(v)) continue;
+      if (!parsed[static_cast<size_t>(r)]) {
+        // Non-numeric value in a numeric column.
+        (*mask)[CellIndex(table, r, c)] = 1;
+      } else if (stddev > 0.0 &&
+                 std::fabs(values[static_cast<size_t>(r)] - mean) >
+                     k_ * stddev) {
+        (*mask)[CellIndex(table, r, c)] = 1;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------- HistogramOutlierStrategy
+
+std::string HistogramOutlierStrategy::name() const {
+  return "histogram_outlier(" + FormatFixed(min_ratio_, 3) + ")";
+}
+
+void HistogramOutlierStrategy::Detect(const data::Table& table,
+                                      DetectionMask* mask) const {
+  const int n = table.num_rows();
+  if (n == 0) return;
+  for (int c = 0; c < table.num_columns(); ++c) {
+    std::unordered_map<std::string, int> counts;
+    for (int r = 0; r < n; ++r) counts[table.cell(r, c)]++;
+    // Skip high-cardinality columns (free-text, ids): every value is rare.
+    if (static_cast<double>(counts.size()) / n > max_cardinality_ratio_) {
+      continue;
+    }
+    for (int r = 0; r < n; ++r) {
+      const int count = counts[table.cell(r, c)];
+      if (static_cast<double>(count) / n < min_ratio_) {
+        (*mask)[CellIndex(table, r, c)] = 1;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------- PatternViolationStrategy
+
+std::string PatternViolationStrategy::Shape(const std::string& value) {
+  std::string shape;
+  char prev = '\0';
+  for (char ch : value) {
+    char cls;
+    const auto u = static_cast<unsigned char>(ch);
+    if (std::isdigit(u)) {
+      cls = '9';
+    } else if (std::isalpha(u)) {
+      cls = 'a';
+    } else {
+      cls = ch;
+    }
+    // Compress runs of the same class so "1234" and "56" share a shape.
+    if (cls != prev || (cls != '9' && cls != 'a')) shape += cls;
+    prev = cls;
+  }
+  return shape;
+}
+
+std::string PatternViolationStrategy::name() const {
+  return "pattern_violation(" + FormatFixed(min_ratio_, 3) + ")";
+}
+
+void PatternViolationStrategy::Detect(const data::Table& table,
+                                      DetectionMask* mask) const {
+  const int n = table.num_rows();
+  if (n == 0) return;
+  for (int c = 0; c < table.num_columns(); ++c) {
+    std::unordered_map<std::string, int> shape_counts;
+    std::vector<std::string> shapes(static_cast<size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      shapes[static_cast<size_t>(r)] = Shape(table.cell(r, c));
+      shape_counts[shapes[static_cast<size_t>(r)]]++;
+    }
+    for (int r = 0; r < n; ++r) {
+      const int count = shape_counts[shapes[static_cast<size_t>(r)]];
+      if (static_cast<double>(count) / n < min_ratio_) {
+        (*mask)[CellIndex(table, r, c)] = 1;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------ FdViolationStrategy
+
+std::string FdViolationStrategy::name() const {
+  return "fd_violation(" + FormatFixed(min_support_, 2) + ")";
+}
+
+void FdViolationStrategy::Detect(const data::Table& table,
+                                 DetectionMask* mask) const {
+  const int n = table.num_rows();
+  const int m = table.num_columns();
+  if (n < 4) return;
+  for (int lhs = 0; lhs < m; ++lhs) {
+    // Group rows by lhs value. Keys with a single row carry no signal.
+    std::unordered_map<std::string, std::vector<int>> groups;
+    for (int r = 0; r < n; ++r) groups[table.cell(r, lhs)].push_back(r);
+    // Require lhs to partition the data into repeating groups.
+    int64_t grouped_rows = 0;
+    for (const auto& [key, rows] : groups) {
+      if (rows.size() >= 2) grouped_rows += static_cast<int64_t>(rows.size());
+    }
+    if (grouped_rows < n / 2) continue;
+
+    for (int rhs = 0; rhs < m; ++rhs) {
+      if (rhs == lhs) continue;
+      // Measure FD support: fraction of rows agreeing with their group's
+      // dominant rhs value.
+      int64_t agree = 0;
+      int64_t considered = 0;
+      std::vector<std::pair<const std::vector<int>*, std::string>> dominant;
+      for (const auto& [key, rows] : groups) {
+        if (rows.size() < 2) continue;
+        std::unordered_map<std::string, int> counts;
+        for (int r : rows) counts[table.cell(r, rhs)]++;
+        const std::string* best = nullptr;
+        int best_count = 0;
+        for (const auto& [v, cnt] : counts) {
+          if (cnt > best_count) {
+            best_count = cnt;
+            best = &v;
+          }
+        }
+        agree += best_count;
+        considered += static_cast<int64_t>(rows.size());
+        dominant.emplace_back(&rows, *best);
+      }
+      if (considered == 0) continue;
+      const double support =
+          static_cast<double>(agree) / static_cast<double>(considered);
+      if (support < min_support_) continue;  // no (approximate) dependency
+      for (const auto& [rows, best] : dominant) {
+        for (int r : *rows) {
+          if (table.cell(r, rhs) != best) {
+            (*mask)[CellIndex(table, r, rhs)] = 1;
+          }
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------- DictionaryStrategy
+
+std::string DictionaryStrategy::name() const {
+  return "dictionary(" + std::to_string(max_edit_distance_) + ")";
+}
+
+void DictionaryStrategy::Detect(const data::Table& table,
+                                DetectionMask* mask) const {
+  const int n = table.num_rows();
+  if (n == 0) return;
+  for (int c = 0; c < table.num_columns(); ++c) {
+    std::unordered_map<std::string, int> counts;
+    for (int r = 0; r < n; ++r) counts[table.cell(r, c)]++;
+    if (static_cast<double>(counts.size()) / n > 0.5) continue;  // free text
+    // Frequent values form the column dictionary.
+    std::vector<std::pair<std::string, int>> frequent;
+    for (const auto& [v, cnt] : counts) {
+      if (cnt >= 3 && !v.empty()) frequent.emplace_back(v, cnt);
+    }
+    if (frequent.empty()) continue;
+    for (const auto& [v, cnt] : counts) {
+      if (v.empty()) continue;
+      for (const auto& [dict_v, dict_cnt] : frequent) {
+        if (dict_v == v) continue;
+        if (static_cast<double>(dict_cnt) <
+            frequency_factor_ * static_cast<double>(cnt)) {
+          continue;  // not enough frequency contrast for a typo call
+        }
+        if (std::abs(static_cast<int>(dict_v.size()) -
+                     static_cast<int>(v.size())) > max_edit_distance_) {
+          continue;
+        }
+        if (static_cast<int>(EditDistance(v, dict_v)) <=
+            max_edit_distance_) {
+          // v is a rare near-duplicate of a frequent value: flag all its
+          // occurrences.
+          for (int r = 0; r < n; ++r) {
+            if (table.cell(r, c) == v) {
+              (*mask)[CellIndex(table, r, c)] = 1;
+            }
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------- KeyDuplicateStrategy
+
+int KeyDuplicateStrategy::InferKeyColumn(const data::Table& table) {
+  const int n = table.num_rows();
+  const int m = table.num_columns();
+  if (n < 4) return -1;
+  int best_col = -1;
+  double best_score = 0.0;
+  for (int c = 0; c < m; ++c) {
+    std::unordered_map<std::string, int> counts;
+    for (int r = 0; r < n; ++r) counts[table.cell(r, c)]++;
+    int64_t in_groups = 0;
+    for (const auto& [v, cnt] : counts) {
+      if (cnt >= 2 && cnt <= 20) in_groups += cnt;
+    }
+    const double coverage = static_cast<double>(in_groups) / n;
+    const double cardinality = static_cast<double>(counts.size()) / n;
+    // A key column has high cardinality but still groups duplicates.
+    const double score = coverage * cardinality;
+    if (coverage > 0.5 && cardinality > 0.05 && score > best_score) {
+      best_score = score;
+      best_col = c;
+    }
+  }
+  return best_col;
+}
+
+void KeyDuplicateStrategy::Detect(const data::Table& table,
+                                  DetectionMask* mask) const {
+  const int key_col = InferKeyColumn(table);
+  if (key_col < 0) return;
+  const int n = table.num_rows();
+  const int m = table.num_columns();
+  std::unordered_map<std::string, std::vector<int>> groups;
+  for (int r = 0; r < n; ++r) groups[table.cell(r, key_col)].push_back(r);
+  for (const auto& [key, rows] : groups) {
+    if (rows.size() < 2) continue;
+    for (int c = 0; c < m; ++c) {
+      if (c == key_col) continue;
+      std::unordered_map<std::string, int> counts;
+      for (int r : rows) counts[table.cell(r, c)]++;
+      if (counts.size() == 1) continue;
+      const std::string* best = nullptr;
+      int best_count = 0;
+      for (const auto& [v, cnt] : counts) {
+        if (cnt > best_count) {
+          best_count = cnt;
+          best = &v;
+        }
+      }
+      // Only flag when there is a clear majority to disagree with.
+      if (best_count * 2 <= static_cast<int>(rows.size())) continue;
+      for (int r : rows) {
+        if (table.cell(r, c) != *best) {
+          (*mask)[CellIndex(table, r, c)] = 1;
+        }
+      }
+    }
+  }
+}
+
+std::vector<std::unique_ptr<Strategy>> DefaultStrategies() {
+  std::vector<std::unique_ptr<Strategy>> out;
+  out.push_back(std::make_unique<NullStrategy>());
+  out.push_back(std::make_unique<GaussianOutlierStrategy>(2.5));
+  out.push_back(std::make_unique<GaussianOutlierStrategy>(3.5));
+  out.push_back(std::make_unique<HistogramOutlierStrategy>(0.01));
+  out.push_back(std::make_unique<HistogramOutlierStrategy>(0.05));
+  out.push_back(std::make_unique<PatternViolationStrategy>(0.02));
+  out.push_back(std::make_unique<PatternViolationStrategy>(0.10));
+  out.push_back(std::make_unique<FdViolationStrategy>(0.85));
+  out.push_back(std::make_unique<DictionaryStrategy>(2));
+  out.push_back(std::make_unique<KeyDuplicateStrategy>());
+  return out;
+}
+
+}  // namespace birnn::raha

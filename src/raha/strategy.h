@@ -1,0 +1,133 @@
+#ifndef BIRNN_RAHA_STRATEGY_H_
+#define BIRNN_RAHA_STRATEGY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+
+namespace birnn::raha {
+
+/// Per-cell suspicion mask, row-major: mask[row * n_cols + col] is 1 when
+/// the strategy considers that cell erroneous.
+using DetectionMask = std::vector<uint8_t>;
+
+/// One configured error-detection strategy à la Raha (Mahdavi et al.,
+/// SIGMOD'19): outlier detectors, pattern checkers, rule checkers. Each
+/// strategy's verdicts become one dimension of every cell's feature vector.
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  /// Stable identifier ("gaussian_outlier(3.0)").
+  virtual std::string name() const = 0;
+
+  /// Marks suspicious cells; `mask` is pre-sized to rows*cols and zeroed.
+  virtual void Detect(const data::Table& table, DetectionMask* mask) const = 0;
+};
+
+/// Flags empty cells and missing-value spellings ("", "NaN", "nan", "N/A",
+/// "null", "-").
+class NullStrategy : public Strategy {
+ public:
+  std::string name() const override { return "null_check"; }
+  void Detect(const data::Table& table, DetectionMask* mask) const override;
+};
+
+/// dBoost-style Gaussian outlier detection: in predominantly numeric
+/// columns, flags values more than `k` standard deviations from the column
+/// mean, and values that fail to parse at all.
+class GaussianOutlierStrategy : public Strategy {
+ public:
+  explicit GaussianOutlierStrategy(double k = 3.0) : k_(k) {}
+  std::string name() const override;
+  void Detect(const data::Table& table, DetectionMask* mask) const override;
+
+ private:
+  double k_;
+};
+
+/// dBoost-style histogram outlier detection: in low-cardinality columns,
+/// flags values whose relative frequency is below `min_ratio`.
+class HistogramOutlierStrategy : public Strategy {
+ public:
+  explicit HistogramOutlierStrategy(double min_ratio = 0.01,
+                                    double max_cardinality_ratio = 0.2)
+      : min_ratio_(min_ratio), max_cardinality_ratio_(max_cardinality_ratio) {}
+  std::string name() const override;
+  void Detect(const data::Table& table, DetectionMask* mask) const override;
+
+ private:
+  double min_ratio_;
+  double max_cardinality_ratio_;
+};
+
+/// Pattern-violation detection (Wrangler-style): maps every value to a
+/// character-class shape ("8:42 a.m." -> "9:99 a.a."), then flags values
+/// whose shape is rare within the column.
+class PatternViolationStrategy : public Strategy {
+ public:
+  explicit PatternViolationStrategy(double min_ratio = 0.05)
+      : min_ratio_(min_ratio) {}
+  std::string name() const override;
+  void Detect(const data::Table& table, DetectionMask* mask) const override;
+
+  /// The shape abstraction: digits -> '9', letters -> 'a', runs compressed.
+  static std::string Shape(const std::string& value);
+
+ private:
+  double min_ratio_;
+};
+
+/// Rule-violation detection (NADEEF-style): discovers approximate
+/// functional dependencies lhs -> rhs between column pairs and flags rhs
+/// cells that contradict the dominant value of their lhs group.
+class FdViolationStrategy : public Strategy {
+ public:
+  explicit FdViolationStrategy(double min_support = 0.9)
+      : min_support_(min_support) {}
+  std::string name() const override;
+  void Detect(const data::Table& table, DetectionMask* mask) const override;
+
+ private:
+  double min_support_;
+};
+
+/// KATARA-style dictionary check, approximated without an external
+/// knowledge base: flags rare values that are within small edit distance
+/// of a much more frequent value in the same column (likely typos).
+class DictionaryStrategy : public Strategy {
+ public:
+  explicit DictionaryStrategy(int max_edit_distance = 2,
+                              double frequency_factor = 5.0)
+      : max_edit_distance_(max_edit_distance),
+        frequency_factor_(frequency_factor) {}
+  std::string name() const override;
+  void Detect(const data::Table& table, DetectionMask* mask) const override;
+
+ private:
+  int max_edit_distance_;
+  double frequency_factor_;
+};
+
+/// Duplicate-record disagreement check (the paper's §5.7 "identify primary
+/// keys" future work): groups rows by the most key-like column and flags
+/// cells that disagree with their group's majority value.
+class KeyDuplicateStrategy : public Strategy {
+ public:
+  std::string name() const override { return "key_duplicate"; }
+  void Detect(const data::Table& table, DetectionMask* mask) const override;
+
+  /// Picks the column that best behaves like a record key shared by
+  /// duplicate rows (repeating groups of size >= 2). Returns -1 if none.
+  static int InferKeyColumn(const data::Table& table);
+};
+
+/// The default strategy zoo used by the Raha baseline and RahaSet sampler.
+std::vector<std::unique_ptr<Strategy>> DefaultStrategies();
+
+}  // namespace birnn::raha
+
+#endif  // BIRNN_RAHA_STRATEGY_H_

@@ -1,0 +1,411 @@
+#include "repair/corrector.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <unordered_map>
+
+#include "raha/strategy.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace birnn::repair {
+
+namespace {
+
+size_t CellIndex(const data::Table& t, int row, int col) {
+  return static_cast<size_t>(row) * t.num_columns() + static_cast<size_t>(col);
+}
+
+bool IsMissing(const std::string& v) {
+  return v.empty() || v == "NaN" || v == "nan";
+}
+
+void Suggest(std::vector<RepairSuggestion>* out, int64_t row, int attr,
+             const std::string& original, std::string repaired,
+             double confidence, const std::string& source) {
+  if (repaired == original) return;
+  RepairSuggestion s;
+  s.row = row;
+  s.attr = attr;
+  s.original = original;
+  s.repaired = std::move(repaired);
+  s.confidence = confidence;
+  s.source = source;
+  out->push_back(std::move(s));
+}
+
+}  // namespace
+
+// ---------------------------------------------------- FormatNormalizerEngine
+
+namespace {
+
+/// Strips a known unit suffix; empty result means "no change".
+std::string StripUnitSuffix(const std::string& v) {
+  static constexpr const char* kSuffixes[] = {" oz", "%", " min", " kg",
+                                              " cm"};
+  for (const char* suffix : kSuffixes) {
+    if (EndsWith(v, suffix) && v.size() > std::string(suffix).size()) {
+      std::string head = v.substr(0, v.size() - std::string(suffix).size());
+      double parsed = 0.0;
+      if (ParseDouble(head, &parsed)) return head;
+    }
+  }
+  return v;
+}
+
+std::string StripThousandsSeparators(const std::string& v) {
+  if (v.find(',') == std::string::npos) return v;
+  std::string out;
+  for (char c : v) {
+    if (c != ',') out += c;
+  }
+  double parsed = 0.0;
+  return ParseDouble(out, &parsed) ? out : v;
+}
+
+/// "12/02/2011 6:55 a.m." -> "6:55 a.m.".
+std::string StripDatePrefix(const std::string& v) {
+  if (v.size() < 12) return v;
+  // Match NN/NN/NNNN<space>.
+  const auto digit = [&v](size_t i) {
+    return std::isdigit(static_cast<unsigned char>(v[i])) != 0;
+  };
+  if (digit(0) && digit(1) && v[2] == '/' && digit(3) && digit(4) &&
+      v[5] == '/' && digit(6) && digit(7) && digit(8) && digit(9) &&
+      v[10] == ' ') {
+    return v.substr(11);
+  }
+  return v;
+}
+
+}  // namespace
+
+void FormatNormalizerEngine::Propose(const data::Table& dirty,
+                                     const std::vector<uint8_t>& error_mask,
+                                     std::vector<RepairSuggestion>* out) const {
+  const int n = dirty.num_rows();
+  const int m = dirty.num_columns();
+
+  // Column statistics for the ".0" and leading-zero rules.
+  std::vector<int> int_count(static_cast<size_t>(m), 0);
+  std::vector<int> numeric_count(static_cast<size_t>(m), 0);
+  std::vector<std::unordered_map<size_t, int>> width_counts(
+      static_cast<size_t>(m));
+  for (int c = 0; c < m; ++c) {
+    for (int r = 0; r < n; ++r) {
+      const std::string& v = dirty.cell(r, c);
+      if (IsMissing(v)) continue;
+      double parsed = 0.0;
+      if (ParseDouble(v, &parsed)) {
+        numeric_count[static_cast<size_t>(c)]++;
+        if (v.find('.') == std::string::npos) {
+          int_count[static_cast<size_t>(c)]++;
+        }
+      }
+      if (IsAllDigits(v)) width_counts[static_cast<size_t>(c)][v.size()]++;
+    }
+  }
+
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < m; ++c) {
+      if (!error_mask[CellIndex(dirty, r, c)]) continue;
+      const std::string& v = dirty.cell(r, c);
+      if (IsMissing(v)) continue;
+
+      std::string fixed = StripUnitSuffix(v);
+      if (fixed != v) {
+        Suggest(out, r, c, v, fixed, 0.9, name());
+        continue;
+      }
+      fixed = StripThousandsSeparators(v);
+      if (fixed != v) {
+        Suggest(out, r, c, v, fixed, 0.9, name());
+        continue;
+      }
+      fixed = StripDatePrefix(v);
+      if (fixed != v) {
+        Suggest(out, r, c, v, fixed, 0.85, name());
+        continue;
+      }
+      // Trailing ".0" in an integer-dominated numeric column.
+      const size_t sc = static_cast<size_t>(c);
+      if (EndsWith(v, ".0") && numeric_count[sc] > 0 &&
+          int_count[sc] * 2 > numeric_count[sc]) {
+        Suggest(out, r, c, v, v.substr(0, v.size() - 2), 0.7, name());
+        continue;
+      }
+      // Restore leading zeros to the dominant all-digits width.
+      if (IsAllDigits(v) && !width_counts[sc].empty()) {
+        size_t dominant_width = 0;
+        int best = 0;
+        for (const auto& [width, count] : width_counts[sc]) {
+          if (count > best) {
+            best = count;
+            dominant_width = width;
+          }
+        }
+        if (dominant_width > v.size() &&
+            best * 2 > static_cast<int>(n)) {
+          Suggest(out, r, c, v,
+                  std::string(dominant_width - v.size(), '0') + v, 0.6,
+                  name());
+        }
+      }
+    }
+  }
+}
+
+// -------------------------------------------------- DictionaryCorrectorEngine
+
+void DictionaryCorrectorEngine::Propose(
+    const data::Table& dirty, const std::vector<uint8_t>& error_mask,
+    std::vector<RepairSuggestion>* out) const {
+  const int n = dirty.num_rows();
+  const int m = dirty.num_columns();
+  for (int c = 0; c < m; ++c) {
+    std::unordered_map<std::string, int> counts;
+    for (int r = 0; r < n; ++r) counts[dirty.cell(r, c)]++;
+    if (static_cast<double>(counts.size()) / std::max(1, n) > 0.7) {
+      continue;  // near-unique column; a dictionary carries no signal
+    }
+    std::vector<std::pair<std::string, int>> frequent;
+    for (const auto& [v, cnt] : counts) {
+      if (cnt >= min_support_ && !IsMissing(v)) frequent.emplace_back(v, cnt);
+    }
+    if (frequent.empty()) continue;
+
+    for (int r = 0; r < n; ++r) {
+      if (!error_mask[CellIndex(dirty, r, c)]) continue;
+      const std::string& v = dirty.cell(r, c);
+      if (IsMissing(v)) continue;
+      const std::string* best = nullptr;
+      int best_count = 0;
+      size_t best_distance = static_cast<size_t>(max_edit_distance_) + 1;
+      for (const auto& [candidate, cnt] : frequent) {
+        if (candidate == v) continue;
+        if (std::abs(static_cast<int>(candidate.size()) -
+                     static_cast<int>(v.size())) > max_edit_distance_) {
+          continue;
+        }
+        const size_t d = EditDistance(v, candidate);
+        if (d < best_distance || (d == best_distance && cnt > best_count)) {
+          best_distance = d;
+          best_count = cnt;
+          best = &candidate;
+        }
+      }
+      if (best != nullptr &&
+          best_distance <= static_cast<size_t>(max_edit_distance_)) {
+        const double confidence =
+            0.8 - 0.2 * static_cast<double>(best_distance - 1);
+        Suggest(out, r, c, v, *best, confidence, name());
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------- FdCorrectorEngine
+
+void FdCorrectorEngine::Propose(const data::Table& dirty,
+                                const std::vector<uint8_t>& error_mask,
+                                std::vector<RepairSuggestion>* out) const {
+  const int n = dirty.num_rows();
+  const int m = dirty.num_columns();
+  if (n < 4) return;
+  for (int lhs = 0; lhs < m; ++lhs) {
+    std::unordered_map<std::string, std::vector<int>> groups;
+    for (int r = 0; r < n; ++r) groups[dirty.cell(r, lhs)].push_back(r);
+    int64_t grouped_rows = 0;
+    for (const auto& [key, rows] : groups) {
+      if (rows.size() >= 2) grouped_rows += static_cast<int64_t>(rows.size());
+    }
+    if (grouped_rows < n / 2) continue;
+
+    for (int rhs = 0; rhs < m; ++rhs) {
+      if (rhs == lhs) continue;
+      int64_t agree = 0;
+      int64_t considered = 0;
+      struct GroupFix {
+        const std::vector<int>* rows;
+        std::string dominant;
+        double dominance;
+      };
+      std::vector<GroupFix> fixes;
+      for (const auto& [key, rows] : groups) {
+        if (rows.size() < 2) continue;
+        std::unordered_map<std::string, int> counts;
+        for (int r : rows) counts[dirty.cell(r, rhs)]++;
+        const std::string* best = nullptr;
+        int best_count = 0;
+        for (const auto& [v, cnt] : counts) {
+          if (cnt > best_count) {
+            best_count = cnt;
+            best = &v;
+          }
+        }
+        agree += best_count;
+        considered += static_cast<int64_t>(rows.size());
+        fixes.push_back({&rows, *best,
+                         static_cast<double>(best_count) /
+                             static_cast<double>(rows.size())});
+      }
+      if (considered == 0) continue;
+      const double support =
+          static_cast<double>(agree) / static_cast<double>(considered);
+      if (support < min_support_) continue;
+      for (const GroupFix& fix : fixes) {
+        if (fix.dominance < min_dominance_) continue;
+        for (int r : *fix.rows) {
+          if (!error_mask[CellIndex(dirty, r, rhs)]) continue;
+          if (dirty.cell(r, rhs) == fix.dominant) continue;
+          Suggest(out, r, rhs, dirty.cell(r, rhs), fix.dominant,
+                  0.5 + 0.4 * fix.dominance, name());
+        }
+      }
+    }
+  }
+}
+
+// -------------------------------------------------- DuplicateCorrectorEngine
+
+void DuplicateCorrectorEngine::Propose(
+    const data::Table& dirty, const std::vector<uint8_t>& error_mask,
+    std::vector<RepairSuggestion>* out) const {
+  const int key_col = raha::KeyDuplicateStrategy::InferKeyColumn(dirty);
+  if (key_col < 0) return;
+  const int n = dirty.num_rows();
+  const int m = dirty.num_columns();
+  std::unordered_map<std::string, std::vector<int>> groups;
+  for (int r = 0; r < n; ++r) groups[dirty.cell(r, key_col)].push_back(r);
+  for (const auto& [key, rows] : groups) {
+    if (rows.size() < 2) continue;
+    for (int c = 0; c < m; ++c) {
+      if (c == key_col) continue;
+      std::unordered_map<std::string, int> counts;
+      for (int r : rows) counts[dirty.cell(r, c)]++;
+      if (counts.size() == 1) continue;
+      const std::string* best = nullptr;
+      int best_count = 0;
+      for (const auto& [v, cnt] : counts) {
+        if (cnt > best_count) {
+          best_count = cnt;
+          best = &v;
+        }
+      }
+      if (best_count * 2 <= static_cast<int>(rows.size())) continue;
+      for (int r : rows) {
+        if (!error_mask[CellIndex(dirty, r, c)]) continue;
+        if (dirty.cell(r, c) == *best) continue;
+        Suggest(out, r, c, dirty.cell(r, c), *best,
+                0.5 + 0.45 * static_cast<double>(best_count) /
+                          static_cast<double>(rows.size()),
+                name());
+      }
+    }
+  }
+}
+
+// ------------------------------------------------- MissingValueImputerEngine
+
+void MissingValueImputerEngine::Propose(
+    const data::Table& dirty, const std::vector<uint8_t>& error_mask,
+    std::vector<RepairSuggestion>* out) const {
+  const int n = dirty.num_rows();
+  const int m = dirty.num_columns();
+  for (int c = 0; c < m; ++c) {
+    std::unordered_map<std::string, int> counts;
+    int non_missing = 0;
+    for (int r = 0; r < n; ++r) {
+      const std::string& v = dirty.cell(r, c);
+      if (IsMissing(v)) continue;
+      counts[v]++;
+      ++non_missing;
+    }
+    if (non_missing == 0) continue;
+    const std::string* best = nullptr;
+    int best_count = 0;
+    for (const auto& [v, cnt] : counts) {
+      if (cnt > best_count) {
+        best_count = cnt;
+        best = &v;
+      }
+    }
+    const double dominance =
+        static_cast<double>(best_count) / static_cast<double>(non_missing);
+    if (best == nullptr || dominance < min_dominance_) continue;
+    for (int r = 0; r < n; ++r) {
+      if (!error_mask[CellIndex(dirty, r, c)]) continue;
+      if (!IsMissing(dirty.cell(r, c))) continue;
+      Suggest(out, r, c, dirty.cell(r, c), *best, 0.3 + 0.4 * dominance,
+              name());
+    }
+  }
+}
+
+// ------------------------------------------------------------------ Repairer
+
+Repairer::Repairer() {
+  engines_.push_back(std::make_unique<FormatNormalizerEngine>());
+  engines_.push_back(std::make_unique<DictionaryCorrectorEngine>());
+  engines_.push_back(std::make_unique<FdCorrectorEngine>());
+  engines_.push_back(std::make_unique<DuplicateCorrectorEngine>());
+  engines_.push_back(std::make_unique<MissingValueImputerEngine>());
+}
+
+Repairer::Repairer(std::vector<std::unique_ptr<RepairEngine>> engines)
+    : engines_(std::move(engines)) {}
+
+std::vector<RepairSuggestion> Repairer::Repair(
+    const data::Table& dirty, const std::vector<uint8_t>& error_mask) const {
+  BIRNN_CHECK_EQ(error_mask.size(),
+                 static_cast<size_t>(dirty.num_rows()) * dirty.num_columns());
+  std::vector<RepairSuggestion> all;
+  for (const auto& engine : engines_) {
+    engine->Propose(dirty, error_mask, &all);
+  }
+  // Keep the highest-confidence suggestion per cell.
+  std::map<std::pair<int64_t, int>, RepairSuggestion> best;
+  for (auto& suggestion : all) {
+    const auto key = std::make_pair(suggestion.row, suggestion.attr);
+    auto it = best.find(key);
+    if (it == best.end() || suggestion.confidence > it->second.confidence) {
+      best[key] = std::move(suggestion);
+    }
+  }
+  std::vector<RepairSuggestion> out;
+  out.reserve(best.size());
+  for (auto& [key, suggestion] : best) out.push_back(std::move(suggestion));
+  return out;
+}
+
+data::Table Repairer::Apply(
+    const data::Table& dirty,
+    const std::vector<RepairSuggestion>& suggestions) const {
+  data::Table repaired = dirty;
+  for (const RepairSuggestion& s : suggestions) {
+    repaired.set_cell(static_cast<int>(s.row), s.attr, s.repaired);
+  }
+  return repaired;
+}
+
+RepairMetrics EvaluateRepairs(
+    const data::Table& dirty, const data::Table& clean,
+    const std::vector<RepairSuggestion>& suggestions) {
+  RepairMetrics metrics;
+  for (int r = 0; r < dirty.num_rows(); ++r) {
+    for (int c = 0; c < dirty.num_columns(); ++c) {
+      if (dirty.cell(r, c) != clean.cell(r, c)) ++metrics.erroneous_cells;
+    }
+  }
+  for (const RepairSuggestion& s : suggestions) {
+    ++metrics.proposed;
+    if (s.repaired == clean.cell(static_cast<int>(s.row), s.attr)) {
+      ++metrics.correct;
+    }
+  }
+  return metrics;
+}
+
+}  // namespace birnn::repair

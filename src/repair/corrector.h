@@ -1,0 +1,159 @@
+#ifndef BIRNN_REPAIR_CORRECTOR_H_
+#define BIRNN_REPAIR_CORRECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+
+namespace birnn::repair {
+
+/// A proposed correction for one flagged cell. Produced by the repair
+/// engines; `source` names the engine, `confidence` orders competing
+/// suggestions for the same cell.
+struct RepairSuggestion {
+  int64_t row = 0;
+  int attr = 0;
+  std::string original;
+  std::string repaired;
+  double confidence = 0.0;
+  std::string source;
+};
+
+/// One repair heuristic. Engines receive the dirty table and the detector's
+/// per-cell error mask (row-major, rows*cols) and append suggestions for
+/// cells they can fix. This is the paper's §6 future work: coupling the
+/// BiRNN *detector* with Baran/HoloClean-style *correction*.
+class RepairEngine {
+ public:
+  virtual ~RepairEngine() = default;
+  virtual std::string name() const = 0;
+  virtual void Propose(const data::Table& dirty,
+                       const std::vector<uint8_t>& error_mask,
+                       std::vector<RepairSuggestion>* out) const = 0;
+};
+
+/// Inverts formatting-issue corruptions: strips unit suffixes (" oz", "%"),
+/// removes thousands separators, drops a prepended date before a clock
+/// time, strips a superfluous trailing ".0" in integer columns, and
+/// restores leading zeros to the column's dominant width.
+class FormatNormalizerEngine : public RepairEngine {
+ public:
+  std::string name() const override { return "format_normalizer"; }
+  void Propose(const data::Table& dirty,
+               const std::vector<uint8_t>& error_mask,
+               std::vector<RepairSuggestion>* out) const override;
+};
+
+/// Baran-style value model: replaces a flagged value with the most frequent
+/// column value within `max_edit_distance` edits (fixes typos like
+/// 'Birmingxam' -> 'Birmingham').
+class DictionaryCorrectorEngine : public RepairEngine {
+ public:
+  explicit DictionaryCorrectorEngine(int max_edit_distance = 2,
+                                     int min_support = 3)
+      : max_edit_distance_(max_edit_distance), min_support_(min_support) {}
+  std::string name() const override { return "dictionary"; }
+  void Propose(const data::Table& dirty,
+               const std::vector<uint8_t>& error_mask,
+               std::vector<RepairSuggestion>* out) const override;
+
+ private:
+  int max_edit_distance_;
+  int min_support_;
+};
+
+/// Functional-dependency corrector: for approximate FDs lhs -> rhs, a
+/// flagged rhs cell is repaired to the dominant rhs value of its lhs group
+/// (fixes violated attribute dependencies).
+class FdCorrectorEngine : public RepairEngine {
+ public:
+  explicit FdCorrectorEngine(double min_support = 0.85,
+                             double min_dominance = 0.66)
+      : min_support_(min_support), min_dominance_(min_dominance) {}
+  std::string name() const override { return "fd_corrector"; }
+  void Propose(const data::Table& dirty,
+               const std::vector<uint8_t>& error_mask,
+               std::vector<RepairSuggestion>* out) const override;
+
+ private:
+  double min_support_;
+  double min_dominance_;
+};
+
+/// Duplicate-record corrector: rows sharing the inferred key column vote on
+/// every other attribute; flagged minority cells take the majority value
+/// (fixes the Flights source-disagreement errors of §5.5).
+class DuplicateCorrectorEngine : public RepairEngine {
+ public:
+  std::string name() const override { return "duplicate_corrector"; }
+  void Propose(const data::Table& dirty,
+               const std::vector<uint8_t>& error_mask,
+               std::vector<RepairSuggestion>* out) const override;
+};
+
+/// Missing-value imputer: flagged empty/NaN cells in low-cardinality
+/// columns take the column's dominant value when it is dominant enough.
+class MissingValueImputerEngine : public RepairEngine {
+ public:
+  explicit MissingValueImputerEngine(double min_dominance = 0.5)
+      : min_dominance_(min_dominance) {}
+  std::string name() const override { return "missing_imputer"; }
+  void Propose(const data::Table& dirty,
+               const std::vector<uint8_t>& error_mask,
+               std::vector<RepairSuggestion>* out) const override;
+
+ private:
+  double min_dominance_;
+};
+
+/// Orchestrates the engines: collects all suggestions, keeps the
+/// highest-confidence one per cell, and applies them.
+class Repairer {
+ public:
+  /// Builds a repairer with the default engine set (all of the above).
+  Repairer();
+  /// Custom engine set (takes ownership).
+  explicit Repairer(std::vector<std::unique_ptr<RepairEngine>> engines);
+
+  /// Best suggestion per flagged cell, sorted by (row, attr).
+  std::vector<RepairSuggestion> Repair(
+      const data::Table& dirty, const std::vector<uint8_t>& error_mask) const;
+
+  /// Returns a copy of `dirty` with the suggestions applied.
+  data::Table Apply(const data::Table& dirty,
+                    const std::vector<RepairSuggestion>& suggestions) const;
+
+ private:
+  std::vector<std::unique_ptr<RepairEngine>> engines_;
+};
+
+/// Repair quality against ground truth (cells where dirty != clean):
+///   correct_repairs / proposed  (precision)
+///   correct_repairs / erroneous (recall)
+/// plus the table-level fraction of erroneous cells fully fixed.
+struct RepairMetrics {
+  int64_t proposed = 0;
+  int64_t correct = 0;
+  int64_t erroneous_cells = 0;
+  double Precision() const {
+    return proposed == 0 ? 0.0
+                         : static_cast<double>(correct) /
+                               static_cast<double>(proposed);
+  }
+  double Recall() const {
+    return erroneous_cells == 0 ? 0.0
+                                : static_cast<double>(correct) /
+                                      static_cast<double>(erroneous_cells);
+  }
+};
+
+RepairMetrics EvaluateRepairs(const data::Table& dirty,
+                              const data::Table& clean,
+                              const std::vector<RepairSuggestion>& suggestions);
+
+}  // namespace birnn::repair
+
+#endif  // BIRNN_REPAIR_CORRECTOR_H_

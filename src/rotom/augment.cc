@@ -1,0 +1,131 @@
+#include "rotom/augment.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace birnn::rotom {
+
+const std::vector<AugmentOp>& AllAugmentOps() {
+  static const auto& ops = *new std::vector<AugmentOp>{
+      AugmentOp::kCharSwap,     AugmentOp::kCharDrop,
+      AugmentOp::kCharDup,      AugmentOp::kCharNoise,
+      AugmentOp::kTokenShuffle, AugmentOp::kDigitJitter,
+      AugmentOp::kCaseFlip,
+  };
+  return ops;
+}
+
+const char* AugmentOpName(AugmentOp op) {
+  switch (op) {
+    case AugmentOp::kCharSwap:
+      return "char_swap";
+    case AugmentOp::kCharDrop:
+      return "char_drop";
+    case AugmentOp::kCharDup:
+      return "char_dup";
+    case AugmentOp::kCharNoise:
+      return "char_noise";
+    case AugmentOp::kTokenShuffle:
+      return "token_shuffle";
+    case AugmentOp::kDigitJitter:
+      return "digit_jitter";
+    case AugmentOp::kCaseFlip:
+      return "case_flip";
+  }
+  return "?";
+}
+
+std::string ApplyAugment(AugmentOp op, const std::string& value, Rng* rng) {
+  if (value.empty()) return value;
+  std::string out = value;
+  switch (op) {
+    case AugmentOp::kCharSwap: {
+      if (out.size() < 2) return out;
+      const size_t pos = rng->UniformInt(out.size() - 1);
+      std::swap(out[pos], out[pos + 1]);
+      return out;
+    }
+    case AugmentOp::kCharDrop: {
+      const size_t pos = rng->UniformInt(out.size());
+      out.erase(out.begin() + static_cast<std::ptrdiff_t>(pos));
+      return out;
+    }
+    case AugmentOp::kCharDup: {
+      const size_t pos = rng->UniformInt(out.size());
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(pos), out[pos]);
+      return out;
+    }
+    case AugmentOp::kCharNoise: {
+      static constexpr char kNoise[] =
+          "abcdefghijklmnopqrstuvwxyz0123456789.-";
+      const size_t pos = rng->UniformInt(out.size());
+      out[pos] = kNoise[rng->UniformInt(sizeof(kNoise) - 1)];
+      return out;
+    }
+    case AugmentOp::kTokenShuffle: {
+      std::vector<std::string> tokens = Split(out, ' ');
+      if (tokens.size() < 2) return out;
+      rng->Shuffle(&tokens);
+      return Join(tokens, " ");
+    }
+    case AugmentOp::kDigitJitter: {
+      std::vector<size_t> digits;
+      for (size_t i = 0; i < out.size(); ++i) {
+        if (std::isdigit(static_cast<unsigned char>(out[i]))) {
+          digits.push_back(i);
+        }
+      }
+      if (digits.empty()) return out;
+      const size_t pos = digits[rng->UniformInt(digits.size())];
+      out[pos] = static_cast<char>('0' + rng->UniformInt(10));
+      return out;
+    }
+    case AugmentOp::kCaseFlip: {
+      std::vector<size_t> letters;
+      for (size_t i = 0; i < out.size(); ++i) {
+        if (std::isalpha(static_cast<unsigned char>(out[i]))) {
+          letters.push_back(i);
+        }
+      }
+      if (letters.empty()) return out;
+      const size_t pos = letters[rng->UniformInt(letters.size())];
+      const auto c = static_cast<unsigned char>(out[pos]);
+      out[pos] = std::isupper(c) ? static_cast<char>(std::tolower(c))
+                                 : static_cast<char>(std::toupper(c));
+      return out;
+    }
+  }
+  return out;
+}
+
+std::string PolicyName(const AugmentPolicy& policy) {
+  std::string out;
+  for (size_t i = 0; i < policy.size(); ++i) {
+    if (i > 0) out += "+";
+    out += AugmentOpName(policy[i]);
+  }
+  return out.empty() ? "identity" : out;
+}
+
+std::string ApplyPolicy(const AugmentPolicy& policy, const std::string& value,
+                        Rng* rng) {
+  std::string out = value;
+  for (AugmentOp op : policy) out = ApplyAugment(op, out, rng);
+  return out;
+}
+
+std::vector<AugmentPolicy> CandidatePolicies() {
+  std::vector<AugmentPolicy> out;
+  const auto& ops = AllAugmentOps();
+  for (AugmentOp a : ops) out.push_back({a});
+  for (AugmentOp a : ops) {
+    for (AugmentOp b : ops) {
+      if (a != b) out.push_back({a, b});
+    }
+  }
+  return out;
+}
+
+}  // namespace birnn::rotom

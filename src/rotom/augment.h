@@ -1,0 +1,52 @@
+#ifndef BIRNN_ROTOM_AUGMENT_H_
+#define BIRNN_ROTOM_AUGMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace birnn::rotom {
+
+/// Cell-level data augmentation operators — the operator inventory of our
+/// Rotom-style baseline (Miao et al., SIGMOD'21 formulate augmentation as
+/// seq2seq with meta-learned operator combination; we keep the operator
+/// zoo and replace meta-learning with held-out policy scoring, see
+/// DESIGN.md).
+enum class AugmentOp {
+  kCharSwap,      ///< transpose two adjacent characters.
+  kCharDrop,      ///< delete one character.
+  kCharDup,       ///< duplicate one character.
+  kCharNoise,     ///< replace one character with random noise.
+  kTokenShuffle,  ///< shuffle whitespace-separated tokens.
+  kDigitJitter,   ///< replace one digit with another digit.
+  kCaseFlip,      ///< flip the case of one letter.
+};
+
+/// All operators, for policy enumeration.
+const std::vector<AugmentOp>& AllAugmentOps();
+
+/// Stable operator name ("char_swap").
+const char* AugmentOpName(AugmentOp op);
+
+/// Applies one operator. May return the input unchanged when the operator
+/// does not apply (e.g. kDigitJitter on a value without digits).
+std::string ApplyAugment(AugmentOp op, const std::string& value, Rng* rng);
+
+/// A policy is an operator sequence applied left to right.
+using AugmentPolicy = std::vector<AugmentOp>;
+
+/// Human-readable policy name ("char_swap+digit_jitter").
+std::string PolicyName(const AugmentPolicy& policy);
+
+/// Applies every operator of `policy` in order.
+std::string ApplyPolicy(const AugmentPolicy& policy, const std::string& value,
+                        Rng* rng);
+
+/// The candidate policies our baseline scores: every single operator and
+/// every ordered pair of distinct operators.
+std::vector<AugmentPolicy> CandidatePolicies();
+
+}  // namespace birnn::rotom
+
+#endif  // BIRNN_ROTOM_AUGMENT_H_

@@ -1,0 +1,147 @@
+#include "sampling/sampler.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "raha/detector.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace birnn::sampling {
+
+namespace {
+int ClampObs(const data::CellFrame& frame, int n_obs) {
+  return static_cast<int>(
+      std::min<int64_t>(n_obs, frame.num_tuples()));
+}
+}  // namespace
+
+StatusOr<std::vector<int64_t>> RandomSetSampler::Select(
+    const data::CellFrame& frame, int n_obs, Rng* rng) {
+  if (frame.num_tuples() == 0) {
+    return Status::InvalidArgument("empty frame");
+  }
+  const int n = ClampObs(frame, n_obs);
+  // ID_all <- unique(df['id_']); ids are dense 0..num_tuples-1 by
+  // construction of the preparation step.
+  const std::vector<size_t> picks = rng->SampleWithoutReplacement(
+      static_cast<size_t>(frame.num_tuples()), static_cast<size_t>(n));
+  std::vector<int64_t> out;
+  out.reserve(picks.size());
+  for (size_t p : picks) out.push_back(static_cast<int64_t>(p));
+  return out;
+}
+
+StatusOr<std::vector<int64_t>> DiverSetSampler::Select(
+    const data::CellFrame& frame, int n_obs, Rng* rng) {
+  if (frame.num_tuples() == 0) {
+    return Status::InvalidArgument("empty frame");
+  }
+  const int n = ClampObs(frame, n_obs);
+  const int64_t n_tuples = frame.num_tuples();
+  const int n_attrs = frame.num_attrs();
+
+  // df_rest bookkeeping: a cell is "live" while its concat value has not
+  // been covered by a previously selected tuple.
+  std::vector<uint8_t> cell_live(frame.cells().size(), 1);
+  std::vector<int> unseen_attr(static_cast<size_t>(n_tuples), 0);
+  std::vector<int> empty_count(static_cast<size_t>(n_tuples), 0);
+  for (const auto& cell : frame.cells()) {
+    unseen_attr[static_cast<size_t>(cell.row_id)]++;
+    if (cell.empty) empty_count[static_cast<size_t>(cell.row_id)]++;
+  }
+
+  std::vector<uint8_t> chosen(static_cast<size_t>(n_tuples), 0);
+  std::unordered_set<std::string> seen_concats;
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(n));
+
+  for (int pick = 0; pick < n; ++pick) {
+    // candidateID: max #unseenAttr, then max #empty, then random.
+    int best_unseen = -1;
+    int best_empty = -1;
+    std::vector<int64_t> candidates;
+    for (int64_t id = 0; id < n_tuples; ++id) {
+      if (chosen[static_cast<size_t>(id)]) continue;
+      const int u = unseen_attr[static_cast<size_t>(id)];
+      const int e = empty_count[static_cast<size_t>(id)];
+      if (u > best_unseen || (u == best_unseen && e > best_empty)) {
+        best_unseen = u;
+        best_empty = e;
+        candidates.clear();
+        candidates.push_back(id);
+      } else if (u == best_unseen && e == best_empty) {
+        candidates.push_back(id);
+      }
+    }
+    if (candidates.empty()) break;
+    const int64_t sampled_id =
+        candidates[rng->UniformInt(candidates.size())];
+    chosen[static_cast<size_t>(sampled_id)] = 1;
+    out.push_back(sampled_id);
+
+    // seenAttr: every concat value of the selected tuple (from the full
+    // frame, not just the live cells).
+    bool added_any = false;
+    for (int a = 0; a < n_attrs; ++a) {
+      if (seen_concats.insert(frame.cell(sampled_id, a).concat).second) {
+        added_any = true;
+      }
+    }
+    if (!added_any) continue;
+
+    // df_rest <- df[concat not in seenAttr]: kill covered cells and update
+    // the per-tuple counters.
+    for (size_t i = 0; i < frame.cells().size(); ++i) {
+      if (!cell_live[i]) continue;
+      const data::CellRecord& cell = frame.cells()[i];
+      if (seen_concats.count(cell.concat) == 0) continue;
+      cell_live[i] = 0;
+      unseen_attr[static_cast<size_t>(cell.row_id)]--;
+      if (cell.empty) empty_count[static_cast<size_t>(cell.row_id)]--;
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<int64_t>> RahaSetSampler::Select(
+    const data::CellFrame& frame, int n_obs, Rng* rng) {
+  if (frame.num_tuples() == 0) {
+    return Status::InvalidArgument("empty frame");
+  }
+  const int n = ClampObs(frame, n_obs);
+
+  // Rebuild the wide dirty table for the strategy zoo.
+  data::Table dirty(frame.attr_names());
+  for (int64_t r = 0; r < frame.num_tuples(); ++r) {
+    std::vector<std::string> row;
+    row.reserve(static_cast<size_t>(frame.num_attrs()));
+    for (int a = 0; a < frame.num_attrs(); ++a) {
+      row.push_back(frame.cell(r, a).value);
+    }
+    BIRNN_RETURN_IF_ERROR(dirty.AppendRow(std::move(row)));
+  }
+
+  raha::RahaOptions options;
+  options.n_label_tuples = n;
+  raha::RahaDetector detector(options);
+  detector.Analyze(dirty);
+  return detector.SampleTuples(n, rng);
+}
+
+StatusOr<std::unique_ptr<TrainsetSampler>> MakeSampler(
+    const std::string& name) {
+  const std::string lower = ToLower(name);
+  if (lower == "randomset" || lower == "random") {
+    return std::unique_ptr<TrainsetSampler>(new RandomSetSampler());
+  }
+  if (lower == "diverset" || lower == "diverse") {
+    return std::unique_ptr<TrainsetSampler>(new DiverSetSampler());
+  }
+  if (lower == "rahaset" || lower == "raha") {
+    return std::unique_ptr<TrainsetSampler>(new RahaSetSampler());
+  }
+  return Status::NotFound("unknown sampler: " + name);
+}
+
+}  // namespace birnn::sampling

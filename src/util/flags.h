@@ -1,0 +1,70 @@
+#ifndef BIRNN_UTIL_FLAGS_H_
+#define BIRNN_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace birnn {
+
+/// Minimal command-line flag parser for the bench/example binaries.
+///
+///   FlagSet flags;
+///   flags.AddInt("reps", 3, "number of repetitions");
+///   flags.AddBool("paper-fidelity", false, "use the paper's full settings");
+///   Status st = flags.Parse(argc, argv);
+///   int reps = flags.GetInt("reps");
+///
+/// Accepts `--name=value`, `--name value`, and bare `--bool-name`.
+class FlagSet {
+ public:
+  void AddInt(const std::string& name, int default_value,
+              const std::string& help);
+  void AddDouble(const std::string& name, double default_value,
+                 const std::string& help);
+  void AddString(const std::string& name, const std::string& default_value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool default_value,
+               const std::string& help);
+
+  /// Parses argv; unknown flags produce InvalidArgument. `--help` sets
+  /// help_requested() and returns OK.
+  Status Parse(int argc, char** argv);
+
+  int GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  bool help_requested() const { return help_requested_; }
+
+  /// Renders a usage string listing all flags with defaults and help text.
+  std::string Usage(const std::string& program) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  enum class Type { kInt, kDouble, kString, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    int int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+    bool bool_value = false;
+  };
+
+  Status SetFromString(Flag* flag, const std::string& value);
+  const Flag* Find(const std::string& name, Type type) const;
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace birnn
+
+#endif  // BIRNN_UTIL_FLAGS_H_

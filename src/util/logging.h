@@ -1,0 +1,76 @@
+#ifndef BIRNN_UTIL_LOGGING_H_
+#define BIRNN_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace birnn {
+
+/// Severity levels for the library logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Defaults to kInfo. Not thread-safe to mutate concurrently with logging.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink. Flushes one line to stderr on destruction.
+/// Use via the BIRNN_LOG macro rather than directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but calls std::abort() after flushing.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define BIRNN_LOG(level)                                                \
+  ::birnn::internal_logging::LogMessage(::birnn::LogLevel::k##level,    \
+                                        __FILE__, __LINE__)             \
+      .stream()
+
+/// Internal invariant check: logs and aborts on failure. For programmer
+/// errors only — recoverable conditions must go through Status.
+#define BIRNN_CHECK(cond)                                                  \
+  if (!(cond))                                                             \
+  ::birnn::internal_logging::FatalLogMessage(__FILE__, __LINE__).stream() \
+      << "Check failed: " #cond " "
+
+#define BIRNN_CHECK_EQ(a, b) BIRNN_CHECK((a) == (b))
+#define BIRNN_CHECK_NE(a, b) BIRNN_CHECK((a) != (b))
+#define BIRNN_CHECK_LT(a, b) BIRNN_CHECK((a) < (b))
+#define BIRNN_CHECK_LE(a, b) BIRNN_CHECK((a) <= (b))
+#define BIRNN_CHECK_GT(a, b) BIRNN_CHECK((a) > (b))
+#define BIRNN_CHECK_GE(a, b) BIRNN_CHECK((a) >= (b))
+
+}  // namespace birnn
+
+#endif  // BIRNN_UTIL_LOGGING_H_

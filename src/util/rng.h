@@ -1,0 +1,74 @@
+#ifndef BIRNN_UTIL_RNG_H_
+#define BIRNN_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace birnn {
+
+/// Deterministic pseudo-random number generator (xoshiro256** seeded via
+/// SplitMix64). All experiments in this repo are reproducible from a single
+/// 64-bit seed. Not thread-safe; each worker owns its own Rng.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) { Seed(seed); }
+
+  /// Re-seeds the generator; identical seeds yield identical streams.
+  void Seed(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses rejection
+  /// sampling (Lemire-style) to avoid modulo bias.
+  uint64_t UniformInt(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform float in [lo, hi).
+  float UniformFloat(float lo, float hi);
+
+  /// Standard normal via Box–Muller.
+  double Normal();
+  double Normal(double mean, double stddev) {
+    return mean + stddev * Normal();
+  }
+
+  /// True with probability `p`.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Picks one element uniformly.
+  template <typename T>
+  const T& Choice(const std::vector<T>& v) {
+    BIRNN_CHECK(!v.empty());
+    return v[UniformInt(v.size())];
+  }
+
+  /// Samples `k` distinct indices uniformly from [0, n) (k <= n).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace birnn
+
+#endif  // BIRNN_UTIL_RNG_H_

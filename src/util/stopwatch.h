@@ -1,0 +1,31 @@
+#ifndef BIRNN_UTIL_STOPWATCH_H_
+#define BIRNN_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace birnn {
+
+/// Monotonic wall-clock timer. Starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace birnn
+
+#endif  // BIRNN_UTIL_STOPWATCH_H_

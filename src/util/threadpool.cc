@@ -1,0 +1,85 @@
+#include "util/threadpool.h"
+
+#include "util/logging.h"
+
+namespace birnn {
+
+ThreadPool::ThreadPool(int threads) {
+  BIRNN_CHECK_GE(threads, 0);
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();  // inline mode
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  if (workers_.empty()) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(lock,
+                           [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) {
+  if (workers_.empty()) {
+    for (int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Chunk to limit queue overhead: ~4 chunks per worker.
+  const int64_t chunks =
+      std::min<int64_t>(n, static_cast<int64_t>(workers_.size()) * 4);
+  if (chunks <= 0) return;
+  const int64_t per_chunk = (n + chunks - 1) / chunks;
+  for (int64_t c = 0; c < chunks; ++c) {
+    const int64_t begin = c * per_chunk;
+    const int64_t end = std::min(n, begin + per_chunk);
+    if (begin >= end) break;
+    Submit([begin, end, &fn] {
+      for (int64_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  Wait();
+}
+
+}  // namespace birnn

@@ -1,0 +1,54 @@
+#ifndef BIRNN_UTIL_THREADPOOL_H_
+#define BIRNN_UTIL_THREADPOOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace birnn {
+
+/// Fixed-size worker pool for embarrassingly parallel work (batch
+/// inference, per-dataset experiment fan-out). Tasks are plain
+/// `std::function<void()>`; `Wait()` blocks until the queue drains and all
+/// workers are idle. Destruction waits for outstanding tasks.
+///
+/// With `threads == 0` the pool runs tasks inline on the calling thread
+/// (deterministic, zero overhead) — the default on single-core machines.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs `fn(i)` for i in [0, n), distributing across the pool, and waits.
+  /// `fn` must be safe to call concurrently for distinct i.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_idle_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace birnn
+
+#endif  // BIRNN_UTIL_THREADPOOL_H_

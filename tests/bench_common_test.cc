@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "bench_common.h"
+
+namespace birnn::bench {
+namespace {
+
+TEST(BenchCommonTest, DefaultsAreFastMode) {
+  FlagSet flags;
+  AddCommonFlags(&flags);
+  const char* argv[] = {"prog"};
+  const BenchConfig config =
+      ParseCommonFlags(&flags, 1, const_cast<char**>(argv), "prog");
+  EXPECT_EQ(config.reps, 3);
+  EXPECT_EQ(config.epochs, 80);
+  EXPECT_EQ(config.n_label_tuples, 20);
+  EXPECT_DOUBLE_EQ(config.scale, 0.0);
+  EXPECT_FALSE(config.paper_fidelity);
+  EXPECT_TRUE(config.datasets.empty());
+}
+
+TEST(BenchCommonTest, PaperFidelityOverrides) {
+  FlagSet flags;
+  AddCommonFlags(&flags);
+  const char* argv[] = {"prog", "--paper-fidelity", "--reps=2"};
+  const BenchConfig config =
+      ParseCommonFlags(&flags, 3, const_cast<char**>(argv), "prog");
+  EXPECT_EQ(config.reps, 10);
+  EXPECT_EQ(config.epochs, 120);
+  EXPECT_DOUBLE_EQ(config.scale, 1.0);
+}
+
+TEST(BenchCommonTest, DatasetListParsing) {
+  FlagSet flags;
+  AddCommonFlags(&flags);
+  const char* argv[] = {"prog", "--datasets=Beers, tax"};
+  const BenchConfig config =
+      ParseCommonFlags(&flags, 2, const_cast<char**>(argv), "prog");
+  ASSERT_EQ(config.datasets.size(), 2u);
+  EXPECT_EQ(config.datasets[0], "beers");
+  EXPECT_EQ(config.datasets[1], "tax");
+  EXPECT_EQ(DatasetList(config), config.datasets);
+}
+
+TEST(BenchCommonTest, DefaultScaleTargets300Rows) {
+  BenchConfig config;
+  // tax: 300 / 200000
+  EXPECT_NEAR(DefaultScale("tax", config), 300.0 / 200000, 1e-9);
+  EXPECT_NEAR(DefaultScale("hospital", config), 0.3, 1e-9);
+  // Explicit scale wins.
+  config.scale = 0.5;
+  EXPECT_DOUBLE_EQ(DefaultScale("tax", config), 0.5);
+}
+
+TEST(BenchCommonTest, MakePairHonorsScale) {
+  BenchConfig config;
+  config.scale = 0.05;
+  const datagen::DatasetPair pair = MakePair("hospital", config);
+  EXPECT_EQ(pair.dirty.num_rows(), 50);
+  EXPECT_EQ(pair.name, "hospital");
+}
+
+TEST(BenchCommonTest, RunnerOptionsMapping) {
+  BenchConfig config;
+  config.reps = 7;
+  config.epochs = 33;
+  config.n_label_tuples = 11;
+  config.seed = 42;
+  const eval::RunnerOptions options =
+      MakeRunnerOptions(config, "tsb", "randomset");
+  EXPECT_EQ(options.repetitions, 7);
+  EXPECT_EQ(options.base_seed, 42u);
+  EXPECT_EQ(options.detector.model, "tsb");
+  EXPECT_EQ(options.detector.sampler, "randomset");
+  EXPECT_EQ(options.detector.n_label_tuples, 11);
+  EXPECT_EQ(options.detector.trainer.epochs, 33);
+}
+
+TEST(BenchCommonTest, AllDatasetsByDefault) {
+  BenchConfig config;
+  const auto list = DatasetList(config);
+  ASSERT_EQ(list.size(), 6u);
+  EXPECT_EQ(list.front(), "beers");
+  EXPECT_EQ(list.back(), "tax");
+}
+
+}  // namespace
+}  // namespace birnn::bench

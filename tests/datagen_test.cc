@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "data/prepare.h"
+#include "datagen/datasets.h"
+#include "datagen/injector.h"
+#include "datagen/stats.h"
+#include "datagen/vocab.h"
+
+namespace birnn::datagen {
+namespace {
+
+// ----------------------------------------------------- corruption primitives
+
+TEST(InjectorPrimitivesTest, CorruptMissing) {
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const std::string out = CorruptMissing("value", &rng);
+    EXPECT_TRUE(out.empty() || out == "NaN");
+  }
+}
+
+TEST(InjectorPrimitivesTest, CorruptTypoXReplacesLetter) {
+  Rng rng(2);
+  const std::string out = CorruptTypoX("heart", &rng);
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_NE(out, "heart");
+  EXPECT_NE(out.find('x'), std::string::npos);
+}
+
+TEST(InjectorPrimitivesTest, CorruptTypoXOnDigitsAppends) {
+  Rng rng(3);
+  EXPECT_EQ(CorruptTypoX("12345", &rng), "12345x");
+}
+
+TEST(InjectorPrimitivesTest, CorruptTypoChangesValue) {
+  Rng rng(4);
+  int changed = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (CorruptTypo("hospital", &rng) != "hospital") ++changed;
+  }
+  EXPECT_GT(changed, 40);  // transpose of equal chars can be a no-op
+}
+
+TEST(InjectorPrimitivesTest, ThousandsSeparators) {
+  EXPECT_EQ(CorruptThousandsSeparators("379998"), "379,998");
+  EXPECT_EQ(CorruptThousandsSeparators("1234567"), "1,234,567");
+  EXPECT_EQ(CorruptThousandsSeparators("123"), "123");  // too short
+  EXPECT_EQ(CorruptThousandsSeparators("abc"), "abc");
+  EXPECT_EQ(CorruptThousandsSeparators("x12345y"), "x12,345y");
+}
+
+TEST(InjectorPrimitivesTest, SuffixAndZeros) {
+  EXPECT_EQ(CorruptAppendSuffix("12.0", " oz"), "12.0 oz");
+  EXPECT_EQ(CorruptStripLeadingZeros("01907"), "1907");
+  EXPECT_EQ(CorruptStripLeadingZeros("0001"), "1");
+  EXPECT_EQ(CorruptStripLeadingZeros("100"), "100");
+  EXPECT_EQ(CorruptAppendDecimal("7"), "7.0");
+  EXPECT_EQ(CorruptAppendDecimal("7.5"), "7.5");
+}
+
+TEST(InjectorPrimitivesTest, SwapDashParts) {
+  EXPECT_EQ(CorruptSwapDashParts("22-Mar"), "Mar-22");
+  EXPECT_EQ(CorruptSwapDashParts("Mar-22"), "22-Mar");
+  EXPECT_EQ(CorruptSwapDashParts("nodash"), "nodash");
+  EXPECT_EQ(CorruptSwapDashParts("-x"), "-x");
+}
+
+TEST(InjectorPrimitivesTest, PrependDateFormat) {
+  Rng rng(5);
+  const std::string out = CorruptPrependDate("6:55 a.m.", &rng);
+  // "MM/DD/2011 6:55 a.m."
+  EXPECT_EQ(out.size(), std::string("12/02/2011 6:55 a.m.").size());
+  EXPECT_NE(out.find("/2011 6:55 a.m."), std::string::npos);
+}
+
+TEST(InjectorPrimitivesTest, ShiftTimeMinutesStaysValid) {
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    const std::string out = CorruptShiftTimeMinutes("8:42 a.m.", &rng);
+    EXPECT_NE(out, "8:42 a.m.");
+    // Still parses as H:MM.
+    const size_t colon = out.find(':');
+    ASSERT_NE(colon, std::string::npos);
+    const int minute = (out[colon + 1] - '0') * 10 + (out[colon + 2] - '0');
+    EXPECT_GE(minute, 0);
+    EXPECT_LT(minute, 60);
+    EXPECT_NE(out.find("a.m."), std::string::npos);
+  }
+}
+
+TEST(InjectorPrimitivesTest, ShiftTimeLeavesNonTimesAlone) {
+  Rng rng(7);
+  EXPECT_EQ(CorruptShiftTimeMinutes("not a time", &rng), "not a time");
+  EXPECT_EQ(CorruptShiftTimeMinutes("", &rng), "");
+}
+
+TEST(InjectorPrimitivesTest, SwapDomainValuePicksDifferent) {
+  Rng rng(8);
+  const std::vector<std::string> domain{"CA", "TX", "NY"};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_NE(CorruptSwapDomainValue("CA", domain, &rng), "CA");
+  }
+  // Degenerate single-value domain still forces a change.
+  EXPECT_NE(CorruptSwapDomainValue("CA", {"CA"}, &rng), "CA");
+}
+
+// ------------------------------------------------------------ InjectErrors
+
+TEST(InjectErrorsTest, HitsTargetRate) {
+  Rng rng(9);
+  data::Table clean(std::vector<std::string>{"a", "b"});
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        clean.AppendRow({"value" + std::to_string(i), "fixed"}).ok());
+  }
+  std::vector<ColumnCorruption> corruptions;
+  corruptions.push_back({0, 1.0, ErrorType::kTypo,
+                         [](const std::string& v, int, Rng* r) {
+                           return CorruptTypo(v, r);
+                         }});
+  const data::Table dirty = InjectErrors(clean, corruptions, 0.10, &rng);
+  int64_t diff = 0;
+  for (int r = 0; r < clean.num_rows(); ++r) {
+    for (int c = 0; c < clean.num_columns(); ++c) {
+      if (dirty.cell(r, c) != clean.cell(r, c)) ++diff;
+    }
+  }
+  const double rate = static_cast<double>(diff) / (500.0 * 2.0);
+  EXPECT_NEAR(rate, 0.10, 0.01);
+}
+
+TEST(InjectErrorsTest, OnlyTargetColumnTouched) {
+  Rng rng(10);
+  data::Table clean(std::vector<std::string>{"a", "b"});
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(clean.AppendRow({"aaaa", "bbbb"}).ok());
+  }
+  std::vector<ColumnCorruption> corruptions;
+  corruptions.push_back({1, 1.0, ErrorType::kTypo,
+                         [](const std::string& v, int, Rng* r) {
+                           return CorruptTypo(v, r);
+                         }});
+  const data::Table dirty = InjectErrors(clean, corruptions, 0.05, &rng);
+  for (int r = 0; r < clean.num_rows(); ++r) {
+    EXPECT_EQ(dirty.cell(r, 0), clean.cell(r, 0));
+  }
+}
+
+// ---------------------------------------------------------------- datasets
+
+struct DatasetCase {
+  std::string name;
+};
+
+class DatasetGenTest : public ::testing::TestWithParam<DatasetCase> {};
+
+TEST_P(DatasetGenTest, MatchesSpec) {
+  const auto spec_or = FindDatasetSpec(GetParam().name);
+  ASSERT_TRUE(spec_or.ok());
+  const DatasetSpec& spec = *spec_or;
+
+  GenOptions options;
+  // Scale so each dataset lands around ~600 rows for the test.
+  options.scale = 600.0 / spec.paper_rows;
+  options.seed = 21;
+  auto pair_or = MakeDataset(spec.name, options);
+  ASSERT_TRUE(pair_or.ok());
+  const DatasetPair& pair = *pair_or;
+
+  EXPECT_EQ(pair.name, spec.name);
+  EXPECT_EQ(pair.clean.num_columns(), spec.paper_cols);
+  EXPECT_EQ(pair.dirty.num_columns(), spec.paper_cols);
+  EXPECT_EQ(pair.clean.num_rows(), pair.dirty.num_rows());
+  EXPECT_GT(pair.clean.num_rows(), 400);
+
+  const DatasetStats stats = ComputeStats(pair);
+  EXPECT_NEAR(stats.error_rate, spec.paper_error_rate,
+              spec.paper_error_rate * 0.25 + 0.005)
+      << "error rate off for " << spec.name;
+  EXPECT_GT(stats.distinct_chars, 15);
+}
+
+TEST_P(DatasetGenTest, DeterministicPerSeed) {
+  GenOptions options;
+  options.scale = 0.05;
+  options.seed = 33;
+  auto a = MakeDataset(GetParam().name, options);
+  auto b = MakeDataset(GetParam().name, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->clean.Equals(b->clean));
+  EXPECT_TRUE(a->dirty.Equals(b->dirty));
+  options.seed = 34;
+  auto c = MakeDataset(GetParam().name, options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(a->dirty.Equals(c->dirty));
+}
+
+TEST_P(DatasetGenTest, PreparesCleanly) {
+  GenOptions options;
+  options.scale = 0.05;
+  auto pair = MakeDataset(GetParam().name, options);
+  ASSERT_TRUE(pair.ok());
+  auto frame = data::PrepareData(pair->dirty, pair->clean);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->num_tuples(), pair->dirty.num_rows());
+  EXPECT_GT(frame->ErrorRate(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, DatasetGenTest,
+    ::testing::Values(DatasetCase{"beers"}, DatasetCase{"flights"},
+                      DatasetCase{"hospital"}, DatasetCase{"movies"},
+                      DatasetCase{"rayyan"}, DatasetCase{"tax"}),
+    [](const ::testing::TestParamInfo<DatasetCase>& info) {
+      return info.param.name;
+    });
+
+TEST(DatasetGenTest, UnknownNameFails) {
+  EXPECT_FALSE(MakeDataset("nope", {}).ok());
+  EXPECT_FALSE(FindDatasetSpec("nope").ok());
+}
+
+TEST(DatasetGenTest, SpecsCoverTableTwo) {
+  const auto& specs = AllDatasetSpecs();
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].name, "beers");
+  EXPECT_EQ(specs[5].name, "tax");
+  EXPECT_EQ(specs[5].paper_rows, 200000);
+  EXPECT_DOUBLE_EQ(specs[1].paper_error_rate, 0.30);
+}
+
+TEST(DatasetSignatureTest, HospitalTyposUseX) {
+  GenOptions options;
+  options.scale = 0.5;
+  const DatasetPair pair = MakeHospital(options);
+  // Find a corrupted textual cell and verify the trademark 'x' signature.
+  int with_x = 0;
+  int textual_typos = 0;
+  const int name_col = pair.clean.ColumnIndex("hospital_name");
+  for (int r = 0; r < pair.clean.num_rows(); ++r) {
+    if (pair.dirty.cell(r, name_col) != pair.clean.cell(r, name_col)) {
+      ++textual_typos;
+      if (pair.dirty.cell(r, name_col).find('x') != std::string::npos) {
+        ++with_x;
+      }
+    }
+  }
+  if (textual_typos > 0) {
+    EXPECT_EQ(with_x, textual_typos);
+  }
+}
+
+TEST(DatasetSignatureTest, BeersOuncesGetUnits) {
+  GenOptions options;
+  options.scale = 0.5;
+  const DatasetPair pair = MakeBeers(options);
+  const int col = pair.clean.ColumnIndex("ounces");
+  bool found_oz = false;
+  for (int r = 0; r < pair.clean.num_rows(); ++r) {
+    if (pair.dirty.cell(r, col) != pair.clean.cell(r, col)) {
+      EXPECT_EQ(pair.dirty.cell(r, col), pair.clean.cell(r, col) + " oz");
+      found_oz = true;
+    }
+  }
+  EXPECT_TRUE(found_oz);
+}
+
+TEST(DatasetSignatureTest, FlightsSourcesShareCleanTimes) {
+  GenOptions options;
+  options.scale = 0.2;
+  const DatasetPair pair = MakeFlights(options);
+  // Group clean rows by flight id: all sources must agree on clean times.
+  const int flight_col = pair.clean.ColumnIndex("flight");
+  const int dep_col = pair.clean.ColumnIndex("sched_dep_time");
+  std::map<std::string, std::set<std::string>> times;
+  for (int r = 0; r < pair.clean.num_rows(); ++r) {
+    times[pair.clean.cell(r, flight_col)].insert(pair.clean.cell(r, dep_col));
+  }
+  for (const auto& [flight, deps] : times) {
+    EXPECT_EQ(deps.size(), 1u) << flight;
+  }
+}
+
+TEST(DatasetSignatureTest, TaxZipLeadingZeroStripped) {
+  GenOptions options;
+  options.scale = 0.05;
+  const DatasetPair pair = MakeTax(options);
+  const int zip = pair.clean.ColumnIndex("zip");
+  for (int r = 0; r < pair.clean.num_rows(); ++r) {
+    if (pair.dirty.cell(r, zip) != pair.clean.cell(r, zip)) {
+      // Stripped zeros: dirty is a suffix of clean.
+      const std::string& d = pair.dirty.cell(r, zip);
+      const std::string& c = pair.clean.cell(r, zip);
+      EXPECT_TRUE(c.size() > d.size() &&
+                  c.substr(c.size() - d.size()) == d)
+          << c << " -> " << d;
+    }
+  }
+}
+
+TEST(VocabTest, CityStateMappingIsFunctional) {
+  std::map<std::string, std::string> mapping;
+  for (const auto& cs : CityStates()) {
+    auto [it, inserted] = mapping.emplace(cs.city, cs.state);
+    EXPECT_TRUE(inserted || it->second == cs.state)
+        << "city " << cs.city << " maps to two states";
+  }
+  EXPECT_GE(mapping.size(), 40u);
+}
+
+TEST(VocabTest, RandomHelpers) {
+  Rng rng(11);
+  EXPECT_EQ(RandomDigits(5, &rng).size(), 5u);
+  const std::string time = RandomClockTime(&rng);
+  EXPECT_NE(time.find(':'), std::string::npos);
+  EXPECT_TRUE(time.find("a.m.") != std::string::npos ||
+              time.find("p.m.") != std::string::npos);
+  const std::string phrase = RandomPhrase(MovieTitleWords(), 3, &rng);
+  EXPECT_FALSE(phrase.empty());
+}
+
+}  // namespace
+}  // namespace birnn::datagen

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "eval/runner.h"
+
+namespace birnn::eval {
+namespace {
+
+TEST(ConfusionTest, CountsAndRates) {
+  Confusion c;
+  // 3 TP, 1 FP, 2 FN, 4 TN.
+  for (int i = 0; i < 3; ++i) c.Add(1, 1);
+  c.Add(1, 0);
+  for (int i = 0; i < 2; ++i) c.Add(0, 1);
+  for (int i = 0; i < 4; ++i) c.Add(0, 0);
+
+  EXPECT_EQ(c.tp, 3);
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.fn, 2);
+  EXPECT_EQ(c.tn, 4);
+  EXPECT_EQ(c.total(), 10);
+  EXPECT_DOUBLE_EQ(c.Precision(), 0.75);
+  EXPECT_DOUBLE_EQ(c.Recall(), 0.6);
+  EXPECT_NEAR(c.F1(), 2 * 0.75 * 0.6 / (0.75 + 0.6), 1e-12);
+  EXPECT_DOUBLE_EQ(c.Accuracy(), 0.7);
+}
+
+TEST(ConfusionTest, DegenerateCases) {
+  Confusion empty;
+  EXPECT_DOUBLE_EQ(empty.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.F1(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Accuracy(), 0.0);
+
+  Confusion all_negative;
+  all_negative.Add(0, 0);
+  EXPECT_DOUBLE_EQ(all_negative.F1(), 0.0);
+  EXPECT_DOUBLE_EQ(all_negative.Accuracy(), 1.0);
+}
+
+TEST(EvaluateTest, FromVectors) {
+  const std::vector<uint8_t> pred{1, 0, 1, 0};
+  const std::vector<int32_t> truth{1, 1, 0, 0};
+  const Confusion c = Evaluate(pred, truth);
+  EXPECT_EQ(c.tp, 1);
+  EXPECT_EQ(c.fn, 1);
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.tn, 1);
+}
+
+TEST(MetricsTest, FromAndToString) {
+  Confusion c;
+  c.Add(1, 1);
+  c.Add(0, 0);
+  const Metrics m = Metrics::From(c);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  EXPECT_NE(m.ToString().find("F1=1.00"), std::string::npos);
+}
+
+TEST(TableWriterTest, AlignsColumns) {
+  TableWriter writer({"Name", "F1"});
+  writer.AddRow({"ETSB-RNN", "0.91"});
+  writer.AddRow({"x", "1"});
+  std::ostringstream out;
+  writer.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| Name     | F1   |"), std::string::npos);
+  EXPECT_NE(text.find("| ETSB-RNN | 0.91 |"), std::string::npos);
+  EXPECT_NE(text.find("|----------|------|"), std::string::npos);
+}
+
+TEST(ReportTest, Fmt2) {
+  EXPECT_EQ(Fmt2(0.851), "0.85");
+  EXPECT_EQ(Fmt2(1.0), "1.00");
+}
+
+TEST(CurveTest, AverageCurveAggregatesHistories) {
+  RepeatedResult result;
+  core::EpochStats e0;
+  e0.epoch = 0;
+  e0.train_accuracy = 0.5;
+  e0.test_accuracy = 0.4;
+  e0.has_test = true;
+  core::EpochStats e1 = e0;
+  e1.epoch = 1;
+  e1.train_accuracy = 0.8;
+  e1.test_accuracy = 0.7;
+  result.histories.push_back({e0, e1});
+  core::EpochStats f0 = e0;
+  f0.test_accuracy = 0.6;
+  core::EpochStats f1 = e1;
+  f1.test_accuracy = 0.9;
+  result.histories.push_back({f0, f1});
+
+  const auto test_curve = AverageTestAccuracyCurve(result);
+  ASSERT_EQ(test_curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(test_curve[0].mean, 0.5);
+  EXPECT_DOUBLE_EQ(test_curve[1].mean, 0.8);
+  EXPECT_GT(test_curve[0].ci95, 0.0);
+
+  const auto train_curve = AverageTrainAccuracyCurve(result);
+  ASSERT_EQ(train_curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(train_curve[1].mean, 0.8);
+}
+
+TEST(CurveTest, PrintCurveFormat) {
+  std::ostringstream out;
+  PrintCurve("fig6 beers", {{0, 0.5, 0.01}, {1, 0.75, 0.02}}, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# fig6 beers"), std::string::npos);
+  EXPECT_NE(text.find("0\t0.5000\t0.0100"), std::string::npos);
+  EXPECT_NE(text.find("1\t0.7500\t0.0200"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace birnn::eval

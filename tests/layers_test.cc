@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/gradcheck.h"
+#include "nn/init.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+
+namespace birnn::nn {
+namespace {
+
+TEST(InitTest, GlorotUniformWithinLimit) {
+  Rng rng(1);
+  Tensor t(20, 30);
+  GlorotUniform(&t, &rng);
+  const float limit = std::sqrt(6.0f / 50.0f);
+  float max_abs = 0;
+  for (size_t i = 0; i < t.size(); ++i) {
+    max_abs = std::max(max_abs, std::fabs(t[i]));
+  }
+  EXPECT_LE(max_abs, limit);
+  EXPECT_GT(max_abs, limit * 0.5f);  // not all tiny
+}
+
+TEST(InitTest, OrthogonalRowsAreOrthonormal) {
+  Rng rng(2);
+  Tensor t(8, 8);
+  OrthogonalInit(&t, &rng);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      float dot = 0;
+      for (int k = 0; k < 8; ++k) dot += t.at(i, k) * t.at(j, k);
+      EXPECT_NEAR(dot, i == j ? 1.0f : 0.0f, 1e-4) << i << "," << j;
+    }
+  }
+}
+
+TEST(InitTest, OrthogonalRectangular) {
+  Rng rng(3);
+  Tensor t(4, 6);
+  OrthogonalInit(&t, &rng);
+  // Rows orthonormal when rows <= cols.
+  for (int i = 0; i < 4; ++i) {
+    float norm = 0;
+    for (int k = 0; k < 6; ++k) norm += t.at(i, k) * t.at(i, k);
+    EXPECT_NEAR(norm, 1.0f, 1e-4);
+  }
+}
+
+TEST(EmbeddingTest, LookupReturnsTableRows) {
+  Rng rng(4);
+  Embedding emb("e", 6, 3, &rng);
+  Tensor out;
+  emb.LookupForward({1, 5, 1}, &out);
+  EXPECT_EQ(out.rows(), 3);
+  EXPECT_EQ(out.cols(), 3);
+  EXPECT_FLOAT_EQ(out.at(0, 0), out.at(2, 0));  // same id, same row
+  EXPECT_EQ(emb.vocab(), 6);
+  EXPECT_EQ(emb.dim(), 3);
+}
+
+TEST(DenseTest, ForwardMatchesGraph) {
+  Rng rng(5);
+  Dense dense("d", 4, 3, Dense::Activation::kRelu, &rng);
+  Tensor x(2, 4);
+  NormalInit(&x, 1.0f, &rng);
+
+  Tensor direct;
+  dense.ApplyForward(x, &direct);
+
+  Graph g;
+  Graph::Var y = dense.Bind(&g).Apply(g.Input(x));
+  EXPECT_TRUE(g.value(y).AllClose(direct, 1e-6f));
+}
+
+TEST(DenseTest, ActivationVariants) {
+  Rng rng(6);
+  Tensor x(1, 2);
+  x.at(0, 0) = -5.0f;
+  x.at(0, 1) = 5.0f;
+  Dense none("n", 2, 2, Dense::Activation::kNone, &rng);
+  Dense relu("r", 2, 2, Dense::Activation::kRelu, &rng);
+  Tensor out;
+  relu.ApplyForward(x, &out);
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_GE(out[i], 0.0f);
+}
+
+TEST(BatchNormTest, ForwardUsesRunningStats) {
+  BatchNorm1d bn("bn", 2);
+  bn.SetRunningStats(Tensor::FromVector({1.0f, 2.0f}),
+                     Tensor::FromVector({4.0f, 9.0f}));
+  Tensor x = Tensor::FromMatrix(1, 2, {3.0f, 8.0f});
+  Tensor out;
+  bn.ApplyForward(x, &out);
+  // (3-1)/2 = 1, (8-2)/3 = 2 (gamma=1, beta=0, eps negligible).
+  EXPECT_NEAR(out.at(0, 0), 1.0f, 1e-3);
+  EXPECT_NEAR(out.at(0, 1), 2.0f, 1e-3);
+}
+
+TEST(BatchNormTest, TrainUpdatesRunningStats) {
+  BatchNorm1d bn("bn", 1);
+  Graph g;
+  Tensor x = Tensor::FromMatrix(4, 1, {10, 10, 10, 10});
+  Graph::Var y = bn.Apply(&g, g.Input(x), /*training=*/true);
+  (void)y;
+  EXPECT_GT(bn.running_mean()[0], 0.0f);  // moved toward 10
+  EXPECT_LT(bn.running_var()[0], 1.0f);   // moved toward 0
+}
+
+TEST(RnnCellTest, StepForwardMatchesGraph) {
+  Rng rng(7);
+  RnnCell cell("c", 3, 5, &rng);
+  Tensor x(2, 3);
+  Tensor h(2, 5);
+  NormalInit(&x, 1.0f, &rng);
+  NormalInit(&h, 1.0f, &rng);
+
+  Tensor direct;
+  cell.StepForward(x, h, &direct);
+
+  Graph g;
+  auto bound = cell.Bind(&g);
+  Graph::Var y = bound.Step(g.Input(x), g.Input(h));
+  EXPECT_TRUE(g.value(y).AllClose(direct, 1e-6f));
+  EXPECT_EQ(direct.rows(), 2);
+  EXPECT_EQ(direct.cols(), 5);
+}
+
+TEST(RnnCellTest, OutputsBoundedByTanh) {
+  Rng rng(8);
+  RnnCell cell("c", 2, 4, &rng);
+  Tensor x = Tensor::Full({1, 2}, 100.0f);
+  Tensor h(1, 4);
+  Tensor out;
+  cell.StepForward(x, h, &out);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_LE(std::fabs(out[i]), 1.0f);
+  }
+}
+
+class StackedBiRnnTest : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(StackedBiRnnTest, ForwardMatchesGraphAndShapes) {
+  const int stacks = std::get<0>(GetParam());
+  const bool bidirectional = std::get<1>(GetParam());
+  Rng rng(9);
+  StackedBiRnn rnn("r", 3, 4, stacks, bidirectional, &rng);
+  EXPECT_EQ(rnn.output_dim(), bidirectional ? 8 : 4);
+
+  const int batch = 2;
+  const int t_steps = 5;
+  std::vector<Tensor> steps(t_steps, Tensor(batch, 3));
+  for (auto& s : steps) NormalInit(&s, 1.0f, &rng);
+
+  Tensor direct;
+  rnn.ApplyForward(steps, &direct);
+  EXPECT_EQ(direct.rows(), batch);
+  EXPECT_EQ(direct.cols(), rnn.output_dim());
+
+  Graph g;
+  std::vector<Graph::Var> vars;
+  for (const auto& s : steps) vars.push_back(g.Input(s));
+  Graph::Var y = rnn.Apply(&g, vars, batch);
+  EXPECT_TRUE(g.value(y).AllClose(direct, 1e-5f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, StackedBiRnnTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(false, true)),
+    [](const ::testing::TestParamInfo<std::tuple<int, bool>>& info) {
+      return "stacks" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_bidi" : "_uni");
+    });
+
+TEST(StackedBiRnnTest, BidirectionalSeesReversedOrder) {
+  // A sequence and its reverse must produce different outputs for a
+  // unidirectional RNN, demonstrating order sensitivity.
+  Rng rng(10);
+  StackedBiRnn rnn("r", 2, 4, 2, /*bidirectional=*/false, &rng);
+  std::vector<Tensor> seq;
+  for (int t = 0; t < 4; ++t) {
+    Tensor x(1, 2);
+    x.at(0, 0) = static_cast<float>(t);
+    x.at(0, 1) = 1.0f;
+    seq.push_back(x);
+  }
+  std::vector<Tensor> rev(seq.rbegin(), seq.rend());
+  Tensor out_fwd;
+  Tensor out_rev;
+  rnn.ApplyForward(seq, &out_fwd);
+  rnn.ApplyForward(rev, &out_rev);
+  EXPECT_FALSE(out_fwd.AllClose(out_rev, 1e-3f));
+}
+
+TEST(StackedBiRnnTest, ParamCount) {
+  Rng rng(11);
+  // 2 stacks, bidirectional: 4 cells, each with wx, wh, bh.
+  StackedBiRnn rnn("r", 3, 4, 2, true, &rng);
+  EXPECT_EQ(rnn.Params().size(), 12u);
+  // Level 0 wx is (3,4); level 1 wx is (4,4).
+  EXPECT_EQ(CountWeights(rnn.Params()),
+            2u * ((3 * 4 + 4 * 4 + 4) + (4 * 4 + 4 * 4 + 4)));
+}
+
+TEST(StackedBiRnnTest, GradientCheckThroughTime) {
+  Rng rng(12);
+  StackedBiRnn rnn("r", 2, 3, 2, true, &rng);
+  const int batch = 2;
+  std::vector<Tensor> steps(3, Tensor(batch, 2));
+  Rng data_rng(13);
+  for (auto& s : steps) NormalInit(&s, 0.8f, &data_rng);
+
+  auto loss_fn = [&](bool with_backward) {
+    Graph g;
+    std::vector<Graph::Var> vars;
+    for (const auto& s : steps) vars.push_back(g.Input(s));
+    Graph::Var y = rnn.Apply(&g, vars, batch);
+    Graph::Var logits =
+        g.MatMul(y, g.Input(Tensor::FromMatrix(
+                        6, 2, {0.3f, -0.2f, 0.1f, 0.4f, -0.1f, 0.2f, 0.5f,
+                               -0.3f, 0.2f, 0.1f, -0.4f, 0.3f})));
+    Graph::Var loss = g.SoftmaxCrossEntropy(logits, {0, 1});
+    if (with_backward) g.Backward(loss);
+    return g.value(loss).scalar();
+  };
+  Rng check_rng(14);
+  GradCheckResult result = CheckParameterGradients(
+      rnn.Params(), loss_fn, &check_rng, 1e-3f, 3e-2f, 6);
+  EXPECT_TRUE(result.ok) << result.max_rel_diff;
+}
+
+}  // namespace
+}  // namespace birnn::nn

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "data/csv.h"
+#include "datagen/datasets.h"
+#include "datagen/loader.h"
+
+namespace birnn::datagen {
+namespace {
+
+class LoaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "birnn_loader_test")
+               .string();
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(LoaderTest, RoundtripsGeneratedDataset) {
+  GenOptions gen;
+  gen.scale = 0.03;
+  const DatasetPair original = MakeBeers(gen);
+  ASSERT_TRUE(
+      data::WriteCsvFile(original.dirty, dir_ + "/dirty.csv").ok());
+  ASSERT_TRUE(
+      data::WriteCsvFile(original.clean, dir_ + "/clean.csv").ok());
+
+  auto loaded = LoadDatasetDir(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name, "birnn_loader_test");
+  EXPECT_TRUE(loaded->dirty.Equals(original.dirty));
+  EXPECT_TRUE(loaded->clean.Equals(original.clean));
+}
+
+TEST_F(LoaderTest, ExplicitPathsAndName) {
+  data::Table t(std::vector<std::string>{"a"});
+  ASSERT_TRUE(t.AppendRow({"x"}).ok());
+  ASSERT_TRUE(data::WriteCsvFile(t, dir_ + "/d.csv").ok());
+  ASSERT_TRUE(data::WriteCsvFile(t, dir_ + "/c.csv").ok());
+  auto loaded =
+      LoadDatasetPair(dir_ + "/d.csv", dir_ + "/c.csv", "mydata");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->name, "mydata");
+  EXPECT_EQ(loaded->dirty.num_rows(), 1);
+}
+
+TEST_F(LoaderTest, ShapeMismatchFails) {
+  data::Table one(std::vector<std::string>{"a"});
+  ASSERT_TRUE(one.AppendRow({"x"}).ok());
+  data::Table two(std::vector<std::string>{"a", "b"});
+  ASSERT_TRUE(two.AppendRow({"x", "y"}).ok());
+  ASSERT_TRUE(data::WriteCsvFile(one, dir_ + "/dirty.csv").ok());
+  ASSERT_TRUE(data::WriteCsvFile(two, dir_ + "/clean.csv").ok());
+  EXPECT_FALSE(LoadDatasetDir(dir_).ok());
+
+  data::Table three(std::vector<std::string>{"a"});
+  ASSERT_TRUE(three.AppendRow({"x"}).ok());
+  ASSERT_TRUE(three.AppendRow({"y"}).ok());
+  ASSERT_TRUE(data::WriteCsvFile(three, dir_ + "/clean.csv").ok());
+  EXPECT_FALSE(LoadDatasetDir(dir_).ok());
+}
+
+TEST_F(LoaderTest, MissingFilesFail) {
+  EXPECT_FALSE(LoadDatasetDir(dir_).ok());
+  EXPECT_FALSE(LoadDatasetPair("/no/dirty.csv", "/no/clean.csv", "x").ok());
+}
+
+// ----------------------------------------------- injected-error recording
+
+class InjectedErrorsTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(InjectedErrorsTest, RecordsExactlyTheDiffCells) {
+  GenOptions gen;
+  gen.scale = 0.1;
+  gen.seed = 99;
+  auto pair_or = MakeDataset(GetParam(), gen);
+  ASSERT_TRUE(pair_or.ok());
+  const DatasetPair& pair = *pair_or;
+
+  // Every recorded injection corresponds to a cell that actually differs,
+  // and together they cover all differing cells.
+  std::set<std::pair<int, int>> recorded;
+  for (const InjectedError& err : pair.injected_errors) {
+    EXPECT_NE(pair.dirty.cell(err.row, err.col),
+              pair.clean.cell(err.row, err.col))
+        << "recorded error at unchanged cell";
+    EXPECT_TRUE(recorded.insert({err.row, err.col}).second)
+        << "duplicate injection record";
+  }
+  int64_t diff_cells = 0;
+  for (int r = 0; r < pair.dirty.num_rows(); ++r) {
+    for (int c = 0; c < pair.dirty.num_columns(); ++c) {
+      if (pair.dirty.cell(r, c) != pair.clean.cell(r, c)) ++diff_cells;
+    }
+  }
+  EXPECT_EQ(static_cast<int64_t>(recorded.size()), diff_cells);
+}
+
+TEST_P(InjectedErrorsTest, TypesComeFromTheDatasetSpec) {
+  GenOptions gen;
+  gen.scale = 0.1;
+  auto pair_or = MakeDataset(GetParam(), gen);
+  ASSERT_TRUE(pair_or.ok());
+  std::set<ErrorType> allowed(pair_or->error_types.begin(),
+                              pair_or->error_types.end());
+  for (const InjectedError& err : pair_or->injected_errors) {
+    EXPECT_TRUE(allowed.count(err.type) > 0)
+        << ErrorTypeCode(err.type) << " not declared for " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, InjectedErrorsTest,
+                         ::testing::Values("beers", "flights", "hospital",
+                                           "movies", "rayyan", "tax"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+}  // namespace
+}  // namespace birnn::datagen

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "nn/graph.h"
+#include "nn/init.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+
+namespace birnn::nn {
+namespace {
+
+TEST(SgdTest, MovesAgainstGradient) {
+  Parameter w("w", Tensor::FromVector({1.0f, -1.0f}));
+  w.ZeroGrad();
+  w.grad[0] = 0.5f;
+  w.grad[1] = -0.5f;
+  Sgd sgd(0.1f);
+  sgd.Step({&w});
+  EXPECT_FLOAT_EQ(w.value[0], 0.95f);
+  EXPECT_FLOAT_EQ(w.value[1], -0.95f);
+}
+
+TEST(RmsPropTest, NormalizesStepSize) {
+  // Two coordinates with very different gradient magnitudes should move by
+  // comparable amounts under RMSprop.
+  Parameter w("w", Tensor::FromVector({0.0f, 0.0f}));
+  RmsProp opt(0.01f);
+  for (int i = 0; i < 10; ++i) {
+    w.ZeroGrad();
+    w.grad[0] = 100.0f;
+    w.grad[1] = 0.01f;
+    opt.Step({&w});
+  }
+  const float move0 = -w.value[0];
+  const float move1 = -w.value[1];
+  EXPECT_GT(move0, 0.0f);
+  EXPECT_GT(move1, 0.0f);
+  EXPECT_LT(move0 / move1, 3.0f);  // within a small factor of each other
+}
+
+TEST(RmsPropTest, ConvergesOnQuadratic) {
+  // Minimize (w - 3)^2 via grad = 2(w - 3).
+  Parameter w("w", Tensor::FromVector({0.0f}));
+  RmsProp opt(0.05f);
+  for (int i = 0; i < 500; ++i) {
+    w.ZeroGrad();
+    w.grad[0] = 2.0f * (w.value[0] - 3.0f);
+    opt.Step({&w});
+  }
+  EXPECT_NEAR(w.value[0], 3.0f, 0.05f);
+}
+
+TEST(OptimizerTest, TrainsXorWithGraph) {
+  // 2-4-2 MLP on XOR: end-to-end check that graph + layers + optimizer
+  // actually learn.
+  Rng rng(42);
+  Dense hidden("h", 2, 8, Dense::Activation::kTanh, &rng);
+  Dense output("o", 8, 2, Dense::Activation::kNone, &rng);
+  std::vector<Parameter*> params;
+  for (auto* p : hidden.Params()) params.push_back(p);
+  for (auto* p : output.Params()) params.push_back(p);
+
+  const Tensor x =
+      Tensor::FromMatrix(4, 2, {0, 0, 0, 1, 1, 0, 1, 1});
+  const std::vector<int> y{0, 1, 1, 0};
+
+  RmsProp opt(0.01f);
+  float last_loss = 0;
+  for (int it = 0; it < 800; ++it) {
+    Graph g;
+    Graph::Var h = hidden.Bind(&g).Apply(g.Input(x));
+    Graph::Var logits = output.Bind(&g).Apply(h);
+    Graph::Var loss = g.SoftmaxCrossEntropy(logits, y);
+    ZeroGrads(params);
+    g.Backward(loss);
+    opt.Step(params);
+    last_loss = g.value(loss).scalar();
+  }
+  EXPECT_LT(last_loss, 0.05f);
+}
+
+TEST(ZeroGradsTest, ClearsAll) {
+  Parameter a("a", Tensor::FromVector({1.0f}));
+  Parameter b("b", Tensor::FromVector({2.0f, 3.0f}));
+  a.grad[0] = 9;
+  b.grad[1] = 9;
+  ZeroGrads({&a, &b});
+  EXPECT_FLOAT_EQ(a.grad[0], 0);
+  EXPECT_FLOAT_EQ(b.grad[1], 0);
+}
+
+TEST(CountWeightsTest, SumsSizes) {
+  Parameter a("a", Tensor(2, 3));
+  Parameter b("b", Tensor(std::vector<int>{5}));
+  EXPECT_EQ(CountWeights({&a, &b}), 11u);
+}
+
+// --------------------------------------------------------------- Serialize
+
+TEST(SerializeTest, SnapshotRestoreRoundtrip) {
+  Rng rng(1);
+  Parameter a("a", Tensor(2, 2));
+  NormalInit(&a.value, 1.0f, &rng);
+  const std::vector<Tensor> snapshot = SnapshotParams({&a});
+  const Tensor original = a.value;
+  a.value.Fill(0.0f);
+  RestoreParams(snapshot, {&a});
+  EXPECT_TRUE(a.value.Equals(original));
+}
+
+TEST(SerializeTest, FileRoundtrip) {
+  Rng rng(2);
+  Parameter a("layer/w", Tensor(3, 4));
+  Parameter b("layer/b", Tensor(std::vector<int>{4}));
+  NormalInit(&a.value, 1.0f, &rng);
+  NormalInit(&b.value, 1.0f, &rng);
+  const Tensor a_orig = a.value;
+  const Tensor b_orig = b.value;
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "birnn_ckpt_test.bin")
+          .string();
+  ASSERT_TRUE(SaveParameters({&a, &b}, path).ok());
+  a.value.Fill(0);
+  b.value.Fill(0);
+  ASSERT_TRUE(LoadParameters(path, {&a, &b}).ok());
+  EXPECT_TRUE(a.value.Equals(a_orig));
+  EXPECT_TRUE(b.value.Equals(b_orig));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingParameterFails) {
+  Parameter a("a", Tensor(1, 1));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "birnn_ckpt_test2.bin")
+          .string();
+  ASSERT_TRUE(SaveParameters({&a}, path).ok());
+  Parameter other("other", Tensor(1, 1));
+  const Status st = LoadParameters(path, {&other});
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ShapeMismatchFails) {
+  Parameter a("a", Tensor(1, 2));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "birnn_ckpt_test3.bin")
+          .string();
+  ASSERT_TRUE(SaveParameters({&a}, path).ok());
+  Parameter wrong("a", Tensor(2, 2));
+  const Status st = LoadParameters(path, {&wrong});
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, NotACheckpointFails) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "birnn_ckpt_test4.bin")
+          .string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "garbage data";
+  }
+  Parameter a("a", Tensor(1, 1));
+  EXPECT_FALSE(LoadParameters(path, {&a}).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileFails) {
+  Parameter a("a", Tensor(1, 1));
+  EXPECT_EQ(LoadParameters("/nonexistent/dir/x.bin", {&a}).code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace birnn::nn

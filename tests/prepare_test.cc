@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "data/dictionary.h"
+#include "data/encoding.h"
+#include "data/prepare.h"
+
+namespace birnn::data {
+namespace {
+
+Table MakeDirty() {
+  Table t(std::vector<std::string>{"attr1", "attr2", "attr3"});
+  EXPECT_TRUE(t.AppendRow({"  21", "e3", ""}).ok());
+  EXPECT_TRUE(t.AppendRow({"45", "xx", "1111"}).ok());
+  EXPECT_TRUE(t.AppendRow({"30", "e3", "2222"}).ok());
+  return t;
+}
+
+Table MakeClean() {
+  // Dirty columns may carry different header names; prepare renames by
+  // position.
+  Table t(std::vector<std::string>{"a1", "a2", "a3"});
+  EXPECT_TRUE(t.AppendRow({"21", "e3", "abcd"}).ok());
+  EXPECT_TRUE(t.AppendRow({"45", "yy", "1111"}).ok());
+  EXPECT_TRUE(t.AppendRow({"12", "e3", "2222"}).ok());
+  return t;
+}
+
+TEST(PrepareTest, LongFormatShape) {
+  auto frame = PrepareData(MakeDirty(), MakeClean());
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->num_tuples(), 3);
+  EXPECT_EQ(frame->num_attrs(), 3);
+  EXPECT_EQ(frame->num_cells(), 9);
+  // Attribute names come from the clean table.
+  EXPECT_EQ(frame->attr_names()[0], "a1");
+}
+
+TEST(PrepareTest, LabelsFromValueComparison) {
+  auto frame = PrepareData(MakeDirty(), MakeClean());
+  ASSERT_TRUE(frame.ok());
+  // "  21" left-trimmed equals "21": correct.
+  EXPECT_EQ(frame->cell(0, 0).label, 0);
+  // "" vs "abcd": wrong.
+  EXPECT_EQ(frame->cell(0, 2).label, 1);
+  // "xx" vs "yy": wrong.
+  EXPECT_EQ(frame->cell(1, 1).label, 1);
+  // "30" vs "12": wrong.
+  EXPECT_EQ(frame->cell(2, 0).label, 1);
+  EXPECT_EQ(frame->cell(2, 2).label, 0);
+}
+
+TEST(PrepareTest, EmptyFlag) {
+  auto frame = PrepareData(MakeDirty(), MakeClean());
+  ASSERT_TRUE(frame.ok());
+  EXPECT_TRUE(frame->cell(0, 2).empty);
+  EXPECT_FALSE(frame->cell(0, 0).empty);
+}
+
+TEST(PrepareTest, NanTreatedAsEmpty) {
+  Table dirty(std::vector<std::string>{"a"});
+  ASSERT_TRUE(dirty.AppendRow({"NaN"}).ok());
+  Table clean(std::vector<std::string>{"a"});
+  ASSERT_TRUE(clean.AppendRow({"x"}).ok());
+  auto frame = PrepareData(dirty, clean);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_TRUE(frame->cell(0, 0).empty);
+
+  PrepareOptions opt;
+  opt.treat_nan_as_empty = false;
+  auto frame2 = PrepareData(dirty, clean, opt);
+  ASSERT_TRUE(frame2.ok());
+  EXPECT_FALSE(frame2->cell(0, 0).empty);
+}
+
+TEST(PrepareTest, ConcatIncludesAttributeAndValue) {
+  auto frame = PrepareData(MakeDirty(), MakeClean());
+  ASSERT_TRUE(frame.ok());
+  const std::string& concat = frame->cell(0, 1).concat;
+  EXPECT_NE(concat.find("a2"), std::string::npos);
+  EXPECT_NE(concat.find("e3"), std::string::npos);
+  // Same attr+value in different tuples -> same concat (the key property
+  // DiverSet relies on).
+  EXPECT_EQ(frame->cell(0, 1).concat, frame->cell(2, 1).concat);
+  // Same value under a different attribute -> different concat.
+  Table dirty(std::vector<std::string>{"x", "y"});
+  ASSERT_TRUE(dirty.AppendRow({"v", "v"}).ok());
+  Table clean = dirty;
+  auto frame2 = PrepareData(dirty, clean);
+  ASSERT_TRUE(frame2.ok());
+  EXPECT_NE(frame2->cell(0, 0).concat, frame2->cell(0, 1).concat);
+}
+
+TEST(PrepareTest, LengthNormPerAttribute) {
+  auto frame = PrepareData(MakeDirty(), MakeClean());
+  ASSERT_TRUE(frame.ok());
+  // attr3 lengths: 0, 4, 4 -> norms 0, 1, 1.
+  EXPECT_FLOAT_EQ(frame->cell(0, 2).length_norm, 0.0f);
+  EXPECT_FLOAT_EQ(frame->cell(1, 2).length_norm, 1.0f);
+  // attr1 lengths: 2,2,2 -> all 1.
+  EXPECT_FLOAT_EQ(frame->cell(0, 0).length_norm, 1.0f);
+}
+
+TEST(PrepareTest, TruncationAt128ByDefault) {
+  Table dirty(std::vector<std::string>{"a"});
+  ASSERT_TRUE(dirty.AppendRow({std::string(300, 'x')}).ok());
+  Table clean(std::vector<std::string>{"a"});
+  ASSERT_TRUE(clean.AppendRow({std::string(300, 'x')}).ok());
+  auto frame = PrepareData(dirty, clean);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->cell(0, 0).value.size(), 128u);
+  // Truncation must not hide the (identical) values: label stays 0.
+  EXPECT_EQ(frame->cell(0, 0).label, 0);
+}
+
+TEST(PrepareTest, LabelComputedBeforeTruncation) {
+  // Values differing only beyond the cut must still be labeled wrong.
+  Table dirty(std::vector<std::string>{"a"});
+  ASSERT_TRUE(dirty.AppendRow({std::string(200, 'x') + "1"}).ok());
+  Table clean(std::vector<std::string>{"a"});
+  ASSERT_TRUE(clean.AppendRow({std::string(200, 'x') + "2"}).ok());
+  auto frame = PrepareData(dirty, clean);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->cell(0, 0).label, 1);
+}
+
+TEST(PrepareTest, MismatchedShapesFail) {
+  Table dirty(std::vector<std::string>{"a", "b"});
+  Table clean(std::vector<std::string>{"a"});
+  EXPECT_FALSE(PrepareData(dirty, clean).ok());
+
+  Table dirty2(std::vector<std::string>{"a"});
+  ASSERT_TRUE(dirty2.AppendRow({"1"}).ok());
+  Table clean2(std::vector<std::string>{"a"});
+  EXPECT_FALSE(PrepareData(dirty2, clean2).ok());
+}
+
+TEST(PrepareTest, DirtyOnlyModeHasZeroLabels) {
+  auto frame = PrepareDirtyOnly(MakeDirty());
+  ASSERT_TRUE(frame.ok());
+  for (const auto& cell : frame->cells()) EXPECT_EQ(cell.label, 0);
+  EXPECT_EQ(frame->attr_names()[0], "attr1");  // dirty names kept
+}
+
+TEST(PrepareTest, StatsHelpers) {
+  auto frame = PrepareData(MakeDirty(), MakeClean());
+  ASSERT_TRUE(frame.ok());
+  EXPECT_NEAR(frame->ErrorRate(), 3.0 / 9.0, 1e-9);
+  EXPECT_EQ(frame->MaxValueLength(), 4);
+  EXPECT_GT(frame->DistinctCharacters(), 3);
+}
+
+// -------------------------------------------------------------- CharIndex
+
+TEST(CharIndexTest, FirstOccurrenceOrder) {
+  CharIndex idx = CharIndex::BuildFromStrings({"ba", "c"});
+  EXPECT_EQ(idx.IndexOf('b'), 1);
+  EXPECT_EQ(idx.IndexOf('a'), 2);
+  EXPECT_EQ(idx.IndexOf('c'), 3);
+  EXPECT_EQ(idx.num_chars(), 3);
+  EXPECT_EQ(idx.vocab_size(), 5);  // pad + 3 + unk
+}
+
+TEST(CharIndexTest, UnknownCharsMapToUnkIndex) {
+  CharIndex idx = CharIndex::BuildFromStrings({"ab"});
+  EXPECT_EQ(idx.IndexOf('z'), idx.unknown_index());
+  EXPECT_EQ(idx.unknown_index(), 3);
+}
+
+TEST(CharIndexTest, EncodeSequence) {
+  CharIndex idx = CharIndex::BuildFromStrings({"bazy"});
+  // 'b'->1, 'a'->2, 'z'->3, 'y'->4 (first occurrence).
+  EXPECT_EQ(idx.Encode("bazy"), (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(idx.Encode(""), (std::vector<int>{}));
+}
+
+TEST(AttributeIndexTest, Lookup) {
+  AttributeIndex idx({"a", "b", "c"});
+  EXPECT_EQ(idx.size(), 3);
+  EXPECT_EQ(idx.IndexOf("b"), 1);
+  EXPECT_EQ(idx.IndexOf("zz"), -1);
+  EXPECT_EQ(idx.NameOf(2), "c");
+}
+
+// --------------------------------------------------------------- Encoding
+
+TEST(EncodingTest, PaddingToGlobalMax) {
+  auto frame = PrepareData(MakeDirty(), MakeClean());
+  ASSERT_TRUE(frame.ok());
+  CharIndex chars = CharIndex::Build(*frame);
+  EncodedDataset ds = EncodeCells(*frame, chars);
+  EXPECT_EQ(ds.max_len, 4);
+  EXPECT_EQ(ds.num_cells(), 9);
+  EXPECT_EQ(ds.n_attrs, 3);
+  EXPECT_EQ(ds.vocab, chars.vocab_size());
+  // Cell (0,1) = "e3": two real ids then zero padding.
+  const int64_t i = 0 * 3 + 1;
+  EXPECT_GT(ds.seq_at(i, 0), 0);
+  EXPECT_GT(ds.seq_at(i, 1), 0);
+  EXPECT_EQ(ds.seq_at(i, 2), 0);
+  EXPECT_EQ(ds.seq_at(i, 3), 0);
+  // Empty value: all padding.
+  const int64_t j = 0 * 3 + 2;
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(ds.seq_at(j, t), 0);
+}
+
+TEST(EncodingTest, SplitByRowIds) {
+  auto frame = PrepareData(MakeDirty(), MakeClean());
+  ASSERT_TRUE(frame.ok());
+  CharIndex chars = CharIndex::Build(*frame);
+  EncodedDataset all = EncodeCells(*frame, chars);
+  EncodedDataset train;
+  EncodedDataset test;
+  SplitByRowIds(all, {1}, &train, &test);
+  EXPECT_EQ(train.num_cells(), 3);
+  EXPECT_EQ(test.num_cells(), 6);
+  for (int64_t r : train.row_ids) EXPECT_EQ(r, 1);
+  for (int64_t r : test.row_ids) EXPECT_NE(r, 1);
+  EXPECT_EQ(train.max_len, all.max_len);
+}
+
+TEST(EncodingTest, TakeCellsPreservesOrder) {
+  auto frame = PrepareData(MakeDirty(), MakeClean());
+  ASSERT_TRUE(frame.ok());
+  CharIndex chars = CharIndex::Build(*frame);
+  EncodedDataset all = EncodeCells(*frame, chars);
+  EncodedDataset subset = TakeCells(all, {4, 0, 8});
+  EXPECT_EQ(subset.num_cells(), 3);
+  EXPECT_EQ(subset.labels[0], all.labels[4]);
+  EXPECT_EQ(subset.labels[1], all.labels[0]);
+  EXPECT_EQ(subset.attrs[2], all.attrs[8]);
+}
+
+}  // namespace
+}  // namespace birnn::data

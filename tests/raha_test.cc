@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/datasets.h"
+#include "eval/metrics.h"
+#include "raha/cluster.h"
+#include "raha/detector.h"
+#include "raha/features.h"
+#include "raha/strategy.h"
+
+namespace birnn::raha {
+namespace {
+
+data::Table TableOf(const std::vector<std::string>& columns,
+                    const std::vector<std::vector<std::string>>& rows) {
+  data::Table t(columns);
+  for (const auto& row : rows) {
+    EXPECT_TRUE(t.AppendRow(row).ok());
+  }
+  return t;
+}
+
+DetectionMask RunStrategy(const Strategy& strategy, const data::Table& t) {
+  DetectionMask mask(static_cast<size_t>(t.num_rows()) * t.num_columns(), 0);
+  strategy.Detect(t, &mask);
+  return mask;
+}
+
+size_t Idx(const data::Table& t, int r, int c) {
+  return static_cast<size_t>(r) * t.num_columns() + static_cast<size_t>(c);
+}
+
+TEST(NullStrategyTest, FlagsMissingSpellings) {
+  const data::Table t = TableOf(
+      {"a"}, {{""}, {"NaN"}, {"n/a"}, {"null"}, {"-"}, {"ok"}, {" "}});
+  const DetectionMask mask = RunStrategy(NullStrategy(), t);
+  EXPECT_EQ(mask[Idx(t, 0, 0)], 1);
+  EXPECT_EQ(mask[Idx(t, 1, 0)], 1);
+  EXPECT_EQ(mask[Idx(t, 2, 0)], 1);
+  EXPECT_EQ(mask[Idx(t, 3, 0)], 1);
+  EXPECT_EQ(mask[Idx(t, 4, 0)], 1);
+  EXPECT_EQ(mask[Idx(t, 5, 0)], 0);
+  EXPECT_EQ(mask[Idx(t, 6, 0)], 1);  // whitespace-only
+}
+
+TEST(GaussianOutlierTest, FlagsExtremesAndTypeMismatches) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 50; ++i) rows.push_back({std::to_string(100 + i % 5)});
+  rows.push_back({"99999"});  // numeric outlier
+  rows.push_back({"BER"});    // non-numeric in numeric column
+  const data::Table t = TableOf({"zip"}, rows);
+  const DetectionMask mask = RunStrategy(GaussianOutlierStrategy(3.0), t);
+  EXPECT_EQ(mask[Idx(t, 50, 0)], 1);
+  EXPECT_EQ(mask[Idx(t, 51, 0)], 1);
+  EXPECT_EQ(mask[Idx(t, 0, 0)], 0);
+}
+
+TEST(GaussianOutlierTest, IgnoresTextColumns) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 30; ++i) rows.push_back({"word" + std::to_string(i)});
+  const data::Table t = TableOf({"name"}, rows);
+  const DetectionMask mask = RunStrategy(GaussianOutlierStrategy(3.0), t);
+  for (uint8_t m : mask) EXPECT_EQ(m, 0);
+}
+
+TEST(HistogramOutlierTest, FlagsRareValues) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 99; ++i) rows.push_back({i % 2 == 0 ? "CA" : "TX"});
+  rows.push_back({"C@"});
+  const data::Table t = TableOf({"state"}, rows);
+  const DetectionMask mask = RunStrategy(HistogramOutlierStrategy(0.02), t);
+  EXPECT_EQ(mask[Idx(t, 99, 0)], 1);
+  EXPECT_EQ(mask[Idx(t, 0, 0)], 0);
+}
+
+TEST(HistogramOutlierTest, SkipsHighCardinalityColumns) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 100; ++i) rows.push_back({"id" + std::to_string(i)});
+  const data::Table t = TableOf({"id"}, rows);
+  const DetectionMask mask = RunStrategy(HistogramOutlierStrategy(0.02), t);
+  for (uint8_t m : mask) EXPECT_EQ(m, 0);
+}
+
+TEST(PatternViolationTest, ShapeAbstraction) {
+  EXPECT_EQ(PatternViolationStrategy::Shape("8:42 a.m."), "9:9 a.a.");
+  EXPECT_EQ(PatternViolationStrategy::Shape("1234"), "9");
+  EXPECT_EQ(PatternViolationStrategy::Shape("abc12"), "a9");
+  EXPECT_EQ(PatternViolationStrategy::Shape(""), "");
+  // Same shape for same format, different content.
+  EXPECT_EQ(PatternViolationStrategy::Shape("12.0"),
+            PatternViolationStrategy::Shape("99.5"));
+  EXPECT_NE(PatternViolationStrategy::Shape("12.0"),
+            PatternViolationStrategy::Shape("12.0 oz"));
+}
+
+TEST(PatternViolationTest, FlagsFormatDeviants) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 99; ++i) {
+    rows.push_back({std::to_string(10 + i % 50) + ".0"});
+  }
+  rows.push_back({"12.0 oz"});
+  const data::Table t = TableOf({"ounces"}, rows);
+  const DetectionMask mask = RunStrategy(PatternViolationStrategy(0.05), t);
+  EXPECT_EQ(mask[Idx(t, 99, 0)], 1);
+  EXPECT_EQ(mask[Idx(t, 3, 0)], 0);
+}
+
+TEST(FdViolationTest, FlagsDependencyBreakers) {
+  // city -> state holds except one row.
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 20; ++i) rows.push_back({"Portland", "OR"});
+  for (int i = 0; i < 20; ++i) rows.push_back({"Austin", "TX"});
+  rows.push_back({"Portland", "TX"});  // violation
+  const data::Table t = TableOf({"city", "state"}, rows);
+  const DetectionMask mask = RunStrategy(FdViolationStrategy(0.9), t);
+  EXPECT_EQ(mask[Idx(t, 40, 1)], 1);
+  EXPECT_EQ(mask[Idx(t, 0, 1)], 0);
+}
+
+TEST(FdViolationTest, NoDependencyNoFlags) {
+  // Random-ish pairs: no FD, nothing flagged.
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 40; ++i) {
+    rows.push_back({"k" + std::to_string(i % 4),
+                    "v" + std::to_string((i * 7) % 10)});
+  }
+  const data::Table t = TableOf({"a", "b"}, rows);
+  const DetectionMask mask = RunStrategy(FdViolationStrategy(0.9), t);
+  for (uint8_t m : mask) EXPECT_EQ(m, 0);
+}
+
+TEST(DictionaryTest, FlagsNearDuplicateOfFrequentValue) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 50; ++i) rows.push_back({"Birmingham"});
+  rows.push_back({"Birmingxam"});
+  const data::Table t = TableOf({"city"}, rows);
+  const DetectionMask mask = RunStrategy(DictionaryStrategy(2), t);
+  EXPECT_EQ(mask[Idx(t, 50, 0)], 1);
+  EXPECT_EQ(mask[Idx(t, 0, 0)], 0);
+}
+
+TEST(KeyDuplicateTest, InferKeyColumn) {
+  // Column 0: flight id repeated over sources (key-like).
+  std::vector<std::vector<std::string>> rows;
+  for (int f = 0; f < 30; ++f) {
+    for (int s = 0; s < 4; ++s) {
+      rows.push_back({"FL" + std::to_string(f), "src" + std::to_string(s),
+                      "8:42 a.m."});
+    }
+  }
+  const data::Table t = TableOf({"flight", "src", "time"}, rows);
+  EXPECT_EQ(KeyDuplicateStrategy::InferKeyColumn(t), 0);
+}
+
+TEST(KeyDuplicateTest, FlagsDisagreeingDuplicates) {
+  std::vector<std::vector<std::string>> rows;
+  for (int f = 0; f < 30; ++f) {
+    const std::string time = std::to_string(1 + f % 12) + ":10 a.m.";
+    for (int s = 0; s < 4; ++s) {
+      rows.push_back({"FL" + std::to_string(f), "s" + std::to_string(s),
+                      time});
+    }
+  }
+  // Row 2 (flight FL0, source s2) disagrees on the time.
+  rows[2][2] = "9:59 p.m.";
+  const data::Table t = TableOf({"flight", "src", "time"}, rows);
+  const DetectionMask mask = RunStrategy(KeyDuplicateStrategy(), t);
+  EXPECT_EQ(mask[Idx(t, 2, 2)], 1);
+  EXPECT_EQ(mask[Idx(t, 1, 2)], 0);
+}
+
+// ---------------------------------------------------------------- features
+
+TEST(FeaturesTest, BuildsBitPerStrategy) {
+  const data::Table t = TableOf({"a"}, {{""}, {"x"}});
+  auto strategies = DefaultStrategies();
+  const FeatureMatrix fm = BuildFeatures(t, strategies);
+  EXPECT_EQ(fm.n_strategies, static_cast<int>(strategies.size()));
+  EXPECT_EQ(fm.n_rows, 2);
+  // The empty cell must be flagged by the null strategy (bit 0 in the
+  // default zoo ordering), the "x" cell not.
+  EXPECT_EQ(fm.cell(0, 0)[0], 1);
+  EXPECT_EQ(fm.cell(1, 0)[0], 0);
+  EXPECT_GE(fm.VoteCount(0, 0), 1);
+}
+
+TEST(FeaturesTest, HammingDistance) {
+  const uint8_t a[] = {0, 1, 1, 0};
+  const uint8_t b[] = {1, 1, 0, 0};
+  EXPECT_EQ(HammingDistance(a, b, 4), 2);
+  EXPECT_EQ(HammingDistance(a, a, 4), 0);
+}
+
+// -------------------------------------------------------------- clustering
+
+TEST(ClusterTest, GroupsIdenticalVectorsTogether) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 30; ++i) rows.push_back({i % 2 == 0 ? "" : "ok"});
+  const data::Table t = TableOf({"a"}, rows);
+  const FeatureMatrix fm = BuildFeatures(t, DefaultStrategies());
+  const ColumnClustering clustering = ClusterColumn(fm, 0, 5);
+  EXPECT_GE(clustering.n_clusters, 1);
+  EXPECT_LE(clustering.n_clusters, 5);
+  // All empty cells share a cluster; all "ok" cells share a cluster.
+  EXPECT_EQ(clustering.cell_cluster[0], clustering.cell_cluster[2]);
+  EXPECT_EQ(clustering.cell_cluster[1], clustering.cell_cluster[3]);
+  EXPECT_NE(clustering.cell_cluster[0], clustering.cell_cluster[1]);
+}
+
+TEST(ClusterTest, RespectsTargetCount) {
+  // Build a column with many distinct feature vectors via mixed content.
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 60; ++i) {
+    switch (i % 5) {
+      case 0: rows.push_back({""}); break;
+      case 1: rows.push_back({"12.0"}); break;
+      case 2: rows.push_back({"12.0 oz"}); break;
+      case 3: rows.push_back({"word"}); break;
+      default: rows.push_back({"999999"}); break;
+    }
+  }
+  const data::Table t = TableOf({"a"}, rows);
+  const FeatureMatrix fm = BuildFeatures(t, DefaultStrategies());
+  const ColumnClustering c2 = ClusterColumn(fm, 0, 2);
+  EXPECT_LE(c2.n_clusters, 2);
+  for (int id : c2.cell_cluster) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, c2.n_clusters);
+  }
+}
+
+// ---------------------------------------------------------------- detector
+
+TEST(RahaDetectorTest, SampleTuplesAreDistinctAndInRange) {
+  datagen::GenOptions options;
+  options.scale = 0.1;
+  const datagen::DatasetPair pair = datagen::MakeBeers(options);
+  RahaDetector detector;
+  detector.Analyze(pair.dirty);
+  Rng rng(3);
+  const std::vector<int64_t> sampled = detector.SampleTuples(20, &rng);
+  EXPECT_EQ(sampled.size(), 20u);
+  std::set<int64_t> distinct(sampled.begin(), sampled.end());
+  EXPECT_EQ(distinct.size(), 20u);
+  for (int64_t r : sampled) {
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, pair.dirty.num_rows());
+  }
+}
+
+TEST(RahaDetectorTest, DetectsInjectedErrorsBetterThanChance) {
+  datagen::GenOptions options;
+  options.scale = 0.15;
+  options.seed = 4;
+  const datagen::DatasetPair pair = datagen::MakeHospital(options);
+  RahaDetector detector;
+  Rng rng(5);
+  const DetectionMask predicted =
+      detector.DetectErrors(pair.dirty, pair.clean, &rng);
+
+  eval::Confusion confusion;
+  for (int r = 0; r < pair.dirty.num_rows(); ++r) {
+    for (int c = 0; c < pair.dirty.num_columns(); ++c) {
+      const int truth = pair.dirty.cell(r, c) != pair.clean.cell(r, c);
+      confusion.Add(predicted[Idx(pair.dirty, r, c)], truth);
+    }
+  }
+  // Hospital's error rate is 3%; random guessing would have precision
+  // ~0.03. The strategy ensemble must do far better.
+  EXPECT_GT(confusion.F1(), 0.3) << "P=" << confusion.Precision()
+                                 << " R=" << confusion.Recall();
+}
+
+TEST(RahaDetectorTest, PropagateUsesOracleLabels) {
+  // A column where half the values are empty. Label oracle says empty ==
+  // error; propagation must classify all empties as errors.
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 40; ++i) rows.push_back({i % 2 == 0 ? "" : "v"});
+  const data::Table t = TableOf({"a"}, rows);
+  RahaDetector detector;
+  detector.Analyze(t);
+  LabelOracle oracle = [&t](int64_t row, int col) {
+    return t.cell(static_cast<int>(row), col).empty() ? 1 : 0;
+  };
+  const DetectionMask mask = detector.Propagate({0, 1, 2, 3}, oracle);
+  for (int r = 0; r < 40; ++r) {
+    EXPECT_EQ(mask[Idx(t, r, 0)], r % 2 == 0 ? 1 : 0) << r;
+  }
+}
+
+}  // namespace
+}  // namespace birnn::raha

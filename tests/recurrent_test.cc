@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/gradcheck.h"
+#include "nn/init.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "nn/recurrent.h"
+
+namespace birnn::nn {
+namespace {
+
+TEST(CellTypeTest, NamesAndParsing) {
+  EXPECT_STREQ(CellTypeName(CellType::kVanilla), "rnn");
+  EXPECT_STREQ(CellTypeName(CellType::kGru), "gru");
+  EXPECT_STREQ(CellTypeName(CellType::kLstm), "lstm");
+  EXPECT_EQ(*ParseCellType("RNN"), CellType::kVanilla);
+  EXPECT_EQ(*ParseCellType("vanilla"), CellType::kVanilla);
+  EXPECT_EQ(*ParseCellType("gru"), CellType::kGru);
+  EXPECT_EQ(*ParseCellType("LSTM"), CellType::kLstm);
+  EXPECT_FALSE(ParseCellType("transformer").ok());
+}
+
+TEST(RecurrentCellTest, WeightShapesPerFamily) {
+  Rng rng(1);
+  RecurrentCell rnn(CellType::kVanilla, "r", 5, 7, &rng);
+  RecurrentCell gru(CellType::kGru, "g", 5, 7, &rng);
+  RecurrentCell lstm(CellType::kLstm, "l", 5, 7, &rng);
+  EXPECT_EQ(CountWeights(rnn.Params()), 5u * 7 + 7u * 7 + 7);
+  EXPECT_EQ(CountWeights(gru.Params()), 3u * (5 * 7 + 7 * 7 + 7));
+  EXPECT_EQ(CountWeights(lstm.Params()), 4u * (5 * 7 + 7 * 7 + 7));
+}
+
+TEST(RecurrentCellTest, LstmForgetBiasIsOne) {
+  Rng rng(2);
+  RecurrentCell lstm(CellType::kLstm, "l", 3, 4, &rng);
+  const Parameter* bias = lstm.Params()[2];
+  ASSERT_EQ(bias->name, "l/b");
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ((*bias).value[static_cast<size_t>(4 + j)], 1.0f);  // f
+    EXPECT_FLOAT_EQ((*bias).value[static_cast<size_t>(j)], 0.0f);      // i
+  }
+}
+
+TEST(RecurrentCellTest, VanillaMatchesRnnCellMath) {
+  // The vanilla RecurrentCell and the classic RnnCell implement identical
+  // math; copy weights over and compare one step.
+  Rng rng(3);
+  RecurrentCell cell(CellType::kVanilla, "c", 4, 6, &rng);
+  Rng rng2(3);
+  RnnCell classic("c", 4, 6, &rng2);  // same seed -> same init draws
+  Tensor x(2, 4);
+  Rng data_rng(4);
+  NormalInit(&x, 1.0f, &data_rng);
+  RecurrentTensors state = cell.InitialTensors(2);
+  RecurrentTensors next;
+  cell.StepForward(x, state, &next);
+  Tensor h(2, 6);
+  Tensor classic_out;
+  classic.StepForward(x, h, &classic_out);
+  EXPECT_TRUE(next.h.AllClose(classic_out, 1e-6f));
+}
+
+class RecurrentFamilyTest : public ::testing::TestWithParam<CellType> {};
+
+TEST_P(RecurrentFamilyTest, GraphStepMatchesForwardOnly) {
+  const CellType type = GetParam();
+  Rng rng(5);
+  RecurrentCell cell(type, "c", 3, 5, &rng);
+  Tensor x(2, 3);
+  Rng data_rng(6);
+  NormalInit(&x, 1.0f, &data_rng);
+
+  RecurrentTensors direct_state = cell.InitialTensors(2);
+  RecurrentTensors direct;
+  cell.StepForward(x, direct_state, &direct);
+
+  Graph g;
+  auto bound = cell.Bind(&g);
+  RecurrentState state = cell.InitialState(&g, 2);
+  RecurrentState next = bound.Step(g.Input(x), state);
+  EXPECT_TRUE(g.value(next.h).AllClose(direct.h, 1e-5f));
+  if (type == CellType::kLstm) {
+    EXPECT_TRUE(g.value(next.c).AllClose(direct.c, 1e-5f));
+  }
+}
+
+TEST_P(RecurrentFamilyTest, OutputsBounded) {
+  const CellType type = GetParam();
+  Rng rng(7);
+  RecurrentCell cell(type, "c", 2, 4, &rng);
+  Tensor x = Tensor::Full({1, 2}, 50.0f);
+  RecurrentTensors state = cell.InitialTensors(1);
+  RecurrentTensors next;
+  cell.StepForward(x, state, &next);
+  for (size_t i = 0; i < next.h.size(); ++i) {
+    EXPECT_LE(std::fabs(next.h[i]), 1.0f + 1e-5f);
+  }
+}
+
+TEST_P(RecurrentFamilyTest, GradientCheckThroughTwoSteps) {
+  const CellType type = GetParam();
+  Rng rng(8);
+  RecurrentCell cell(type, "c", 2, 3, &rng);
+  std::vector<Tensor> steps(2, Tensor(2, 2));
+  Rng data_rng(9);
+  for (auto& s : steps) NormalInit(&s, 0.7f, &data_rng);
+
+  auto loss_fn = [&](bool with_backward) {
+    Graph g;
+    auto bound = cell.Bind(&g);
+    RecurrentState state = cell.InitialState(&g, 2);
+    for (const auto& s : steps) state = bound.Step(g.Input(s), state);
+    Graph::Var logits = g.MatMul(
+        state.h, g.Input(Tensor::FromMatrix(3, 2, {0.4f, -0.3f, 0.2f, 0.5f,
+                                                   -0.1f, 0.3f})));
+    Graph::Var loss = g.SoftmaxCrossEntropy(logits, {0, 1});
+    if (with_backward) g.Backward(loss);
+    return g.value(loss).scalar();
+  };
+  Rng check_rng(10);
+  GradCheckResult result = CheckParameterGradients(
+      cell.Params(), loss_fn, &check_rng, 1e-3f, 3e-2f, 8);
+  EXPECT_TRUE(result.ok) << CellTypeName(type) << " "
+                         << result.max_rel_diff;
+}
+
+TEST_P(RecurrentFamilyTest, StackedSequenceForwardMatchesGraph) {
+  const CellType type = GetParam();
+  Rng rng(11);
+  StackedBiRecurrent stack(type, "s", 3, 4, 2, true, &rng);
+  EXPECT_EQ(stack.output_dim(), 8);
+
+  std::vector<Tensor> steps(4, Tensor(2, 3));
+  Rng data_rng(12);
+  for (auto& s : steps) NormalInit(&s, 1.0f, &data_rng);
+
+  Tensor direct;
+  stack.ApplyForward(steps, &direct);
+
+  Graph g;
+  std::vector<Graph::Var> vars;
+  for (const auto& s : steps) vars.push_back(g.Input(s));
+  Graph::Var out = stack.Apply(&g, vars, 2);
+  EXPECT_TRUE(g.value(out).AllClose(direct, 1e-5f));
+}
+
+TEST_P(RecurrentFamilyTest, LearnsLastTokenParity) {
+  // Toy sequence task: label = whether the last step's first input is
+  // positive. All three families must solve it.
+  const CellType type = GetParam();
+  Rng rng(13);
+  StackedBiRecurrent stack(type, "s", 2, 6, 1, true, &rng);
+  Dense head("h", stack.output_dim(), 2, Dense::Activation::kNone, &rng);
+
+  std::vector<Parameter*> params = stack.Params();
+  for (auto* p : head.Params()) params.push_back(p);
+
+  // Fixed batch of 16 random sequences, length 5.
+  Rng data_rng(14);
+  const int batch = 16;
+  std::vector<Tensor> steps(5, Tensor(batch, 2));
+  for (auto& s : steps) NormalInit(&s, 1.0f, &data_rng);
+  std::vector<int> labels(batch);
+  for (int i = 0; i < batch; ++i) {
+    labels[static_cast<size_t>(i)] = steps[4].at(i, 0) > 0 ? 1 : 0;
+  }
+
+  RmsProp opt(0.01f);
+  float loss_value = 0;
+  for (int it = 0; it < 150; ++it) {
+    Graph g;
+    std::vector<Graph::Var> vars;
+    for (const auto& s : steps) vars.push_back(g.Input(s));
+    Graph::Var features = stack.Apply(&g, vars, batch);
+    Graph::Var logits = head.Bind(&g).Apply(features);
+    Graph::Var loss = g.SoftmaxCrossEntropy(logits, labels);
+    ZeroGrads(params);
+    g.Backward(loss);
+    opt.Step(params);
+    loss_value = g.value(loss).scalar();
+  }
+  EXPECT_LT(loss_value, 0.15f) << CellTypeName(type);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, RecurrentFamilyTest,
+    ::testing::Values(CellType::kVanilla, CellType::kGru, CellType::kLstm),
+    [](const ::testing::TestParamInfo<CellType>& info) {
+      return CellTypeName(info.param);
+    });
+
+TEST(SliceColsTest, ForwardAndGradient) {
+  Graph g;
+  Graph::Var x = g.Input(Tensor::FromMatrix(2, 4, {1, 2, 3, 4, 5, 6, 7, 8}));
+  Graph::Var mid = g.SliceCols(x, 1, 2);
+  EXPECT_EQ(g.value(mid).cols(), 2);
+  EXPECT_FLOAT_EQ(g.value(mid).at(0, 0), 2);
+  EXPECT_FLOAT_EQ(g.value(mid).at(1, 1), 7);
+
+  // Gradient: only the sliced columns receive gradient.
+  Rng rng(15);
+  Parameter p("p", Tensor(2, 4));
+  NormalInit(&p.value, 0.5f, &rng);
+  auto loss_fn = [&](bool with_backward) {
+    Graph graph;
+    Graph::Var slice = graph.SliceCols(graph.Param(&p), 1, 2);
+    Graph::Var logits = graph.MatMul(
+        graph.Tanh(slice),
+        graph.Input(Tensor::FromMatrix(2, 2, {0.3f, -0.2f, 0.4f, 0.1f})));
+    Graph::Var loss = graph.SoftmaxCrossEntropy(logits, {0, 1});
+    if (with_backward) graph.Backward(loss);
+    return graph.value(loss).scalar();
+  };
+  Rng check_rng(16);
+  GradCheckResult result =
+      CheckParameterGradients({&p}, loss_fn, &check_rng, 1e-3f, 2e-2f);
+  EXPECT_TRUE(result.ok) << result.max_rel_diff;
+  // Untouched columns must have exactly zero gradient.
+  ZeroGrads({&p});
+  loss_fn(true);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_FLOAT_EQ(p.grad.at(i, 0), 0.0f);
+    EXPECT_FLOAT_EQ(p.grad.at(i, 3), 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace birnn::nn

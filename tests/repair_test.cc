@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/datasets.h"
+#include "repair/corrector.h"
+
+namespace birnn::repair {
+namespace {
+
+data::Table TableOf(const std::vector<std::string>& columns,
+                    const std::vector<std::vector<std::string>>& rows) {
+  data::Table t(columns);
+  for (const auto& row : rows) {
+    EXPECT_TRUE(t.AppendRow(row).ok());
+  }
+  return t;
+}
+
+std::vector<uint8_t> MaskAll(const data::Table& t) {
+  return std::vector<uint8_t>(
+      static_cast<size_t>(t.num_rows()) * t.num_columns(), 1);
+}
+
+std::vector<uint8_t> MaskNone(const data::Table& t) {
+  return std::vector<uint8_t>(
+      static_cast<size_t>(t.num_rows()) * t.num_columns(), 0);
+}
+
+std::vector<uint8_t> MaskDiff(const data::Table& dirty,
+                              const data::Table& clean) {
+  std::vector<uint8_t> mask = MaskNone(dirty);
+  for (int r = 0; r < dirty.num_rows(); ++r) {
+    for (int c = 0; c < dirty.num_columns(); ++c) {
+      if (dirty.cell(r, c) != clean.cell(r, c)) {
+        mask[static_cast<size_t>(r) * dirty.num_columns() + c] = 1;
+      }
+    }
+  }
+  return mask;
+}
+
+const RepairSuggestion* Find(const std::vector<RepairSuggestion>& suggestions,
+                             int row, int attr) {
+  for (const auto& s : suggestions) {
+    if (s.row == row && s.attr == attr) return &s;
+  }
+  return nullptr;
+}
+
+TEST(FormatNormalizerTest, StripsUnitsSeparatorsAndDates) {
+  const data::Table t = TableOf({"ounces", "count", "time"},
+                                {{"12.0 oz", "379,998", "12/02/2011 6:55 a.m."},
+                                 {"16.0", "500", "7:10 p.m."}});
+  FormatNormalizerEngine engine;
+  std::vector<RepairSuggestion> out;
+  engine.Propose(t, MaskAll(t), &out);
+  ASSERT_NE(Find(out, 0, 0), nullptr);
+  EXPECT_EQ(Find(out, 0, 0)->repaired, "12.0");
+  ASSERT_NE(Find(out, 0, 1), nullptr);
+  EXPECT_EQ(Find(out, 0, 1)->repaired, "379998");
+  ASSERT_NE(Find(out, 0, 2), nullptr);
+  EXPECT_EQ(Find(out, 0, 2)->repaired, "6:55 a.m.");
+  // Clean cells produce no suggestion even when flagged.
+  EXPECT_EQ(Find(out, 1, 2), nullptr);
+}
+
+TEST(FormatNormalizerTest, RestoresLeadingZeros) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 20; ++i) rows.push_back({"0190" + std::to_string(i % 10)});
+  rows.push_back({"1907"});  // stripped zero
+  const data::Table t = TableOf({"zip"}, rows);
+  std::vector<uint8_t> mask = MaskNone(t);
+  mask[20] = 1;
+  FormatNormalizerEngine engine;
+  std::vector<RepairSuggestion> out;
+  engine.Propose(t, mask, &out);
+  ASSERT_NE(Find(out, 20, 0), nullptr);
+  EXPECT_EQ(Find(out, 20, 0)->repaired, "01907");
+}
+
+TEST(FormatNormalizerTest, StripsTrailingDecimalInIntColumn) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 20; ++i) rows.push_back({std::to_string(i)});
+  rows.push_back({"7.0"});
+  const data::Table t = TableOf({"rate"}, rows);
+  std::vector<uint8_t> mask = MaskNone(t);
+  mask[20] = 1;
+  FormatNormalizerEngine engine;
+  std::vector<RepairSuggestion> out;
+  engine.Propose(t, mask, &out);
+  ASSERT_NE(Find(out, 20, 0), nullptr);
+  EXPECT_EQ(Find(out, 20, 0)->repaired, "7");
+}
+
+TEST(DictionaryCorrectorTest, FixesTypoToFrequentValue) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 30; ++i) rows.push_back({"Birmingham"});
+  rows.push_back({"Birmingxam"});
+  const data::Table t = TableOf({"city"}, rows);
+  std::vector<uint8_t> mask = MaskNone(t);
+  mask[30] = 1;
+  DictionaryCorrectorEngine engine;
+  std::vector<RepairSuggestion> out;
+  engine.Propose(t, mask, &out);
+  ASSERT_NE(Find(out, 30, 0), nullptr);
+  EXPECT_EQ(Find(out, 30, 0)->repaired, "Birmingham");
+}
+
+TEST(DictionaryCorrectorTest, SkipsDistantValues) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 30; ++i) rows.push_back({"Birmingham"});
+  rows.push_back({"zzzzz"});
+  const data::Table t = TableOf({"city"}, rows);
+  std::vector<uint8_t> mask = MaskNone(t);
+  mask[30] = 1;
+  DictionaryCorrectorEngine engine(2);
+  std::vector<RepairSuggestion> out;
+  engine.Propose(t, mask, &out);
+  EXPECT_EQ(Find(out, 30, 0), nullptr);
+}
+
+TEST(FdCorrectorTest, RepairsDependencyViolation) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 20; ++i) rows.push_back({"Portland", "OR"});
+  for (int i = 0; i < 20; ++i) rows.push_back({"Austin", "TX"});
+  rows.push_back({"Portland", "TX"});
+  const data::Table t = TableOf({"city", "state"}, rows);
+  std::vector<uint8_t> mask = MaskNone(t);
+  mask[static_cast<size_t>(40) * 2 + 1] = 1;
+  FdCorrectorEngine engine;
+  std::vector<RepairSuggestion> out;
+  engine.Propose(t, mask, &out);
+  ASSERT_NE(Find(out, 40, 1), nullptr);
+  EXPECT_EQ(Find(out, 40, 1)->repaired, "OR");
+}
+
+TEST(DuplicateCorrectorTest, MajorityVoteAcrossSources) {
+  std::vector<std::vector<std::string>> rows;
+  for (int f = 0; f < 30; ++f) {
+    const std::string time = std::to_string(1 + f % 12) + ":30 a.m.";
+    for (int s = 0; s < 4; ++s) {
+      rows.push_back({"FL" + std::to_string(f), time});
+    }
+  }
+  rows[2][1] = "9:99 p.m.";  // one source disagrees on flight FL0
+  const data::Table t = TableOf({"flight", "time"}, rows);
+  std::vector<uint8_t> mask = MaskNone(t);
+  mask[static_cast<size_t>(2) * 2 + 1] = 1;
+  DuplicateCorrectorEngine engine;
+  std::vector<RepairSuggestion> out;
+  engine.Propose(t, mask, &out);
+  ASSERT_NE(Find(out, 2, 1), nullptr);
+  EXPECT_EQ(Find(out, 2, 1)->repaired, "1:30 a.m.");
+}
+
+TEST(MissingValueImputerTest, ImputesDominantValue) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 28; ++i) rows.push_back({"yes"});
+  rows.push_back({"no"});
+  rows.push_back({"NaN"});
+  const data::Table t = TableOf({"emergency"}, rows);
+  std::vector<uint8_t> mask = MaskNone(t);
+  mask[29] = 1;
+  MissingValueImputerEngine engine;
+  std::vector<RepairSuggestion> out;
+  engine.Propose(t, mask, &out);
+  ASSERT_NE(Find(out, 29, 0), nullptr);
+  EXPECT_EQ(Find(out, 29, 0)->repaired, "yes");
+}
+
+TEST(MissingValueImputerTest, SkipsDiverseColumns) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 30; ++i) rows.push_back({"v" + std::to_string(i)});
+  rows.push_back({""});
+  const data::Table t = TableOf({"id"}, rows);
+  std::vector<uint8_t> mask = MaskNone(t);
+  mask[30] = 1;
+  MissingValueImputerEngine engine;
+  std::vector<RepairSuggestion> out;
+  engine.Propose(t, mask, &out);
+  EXPECT_EQ(Find(out, 30, 0), nullptr);
+}
+
+TEST(RepairerTest, KeepsBestSuggestionPerCellAndApplies) {
+  datagen::GenOptions gen;
+  gen.scale = 0.15;
+  gen.seed = 5;
+  const datagen::DatasetPair pair = datagen::MakeBeers(gen);
+  Repairer repairer;
+  // Oracle mask: exactly the erroneous cells (isolates repair quality from
+  // detection quality).
+  const std::vector<uint8_t> mask = MaskDiff(pair.dirty, pair.clean);
+  const std::vector<RepairSuggestion> suggestions =
+      repairer.Repair(pair.dirty, mask);
+  EXPECT_FALSE(suggestions.empty());
+
+  // At most one suggestion per cell.
+  std::set<std::pair<int64_t, int>> cells;
+  for (const auto& s : suggestions) {
+    EXPECT_TRUE(cells.insert({s.row, s.attr}).second);
+    EXPECT_NE(s.repaired, s.original);
+  }
+
+  const RepairMetrics metrics =
+      EvaluateRepairs(pair.dirty, pair.clean, suggestions);
+  EXPECT_GT(metrics.Precision(), 0.5);
+  EXPECT_GT(metrics.Recall(), 0.3);
+
+  const data::Table repaired = repairer.Apply(pair.dirty, suggestions);
+  // Applying correct repairs strictly reduces the number of dirty cells.
+  int64_t before = 0;
+  int64_t after = 0;
+  for (int r = 0; r < pair.dirty.num_rows(); ++r) {
+    for (int c = 0; c < pair.dirty.num_columns(); ++c) {
+      if (pair.dirty.cell(r, c) != pair.clean.cell(r, c)) ++before;
+      if (repaired.cell(r, c) != pair.clean.cell(r, c)) ++after;
+    }
+  }
+  EXPECT_LT(after, before);
+}
+
+TEST(RepairerTest, EmptyMaskProposesNothing) {
+  datagen::GenOptions gen;
+  gen.scale = 0.05;
+  const datagen::DatasetPair pair = datagen::MakeTax(gen);
+  Repairer repairer;
+  EXPECT_TRUE(repairer.Repair(pair.dirty, MaskNone(pair.dirty)).empty());
+}
+
+TEST(RepairMetricsTest, Degenerate) {
+  RepairMetrics m;
+  EXPECT_DOUBLE_EQ(m.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(m.Recall(), 0.0);
+}
+
+}  // namespace
+}  // namespace birnn::repair

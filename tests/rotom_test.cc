@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+
+#include "datagen/datasets.h"
+#include "rotom/augment.h"
+#include "rotom/baseline.h"
+
+namespace birnn::rotom {
+namespace {
+
+TEST(AugmentTest, CharSwapPreservesMultiset) {
+  Rng rng(1);
+  const std::string in = "abcdef";
+  const std::string out = ApplyAugment(AugmentOp::kCharSwap, in, &rng);
+  std::multiset<char> a(in.begin(), in.end());
+  std::multiset<char> b(out.begin(), out.end());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(out.size(), in.size());
+}
+
+TEST(AugmentTest, CharDropShortens) {
+  Rng rng(2);
+  EXPECT_EQ(ApplyAugment(AugmentOp::kCharDrop, "abc", &rng).size(), 2u);
+  EXPECT_EQ(ApplyAugment(AugmentOp::kCharDrop, "", &rng), "");
+}
+
+TEST(AugmentTest, CharDupLengthens) {
+  Rng rng(3);
+  EXPECT_EQ(ApplyAugment(AugmentOp::kCharDup, "abc", &rng).size(), 4u);
+}
+
+TEST(AugmentTest, TokenShufflePreservesTokens) {
+  Rng rng(4);
+  const std::string out =
+      ApplyAugment(AugmentOp::kTokenShuffle, "alpha beta gamma", &rng);
+  std::multiset<std::string> expected{"alpha", "beta", "gamma"};
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char c : out + " ") {
+    if (c == ' ') {
+      if (!cur.empty()) tokens.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  EXPECT_EQ(std::multiset<std::string>(tokens.begin(), tokens.end()),
+            expected);
+}
+
+TEST(AugmentTest, DigitJitterOnlyTouchesDigits) {
+  Rng rng(5);
+  const std::string out =
+      ApplyAugment(AugmentOp::kDigitJitter, "ab12cd", &rng);
+  EXPECT_EQ(out.size(), 6u);
+  EXPECT_EQ(out.substr(0, 2), "ab");
+  EXPECT_EQ(out.substr(4), "cd");
+  // No digits: unchanged.
+  EXPECT_EQ(ApplyAugment(AugmentOp::kDigitJitter, "abc", &rng), "abc");
+}
+
+TEST(AugmentTest, CaseFlipChangesOneLetterCase) {
+  Rng rng(6);
+  const std::string out = ApplyAugment(AugmentOp::kCaseFlip, "abc", &rng);
+  int upper = 0;
+  for (char c : out) {
+    if (std::isupper(static_cast<unsigned char>(c))) ++upper;
+  }
+  EXPECT_EQ(upper, 1);
+  EXPECT_EQ(ApplyAugment(AugmentOp::kCaseFlip, "123", &rng), "123");
+}
+
+TEST(AugmentTest, PolicyNameAndApply) {
+  AugmentPolicy policy{AugmentOp::kCharSwap, AugmentOp::kDigitJitter};
+  EXPECT_EQ(PolicyName(policy), "char_swap+digit_jitter");
+  EXPECT_EQ(PolicyName({}), "identity");
+  Rng rng(7);
+  const std::string out = ApplyPolicy(policy, "ab12", &rng);
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(AugmentTest, CandidatePoliciesCount) {
+  const auto policies = CandidatePolicies();
+  const size_t n = AllAugmentOps().size();
+  EXPECT_EQ(policies.size(), n + n * (n - 1));
+}
+
+TEST(RotomBaselineTest, DetectsErrorsOnHospital) {
+  datagen::GenOptions options;
+  options.scale = 0.2;
+  options.seed = 8;
+  const datagen::DatasetPair pair = datagen::MakeHospital(options);
+  RotomOptions rotom_options;
+  rotom_options.n_label_cells = 200;
+  rotom_options.seed = 9;
+  RotomBaseline baseline(rotom_options);
+  auto result = baseline.Detect(pair.dirty, pair.clean);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->predicted.size(),
+            static_cast<size_t>(pair.dirty.num_rows()) *
+                pair.dirty.num_columns());
+  EXPECT_EQ(result->labeled_cells.size(), 200u);
+  EXPECT_FALSE(result->chosen_policy.empty());
+  // Better than coin-flip detection on the easy dataset.
+  EXPECT_GT(result->test_metrics.f1, 0.2)
+      << "F1=" << result->test_metrics.f1;
+}
+
+TEST(RotomBaselineTest, SslVariantRuns) {
+  datagen::GenOptions options;
+  options.scale = 0.1;
+  const datagen::DatasetPair pair = datagen::MakeBeers(options);
+  RotomOptions rotom_options;
+  rotom_options.n_label_cells = 150;
+  rotom_options.ssl = true;
+  RotomBaseline baseline(rotom_options);
+  auto result = baseline.Detect(pair.dirty, pair.clean);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->test_metrics.accuracy, 0.5);
+}
+
+TEST(RotomBaselineTest, EmptyTableFails) {
+  data::Table empty;
+  RotomBaseline baseline;
+  EXPECT_FALSE(baseline.Detect(empty, empty).ok());
+}
+
+}  // namespace
+}  // namespace birnn::rotom

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "data/prepare.h"
+#include "datagen/datasets.h"
+#include "sampling/sampler.h"
+
+namespace birnn::sampling {
+namespace {
+
+/// Builds the running-example frame of Fig. 3/4: 4 tuples x 3 attributes.
+/// Values chosen so tuple 0 has an empty cell and tuples share values.
+data::CellFrame PaperExampleFrame() {
+  data::Table dirty(std::vector<std::string>{"attr1", "attr2", "attr3"});
+  // id_=0: unique values + one empty -> maximal (#unseenAttr, #empty).
+  EXPECT_TRUE(dirty.AppendRow({"21", "e3", ""}).ok());
+  // id_=1 and id_=2: three unseen values each after tuple 0 is removed.
+  EXPECT_TRUE(dirty.AppendRow({"45", "xx", "1111"}).ok());
+  EXPECT_TRUE(dirty.AppendRow({"30", "yy", "2222"}).ok());
+  // id_=3: shares its values with tuple 0 and 1 -> low diversity.
+  EXPECT_TRUE(dirty.AppendRow({"21", "e3", "1111"}).ok());
+  data::Table clean = dirty;
+  auto frame = data::PrepareData(dirty, clean);
+  EXPECT_TRUE(frame.ok());
+  return *frame;
+}
+
+TEST(RandomSetTest, SelectsDistinctIdsInRange) {
+  const data::CellFrame frame = PaperExampleFrame();
+  RandomSetSampler sampler;
+  Rng rng(1);
+  auto ids = sampler.Select(frame, 2, &rng);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids->size(), 2u);
+  std::set<int64_t> distinct(ids->begin(), ids->end());
+  EXPECT_EQ(distinct.size(), 2u);
+  for (int64_t id : *ids) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, 4);
+  }
+}
+
+TEST(RandomSetTest, ClampsToTupleCount) {
+  const data::CellFrame frame = PaperExampleFrame();
+  RandomSetSampler sampler;
+  Rng rng(2);
+  auto ids = sampler.Select(frame, 100, &rng);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids->size(), 4u);
+}
+
+TEST(RandomSetTest, UniformCoverage) {
+  const data::CellFrame frame = PaperExampleFrame();
+  RandomSetSampler sampler;
+  std::set<int64_t> ever_chosen;
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    Rng rng(seed);
+    auto ids = sampler.Select(frame, 1, &rng);
+    ASSERT_TRUE(ids.ok());
+    ever_chosen.insert((*ids)[0]);
+  }
+  EXPECT_EQ(ever_chosen.size(), 4u);  // every tuple reachable
+}
+
+TEST(DiverSetTest, PicksMostDiverseTupleFirst) {
+  // Tuple 0 ties with 1 and 2 on #unseenAttr (3 each) but wins on #empty.
+  const data::CellFrame frame = PaperExampleFrame();
+  DiverSetSampler sampler;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    auto ids = sampler.Select(frame, 1, &rng);
+    ASSERT_TRUE(ids.ok());
+    EXPECT_EQ((*ids)[0], 0) << "seed " << seed;
+  }
+}
+
+TEST(DiverSetTest, SecondPickAvoidsCoveredValues) {
+  // After tuple 0, tuple 3 retains only one unseen value ("1111" is shared
+  // with tuple 1; "21"/"e3" are covered by tuple 0). Tuples 1 and 2 have 3
+  // unseen values each, so the second pick must be 1 or 2, never 3.
+  const data::CellFrame frame = PaperExampleFrame();
+  DiverSetSampler sampler;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    auto ids = sampler.Select(frame, 2, &rng);
+    ASSERT_TRUE(ids.ok());
+    EXPECT_EQ((*ids)[0], 0);
+    EXPECT_NE((*ids)[1], 3) << "seed " << seed;
+  }
+}
+
+TEST(DiverSetTest, ReturnsRequestedCountWithoutDuplicates) {
+  const data::CellFrame frame = PaperExampleFrame();
+  DiverSetSampler sampler;
+  Rng rng(7);
+  auto ids = sampler.Select(frame, 4, &rng);
+  ASSERT_TRUE(ids.ok());
+  std::set<int64_t> distinct(ids->begin(), ids->end());
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(DiverSetTest, CoversMoreDistinctValuesThanRandom) {
+  // Property from §5.2: the diverse trainset carries more distinct concat
+  // values than a random one, on a dataset with many repeated values.
+  datagen::GenOptions options;
+  options.scale = 0.1;
+  const datagen::DatasetPair pair = datagen::MakeHospital(options);
+  auto frame = data::PrepareData(pair.dirty, pair.clean);
+  ASSERT_TRUE(frame.ok());
+
+  auto distinct_concats = [&](const std::vector<int64_t>& ids) {
+    std::unordered_set<std::string> seen;
+    for (int64_t id : ids) {
+      for (int a = 0; a < frame->num_attrs(); ++a) {
+        seen.insert(frame->cell(id, a).concat);
+      }
+    }
+    return seen.size();
+  };
+
+  size_t diverse_total = 0;
+  size_t random_total = 0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    DiverSetSampler diverse;
+    RandomSetSampler random;
+    Rng rng1(seed);
+    Rng rng2(seed);
+    auto div_ids = diverse.Select(*frame, 20, &rng1);
+    auto rnd_ids = random.Select(*frame, 20, &rng2);
+    ASSERT_TRUE(div_ids.ok());
+    ASSERT_TRUE(rnd_ids.ok());
+    diverse_total += distinct_concats(*div_ids);
+    random_total += distinct_concats(*rnd_ids);
+  }
+  EXPECT_GT(diverse_total, random_total);
+}
+
+TEST(DiverSetTest, NeverUsesLabels) {
+  // Two frames that differ only in labels must produce identical samples.
+  data::Table dirty(std::vector<std::string>{"a", "b"});
+  data::Table clean_same(std::vector<std::string>{"a", "b"});
+  data::Table clean_diff(std::vector<std::string>{"a", "b"});
+  for (int i = 0; i < 12; ++i) {
+    const std::string v1 = "v" + std::to_string(i % 5);
+    const std::string v2 = "w" + std::to_string(i % 3);
+    ASSERT_TRUE(dirty.AppendRow({v1, v2}).ok());
+    ASSERT_TRUE(clean_same.AppendRow({v1, v2}).ok());
+    ASSERT_TRUE(clean_diff.AppendRow({v1 + "!", v2}).ok());
+  }
+  auto frame1 = data::PrepareData(dirty, clean_same);
+  auto frame2 = data::PrepareData(dirty, clean_diff);
+  ASSERT_TRUE(frame1.ok());
+  ASSERT_TRUE(frame2.ok());
+  DiverSetSampler sampler;
+  Rng rng1(9);
+  Rng rng2(9);
+  auto ids1 = sampler.Select(*frame1, 5, &rng1);
+  auto ids2 = sampler.Select(*frame2, 5, &rng2);
+  ASSERT_TRUE(ids1.ok());
+  ASSERT_TRUE(ids2.ok());
+  EXPECT_EQ(*ids1, *ids2);
+}
+
+TEST(RahaSetTest, SelectsDistinctTuples) {
+  datagen::GenOptions options;
+  options.scale = 0.05;
+  const datagen::DatasetPair pair = datagen::MakeBeers(options);
+  auto frame = data::PrepareData(pair.dirty, pair.clean);
+  ASSERT_TRUE(frame.ok());
+  RahaSetSampler sampler;
+  Rng rng(11);
+  auto ids = sampler.Select(*frame, 20, &rng);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids->size(), 20u);
+  std::set<int64_t> distinct(ids->begin(), ids->end());
+  EXPECT_EQ(distinct.size(), 20u);
+}
+
+TEST(MakeSamplerTest, FactoryDispatch) {
+  EXPECT_TRUE(MakeSampler("DiverSet").ok());
+  EXPECT_TRUE(MakeSampler("randomset").ok());
+  EXPECT_TRUE(MakeSampler("RAHA").ok());
+  EXPECT_FALSE(MakeSampler("bogus").ok());
+  EXPECT_EQ((*MakeSampler("diverset"))->name(), "DiverSet");
+}
+
+TEST(SamplerTest, EmptyFrameFails) {
+  data::CellFrame empty;
+  RandomSetSampler random;
+  DiverSetSampler diverse;
+  Rng rng(1);
+  EXPECT_FALSE(random.Select(empty, 5, &rng).ok());
+  EXPECT_FALSE(diverse.Select(empty, 5, &rng).ok());
+}
+
+}  // namespace
+}  // namespace birnn::sampling

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "core/model.h"
+#include "core/trainer.h"
+#include "data/dictionary.h"
+#include "data/encoding.h"
+#include "data/prepare.h"
+#include "util/threadpool.h"
+
+namespace birnn {
+namespace {
+
+TEST(ThreadPoolTest, InlineModeRunsOnCaller) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0);
+  int counter = 0;
+  pool.Submit([&counter] { ++counter; });
+  EXPECT_EQ(counter, 1);  // ran synchronously
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(257, [&hits](int64_t i) {
+    hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForInline) {
+  ThreadPool pool(0);
+  int64_t sum = 0;
+  pool.ParallelFor(10, [&sum](int64_t i) { sum += i; });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&called](int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor must wait
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelPredictTest, MatchesSequentialPredictions) {
+  // Parallel inference must be positionally identical to sequential.
+  data::Table dirty(std::vector<std::string>{"a", "b"});
+  data::Table clean(std::vector<std::string>{"a", "b"});
+  Rng rng(41);
+  for (int i = 0; i < 40; ++i) {
+    const std::string v = "val" + std::to_string(i % 11);
+    ASSERT_TRUE(
+        dirty.AppendRow({rng.Bernoulli(0.4) ? v + "x" : v, "z"}).ok());
+    ASSERT_TRUE(clean.AppendRow({v, "z"}).ok());
+  }
+  auto frame = data::PrepareData(dirty, clean);
+  ASSERT_TRUE(frame.ok());
+  const data::CharIndex chars = data::CharIndex::Build(*frame);
+  const data::EncodedDataset ds = data::EncodeCells(*frame, chars);
+
+  core::ModelConfig config;
+  config.vocab = ds.vocab;
+  config.max_len = ds.max_len;
+  config.n_attrs = ds.n_attrs;
+  config.units = 8;
+  config.char_emb_dim = 6;
+  config.enriched = true;
+  config.seed = 2;
+  core::ErrorDetectionModel model(config);
+
+  std::vector<uint8_t> sequential;
+  core::PredictDataset(model, ds, 7, &sequential);
+
+  ThreadPool pool(3);
+  std::vector<uint8_t> parallel;
+  core::PredictDataset(model, ds, 7, &parallel, &pool);
+  EXPECT_EQ(sequential, parallel);
+
+  ThreadPool inline_pool(0);
+  std::vector<uint8_t> inline_result;
+  core::PredictDataset(model, ds, 7, &inline_result, &inline_pool);
+  EXPECT_EQ(sequential, inline_result);
+}
+
+}  // namespace
+}  // namespace birnn
