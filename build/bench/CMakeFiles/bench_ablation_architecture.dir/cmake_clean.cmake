@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_architecture.dir/bench_ablation_architecture.cc.o"
+  "CMakeFiles/bench_ablation_architecture.dir/bench_ablation_architecture.cc.o.d"
+  "bench_ablation_architecture"
+  "bench_ablation_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cell_type.dir/bench_ablation_cell_type.cc.o"
+  "CMakeFiles/bench_ablation_cell_type.dir/bench_ablation_cell_type.cc.o.d"
+  "bench_ablation_cell_type"
+  "bench_ablation_cell_type.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cell_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_samplers.dir/bench_ablation_samplers.cc.o"
+  "CMakeFiles/bench_ablation_samplers.dir/bench_ablation_samplers.cc.o.d"
+  "bench_ablation_samplers"
+  "bench_ablation_samplers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_samplers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

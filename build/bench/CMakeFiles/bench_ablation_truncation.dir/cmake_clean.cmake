@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_truncation.dir/bench_ablation_truncation.cc.o"
+  "CMakeFiles/bench_ablation_truncation.dir/bench_ablation_truncation.cc.o.d"
+  "bench_ablation_truncation"
+  "bench_ablation_truncation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_truncation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_error_analysis.dir/bench_error_analysis.cc.o"
+  "CMakeFiles/bench_error_analysis.dir/bench_error_analysis.cc.o.d"
+  "bench_error_analysis"
+  "bench_error_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_error_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

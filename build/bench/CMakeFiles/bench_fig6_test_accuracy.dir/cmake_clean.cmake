@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_test_accuracy.dir/bench_fig6_test_accuracy.cc.o"
+  "CMakeFiles/bench_fig6_test_accuracy.dir/bench_fig6_test_accuracy.cc.o.d"
+  "bench_fig6_test_accuracy"
+  "bench_fig6_test_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_test_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

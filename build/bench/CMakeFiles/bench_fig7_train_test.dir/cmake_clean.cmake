@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_train_test.dir/bench_fig7_train_test.cc.o"
+  "CMakeFiles/bench_fig7_train_test.dir/bench_fig7_train_test.cc.o.d"
+  "bench_fig7_train_test"
+  "bench_fig7_train_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_train_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_nn.dir/bench_micro_nn.cc.o"
+  "CMakeFiles/bench_micro_nn.dir/bench_micro_nn.cc.o.d"
+  "bench_micro_nn"
+  "bench_micro_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

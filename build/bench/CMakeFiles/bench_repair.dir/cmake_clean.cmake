@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_repair.dir/bench_repair.cc.o"
+  "CMakeFiles/bench_repair.dir/bench_repair.cc.o.d"
+  "bench_repair"
+  "bench_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_aggregate.dir/bench_table4_aggregate.cc.o"
+  "CMakeFiles/bench_table4_aggregate.dir/bench_table4_aggregate.cc.o.d"
+  "bench_table4_aggregate"
+  "bench_table4_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

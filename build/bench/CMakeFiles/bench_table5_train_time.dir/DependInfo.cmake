@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table5_train_time.cc" "bench/CMakeFiles/bench_table5_train_time.dir/bench_table5_train_time.cc.o" "gcc" "bench/CMakeFiles/bench_table5_train_time.dir/bench_table5_train_time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/birnn_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/repair/CMakeFiles/birnn_repair.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/birnn_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/birnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/birnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/birnn_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/rotom/CMakeFiles/birnn_rotom.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/birnn_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/birnn_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/raha/CMakeFiles/birnn_raha.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/birnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/birnn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

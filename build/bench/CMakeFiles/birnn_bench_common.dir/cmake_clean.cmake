@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birnn_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/birnn_bench_common.dir/bench_common.cc.o.d"
+  "libbirnn_bench_common.a"
+  "libbirnn_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birnn_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbirnn_bench_common.a"
+)

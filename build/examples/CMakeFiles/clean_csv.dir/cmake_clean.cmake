@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clean_csv.dir/clean_csv.cpp.o"
+  "CMakeFiles/clean_csv.dir/clean_csv.cpp.o.d"
+  "clean_csv"
+  "clean_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clean_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for clean_csv.
+# This may be replaced when dependencies are built.

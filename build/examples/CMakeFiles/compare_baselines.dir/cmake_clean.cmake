@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_baselines.dir/compare_baselines.cpp.o"
+  "CMakeFiles/compare_baselines.dir/compare_baselines.cpp.o.d"
+  "compare_baselines"
+  "compare_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

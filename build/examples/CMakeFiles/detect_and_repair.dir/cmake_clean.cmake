@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_and_repair.dir/detect_and_repair.cpp.o"
+  "CMakeFiles/detect_and_repair.dir/detect_and_repair.cpp.o.d"
+  "detect_and_repair"
+  "detect_and_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_and_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampler_playground.dir/sampler_playground.cpp.o"
+  "CMakeFiles/sampler_playground.dir/sampler_playground.cpp.o.d"
+  "sampler_playground"
+  "sampler_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampler_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sampler_playground.
+# This may be replaced when dependencies are built.

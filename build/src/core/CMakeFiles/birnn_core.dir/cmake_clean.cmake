@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birnn_core.dir/detector.cc.o"
+  "CMakeFiles/birnn_core.dir/detector.cc.o.d"
+  "CMakeFiles/birnn_core.dir/model.cc.o"
+  "CMakeFiles/birnn_core.dir/model.cc.o.d"
+  "CMakeFiles/birnn_core.dir/trainer.cc.o"
+  "CMakeFiles/birnn_core.dir/trainer.cc.o.d"
+  "libbirnn_core.a"
+  "libbirnn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birnn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv.cc" "src/data/CMakeFiles/birnn_data.dir/csv.cc.o" "gcc" "src/data/CMakeFiles/birnn_data.dir/csv.cc.o.d"
+  "/root/repo/src/data/dictionary.cc" "src/data/CMakeFiles/birnn_data.dir/dictionary.cc.o" "gcc" "src/data/CMakeFiles/birnn_data.dir/dictionary.cc.o.d"
+  "/root/repo/src/data/encoding.cc" "src/data/CMakeFiles/birnn_data.dir/encoding.cc.o" "gcc" "src/data/CMakeFiles/birnn_data.dir/encoding.cc.o.d"
+  "/root/repo/src/data/prepare.cc" "src/data/CMakeFiles/birnn_data.dir/prepare.cc.o" "gcc" "src/data/CMakeFiles/birnn_data.dir/prepare.cc.o.d"
+  "/root/repo/src/data/table.cc" "src/data/CMakeFiles/birnn_data.dir/table.cc.o" "gcc" "src/data/CMakeFiles/birnn_data.dir/table.cc.o.d"
+  "/root/repo/src/data/type_inference.cc" "src/data/CMakeFiles/birnn_data.dir/type_inference.cc.o" "gcc" "src/data/CMakeFiles/birnn_data.dir/type_inference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/birnn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birnn_data.dir/csv.cc.o"
+  "CMakeFiles/birnn_data.dir/csv.cc.o.d"
+  "CMakeFiles/birnn_data.dir/dictionary.cc.o"
+  "CMakeFiles/birnn_data.dir/dictionary.cc.o.d"
+  "CMakeFiles/birnn_data.dir/encoding.cc.o"
+  "CMakeFiles/birnn_data.dir/encoding.cc.o.d"
+  "CMakeFiles/birnn_data.dir/prepare.cc.o"
+  "CMakeFiles/birnn_data.dir/prepare.cc.o.d"
+  "CMakeFiles/birnn_data.dir/table.cc.o"
+  "CMakeFiles/birnn_data.dir/table.cc.o.d"
+  "CMakeFiles/birnn_data.dir/type_inference.cc.o"
+  "CMakeFiles/birnn_data.dir/type_inference.cc.o.d"
+  "libbirnn_data.a"
+  "libbirnn_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birnn_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

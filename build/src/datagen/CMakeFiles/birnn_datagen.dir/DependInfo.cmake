@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/datasets.cc" "src/datagen/CMakeFiles/birnn_datagen.dir/datasets.cc.o" "gcc" "src/datagen/CMakeFiles/birnn_datagen.dir/datasets.cc.o.d"
+  "/root/repo/src/datagen/injector.cc" "src/datagen/CMakeFiles/birnn_datagen.dir/injector.cc.o" "gcc" "src/datagen/CMakeFiles/birnn_datagen.dir/injector.cc.o.d"
+  "/root/repo/src/datagen/loader.cc" "src/datagen/CMakeFiles/birnn_datagen.dir/loader.cc.o" "gcc" "src/datagen/CMakeFiles/birnn_datagen.dir/loader.cc.o.d"
+  "/root/repo/src/datagen/stats.cc" "src/datagen/CMakeFiles/birnn_datagen.dir/stats.cc.o" "gcc" "src/datagen/CMakeFiles/birnn_datagen.dir/stats.cc.o.d"
+  "/root/repo/src/datagen/vocab.cc" "src/datagen/CMakeFiles/birnn_datagen.dir/vocab.cc.o" "gcc" "src/datagen/CMakeFiles/birnn_datagen.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/birnn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/birnn_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

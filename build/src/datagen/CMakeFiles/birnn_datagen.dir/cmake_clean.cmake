@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birnn_datagen.dir/datasets.cc.o"
+  "CMakeFiles/birnn_datagen.dir/datasets.cc.o.d"
+  "CMakeFiles/birnn_datagen.dir/injector.cc.o"
+  "CMakeFiles/birnn_datagen.dir/injector.cc.o.d"
+  "CMakeFiles/birnn_datagen.dir/loader.cc.o"
+  "CMakeFiles/birnn_datagen.dir/loader.cc.o.d"
+  "CMakeFiles/birnn_datagen.dir/stats.cc.o"
+  "CMakeFiles/birnn_datagen.dir/stats.cc.o.d"
+  "CMakeFiles/birnn_datagen.dir/vocab.cc.o"
+  "CMakeFiles/birnn_datagen.dir/vocab.cc.o.d"
+  "libbirnn_datagen.a"
+  "libbirnn_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birnn_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbirnn_datagen.a"
+)

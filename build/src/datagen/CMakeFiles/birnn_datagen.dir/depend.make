@@ -1,0 +1,2 @@
+# Empty dependencies file for birnn_datagen.
+# This may be replaced when dependencies are built.

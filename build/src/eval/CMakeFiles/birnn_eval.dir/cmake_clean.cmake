@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birnn_eval.dir/report.cc.o"
+  "CMakeFiles/birnn_eval.dir/report.cc.o.d"
+  "CMakeFiles/birnn_eval.dir/runner.cc.o"
+  "CMakeFiles/birnn_eval.dir/runner.cc.o.d"
+  "libbirnn_eval.a"
+  "libbirnn_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birnn_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birnn_metrics.dir/metrics.cc.o"
+  "CMakeFiles/birnn_metrics.dir/metrics.cc.o.d"
+  "libbirnn_metrics.a"
+  "libbirnn_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birnn_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbirnn_metrics.a"
+)

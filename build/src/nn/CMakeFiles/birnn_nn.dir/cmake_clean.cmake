@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birnn_nn.dir/gradcheck.cc.o"
+  "CMakeFiles/birnn_nn.dir/gradcheck.cc.o.d"
+  "CMakeFiles/birnn_nn.dir/graph.cc.o"
+  "CMakeFiles/birnn_nn.dir/graph.cc.o.d"
+  "CMakeFiles/birnn_nn.dir/init.cc.o"
+  "CMakeFiles/birnn_nn.dir/init.cc.o.d"
+  "CMakeFiles/birnn_nn.dir/layers.cc.o"
+  "CMakeFiles/birnn_nn.dir/layers.cc.o.d"
+  "CMakeFiles/birnn_nn.dir/ops.cc.o"
+  "CMakeFiles/birnn_nn.dir/ops.cc.o.d"
+  "CMakeFiles/birnn_nn.dir/optimizer.cc.o"
+  "CMakeFiles/birnn_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/birnn_nn.dir/recurrent.cc.o"
+  "CMakeFiles/birnn_nn.dir/recurrent.cc.o.d"
+  "CMakeFiles/birnn_nn.dir/serialize.cc.o"
+  "CMakeFiles/birnn_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/birnn_nn.dir/tensor.cc.o"
+  "CMakeFiles/birnn_nn.dir/tensor.cc.o.d"
+  "libbirnn_nn.a"
+  "libbirnn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birnn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

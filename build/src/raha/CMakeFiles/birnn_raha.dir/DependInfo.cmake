@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raha/cluster.cc" "src/raha/CMakeFiles/birnn_raha.dir/cluster.cc.o" "gcc" "src/raha/CMakeFiles/birnn_raha.dir/cluster.cc.o.d"
+  "/root/repo/src/raha/detector.cc" "src/raha/CMakeFiles/birnn_raha.dir/detector.cc.o" "gcc" "src/raha/CMakeFiles/birnn_raha.dir/detector.cc.o.d"
+  "/root/repo/src/raha/features.cc" "src/raha/CMakeFiles/birnn_raha.dir/features.cc.o" "gcc" "src/raha/CMakeFiles/birnn_raha.dir/features.cc.o.d"
+  "/root/repo/src/raha/strategy.cc" "src/raha/CMakeFiles/birnn_raha.dir/strategy.cc.o" "gcc" "src/raha/CMakeFiles/birnn_raha.dir/strategy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/birnn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/birnn_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

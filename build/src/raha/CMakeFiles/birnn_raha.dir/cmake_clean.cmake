@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birnn_raha.dir/cluster.cc.o"
+  "CMakeFiles/birnn_raha.dir/cluster.cc.o.d"
+  "CMakeFiles/birnn_raha.dir/detector.cc.o"
+  "CMakeFiles/birnn_raha.dir/detector.cc.o.d"
+  "CMakeFiles/birnn_raha.dir/features.cc.o"
+  "CMakeFiles/birnn_raha.dir/features.cc.o.d"
+  "CMakeFiles/birnn_raha.dir/strategy.cc.o"
+  "CMakeFiles/birnn_raha.dir/strategy.cc.o.d"
+  "libbirnn_raha.a"
+  "libbirnn_raha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birnn_raha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

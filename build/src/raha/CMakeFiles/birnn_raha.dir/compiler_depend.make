@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for birnn_raha.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birnn_repair.dir/corrector.cc.o"
+  "CMakeFiles/birnn_repair.dir/corrector.cc.o.d"
+  "libbirnn_repair.a"
+  "libbirnn_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birnn_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

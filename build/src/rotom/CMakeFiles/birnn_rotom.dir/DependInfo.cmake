@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rotom/augment.cc" "src/rotom/CMakeFiles/birnn_rotom.dir/augment.cc.o" "gcc" "src/rotom/CMakeFiles/birnn_rotom.dir/augment.cc.o.d"
+  "/root/repo/src/rotom/baseline.cc" "src/rotom/CMakeFiles/birnn_rotom.dir/baseline.cc.o" "gcc" "src/rotom/CMakeFiles/birnn_rotom.dir/baseline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/birnn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/birnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/birnn_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

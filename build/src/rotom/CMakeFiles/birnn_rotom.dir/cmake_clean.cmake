@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birnn_rotom.dir/augment.cc.o"
+  "CMakeFiles/birnn_rotom.dir/augment.cc.o.d"
+  "CMakeFiles/birnn_rotom.dir/baseline.cc.o"
+  "CMakeFiles/birnn_rotom.dir/baseline.cc.o.d"
+  "libbirnn_rotom.a"
+  "libbirnn_rotom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birnn_rotom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

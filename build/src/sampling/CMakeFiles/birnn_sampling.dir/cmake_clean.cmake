@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birnn_sampling.dir/sampler.cc.o"
+  "CMakeFiles/birnn_sampling.dir/sampler.cc.o.d"
+  "libbirnn_sampling.a"
+  "libbirnn_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birnn_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birnn_util.dir/flags.cc.o"
+  "CMakeFiles/birnn_util.dir/flags.cc.o.d"
+  "CMakeFiles/birnn_util.dir/logging.cc.o"
+  "CMakeFiles/birnn_util.dir/logging.cc.o.d"
+  "CMakeFiles/birnn_util.dir/rng.cc.o"
+  "CMakeFiles/birnn_util.dir/rng.cc.o.d"
+  "CMakeFiles/birnn_util.dir/stats.cc.o"
+  "CMakeFiles/birnn_util.dir/stats.cc.o.d"
+  "CMakeFiles/birnn_util.dir/status.cc.o"
+  "CMakeFiles/birnn_util.dir/status.cc.o.d"
+  "CMakeFiles/birnn_util.dir/string_util.cc.o"
+  "CMakeFiles/birnn_util.dir/string_util.cc.o.d"
+  "CMakeFiles/birnn_util.dir/threadpool.cc.o"
+  "CMakeFiles/birnn_util.dir/threadpool.cc.o.d"
+  "libbirnn_util.a"
+  "libbirnn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birnn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autograd_fuzz_test.dir/autograd_fuzz_test.cc.o"
+  "CMakeFiles/autograd_fuzz_test.dir/autograd_fuzz_test.cc.o.d"
+  "autograd_fuzz_test"
+  "autograd_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autograd_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_common_test.dir/bench_common_test.cc.o"
+  "CMakeFiles/bench_common_test.dir/bench_common_test.cc.o.d"
+  "bench_common_test"
+  "bench_common_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

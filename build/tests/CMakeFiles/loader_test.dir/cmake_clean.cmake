@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loader_test.dir/loader_test.cc.o"
+  "CMakeFiles/loader_test.dir/loader_test.cc.o.d"
+  "loader_test"
+  "loader_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

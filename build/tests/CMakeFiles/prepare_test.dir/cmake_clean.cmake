@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prepare_test.dir/prepare_test.cc.o"
+  "CMakeFiles/prepare_test.dir/prepare_test.cc.o.d"
+  "prepare_test"
+  "prepare_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prepare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raha_test.dir/raha_test.cc.o"
+  "CMakeFiles/raha_test.dir/raha_test.cc.o.d"
+  "raha_test"
+  "raha_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raha_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recurrent_test.dir/recurrent_test.cc.o"
+  "CMakeFiles/recurrent_test.dir/recurrent_test.cc.o.d"
+  "recurrent_test"
+  "recurrent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recurrent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_test.dir/repair_test.cc.o"
+  "CMakeFiles/repair_test.dir/repair_test.cc.o.d"
+  "repair_test"
+  "repair_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotom_test.dir/rotom_test.cc.o"
+  "CMakeFiles/rotom_test.dir/rotom_test.cc.o.d"
+  "rotom_test"
+  "rotom_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signatures_test.dir/signatures_test.cc.o"
+  "CMakeFiles/signatures_test.dir/signatures_test.cc.o.d"
+  "signatures_test"
+  "signatures_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signatures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

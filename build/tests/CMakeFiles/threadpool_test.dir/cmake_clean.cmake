@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threadpool_test.dir/threadpool_test.cc.o"
+  "CMakeFiles/threadpool_test.dir/threadpool_test.cc.o.d"
+  "threadpool_test"
+  "threadpool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threadpool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/type_inference_test.dir/type_inference_test.cc.o"
+  "CMakeFiles/type_inference_test.dir/type_inference_test.cc.o.d"
+  "type_inference_test"
+  "type_inference_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/type_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
