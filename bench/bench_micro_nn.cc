@@ -119,8 +119,9 @@ void BM_ModelTrainStep(benchmark::State& state) {
   const core::BatchInput batch = BenchBatch(config, 55);
   std::vector<nn::Parameter*> params = model.Params();
   nn::RmsProp opt(1e-3f);
+  nn::Graph g;  // arena: reused across steps, as in Trainer::Fit
   for (auto _ : state) {
-    nn::Graph g;
+    g.Reset();
     nn::Graph::Var logits = model.Forward(&g, batch, true);
     nn::Graph::Var loss = g.SoftmaxCrossEntropy(logits, batch.labels);
     nn::ZeroGrads(params);

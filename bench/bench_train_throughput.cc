@@ -1,0 +1,142 @@
+// Training throughput of the data-parallel trainer: cells/second for the
+// full Trainer::Fit loop at 1/2/4/8 worker threads (plus the inline 0-thread
+// baseline). Writes a machine-readable summary to --json (default
+// BENCH_train_throughput.json; see run_train_throughput.sh).
+//
+// The shard partition is independent of the thread count, so every row of
+// this table trains bit-identical weights; only the wall clock changes.
+// On a single-core machine the threaded rows mostly measure scheduling
+// overhead — the speedup column is meaningful on multi-core hosts.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/model.h"
+#include "core/trainer.h"
+#include "data/dictionary.h"
+#include "data/encoding.h"
+#include "data/prepare.h"
+#include "datagen/datasets.h"
+#include "eval/report.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+namespace birnn::bench {
+namespace {
+
+struct ThroughputRow {
+  int threads = 0;
+  double seconds = 0.0;
+  double cells_per_sec = 0.0;
+};
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  flags.AddString("dataset", "hospital", "dataset generator to train on");
+  flags.AddInt("epochs", 20, "training epochs per measurement");
+  flags.AddInt("train-rows", 24, "labeled rows in the trainset");
+  flags.AddInt("grad-shard-cells", 128, "shard size for gradient accumulation");
+  flags.AddDouble("scale", 0.0, "dataset scale (0 = bench default)");
+  flags.AddInt("seed", 1000, "generation / training seed");
+  flags.AddString("json", "BENCH_train_throughput.json",
+                  "output JSON path (empty = skip)");
+  const Status st = flags.Parse(argc, argv);
+  if (!st.ok() || flags.help_requested()) {
+    std::cerr << flags.Usage("bench_train_throughput");
+    return st.ok() ? 0 : 1;
+  }
+
+  BenchConfig config;
+  config.scale = flags.GetDouble("scale");
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const std::string dataset = flags.GetString("dataset");
+  const datagen::DatasetPair pair = MakePair(dataset, config);
+  auto frame = data::PrepareData(pair.dirty, pair.clean);
+  if (!frame.ok()) {
+    std::cerr << "PrepareData failed: " << frame.status().message() << "\n";
+    return 1;
+  }
+  const data::CharIndex chars = data::CharIndex::Build(*frame);
+  const data::EncodedDataset all = data::EncodeCells(*frame, chars);
+  std::vector<int64_t> train_ids;
+  for (int64_t i = 0; i < flags.GetInt("train-rows"); ++i) {
+    train_ids.push_back(i);
+  }
+  data::EncodedDataset train;
+  data::EncodedDataset test;
+  data::SplitByRowIds(all, train_ids, &train, &test);
+
+  core::ModelConfig model_config;
+  model_config.vocab = all.vocab;
+  model_config.max_len = all.max_len;
+  model_config.n_attrs = all.n_attrs;
+  model_config.enriched = true;
+  model_config.seed = config.seed;
+
+  const int epochs = flags.GetInt("epochs");
+  const int64_t cells_per_fit = train.num_cells() * epochs;
+  std::cout << "=== Training throughput (" << dataset << ", "
+            << train.num_cells() << " train cells, " << epochs
+            << " epochs per run) ===\n\n";
+
+  std::vector<ThroughputRow> rows;
+  double baseline_sec = 0.0;
+  eval::TableWriter writer(
+      {"Threads", "Fit [sec]", "Cells/sec", "Speedup vs 1T"});
+  for (const int threads : {0, 1, 2, 4, 8}) {
+    core::ErrorDetectionModel model(model_config);
+    core::TrainerOptions options;
+    options.epochs = epochs;
+    options.seed = config.seed;
+    options.train_threads = threads;
+    options.grad_shard_cells = flags.GetInt("grad-shard-cells");
+    core::Trainer trainer(options);
+    const core::TrainHistory history = trainer.Fit(&model, train, &test);
+
+    ThroughputRow row;
+    row.threads = threads;
+    row.seconds = history.train_seconds;
+    row.cells_per_sec = history.train_seconds > 0
+                            ? static_cast<double>(cells_per_fit) /
+                                  history.train_seconds
+                            : 0.0;
+    rows.push_back(row);
+    if (threads == 1) baseline_sec = row.seconds;
+    const double speedup =
+        (baseline_sec > 0 && row.seconds > 0) ? baseline_sec / row.seconds
+                                              : 0.0;
+    writer.AddRow({std::to_string(threads), FormatFixed(row.seconds, 2),
+                   FormatFixed(row.cells_per_sec, 0),
+                   threads >= 1 ? FormatFixed(speedup, 2) : "-"});
+    std::cerr << "[throughput] threads=" << threads << " "
+              << FormatFixed(row.seconds, 2) << "s\n";
+  }
+  writer.Print(std::cout);
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"dataset\": \"" << dataset << "\",\n"
+        << "  \"train_cells\": " << train.num_cells() << ",\n"
+        << "  \"epochs\": " << epochs << ",\n"
+        << "  \"grad_shard_cells\": " << flags.GetInt("grad-shard-cells")
+        << ",\n  \"runs\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      out << "    {\"threads\": " << rows[i].threads
+          << ", \"fit_seconds\": " << rows[i].seconds
+          << ", \"cells_per_second\": " << rows[i].cells_per_sec << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "\nwrote " << json_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace birnn::bench
+
+int main(int argc, char** argv) { return birnn::bench::Run(argc, argv); }

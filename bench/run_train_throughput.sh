@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Measures full-Fit training throughput at 0/1/2/4/8 worker threads and
+# writes BENCH_train_throughput.json next to the repo root (or $1).
+#
+#   bench/run_train_throughput.sh [output.json] [extra bench flags...]
+#
+# Assumes the project is configured in ./build (cmake -B build -S .).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+out="${1:-$repo_root/BENCH_train_throughput.json}"
+shift || true
+
+cmake --build "$build_dir" --target bench_train_throughput -j
+"$build_dir/bench/bench_train_throughput" --json="$out" "$@"
+echo "throughput results: $out"

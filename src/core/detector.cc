@@ -109,6 +109,7 @@ StatusOr<DetectionReport> ErrorDetector::RunInternal(
   ErrorDetectionModel model(config);
   TrainerOptions trainer_options = options_.trainer;
   trainer_options.seed = options_.seed ^ 0x5EEDULL;
+  trainer_options.train_threads = options_.train_threads;
   Trainer trainer(trainer_options);
 
   DetectionReport report;

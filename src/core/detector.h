@@ -46,6 +46,11 @@ struct DetectorOptions {
   /// the calling thread; useful on multi-core machines, a no-op here).
   int eval_threads = 0;
 
+  /// Worker threads for data-parallel gradient computation during training
+  /// (0 = inline). Copied into `trainer.train_threads`; results are
+  /// bit-identical for every thread count (see TrainerOptions).
+  int train_threads = 0;
+
   /// §5.7 future-work extension: OR the model's verdict with the
   /// functional-dependency and duplicate-record strategies, which catch the
   /// cross-attribute errors the character model cannot see.

@@ -87,7 +87,9 @@ int ErrorDetectionModel::ConcatDim() const {
 
 nn::Graph::Var ErrorDetectionModel::Forward(nn::Graph* g,
                                             const BatchInput& batch,
-                                            bool training) {
+                                            bool training,
+                                            nn::Tensor* bn_mean_out,
+                                            nn::Tensor* bn_var_out) {
   BIRNN_CHECK_EQ(static_cast<int>(batch.char_steps.size()), config_.max_len);
 
   // Value branch: character embedding -> two-stacked bidirectional RNN.
@@ -122,8 +124,19 @@ nn::Graph::Var ErrorDetectionModel::Forward(nn::Graph* g,
   // Head: Dense(32) ReLU -> BatchNorm -> Dense(2) (softmax applied by the
   // loss / by PredictProbs).
   nn::Graph::Var hidden = hidden_dense_->Bind(g).Apply(concat);
-  nn::Graph::Var normed = batch_norm_->Apply(g, hidden, training);
+  nn::Graph::Var normed;
+  if (training && bn_mean_out != nullptr) {
+    normed =
+        batch_norm_->ApplyTrainCaptured(g, hidden, bn_mean_out, bn_var_out);
+  } else {
+    normed = batch_norm_->Apply(g, hidden, training);
+  }
   return output_dense_->Bind(g).Apply(normed);
+}
+
+void ErrorDetectionModel::UpdateBatchNorm(const nn::Tensor& batch_mean,
+                                          const nn::Tensor& batch_var) {
+  batch_norm_->UpdateRunningStats(batch_mean, batch_var);
 }
 
 void ErrorDetectionModel::ForwardHidden(const BatchInput& batch,

@@ -83,7 +83,19 @@ class ErrorDetectionModel {
 
   /// Training-mode forward pass on an autograd graph; returns the logits
   /// Var (batch, 2). Pair with Graph::SoftmaxCrossEntropy.
-  nn::Graph::Var Forward(nn::Graph* g, const BatchInput& batch, bool training);
+  ///
+  /// When `bn_mean_out`/`bn_var_out` are non-null (training only), the
+  /// batch-norm batch statistics are captured there and the running
+  /// estimates are left untouched; the caller applies the EMA update later
+  /// with `UpdateBatchNorm` (data-parallel shards do this in fixed shard
+  /// order for determinism).
+  nn::Graph::Var Forward(nn::Graph* g, const BatchInput& batch, bool training,
+                         nn::Tensor* bn_mean_out = nullptr,
+                         nn::Tensor* bn_var_out = nullptr);
+
+  /// Applies one batch-norm EMA step with captured batch statistics.
+  void UpdateBatchNorm(const nn::Tensor& batch_mean,
+                       const nn::Tensor& batch_var);
 
   /// Forward-only inference: probability that each cell is erroneous
   /// (class 1). No tape overhead; uses batch-norm running statistics.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <memory>
 
 #include "nn/optimizer.h"
 #include "util/logging.h"
@@ -41,7 +43,7 @@ void PredictDataset(const ErrorDetectionModel& model,
 
 double DatasetAccuracy(const ErrorDetectionModel& model,
                        const data::EncodedDataset& ds, int eval_batch,
-                       const std::vector<int64_t>& indices) {
+                       const std::vector<int64_t>& indices, ThreadPool* pool) {
   std::vector<int64_t> eval_indices = indices;
   if (eval_indices.empty()) {
     eval_indices.resize(static_cast<size_t>(ds.num_cells()));
@@ -51,23 +53,34 @@ double DatasetAccuracy(const ErrorDetectionModel& model,
   }
   if (eval_indices.empty()) return 0.0;
 
-  int64_t correct = 0;
-  std::vector<int64_t> chunk;
-  for (size_t start = 0; start < eval_indices.size();
-       start += static_cast<size_t>(eval_batch)) {
-    const size_t end = std::min(start + static_cast<size_t>(eval_batch),
-                                eval_indices.size());
-    chunk.assign(eval_indices.begin() + static_cast<std::ptrdiff_t>(start),
-                 eval_indices.begin() + static_cast<std::ptrdiff_t>(end));
+  eval_batch = std::max(1, eval_batch);
+  const int64_t n = static_cast<int64_t>(eval_indices.size());
+  const int64_t n_chunks = (n + eval_batch - 1) / eval_batch;
+  std::vector<int64_t> correct_per_chunk(static_cast<size_t>(n_chunks), 0);
+  auto run_chunk = [&](int64_t c) {
+    const size_t start = static_cast<size_t>(c) * eval_batch;
+    const size_t end =
+        std::min(start + static_cast<size_t>(eval_batch), eval_indices.size());
+    const std::vector<int64_t> chunk(
+        eval_indices.begin() + static_cast<std::ptrdiff_t>(start),
+        eval_indices.begin() + static_cast<std::ptrdiff_t>(end));
     const BatchInput batch = MakeBatch(ds, chunk);
     std::vector<uint8_t> labels;
     model.Predict(batch, &labels);
+    int64_t correct = 0;
     for (size_t i = 0; i < labels.size(); ++i) {
       if (labels[i] == batch.labels[i]) ++correct;
     }
+    correct_per_chunk[static_cast<size_t>(c)] = correct;
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(n_chunks, run_chunk);
+  } else {
+    for (int64_t c = 0; c < n_chunks; ++c) run_chunk(c);
   }
-  return static_cast<double>(correct) /
-         static_cast<double>(eval_indices.size());
+  int64_t correct = 0;
+  for (int64_t c : correct_per_chunk) correct += c;
+  return static_cast<double>(correct) / static_cast<double>(n);
 }
 
 TrainHistory Trainer::Fit(ErrorDetectionModel* model,
@@ -108,7 +121,26 @@ TrainHistory Trainer::Fit(ErrorDetectionModel* model,
   double best_loss = std::numeric_limits<double>::infinity();
   int best_epoch = -1;
 
-  std::vector<int64_t> batch_indices;
+  // Data-parallel minibatch sharding. The shard partition is a pure
+  // function of the batch size and `grad_shard_cells` — NEVER of the thread
+  // count — and the per-shard gradient buffers are reduced in shard-index
+  // order, so every value of `train_threads` (including 0) produces
+  // bit-identical weights. Shard workspaces persist across batches so the
+  // per-shard tape arenas stop allocating after the first step.
+  ThreadPool pool(std::max(0, options_.train_threads));
+  const int shard_cells = std::max(1, options_.grad_shard_cells);
+  struct ShardWorkspace {
+    nn::Graph graph;
+    nn::ParamGradMap grads;
+    nn::Tensor bn_mean;
+    nn::Tensor bn_var;
+    double loss = 0.0;
+    int64_t correct = 0;
+    int64_t rows = 0;
+  };
+  std::vector<std::unique_ptr<ShardWorkspace>> workspaces;
+  std::vector<std::function<void()>> shard_tasks;
+
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
     if (options_.shuffle) rng.Shuffle(&order);
 
@@ -118,24 +150,71 @@ TrainHistory Trainer::Fit(ErrorDetectionModel* model,
     int batches = 0;
     for (int64_t start = 0; start < n; start += batch_size) {
       const int64_t end = std::min<int64_t>(start + batch_size, n);
-      batch_indices.assign(order.begin() + start, order.begin() + end);
-      const BatchInput batch = MakeBatch(train, batch_indices);
+      const int64_t batch_rows = end - start;
+      const int64_t num_shards = (batch_rows + shard_cells - 1) / shard_cells;
+      while (workspaces.size() < static_cast<size_t>(num_shards)) {
+        workspaces.push_back(std::make_unique<ShardWorkspace>());
+      }
 
-      nn::Graph g;
-      const nn::Graph::Var logits = model->Forward(&g, batch, /*training=*/true);
-      const nn::Graph::Var loss = g.SoftmaxCrossEntropy(logits, batch.labels);
+      shard_tasks.clear();
+      for (int64_t s = 0; s < num_shards; ++s) {
+        const int64_t s_begin = start + s * shard_cells;
+        const int64_t s_end = std::min<int64_t>(s_begin + shard_cells, end);
+        ShardWorkspace* ws = workspaces[static_cast<size_t>(s)].get();
+        shard_tasks.push_back([ws, s_begin, s_end, batch_rows, &order, &train,
+                               model]() {
+          const std::vector<int64_t> shard_indices(
+              order.begin() + s_begin, order.begin() + s_end);
+          const BatchInput batch = MakeBatch(train, shard_indices);
+          ws->rows = s_end - s_begin;
+
+          ws->graph.Reset();
+          nn::ZeroParamGradMap(&ws->grads);
+          const nn::Graph::Var logits =
+              model->Forward(&ws->graph, batch, /*training=*/true,
+                             &ws->bn_mean, &ws->bn_var);
+          const nn::Graph::Var loss =
+              ws->graph.SoftmaxCrossEntropy(logits, batch.labels);
+          // Seed with the shard's weight so the summed shard gradients
+          // equal the gradient of the full-batch mean cross-entropy.
+          const float weight = static_cast<float>(ws->rows) /
+                               static_cast<float>(batch_rows);
+          ws->graph.Backward(loss, weight, &ws->grads);
+
+          ws->loss = ws->graph.value(loss).scalar();
+          ws->correct = 0;
+          const nn::Tensor& probs = ws->graph.Probs(loss);
+          for (int i = 0; i < batch.batch; ++i) {
+            const int pred = probs.at(i, 1) > probs.at(i, 0) ? 1 : 0;
+            if (pred == batch.labels[static_cast<size_t>(i)]) ++ws->correct;
+          }
+        });
+      }
+      pool.SubmitBulk(std::move(shard_tasks));
+      pool.Wait();
+      shard_tasks.clear();
+
+      // Fixed-order reduction: shared gradients, batch-norm EMA updates and
+      // the loss/accuracy tallies all walk shards in index order.
       nn::ZeroGrads(params);
-      g.Backward(loss);
+      double batch_loss = 0.0;
+      for (int64_t s = 0; s < num_shards; ++s) {
+        ShardWorkspace* ws = workspaces[static_cast<size_t>(s)].get();
+        for (nn::Parameter* p : params) {
+          auto it = ws->grads.find(p);
+          if (it == ws->grads.end()) continue;
+          p->grad.Add(it->second);
+        }
+        model->UpdateBatchNorm(ws->bn_mean, ws->bn_var);
+        batch_loss += static_cast<double>(ws->rows) /
+                      static_cast<double>(batch_rows) * ws->loss;
+        correct += ws->correct;
+        seen += ws->rows;
+      }
       optimizer.Step(params);
 
-      loss_sum += g.value(loss).scalar();
+      loss_sum += batch_loss;
       ++batches;
-      const nn::Tensor& probs = g.Probs(loss);
-      for (int i = 0; i < batch.batch; ++i) {
-        const int pred = probs.at(i, 1) > probs.at(i, 0) ? 1 : 0;
-        if (pred == batch.labels[static_cast<size_t>(i)]) ++correct;
-        ++seen;
-      }
     }
 
     EpochStats stats;
@@ -145,8 +224,8 @@ TrainHistory Trainer::Fit(ErrorDetectionModel* model,
         seen == 0 ? 0.0
                   : static_cast<double>(correct) / static_cast<double>(seen);
     if (!test_indices.empty()) {
-      stats.test_accuracy = DatasetAccuracy(*model, *test,
-                                            options_.eval_batch, test_indices);
+      stats.test_accuracy = DatasetAccuracy(
+          *model, *test, options_.eval_batch, test_indices, &pool);
       stats.has_test = true;
     }
     history.epochs.push_back(stats);

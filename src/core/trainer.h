@@ -39,6 +39,19 @@ struct TrainerOptions {
   int64_t test_eval_max_cells = 2000;
   /// Inference batch size.
   int eval_batch = 256;
+
+  /// Worker threads for data-parallel gradient computation (0 = run all
+  /// shards inline on the calling thread). Each minibatch is split into
+  /// fixed shards; every shard runs forward/backward on its own tape into a
+  /// private gradient buffer, and the buffers are reduced in shard order.
+  /// Because the shard partition depends only on the batch size and
+  /// `grad_shard_cells` — never on the thread count — training results are
+  /// bit-identical for every value of `train_threads`.
+  int train_threads = 0;
+  /// Target shard size (cells) for data-parallel gradient accumulation.
+  /// Must stay fixed across runs that should be comparable: changing it
+  /// changes the batch-norm shard statistics and FP summation order.
+  int grad_shard_cells = 128;
 };
 
 /// Per-epoch measurements.
@@ -85,10 +98,14 @@ void PredictDataset(const ErrorDetectionModel& model,
                     ThreadPool* pool = nullptr);
 
 /// Fraction of cells of `ds` (restricted to `indices`, or all cells if
-/// empty) whose thresholded prediction matches the label.
+/// empty) whose thresholded prediction matches the label. When `pool` is
+/// non-null the per-batch sweeps run concurrently; per-chunk correct counts
+/// are reduced with an integer sum, so the result is identical to the
+/// sequential path.
 double DatasetAccuracy(const ErrorDetectionModel& model,
                        const data::EncodedDataset& ds, int eval_batch,
-                       const std::vector<int64_t>& indices);
+                       const std::vector<int64_t>& indices,
+                       ThreadPool* pool = nullptr);
 
 }  // namespace birnn::core
 

@@ -7,19 +7,25 @@
 
 namespace birnn::nn {
 
-Graph::Var Graph::Input(Tensor value) { return NewNode(std::move(value)); }
+void Graph::Reset() { live_ = 0; }
+
+Graph::Var Graph::Input(Tensor value) {
+  Var c = NewSlot();
+  node(c).value = std::move(value);
+  return c;
+}
 
 Graph::Var Graph::Param(Parameter* p) {
   BIRNN_CHECK(p != nullptr);
-  Var v = NewNode(p->value);
+  Var v = NewSlot();
+  node(v).value = p->value;  // copy-assign reuses the slot's buffer
   node(v).param = p;
   return v;
 }
 
 Graph::Var Graph::MatMul(Var a, Var b) {
-  Tensor out;
-  nn::MatMul(value(a), value(b), &out);
-  Var c = NewNode(std::move(out));
+  Var c = NewSlot();
+  nn::MatMul(value(a), value(b), &node(c).value);
   node(c).backward = [this, a, b, c]() {
     // dA += dC * B^T ; dB += A^T * dC
     MatMulTransposeBAcc(nodes_[c].grad, nodes_[b].value, &nodes_[a].grad);
@@ -29,9 +35,8 @@ Graph::Var Graph::MatMul(Var a, Var b) {
 }
 
 Graph::Var Graph::Add(Var a, Var b) {
-  Tensor out;
-  AddElem(value(a), value(b), &out);
-  Var c = NewNode(std::move(out));
+  Var c = NewSlot();
+  AddElem(value(a), value(b), &node(c).value);
   node(c).backward = [this, a, b, c]() {
     nodes_[a].grad.Add(nodes_[c].grad);
     nodes_[b].grad.Add(nodes_[c].grad);
@@ -40,64 +45,70 @@ Graph::Var Graph::Add(Var a, Var b) {
 }
 
 Graph::Var Graph::AddBias(Var x, Var bias) {
-  Tensor out;
-  nn::AddBias(value(x), value(bias), &out);
-  Var c = NewNode(std::move(out));
+  Var c = NewSlot();
+  nn::AddBias(value(x), value(bias), &node(c).value);
   node(c).backward = [this, x, bias, c]() {
     nodes_[x].grad.Add(nodes_[c].grad);
-    Tensor colsum;
-    ColSum(nodes_[c].grad, &colsum);
-    // Bias may be stored as (m) or (1,m); accumulate respecting its shape.
-    Tensor reshaped = colsum.Reshaped(nodes_[bias].grad.shape());
-    nodes_[bias].grad.Add(reshaped);
+    // Column sums of dC accumulated straight into the bias gradient; the
+    // bias may be stored as (m) or (1,m) — both are m contiguous floats.
+    const Tensor& dy = nodes_[c].grad;
+    Tensor& db = nodes_[bias].grad;
+    const int n = dy.rows();
+    const int m = dy.cols();
+    BIRNN_CHECK_EQ(db.size(), static_cast<size_t>(m));
+    float* __restrict pd = db.data();
+    for (int i = 0; i < n; ++i) {
+      const float* __restrict row = dy.data() + static_cast<size_t>(i) * m;
+      for (int j = 0; j < m; ++j) pd[j] += row[j];
+    }
   };
   return c;
 }
 
 Graph::Var Graph::Sub(Var a, Var b) {
-  Tensor out;
-  SubElem(value(a), value(b), &out);
-  Var c = NewNode(std::move(out));
+  Var c = NewSlot();
+  SubElem(value(a), value(b), &node(c).value);
   node(c).backward = [this, a, b, c]() {
     nodes_[a].grad.Add(nodes_[c].grad);
-    Tensor neg = nodes_[c].grad;
-    neg.Scale(-1.0f);
-    nodes_[b].grad.Add(neg);
+    const Tensor& dy = nodes_[c].grad;
+    Tensor& db = nodes_[b].grad;
+    for (size_t i = 0; i < dy.size(); ++i) db[i] -= dy[i];
   };
   return c;
 }
 
 Graph::Var Graph::Mul(Var a, Var b) {
-  Tensor out;
-  MulElem(value(a), value(b), &out);
-  Var c = NewNode(std::move(out));
+  Var c = NewSlot();
+  MulElem(value(a), value(b), &node(c).value);
   node(c).backward = [this, a, b, c]() {
-    Tensor da;
-    MulElem(nodes_[c].grad, nodes_[b].value, &da);
-    nodes_[a].grad.Add(da);
-    Tensor db;
-    MulElem(nodes_[c].grad, nodes_[a].value, &db);
-    nodes_[b].grad.Add(db);
+    const Tensor& dy = nodes_[c].grad;
+    const Tensor& av = nodes_[a].value;
+    const Tensor& bv = nodes_[b].value;
+    Tensor& da = nodes_[a].grad;
+    Tensor& db = nodes_[b].grad;
+    for (size_t i = 0; i < dy.size(); ++i) {
+      da[i] += dy[i] * bv[i];
+      db[i] += dy[i] * av[i];
+    }
   };
   return c;
 }
 
 Graph::Var Graph::ScaleBy(Var a, float s) {
-  Tensor out = value(a);
-  out.Scale(s);
-  Var c = NewNode(std::move(out));
+  Var c = NewSlot();
+  node(c).value = value(a);
+  node(c).value.Scale(s);
   node(c).backward = [this, a, c, s]() {
-    Tensor da = nodes_[c].grad;
-    da.Scale(s);
-    nodes_[a].grad.Add(da);
+    const Tensor& dy = nodes_[c].grad;
+    Tensor& da = nodes_[a].grad;
+    for (size_t i = 0; i < dy.size(); ++i) da[i] += dy[i] * s;
   };
   return c;
 }
 
 Graph::Var Graph::Tanh(Var x) {
-  Tensor out;
-  TanhElem(value(x), &out);
-  Var c = NewNode(std::move(out));
+  Var c = NewSlot();
+  TanhElem(value(x), &node(c).value);
   node(c).backward = [this, x, c]() {
     // d tanh = 1 - tanh^2
     const Tensor& y = nodes_[c].value;
@@ -111,9 +122,8 @@ Graph::Var Graph::Tanh(Var x) {
 }
 
 Graph::Var Graph::Relu(Var x) {
-  Tensor out;
-  ReluElem(value(x), &out);
-  Var c = NewNode(std::move(out));
+  Var c = NewSlot();
+  ReluElem(value(x), &node(c).value);
   node(c).backward = [this, x, c]() {
     const Tensor& xin = nodes_[x].value;
     const Tensor& dy = nodes_[c].grad;
@@ -126,9 +136,8 @@ Graph::Var Graph::Relu(Var x) {
 }
 
 Graph::Var Graph::Sigmoid(Var x) {
-  Tensor out;
-  SigmoidElem(value(x), &out);
-  Var c = NewNode(std::move(out));
+  Var c = NewSlot();
+  SigmoidElem(value(x), &node(c).value);
   node(c).backward = [this, x, c]() {
     const Tensor& y = nodes_[c].value;
     const Tensor& dy = nodes_[c].grad;
@@ -140,13 +149,52 @@ Graph::Var Graph::Sigmoid(Var x) {
   return c;
 }
 
+Graph::Var Graph::RnnTanhStep(Var x, Var wx, Var h, Var wh, Var b) {
+  Var c = NewSlot();
+  // Pre-activation z = x wx + h wh staged in the aux buffer; the bias add
+  // and tanh are fused into the final pass. Backward reuses the same buffer
+  // for dz = dy * (1 - y^2).
+  Tensor* z = Aux(c);
+  nn::MatMul(value(x), value(wx), z);
+  MatMulAcc(value(h), value(wh), z);
+  AddBiasTanh(*z, value(b), &node(c).value);
+  node(c).backward = [this, x, wx, h, wh, b, c]() {
+    Node& nc = nodes_[c];
+    const Tensor& y = nc.value;
+    const Tensor& dy = nc.grad;
+    Tensor& dz = *nc.aux;
+    dz.ResizeForOverwrite(y.shape());
+    const int n = y.rows();
+    const int m = y.cols();
+    Tensor& db = nodes_[b].grad;
+    BIRNN_CHECK_EQ(db.size(), static_cast<size_t>(m));
+    const float* __restrict py = y.data();
+    const float* __restrict pdy = dy.data();
+    float* __restrict pdz = dz.data();
+    float* __restrict pdb = db.data();
+    for (int i = 0; i < n; ++i) {
+      const size_t off = static_cast<size_t>(i) * m;
+      for (int j = 0; j < m; ++j) {
+        const float yv = py[off + j];
+        const float g = pdy[off + j] * (1.0f - yv * yv);
+        pdz[off + j] = g;
+        pdb[j] += g;
+      }
+    }
+    MatMulTransposeBAcc(dz, nodes_[wx].value, &nodes_[x].grad);
+    MatMulTransposeAAcc(nodes_[x].value, dz, &nodes_[wx].grad);
+    MatMulTransposeBAcc(dz, nodes_[wh].value, &nodes_[h].grad);
+    MatMulTransposeAAcc(nodes_[h].value, dz, &nodes_[wh].grad);
+  };
+  return c;
+}
+
 Graph::Var Graph::ConcatCols(const std::vector<Var>& parts) {
+  Var c = NewSlot();
   std::vector<const Tensor*> tensors;
   tensors.reserve(parts.size());
   for (Var p : parts) tensors.push_back(&value(p));
-  Tensor out;
-  nn::ConcatCols(tensors, &out);
-  Var c = NewNode(std::move(out));
+  nn::ConcatCols(tensors, &node(c).value);
   std::vector<Var> saved = parts;
   node(c).backward = [this, saved, c]() {
     const Tensor& dy = nodes_[c].grad;
@@ -169,9 +217,8 @@ Graph::Var Graph::ConcatCols(const std::vector<Var>& parts) {
 }
 
 Graph::Var Graph::SliceCols(Var x, int start, int count) {
-  Tensor out;
-  nn::SliceCols(value(x), start, count, &out);
-  Var c = NewNode(std::move(out));
+  Var c = NewSlot();
+  nn::SliceCols(value(x), start, count, &node(c).value);
   node(c).backward = [this, x, c, start, count]() {
     const Tensor& dy = nodes_[c].grad;
     Tensor& dx = nodes_[x].grad;
@@ -187,9 +234,8 @@ Graph::Var Graph::SliceCols(Var x, int start, int count) {
 }
 
 Graph::Var Graph::Embedding(Var table, std::vector<int> ids) {
-  Tensor out;
-  GatherRows(value(table), ids, &out);
-  Var c = NewNode(std::move(out));
+  Var c = NewSlot();
+  GatherRows(value(table), ids, &node(c).value);
   node(c).backward = [this, table, ids = std::move(ids), c]() {
     ScatterAddRows(nodes_[c].grad, ids, &nodes_[table].grad);
   };
@@ -198,7 +244,9 @@ Graph::Var Graph::Embedding(Var table, std::vector<int> ids) {
 
 Graph::Var Graph::BatchNormTrain(Var x, Var gamma, Var beta,
                                  Tensor* running_mean, Tensor* running_var,
-                                 float momentum, float eps) {
+                                 float momentum, float eps,
+                                 Tensor* batch_mean_out,
+                                 Tensor* batch_var_out) {
   const Tensor& xin = value(x);
   BIRNN_CHECK_EQ(xin.rank(), 2);
   const int n = xin.rows();
@@ -222,25 +270,40 @@ Graph::Var Graph::BatchNormTrain(Var x, Var gamma, Var beta,
   }
   for (int j = 0; j < m; ++j) var[static_cast<size_t>(j)] /= static_cast<float>(n);
 
-  // Update running statistics in-place.
-  BIRNN_CHECK_EQ(running_mean->size(), static_cast<size_t>(m));
-  BIRNN_CHECK_EQ(running_var->size(), static_cast<size_t>(m));
-  for (int j = 0; j < m; ++j) {
-    (*running_mean)[static_cast<size_t>(j)] =
-        momentum * (*running_mean)[static_cast<size_t>(j)] +
-        (1.0f - momentum) * mu[static_cast<size_t>(j)];
-    (*running_var)[static_cast<size_t>(j)] =
-        momentum * (*running_var)[static_cast<size_t>(j)] +
-        (1.0f - momentum) * var[static_cast<size_t>(j)];
+  if (batch_mean_out != nullptr) {
+    // Deferred mode: hand the batch statistics to the caller (data-parallel
+    // shards apply the EMA update later, in fixed shard order).
+    BIRNN_CHECK(batch_var_out != nullptr);
+    batch_mean_out->ResizeForOverwrite(std::vector<int>{m});
+    batch_var_out->ResizeForOverwrite(std::vector<int>{m});
+    for (int j = 0; j < m; ++j) {
+      (*batch_mean_out)[static_cast<size_t>(j)] = mu[static_cast<size_t>(j)];
+      (*batch_var_out)[static_cast<size_t>(j)] = var[static_cast<size_t>(j)];
+    }
+  } else {
+    // Update running statistics in-place.
+    BIRNN_CHECK_EQ(running_mean->size(), static_cast<size_t>(m));
+    BIRNN_CHECK_EQ(running_var->size(), static_cast<size_t>(m));
+    for (int j = 0; j < m; ++j) {
+      (*running_mean)[static_cast<size_t>(j)] =
+          momentum * (*running_mean)[static_cast<size_t>(j)] +
+          (1.0f - momentum) * mu[static_cast<size_t>(j)];
+      (*running_var)[static_cast<size_t>(j)] =
+          momentum * (*running_var)[static_cast<size_t>(j)] +
+          (1.0f - momentum) * var[static_cast<size_t>(j)];
+    }
   }
 
+  Var c = NewSlot();
   // Saved state packed as (n+1, m): rows 0..n-1 hold xhat, row n holds
   // inv_std per feature (single aux slot per node).
-  auto aux = std::make_shared<Tensor>(n + 1, m);
+  Tensor* aux = Aux(c);
+  aux->ResizeForOverwrite(n + 1, m);
   for (int j = 0; j < m; ++j) {
     aux->at(n, j) = 1.0f / std::sqrt(var[static_cast<size_t>(j)] + eps);
   }
-  Tensor out(n, m);
+  Tensor& out = node(c).value;
+  out.ResizeForOverwrite(n, m);
   const Tensor& g = value(gamma);
   const Tensor& b = value(beta);
   for (int i = 0; i < n; ++i) {
@@ -254,8 +317,6 @@ Graph::Var Graph::BatchNormTrain(Var x, Var gamma, Var beta,
     }
   }
 
-  Var c = NewNode(std::move(out));
-  node(c).aux = aux;
   node(c).backward = [this, x, gamma, beta, c, n, m]() {
     const Tensor& dy = nodes_[c].grad;
     const Tensor& aux_t = *nodes_[c].aux;
@@ -302,9 +363,12 @@ Graph::Var Graph::BatchNormInfer(Var x, Var gamma, Var beta,
   BIRNN_CHECK_EQ(running_mean.size(), static_cast<size_t>(m));
   BIRNN_CHECK_EQ(running_var.size(), static_cast<size_t>(m));
 
+  Var c = NewSlot();
   // y = gamma * (x - rm) * inv_std + beta; save xhat (n,m) + inv_std row.
-  auto aux = std::make_shared<Tensor>(n + 1, m);
-  Tensor out(n, m);
+  Tensor* aux = Aux(c);
+  aux->ResizeForOverwrite(n + 1, m);
+  Tensor& out = node(c).value;
+  out.ResizeForOverwrite(n, m);
   const Tensor& g = value(gamma);
   const Tensor& b = value(beta);
   for (int j = 0; j < m; ++j) {
@@ -318,8 +382,6 @@ Graph::Var Graph::BatchNormInfer(Var x, Var gamma, Var beta,
       out.at(i, j) = g[sj] * xhat + b[sj];
     }
   }
-  Var c = NewNode(std::move(out));
-  node(c).aux = aux;
   node(c).backward = [this, x, gamma, beta, c, n, m]() {
     const Tensor& dy = nodes_[c].grad;
     const Tensor& aux_t = *nodes_[c].aux;
@@ -337,11 +399,11 @@ Graph::Var Graph::BatchNormInfer(Var x, Var gamma, Var beta,
 }
 
 Graph::Var Graph::SoftmaxCrossEntropy(Var logits, std::vector<int> labels) {
-  auto probs = std::make_shared<Tensor>();
-  const float loss =
-      SoftmaxCrossEntropyLoss(value(logits), labels, probs.get());
-  Var c = NewNode(Tensor::Scalar(loss));
-  node(c).aux = probs;
+  Var c = NewSlot();
+  Tensor* probs = Aux(c);
+  const float loss = SoftmaxCrossEntropyLoss(value(logits), labels, probs);
+  node(c).value.ResizeForOverwrite(std::vector<int>{1});
+  node(c).value[0] = loss;
   node(c).backward = [this, logits, labels = std::move(labels), c]() {
     const float dloss = nodes_[c].grad[0];
     const Tensor& p = *nodes_[c].aux;
@@ -366,21 +428,29 @@ const Tensor& Graph::Probs(Var loss) const {
   return *nd.aux;
 }
 
-void Graph::Backward(Var loss) {
+void Graph::Backward(Var loss, float loss_seed, ParamGradMap* sink) {
   const size_t li = CheckVar(loss);
   BIRNN_CHECK_EQ(nodes_[li].value.size(), 1u)
       << "Backward requires a scalar loss";
-  // Allocate/zero all gradients.
-  for (Node& nd : nodes_) {
-    nd.grad = Tensor(nd.value.shape());
+  // Size and zero all gradients (buffer-reusing; no allocation once the
+  // arena has warmed up).
+  for (size_t i = 0; i < live_; ++i) {
+    nodes_[i].grad.Resize(nodes_[i].value.shape());
   }
-  nodes_[li].grad[0] = 1.0f;
-  for (size_t i = nodes_.size(); i-- > 0;) {
+  nodes_[li].grad[0] = loss_seed;
+  for (size_t i = live_; i-- > 0;) {
     if (nodes_[i].backward) nodes_[i].backward();
   }
-  // Flush parameter gradients.
-  for (Node& nd : nodes_) {
-    if (nd.param != nullptr) {
+  // Flush parameter gradients into the shared accumulators, or into the
+  // caller's private sink for lock-free data-parallel shards.
+  for (size_t i = 0; i < live_; ++i) {
+    Node& nd = nodes_[i];
+    if (nd.param == nullptr) continue;
+    if (sink != nullptr) {
+      Tensor& acc = (*sink)[nd.param];
+      if (acc.shape() != nd.grad.shape()) acc.Resize(nd.grad.shape());
+      acc.Add(nd.grad);
+    } else {
       if (nd.param->grad.shape() != nd.grad.shape()) {
         nd.param->grad = Tensor(nd.grad.shape());
       }

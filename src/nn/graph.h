@@ -14,10 +14,14 @@ namespace birnn::nn {
 ///
 /// Operations execute eagerly and record a backward closure; calling
 /// `Backward(loss)` walks the tape in reverse, accumulating gradients into
-/// every node and finally into the bound `Parameter::grad` buffers.
+/// every node and finally into the bound `Parameter::grad` buffers (or into
+/// a caller-owned `ParamGradMap` sink for data-parallel training).
 ///
-/// A Graph is built per training step and then discarded. It is not
-/// thread-safe. Inference paths should use the forward-only kernels in
+/// The tape is an arena: `Reset()` rewinds it without releasing node slots
+/// or their tensor buffers, so a Graph that is rebuilt with the same
+/// structure every step (the training loop) stops allocating after the
+/// first step. A Graph is not thread-safe; data-parallel trainers use one
+/// Graph per shard. Inference paths should use the forward-only kernels in
 /// `nn/ops.h` directly (no tape overhead).
 class Graph {
  public:
@@ -28,11 +32,16 @@ class Graph {
   Graph(const Graph&) = delete;
   Graph& operator=(const Graph&) = delete;
 
+  /// Rewinds the tape for the next step. Node slots, tensor buffers and
+  /// op-specific aux storage are retained and reused by subsequent ops, so
+  /// steady-state steps perform no heap allocation for the tape itself.
+  void Reset();
+
   /// Leaf holding a constant input; no gradient flows out of the graph.
   Var Input(Tensor value);
 
   /// Leaf bound to a trainable parameter. After Backward, the node's
-  /// gradient is accumulated into `p->grad`.
+  /// gradient is accumulated into `p->grad` (or the Backward sink).
   Var Param(Parameter* p);
 
   /// c = a * b (matrix product).
@@ -56,6 +65,12 @@ class Graph {
   Var Relu(Var x);
   Var Sigmoid(Var x);
 
+  /// Fused vanilla-RNN step: tanh(x wx + h wh + b) as a single tape node.
+  /// Equivalent to Tanh(AddBias(Add(MatMul(x,wx), MatMul(h,wh)), b)) but
+  /// with one node instead of five — the recurrence dominates the tape, so
+  /// this removes most of the per-step bookkeeping and intermediate buffers.
+  Var RnnTanhStep(Var x, Var wx, Var h, Var wh, Var b);
+
   /// Concatenates matrices with equal row counts along the column axis.
   Var ConcatCols(const std::vector<Var>& parts);
 
@@ -67,11 +82,17 @@ class Graph {
   Var Embedding(Var table, std::vector<int> ids);
 
   /// Batch normalization over the feature (column) axis, training mode:
-  /// normalizes with batch statistics and updates the running estimates
-  /// in-place: running = momentum * running + (1-momentum) * batch.
+  /// normalizes with batch statistics. By default the running estimates are
+  /// updated in-place (running = momentum * running + (1-momentum) * batch).
+  /// When `batch_mean_out`/`batch_var_out` are non-null the batch statistics
+  /// are written there instead and the running estimates are NOT touched —
+  /// data-parallel shards use this to defer the EMA update so it can be
+  /// applied in fixed shard order (`running_mean`/`running_var` may then be
+  /// null).
   Var BatchNormTrain(Var x, Var gamma, Var beta, Tensor* running_mean,
                      Tensor* running_var, float momentum = 0.9f,
-                     float eps = 1e-5f);
+                     float eps = 1e-5f, Tensor* batch_mean_out = nullptr,
+                     Tensor* batch_var_out = nullptr);
 
   /// Batch normalization, inference mode: uses the provided running
   /// statistics (still differentiable w.r.t. x, gamma, beta).
@@ -89,12 +110,19 @@ class Graph {
   /// Runs reverse-mode accumulation from `loss` (must be a scalar node).
   /// Parameter gradients are *added* to `Parameter::grad` — call
   /// `Parameter::ZeroGrad()` between steps.
-  void Backward(Var loss);
+  void Backward(Var loss) { Backward(loss, 1.0f, nullptr); }
+
+  /// Backward with an explicit seed gradient on the loss node (shard
+  /// weighting in data-parallel training) and an optional sink: when `sink`
+  /// is non-null, parameter gradients are accumulated into `(*sink)[param]`
+  /// instead of `Parameter::grad`, leaving shared parameters untouched so
+  /// shards can run concurrently.
+  void Backward(Var loss, float loss_seed, ParamGradMap* sink);
 
   const Tensor& value(Var v) const { return nodes_[CheckVar(v)].value; }
   const Tensor& grad(Var v) const { return nodes_[CheckVar(v)].grad; }
 
-  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_nodes() const { return live_; }
 
  private:
   struct Node {
@@ -107,17 +135,33 @@ class Graph {
 
   size_t CheckVar(Var v) const {
     BIRNN_CHECK_GE(v, 0);
-    BIRNN_CHECK_LT(static_cast<size_t>(v), nodes_.size());
+    BIRNN_CHECK_LT(static_cast<size_t>(v), live_);
     return static_cast<size_t>(v);
   }
 
-  Var NewNode(Tensor value) {
-    nodes_.push_back(Node{std::move(value), Tensor(), nullptr, nullptr, {}});
-    return static_cast<Var>(nodes_.size() - 1);
+  /// Claims the next tape slot, reusing a retired node (and its buffers)
+  /// when the arena has one.
+  Var NewSlot() {
+    if (live_ == nodes_.size()) {
+      nodes_.emplace_back();
+    } else {
+      Node& nd = nodes_[live_];
+      nd.backward = nullptr;
+      nd.param = nullptr;
+    }
+    return static_cast<Var>(live_++);
+  }
+
+  /// The reusable aux tensor of node `v` (allocated on first use).
+  Tensor* Aux(Var v) {
+    Node& nd = node(v);
+    if (nd.aux == nullptr) nd.aux = std::make_shared<Tensor>();
+    return nd.aux.get();
   }
 
   Node& node(Var v) { return nodes_[CheckVar(v)]; }
 
+  size_t live_ = 0;
   std::vector<Node> nodes_;
 };
 

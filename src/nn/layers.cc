@@ -50,17 +50,18 @@ Dense::Bound Dense::Bind(Graph* g) {
 void Dense::ApplyForward(const Tensor& x, Tensor* out) const {
   Tensor z;
   MatMul(x, w_.value, &z);
-  Tensor zb;
-  AddBias(z, b_.value, &zb);
   switch (act_) {
     case Activation::kNone:
-      *out = std::move(zb);
+      AddBias(z, b_.value, out);
       return;
-    case Activation::kRelu:
+    case Activation::kRelu: {
+      Tensor zb;
+      AddBias(z, b_.value, &zb);
       ReluElem(zb, out);
       return;
+    }
     case Activation::kTanh:
-      TanhElem(zb, out);
+      AddBiasTanh(z, b_.value, out);
       return;
   }
 }
@@ -84,6 +85,27 @@ Graph::Var BatchNorm1d::Apply(Graph* g, Graph::Var x, bool training) {
                              momentum_, eps_);
   }
   return g->BatchNormInfer(x, gamma, beta, running_mean_, running_var_, eps_);
+}
+
+Graph::Var BatchNorm1d::ApplyTrainCaptured(Graph* g, Graph::Var x,
+                                           Tensor* mean_out, Tensor* var_out) {
+  Graph::Var gamma = g->Param(&gamma_);
+  Graph::Var beta = g->Param(&beta_);
+  return g->BatchNormTrain(x, gamma, beta, /*running_mean=*/nullptr,
+                           /*running_var=*/nullptr, momentum_, eps_, mean_out,
+                           var_out);
+}
+
+void BatchNorm1d::UpdateRunningStats(const Tensor& batch_mean,
+                                     const Tensor& batch_var) {
+  BIRNN_CHECK_EQ(batch_mean.size(), running_mean_.size());
+  BIRNN_CHECK_EQ(batch_var.size(), running_var_.size());
+  for (size_t j = 0; j < running_mean_.size(); ++j) {
+    running_mean_[j] =
+        momentum_ * running_mean_[j] + (1.0f - momentum_) * batch_mean[j];
+    running_var_[j] =
+        momentum_ * running_var_[j] + (1.0f - momentum_) * batch_var[j];
+  }
 }
 
 void BatchNorm1d::ApplyForward(const Tensor& x, Tensor* out) const {
@@ -125,9 +147,7 @@ RnnCell::RnnCell(std::string name, int input_dim, int units, Rng* rng)
 }
 
 Graph::Var RnnCell::Bound::Step(Graph::Var x, Graph::Var h_prev) const {
-  Graph::Var z =
-      g->AddBias(g->Add(g->MatMul(x, wx), g->MatMul(h_prev, wh)), bh);
-  return g->Tanh(z);
+  return g->RnnTanhStep(x, wx, h_prev, wh, bh);
 }
 
 RnnCell::Bound RnnCell::Bind(Graph* g) {
@@ -139,9 +159,7 @@ void RnnCell::StepForward(const Tensor& x, const Tensor& h_prev,
   Tensor zx;
   MatMul(x, wx_.value, &zx);
   MatMulAcc(h_prev, wh_.value, &zx);
-  Tensor zb;
-  AddBias(zx, bh_.value, &zb);
-  TanhElem(zb, h_out);
+  AddBiasTanh(zx, bh_.value, h_out);
 }
 
 // -------------------------------------------------------------- StackedBiRnn

@@ -76,6 +76,17 @@ class BatchNorm1d {
   /// updates the running estimates. `training=false` uses running stats.
   Graph::Var Apply(Graph* g, Graph::Var x, bool training);
 
+  /// Training-mode application that captures the batch statistics into
+  /// `mean_out`/`var_out` instead of updating the running estimates.
+  /// Data-parallel shards use this so the EMA update can be replayed later
+  /// in fixed shard order via `UpdateRunningStats`.
+  Graph::Var ApplyTrainCaptured(Graph* g, Graph::Var x, Tensor* mean_out,
+                                Tensor* var_out);
+
+  /// Applies one EMA step with the given batch statistics:
+  /// running = momentum * running + (1 - momentum) * batch.
+  void UpdateRunningStats(const Tensor& batch_mean, const Tensor& batch_var);
+
   /// Forward-only inference using running statistics.
   void ApplyForward(const Tensor& x, Tensor* out) const;
 

@@ -3,15 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/vecmath.h"
+
 namespace birnn::nn {
 
 namespace {
-void EnsureShape(Tensor* t, int rows, int cols) {
-  if (t->rank() != 2 || t->rows() != rows || t->cols() != cols) {
-    *t = Tensor(rows, cols);
-  } else {
-    t->Zero();
-  }
+void EnsureShapeZeroed(Tensor* t, int rows, int cols) {
+  t->Resize(rows, cols);
 }
 }  // namespace
 
@@ -19,7 +17,7 @@ void MatMul(const Tensor& a, const Tensor& b, Tensor* out) {
   BIRNN_CHECK_EQ(a.rank(), 2);
   BIRNN_CHECK_EQ(b.rank(), 2);
   BIRNN_CHECK_EQ(a.cols(), b.rows());
-  EnsureShape(out, a.rows(), b.cols());
+  EnsureShapeZeroed(out, a.rows(), b.cols());
   MatMulAcc(a, b, out);
 }
 
@@ -30,18 +28,34 @@ void MatMulAcc(const Tensor& a, const Tensor& b, Tensor* out) {
   BIRNN_CHECK_EQ(b.rows(), k);
   BIRNN_CHECK_EQ(out->rows(), n);
   BIRNN_CHECK_EQ(out->cols(), m);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = out->data();
-  // i-k-j loop order: streams through b and c rows, vectorizes the inner j
-  // loop. Adequate for the 32–256 wide matrices this library uses.
+  const float* __restrict pa = a.data();
+  const float* __restrict pb = b.data();
+  float* __restrict pc = out->data();
+  // i-k-j order with the k loop register-blocked by 4: each pass over a row
+  // of c performs four fused multiply-adds per load/store of c[j], and the
+  // inner j loop stays contiguous so it vectorizes.
   for (int i = 0; i < n; ++i) {
-    const float* arow = pa + static_cast<size_t>(i) * k;
-    float* crow = pc + static_cast<size_t>(i) * m;
-    for (int kk = 0; kk < k; ++kk) {
+    const float* __restrict arow = pa + static_cast<size_t>(i) * k;
+    float* __restrict crow = pc + static_cast<size_t>(i) * m;
+    int kk = 0;
+    for (; kk + 4 <= k; kk += 4) {
+      const float a0 = arow[kk];
+      const float a1 = arow[kk + 1];
+      const float a2 = arow[kk + 2];
+      const float a3 = arow[kk + 3];
+      if (a0 == 0.0f && a1 == 0.0f && a2 == 0.0f && a3 == 0.0f) continue;
+      const float* __restrict b0 = pb + static_cast<size_t>(kk) * m;
+      const float* __restrict b1 = b0 + m;
+      const float* __restrict b2 = b1 + m;
+      const float* __restrict b3 = b2 + m;
+      for (int j = 0; j < m; ++j) {
+        crow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+      }
+    }
+    for (; kk < k; ++kk) {
       const float av = arow[kk];
       if (av == 0.0f) continue;
-      const float* brow = pb + static_cast<size_t>(kk) * m;
+      const float* __restrict brow = pb + static_cast<size_t>(kk) * m;
       for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
     }
   }
@@ -54,16 +68,40 @@ void MatMulTransposeAAcc(const Tensor& a, const Tensor& b, Tensor* out) {
   BIRNN_CHECK_EQ(b.rows(), n);
   BIRNN_CHECK_EQ(out->rows(), k);
   BIRNN_CHECK_EQ(out->cols(), m);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = out->data();
-  for (int i = 0; i < n; ++i) {
-    const float* arow = pa + static_cast<size_t>(i) * k;
-    const float* brow = pb + static_cast<size_t>(i) * m;
+  const float* __restrict pa = a.data();
+  const float* __restrict pb = b.data();
+  float* __restrict pc = out->data();
+  // Blocked over four rows of a/b at a time so every c row written in the
+  // kk loop receives four rank-1 contributions per pass.
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float* __restrict a0 = pa + static_cast<size_t>(i) * k;
+    const float* __restrict a1 = a0 + k;
+    const float* __restrict a2 = a1 + k;
+    const float* __restrict a3 = a2 + k;
+    const float* __restrict b0 = pb + static_cast<size_t>(i) * m;
+    const float* __restrict b1 = b0 + m;
+    const float* __restrict b2 = b1 + m;
+    const float* __restrict b3 = b2 + m;
+    for (int kk = 0; kk < k; ++kk) {
+      const float w0 = a0[kk];
+      const float w1 = a1[kk];
+      const float w2 = a2[kk];
+      const float w3 = a3[kk];
+      if (w0 == 0.0f && w1 == 0.0f && w2 == 0.0f && w3 == 0.0f) continue;
+      float* __restrict crow = pc + static_cast<size_t>(kk) * m;
+      for (int j = 0; j < m; ++j) {
+        crow[j] += w0 * b0[j] + w1 * b1[j] + w2 * b2[j] + w3 * b3[j];
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    const float* __restrict arow = pa + static_cast<size_t>(i) * k;
+    const float* __restrict brow = pb + static_cast<size_t>(i) * m;
     for (int kk = 0; kk < k; ++kk) {
       const float av = arow[kk];
       if (av == 0.0f) continue;
-      float* crow = pc + static_cast<size_t>(kk) * m;
+      float* __restrict crow = pc + static_cast<size_t>(kk) * m;
       for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
     }
   }
@@ -76,17 +114,47 @@ void MatMulTransposeBAcc(const Tensor& a, const Tensor& b, Tensor* out) {
   BIRNN_CHECK_EQ(b.cols(), m);
   BIRNN_CHECK_EQ(out->rows(), n);
   BIRNN_CHECK_EQ(out->cols(), k);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = out->data();
+  const float* __restrict pa = a.data();
+  const float* __restrict pb = b.data();
+  float* __restrict pc = out->data();
+  // The natural formulation is a row-times-row dot product, but a float
+  // reduction cannot be vectorized under strict FP semantics. Instead,
+  // transpose b into a (thread-local, reused) scratch buffer and run the
+  // same broadcast-FMA i-k-j pattern as MatMulAcc, which keeps the inner
+  // loop contiguous and reduction-free. The transpose is O(k*m) against
+  // O(n*k*m) compute.
+  thread_local std::vector<float> bt_scratch;
+  bt_scratch.resize(static_cast<size_t>(m) * k);
+  float* __restrict pt = bt_scratch.data();
+  for (int kk = 0; kk < k; ++kk) {
+    const float* __restrict brow = pb + static_cast<size_t>(kk) * m;
+    for (int j = 0; j < m; ++j) {
+      pt[static_cast<size_t>(j) * k + kk] = brow[j];
+    }
+  }
   for (int i = 0; i < n; ++i) {
-    const float* arow = pa + static_cast<size_t>(i) * m;
-    float* crow = pc + static_cast<size_t>(i) * k;
-    for (int kk = 0; kk < k; ++kk) {
-      const float* brow = pb + static_cast<size_t>(kk) * m;
-      float dot = 0.0f;
-      for (int j = 0; j < m; ++j) dot += arow[j] * brow[j];
-      crow[kk] += dot;
+    const float* __restrict arow = pa + static_cast<size_t>(i) * m;
+    float* __restrict crow = pc + static_cast<size_t>(i) * k;
+    int j = 0;
+    for (; j + 4 <= m; j += 4) {
+      const float a0 = arow[j];
+      const float a1 = arow[j + 1];
+      const float a2 = arow[j + 2];
+      const float a3 = arow[j + 3];
+      if (a0 == 0.0f && a1 == 0.0f && a2 == 0.0f && a3 == 0.0f) continue;
+      const float* __restrict t0 = pt + static_cast<size_t>(j) * k;
+      const float* __restrict t1 = t0 + k;
+      const float* __restrict t2 = t1 + k;
+      const float* __restrict t3 = t2 + k;
+      for (int kk = 0; kk < k; ++kk) {
+        crow[kk] += a0 * t0[kk] + a1 * t1[kk] + a2 * t2[kk] + a3 * t3[kk];
+      }
+    }
+    for (; j < m; ++j) {
+      const float av = arow[j];
+      if (av == 0.0f) continue;
+      const float* __restrict trow = pt + static_cast<size_t>(j) * k;
+      for (int kk = 0; kk < k; ++kk) crow[kk] += av * trow[kk];
     }
   }
 }
@@ -96,65 +164,97 @@ void AddBias(const Tensor& x, const Tensor& bias, Tensor* out) {
   const int n = x.rows();
   const int m = x.cols();
   BIRNN_CHECK_EQ(bias.size(), static_cast<size_t>(m));
-  *out = x;
-  float* po = out->data();
-  const float* pb = bias.data();
+  out->ResizeForOverwrite(x.shape());
+  const float* __restrict px = x.data();
+  const float* __restrict pb = bias.data();
+  float* __restrict po = out->data();
   for (int i = 0; i < n; ++i) {
-    float* row = po + static_cast<size_t>(i) * m;
-    for (int j = 0; j < m; ++j) row[j] += pb[j];
+    const float* __restrict xrow = px + static_cast<size_t>(i) * m;
+    float* __restrict row = po + static_cast<size_t>(i) * m;
+    for (int j = 0; j < m; ++j) row[j] = xrow[j] + pb[j];
   }
+}
+
+void AddBiasTanh(const Tensor& x, const Tensor& bias, Tensor* out) {
+  BIRNN_CHECK_EQ(x.rank(), 2);
+  const int n = x.rows();
+  const int m = x.cols();
+  BIRNN_CHECK_EQ(bias.size(), static_cast<size_t>(m));
+  out->ResizeForOverwrite(x.shape());
+  const float* __restrict px = x.data();
+  const float* __restrict pb = bias.data();
+  float* __restrict po = out->data();
+  for (int i = 0; i < n; ++i) {
+    const float* __restrict xrow = px + static_cast<size_t>(i) * m;
+    float* __restrict row = po + static_cast<size_t>(i) * m;
+    for (int j = 0; j < m; ++j) row[j] = xrow[j] + pb[j];
+  }
+  TanhVec(po, po, static_cast<size_t>(n) * m);
 }
 
 void AddElem(const Tensor& a, const Tensor& b, Tensor* out) {
   BIRNN_CHECK(a.shape() == b.shape());
-  *out = a;
-  for (size_t i = 0; i < b.size(); ++i) (*out)[i] += b[i];
+  out->ResizeForOverwrite(a.shape());
+  const float* __restrict pa = a.data();
+  const float* __restrict pb = b.data();
+  float* __restrict po = out->data();
+  const size_t sz = a.size();
+  for (size_t i = 0; i < sz; ++i) po[i] = pa[i] + pb[i];
 }
 
 void SubElem(const Tensor& a, const Tensor& b, Tensor* out) {
   BIRNN_CHECK(a.shape() == b.shape());
-  *out = a;
-  for (size_t i = 0; i < b.size(); ++i) (*out)[i] -= b[i];
+  out->ResizeForOverwrite(a.shape());
+  const float* __restrict pa = a.data();
+  const float* __restrict pb = b.data();
+  float* __restrict po = out->data();
+  const size_t sz = a.size();
+  for (size_t i = 0; i < sz; ++i) po[i] = pa[i] - pb[i];
 }
 
 void MulElem(const Tensor& a, const Tensor& b, Tensor* out) {
   BIRNN_CHECK(a.shape() == b.shape());
-  *out = a;
-  for (size_t i = 0; i < b.size(); ++i) (*out)[i] *= b[i];
+  out->ResizeForOverwrite(a.shape());
+  const float* __restrict pa = a.data();
+  const float* __restrict pb = b.data();
+  float* __restrict po = out->data();
+  const size_t sz = a.size();
+  for (size_t i = 0; i < sz; ++i) po[i] = pa[i] * pb[i];
 }
 
 void TanhElem(const Tensor& x, Tensor* out) {
-  *out = x;
-  for (size_t i = 0; i < out->size(); ++i) (*out)[i] = std::tanh((*out)[i]);
+  out->ResizeForOverwrite(x.shape());
+  TanhVec(x.data(), out->data(), x.size());
 }
 
 void ReluElem(const Tensor& x, Tensor* out) {
-  *out = x;
-  for (size_t i = 0; i < out->size(); ++i) {
-    (*out)[i] = std::max(0.0f, (*out)[i]);
-  }
+  out->ResizeForOverwrite(x.shape());
+  const float* __restrict px = x.data();
+  float* __restrict po = out->data();
+  const size_t sz = x.size();
+  for (size_t i = 0; i < sz; ++i) po[i] = px[i] > 0.0f ? px[i] : 0.0f;
 }
 
 void SigmoidElem(const Tensor& x, Tensor* out) {
-  *out = x;
-  for (size_t i = 0; i < out->size(); ++i) {
-    (*out)[i] = 1.0f / (1.0f + std::exp(-(*out)[i]));
-  }
+  out->ResizeForOverwrite(x.shape());
+  SigmoidVec(x.data(), out->data(), x.size());
 }
 
 void SoftmaxRows(const Tensor& logits, Tensor* out) {
   BIRNN_CHECK_EQ(logits.rank(), 2);
   const int n = logits.rows();
   const int m = logits.cols();
-  *out = logits;
-  float* p = out->data();
+  out->ResizeForOverwrite(logits.shape());
+  const float* __restrict pl = logits.data();
+  float* __restrict p = out->data();
   for (int i = 0; i < n; ++i) {
-    float* row = p + static_cast<size_t>(i) * m;
-    float mx = row[0];
-    for (int j = 1; j < m; ++j) mx = std::max(mx, row[j]);
+    const float* __restrict lrow = pl + static_cast<size_t>(i) * m;
+    float* __restrict row = p + static_cast<size_t>(i) * m;
+    float mx = lrow[0];
+    for (int j = 1; j < m; ++j) mx = std::max(mx, lrow[j]);
     float sum = 0.0f;
     for (int j = 0; j < m; ++j) {
-      row[j] = std::exp(row[j] - mx);
+      row[j] = std::exp(lrow[j] - mx);
       sum += row[j];
     }
     const float inv = 1.0f / sum;
@@ -171,7 +271,7 @@ void ConcatCols(const std::vector<const Tensor*>& parts, Tensor* out) {
     BIRNN_CHECK_EQ(p->rows(), n);
     total += p->cols();
   }
-  *out = Tensor(n, total);
+  out->ResizeForOverwrite(n, total);
   float* po = out->data();
   for (int i = 0; i < n; ++i) {
     float* row = po + static_cast<size_t>(i) * total;
@@ -192,7 +292,7 @@ void SliceCols(const Tensor& x, int start, int count, Tensor* out) {
   BIRNN_CHECK_LE(start + count, x.cols());
   const int n = x.rows();
   const int m = x.cols();
-  *out = Tensor(n, count);
+  out->ResizeForOverwrite(n, count);
   for (int i = 0; i < n; ++i) {
     const float* src = x.data() + static_cast<size_t>(i) * m + start;
     float* dst = out->data() + static_cast<size_t>(i) * count;
@@ -205,7 +305,7 @@ void GatherRows(const Tensor& table, const std::vector<int>& ids,
   BIRNN_CHECK_EQ(table.rank(), 2);
   const int e = table.cols();
   const int n = static_cast<int>(ids.size());
-  *out = Tensor(n, e);
+  out->ResizeForOverwrite(n, e);
   for (int i = 0; i < n; ++i) {
     const int id = ids[static_cast<size_t>(i)];
     BIRNN_CHECK_GE(id, 0);
@@ -223,8 +323,8 @@ void ScatterAddRows(const Tensor& grad, const std::vector<int>& ids,
   BIRNN_CHECK_EQ(table_grad->cols(), e);
   for (size_t i = 0; i < ids.size(); ++i) {
     const int id = ids[i];
-    const float* src = grad.data() + i * static_cast<size_t>(e);
-    float* dst = table_grad->data() + static_cast<size_t>(id) * e;
+    const float* __restrict src = grad.data() + i * static_cast<size_t>(e);
+    float* __restrict dst = table_grad->data() + static_cast<size_t>(id) * e;
     for (int j = 0; j < e; ++j) dst[j] += src[j];
   }
 }
@@ -233,10 +333,10 @@ void ColSum(const Tensor& x, Tensor* out) {
   BIRNN_CHECK_EQ(x.rank(), 2);
   const int n = x.rows();
   const int m = x.cols();
-  *out = Tensor(std::vector<int>{m});
-  float* po = out->data();
+  out->Resize(std::vector<int>{m});
+  float* __restrict po = out->data();
   for (int i = 0; i < n; ++i) {
-    const float* row = x.data() + static_cast<size_t>(i) * m;
+    const float* __restrict row = x.data() + static_cast<size_t>(i) * m;
     for (int j = 0; j < m; ++j) po[j] += row[j];
   }
 }

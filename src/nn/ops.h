@@ -27,6 +27,10 @@ void MatMulTransposeBAcc(const Tensor& a, const Tensor& b, Tensor* out);
 /// out = x(n,m) with bias(m) or bias(1,m) added to every row.
 void AddBias(const Tensor& x, const Tensor& bias, Tensor* out);
 
+/// out = tanh(x + bias), fused in one pass — the hot elementwise tail of
+/// the vanilla RNN step (saves two full sweeps over the activations).
+void AddBiasTanh(const Tensor& x, const Tensor& bias, Tensor* out);
+
 /// Elementwise c = a + b (same shape).
 void AddElem(const Tensor& a, const Tensor& b, Tensor* out);
 

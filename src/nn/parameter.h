@@ -2,6 +2,7 @@
 #define BIRNN_NN_PARAMETER_H_
 
 #include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "nn/tensor.h"
@@ -30,6 +31,20 @@ struct Parameter {
   Tensor value;
   Tensor grad;
 };
+
+/// Per-shard gradient accumulator for data-parallel training: maps each
+/// parameter to a private gradient tensor so shard backward passes never
+/// touch the shared `Parameter::grad`. Tensors are lazily sized on first
+/// accumulation and retained across steps (zeroed, not reallocated).
+using ParamGradMap = std::unordered_map<Parameter*, Tensor>;
+
+/// Zeroes every accumulator in `grads` (keeps buffers).
+inline void ZeroParamGradMap(ParamGradMap* grads) {
+  for (auto& [param, grad] : *grads) {
+    (void)param;
+    grad.Zero();
+  }
+}
 
 }  // namespace birnn::nn
 

@@ -108,9 +108,7 @@ RecurrentState RecurrentCell::Bound::Step(Graph::Var x,
   RecurrentState next;
   switch (cell->type()) {
     case CellType::kVanilla: {
-      Graph::Var z = graph->AddBias(
-          graph->Add(graph->MatMul(x, wx), graph->MatMul(prev.h, wh)), b);
-      next.h = graph->Tanh(z);
+      next.h = graph->RnnTanhStep(x, wx, prev.h, wh, b);
       return next;
     }
     case CellType::kGru: {
@@ -154,49 +152,48 @@ void RecurrentCell::StepForward(const Tensor& x, const RecurrentTensors& prev,
       Tensor z;
       MatMul(x, wx_.value, &z);
       MatMulAcc(prev.h, wh_.value, &z);
-      Tensor zb;
-      AddBias(z, b_.value, &zb);
-      TanhElem(zb, &out->h);
+      AddBiasTanh(z, b_.value, &out->h);
       return;
     }
     case CellType::kGru: {
-      Tensor xg_raw;
-      MatMul(x, wx_.value, &xg_raw);
+      // Bias is folded into the fused gate loop (no separate AddBias pass).
       Tensor xg;
-      AddBias(xg_raw, b_.value, &xg);
+      MatMul(x, wx_.value, &xg);
       Tensor hg;
       MatMul(prev.h, wh_.value, &hg);
-      out->h = Tensor(batch, u);
+      out->h.ResizeForOverwrite(batch, u);
+      const float* bias = b_.value.data();
       for (int i = 0; i < batch; ++i) {
         for (int j = 0; j < u; ++j) {
-          const float z =
-              1.0f / (1.0f + std::exp(-(xg.at(i, j) + hg.at(i, j))));
+          const float z = 1.0f / (1.0f + std::exp(-(xg.at(i, j) + bias[j] +
+                                                    hg.at(i, j))));
           const float r =
-              1.0f / (1.0f + std::exp(-(xg.at(i, u + j) + hg.at(i, u + j))));
-          const float cand =
-              std::tanh(xg.at(i, 2 * u + j) + r * hg.at(i, 2 * u + j));
+              1.0f / (1.0f + std::exp(-(xg.at(i, u + j) + bias[u + j] +
+                                        hg.at(i, u + j))));
+          const float cand = std::tanh(xg.at(i, 2 * u + j) + bias[2 * u + j] +
+                                       r * hg.at(i, 2 * u + j));
           out->h.at(i, j) = (1.0f - z) * prev.h.at(i, j) + z * cand;
         }
       }
       return;
     }
     case CellType::kLstm: {
-      Tensor gates_raw;
-      MatMul(x, wx_.value, &gates_raw);
-      MatMulAcc(prev.h, wh_.value, &gates_raw);
       Tensor gates;
-      AddBias(gates_raw, b_.value, &gates);
-      out->h = Tensor(batch, u);
-      out->c = Tensor(batch, u);
+      MatMul(x, wx_.value, &gates);
+      MatMulAcc(prev.h, wh_.value, &gates);
+      out->h.ResizeForOverwrite(batch, u);
+      out->c.ResizeForOverwrite(batch, u);
+      const float* bias = b_.value.data();
       for (int i = 0; i < batch; ++i) {
         for (int j = 0; j < u; ++j) {
           const auto sigmoid = [](float v) {
             return 1.0f / (1.0f + std::exp(-v));
           };
-          const float in_gate = sigmoid(gates.at(i, j));
-          const float forget = sigmoid(gates.at(i, u + j));
-          const float cand = std::tanh(gates.at(i, 2 * u + j));
-          const float out_gate = sigmoid(gates.at(i, 3 * u + j));
+          const float in_gate = sigmoid(gates.at(i, j) + bias[j]);
+          const float forget = sigmoid(gates.at(i, u + j) + bias[u + j]);
+          const float cand = std::tanh(gates.at(i, 2 * u + j) + bias[2 * u + j]);
+          const float out_gate =
+              sigmoid(gates.at(i, 3 * u + j) + bias[3 * u + j]);
           const float c_new = forget * prev.c.at(i, j) + in_gate * cand;
           out->c.at(i, j) = c_new;
           out->h.at(i, j) = out_gate * std::tanh(c_new);

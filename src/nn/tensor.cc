@@ -44,6 +44,18 @@ Tensor Tensor::FromMatrix(int rows, int cols,
   return t;
 }
 
+void Tensor::Resize(std::vector<int> shape) {
+  const size_t n = ShapeSize(shape);
+  shape_ = std::move(shape);
+  data_.assign(n, 0.0f);  // vector::assign reuses capacity
+}
+
+void Tensor::ResizeForOverwrite(std::vector<int> shape) {
+  const size_t n = ShapeSize(shape);
+  shape_ = std::move(shape);
+  data_.resize(n);  // stale values retained; caller overwrites
+}
+
 void Tensor::Fill(float v) {
   for (auto& x : data_) x = v;
 }

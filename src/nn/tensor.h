@@ -66,6 +66,20 @@ class Tensor {
     return data_[0];
   }
 
+  /// Reshapes to `shape` and zeroes all elements, reusing the existing
+  /// heap buffer whenever capacity allows (no allocation on the training
+  /// hot path once the first step has sized every tensor).
+  void Resize(std::vector<int> shape);
+  void Resize(int rows, int cols) { Resize(std::vector<int>{rows, cols}); }
+
+  /// Reshapes to `shape` without clearing: element values are unspecified
+  /// and the caller must overwrite all of them. Reuses capacity like
+  /// Resize.
+  void ResizeForOverwrite(std::vector<int> shape);
+  void ResizeForOverwrite(int rows, int cols) {
+    ResizeForOverwrite(std::vector<int>{rows, cols});
+  }
+
   /// Sets every element to `v`.
   void Fill(float v);
 

@@ -1,0 +1,23 @@
+// Compiled with -ffast-math (see CMakeLists.txt): under __FAST_MATH__ glibc
+// declares simd variants of tanhf/expf, so these loops vectorize into
+// libmvec kernels instead of one scalar libm call per element. The hot
+// tanh sweeps of the recurrent cells spend most of their time here.
+#include "nn/vecmath.h"
+
+#include <cmath>
+
+namespace birnn::nn {
+
+void TanhVec(const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] = std::tanh(x[i]);
+}
+
+void SigmoidVec(const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] = 1.0f / (1.0f + std::exp(-x[i]));
+}
+
+void ExpVec(const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] = std::exp(x[i]);
+}
+
+}  // namespace birnn::nn

@@ -1,0 +1,24 @@
+#ifndef BIRNN_NN_VECMATH_H_
+#define BIRNN_NN_VECMATH_H_
+
+#include <cstddef>
+
+namespace birnn::nn {
+
+/// Transcendental sweeps compiled in their own translation unit with
+/// -ffast-math so GCC lowers them to libmvec SIMD kernels (_ZGV*_tanhf /
+/// _ZGV*_expf). Everything else in the library keeps strict FP semantics.
+/// In-place operation (y == x) is allowed.
+
+/// y[i] = tanh(x[i])
+void TanhVec(const float* x, float* y, size_t n);
+
+/// y[i] = 1 / (1 + exp(-x[i]))
+void SigmoidVec(const float* x, float* y, size_t n);
+
+/// y[i] = exp(x[i])
+void ExpVec(const float* x, float* y, size_t n);
+
+}  // namespace birnn::nn
+
+#endif  // BIRNN_NN_VECMATH_H_

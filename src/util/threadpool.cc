@@ -34,6 +34,23 @@ void ThreadPool::Submit(std::function<void()> task) {
   task_available_.notify_one();
 }
 
+void ThreadPool::SubmitBulk(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (workers_.empty()) {
+    for (auto& task : tasks) task();  // inline mode, in submission order
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& task : tasks) queue_.push_back(std::move(task));
+  }
+  if (tasks.size() == 1) {
+    task_available_.notify_one();
+  } else {
+    task_available_.notify_all();
+  }
+}
+
 void ThreadPool::Wait() {
   if (workers_.empty()) return;
   std::unique_lock<std::mutex> lock(mutex_);
@@ -71,14 +88,17 @@ void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) 
       std::min<int64_t>(n, static_cast<int64_t>(workers_.size()) * 4);
   if (chunks <= 0) return;
   const int64_t per_chunk = (n + chunks - 1) / chunks;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<size_t>(chunks));
   for (int64_t c = 0; c < chunks; ++c) {
     const int64_t begin = c * per_chunk;
     const int64_t end = std::min(n, begin + per_chunk);
     if (begin >= end) break;
-    Submit([begin, end, &fn] {
+    tasks.push_back([begin, end, &fn] {
       for (int64_t i = begin; i < end; ++i) fn(i);
     });
   }
+  SubmitBulk(std::move(tasks));
   Wait();
 }
 

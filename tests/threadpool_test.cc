@@ -43,6 +43,51 @@ TEST(ThreadPoolTest, WaitIsReusable) {
   EXPECT_EQ(counter.load(), 2);
 }
 
+TEST(ThreadPoolTest, SubmitBulkRunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 128; ++i) {
+    tasks.push_back([&counter] { counter.fetch_add(1); });
+  }
+  pool.SubmitBulk(std::move(tasks));
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 128);
+}
+
+TEST(ThreadPoolTest, SubmitBulkInlineModeRunsInSubmissionOrder) {
+  ThreadPool pool(0);
+  std::vector<int> order;
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 10; ++i) {
+    tasks.push_back([&order, i] { order.push_back(i); });
+  }
+  pool.SubmitBulk(std::move(tasks));
+  ASSERT_EQ(order.size(), 10u);  // ran synchronously
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, SubmitBulkEmptyIsNoOp) {
+  ThreadPool pool(2);
+  pool.SubmitBulk({});
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, SubmitBulkMixesWithSubmit) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 5; ++i) {
+    tasks.push_back([&counter] { counter.fetch_add(1); });
+  }
+  pool.SubmitBulk(std::move(tasks));
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 7);
+}
+
 TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(257);
