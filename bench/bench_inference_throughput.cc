@@ -1,0 +1,246 @@
+// Whole-table inference throughput: cells/second for the forward-only
+// sweep on each paper generator, comparing
+//   naive     — the pre-engine path: allocate a fresh full-length batch per
+//               chunk and run the scratch-free model forward,
+//   memoized  — InferenceEngine with duplicate-cell memoization (default),
+//   +bucketed — memoization plus length-bucketed backward pad-prefix reuse.
+// Writes a machine-readable summary to --json (default BENCH_inference.json;
+// see run_inference_throughput.sh).
+//
+// Both engine modes produce thresholded predictions identical to the naive
+// sweep (the engine rows are additionally bit-identical to each other); the
+// harness verifies this per dataset and refuses to report a speedup
+// otherwise. Speedups come from work removal (dedup factor, skipped RNN
+// steps) and allocation reuse, not threads — run with --threads for the
+// sharded sweep.
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/inference.h"
+#include "core/model.h"
+#include "data/dictionary.h"
+#include "data/encoding.h"
+#include "data/prepare.h"
+#include "datagen/datasets.h"
+#include "eval/report.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace birnn::bench {
+namespace {
+
+struct ModeResult {
+  double seconds = 0.0;
+  double cells_per_sec = 0.0;
+  std::vector<uint8_t> labels;
+  std::vector<float> probs;
+};
+
+struct DatasetRow {
+  std::string dataset;
+  int64_t cells = 0;
+  int64_t unique_cells = 0;
+  double dedup_factor = 1.0;
+  double step_fraction = 1.0;  // bucketed rnn_steps / dense rnn_steps.
+  ModeResult naive;
+  ModeResult memo;
+  ModeResult bucketed;
+  bool labels_match = false;
+};
+
+// The pre-engine sweep: for each eval_batch chunk, build a fresh
+// full-length BatchInput and run the scratch-free forward. This is what
+// Trainer::PredictDataset did before the engine existed.
+void NaiveSweep(const core::ErrorDetectionModel& model,
+                const data::EncodedDataset& ds, int eval_batch,
+                ModeResult* out) {
+  const int64_t n = ds.num_cells();
+  out->probs.assign(static_cast<size_t>(n), 0.0f);
+  Stopwatch timer;
+  for (int64_t begin = 0; begin < n; begin += eval_batch) {
+    const int64_t end = std::min<int64_t>(begin + eval_batch, n);
+    std::vector<int64_t> ids;
+    ids.reserve(static_cast<size_t>(end - begin));
+    for (int64_t i = begin; i < end; ++i) ids.push_back(i);
+    const core::BatchInput batch = core::MakeBatch(ds, ids);
+    std::vector<float> probs;
+    model.PredictProbs(batch, &probs);
+    std::copy(probs.begin(), probs.end(),
+              out->probs.begin() + static_cast<size_t>(begin));
+  }
+  out->seconds = timer.ElapsedSeconds();
+  out->labels.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    out->labels[static_cast<size_t>(i)] =
+        out->probs[static_cast<size_t>(i)] > 0.5f ? 1 : 0;
+  }
+  out->cells_per_sec =
+      out->seconds > 0 ? static_cast<double>(n) / out->seconds : 0.0;
+}
+
+void EngineSweep(const core::ErrorDetectionModel& model,
+                 const data::EncodedDataset& ds,
+                 const core::InferenceOptions& options, ModeResult* out,
+                 core::InferenceStats* stats) {
+  core::InferenceEngine engine(model, options);
+  engine.PredictProbs(ds, {}, &out->probs);
+  *stats = engine.stats();
+  out->seconds = stats->seconds;
+  const int64_t n = ds.num_cells();
+  out->labels.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    out->labels[static_cast<size_t>(i)] =
+        out->probs[static_cast<size_t>(i)] > 0.5f ? 1 : 0;
+  }
+  out->cells_per_sec =
+      out->seconds > 0 ? static_cast<double>(n) / out->seconds : 0.0;
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  AddCommonFlags(&flags);
+  flags.AddInt("eval-batch", 256, "cells per forward batch");
+  flags.AddInt("threads", 0, "worker threads for the engine sweeps");
+  flags.AddInt("bucket-quantum", 8, "length-bucket granularity");
+  flags.AddString("json", "BENCH_inference.json",
+                  "output JSON path (empty = skip)");
+  BenchConfig config =
+      ParseCommonFlags(&flags, argc, argv, "bench_inference_throughput");
+  const int eval_batch = flags.GetInt("eval-batch");
+  const int threads = flags.GetInt("threads");
+  const int quantum = flags.GetInt("bucket-quantum");
+
+  std::cout << "=== Inference throughput (eval_batch=" << eval_batch
+            << ", threads=" << threads << ", bucket_quantum=" << quantum
+            << ") ===\n\n";
+
+  std::vector<DatasetRow> rows;
+  eval::TableWriter writer({"Dataset", "Cells", "Dedup", "Naive c/s",
+                            "Memo c/s", "Speedup", "+Bucket c/s", "Speedup",
+                            "Steps", "Match"});
+  for (const std::string& dataset : DatasetList(config)) {
+    const datagen::DatasetPair pair = MakePair(dataset, config);
+    auto frame = data::PrepareData(pair.dirty, pair.clean);
+    if (!frame.ok()) {
+      std::cerr << dataset << ": PrepareData failed: "
+                << frame.status().message() << "\n";
+      return 1;
+    }
+    const data::CharIndex chars = data::CharIndex::Build(*frame);
+    const data::EncodedDataset all = data::EncodeCells(*frame, chars);
+
+    core::ModelConfig model_config;
+    model_config.vocab = all.vocab;
+    model_config.max_len = all.max_len;
+    model_config.n_attrs = all.n_attrs;
+    model_config.enriched = true;
+    model_config.seed = config.seed;
+    core::ErrorDetectionModel model(model_config);
+    model.CalibrateBatchNorm(all, eval_batch);
+
+    DatasetRow row;
+    row.dataset = dataset;
+    row.cells = all.num_cells();
+
+    NaiveSweep(model, all, eval_batch, &row.naive);
+
+    core::InferenceOptions memo_options;
+    memo_options.eval_batch = eval_batch;
+    memo_options.threads = threads;
+    core::InferenceStats memo_stats;
+    EngineSweep(model, all, memo_options, &row.memo, &memo_stats);
+    row.unique_cells = memo_stats.unique_cells;
+    row.dedup_factor = memo_stats.dedup_factor;
+
+    core::InferenceOptions bucket_options = memo_options;
+    bucket_options.bucketed = true;
+    bucket_options.bucket_quantum = quantum;
+    core::InferenceStats bucket_stats;
+    EngineSweep(model, all, bucket_options, &row.bucketed, &bucket_stats);
+    row.step_fraction =
+        bucket_stats.rnn_steps_dense > 0
+            ? static_cast<double>(bucket_stats.rnn_steps) /
+                  static_cast<double>(bucket_stats.rnn_steps_dense)
+            : 1.0;
+
+    row.labels_match = row.memo.labels == row.naive.labels &&
+                       row.bucketed.labels == row.naive.labels &&
+                       row.bucketed.probs == row.memo.probs;
+    rows.push_back(row);
+
+    const double memo_speedup = row.naive.seconds > 0 && row.memo.seconds > 0
+                                    ? row.naive.seconds / row.memo.seconds
+                                    : 0.0;
+    const double bucket_speedup =
+        row.naive.seconds > 0 && row.bucketed.seconds > 0
+            ? row.naive.seconds / row.bucketed.seconds
+            : 0.0;
+    writer.AddRow({dataset, std::to_string(row.cells),
+                   FormatFixed(row.dedup_factor, 1) + "x",
+                   FormatFixed(row.naive.cells_per_sec, 0),
+                   FormatFixed(row.memo.cells_per_sec, 0),
+                   FormatFixed(memo_speedup, 1) + "x",
+                   FormatFixed(row.bucketed.cells_per_sec, 0),
+                   FormatFixed(bucket_speedup, 1) + "x",
+                   FormatFixed(100.0 * row.step_fraction, 0) + "%",
+                   row.labels_match ? "yes" : "NO"});
+    std::cerr << "[inference] " << dataset << " naive="
+              << FormatFixed(row.naive.seconds, 2) << "s memo="
+              << FormatFixed(row.memo.seconds, 2) << "s bucketed="
+              << FormatFixed(row.bucketed.seconds, 2) << "s\n";
+  }
+  writer.Print(std::cout);
+
+  int mismatches = 0;
+  for (const DatasetRow& row : rows) {
+    if (!row.labels_match) ++mismatches;
+  }
+  if (mismatches > 0) {
+    std::cout << "\nWARNING: " << mismatches
+              << " dataset(s) with prediction mismatch — speedups invalid\n";
+  }
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"eval_batch\": " << eval_batch
+        << ",\n  \"threads\": " << threads
+        << ",\n  \"bucket_quantum\": " << quantum << ",\n  \"datasets\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const DatasetRow& row = rows[i];
+      const double memo_speedup =
+          row.memo.seconds > 0 ? row.naive.seconds / row.memo.seconds : 0.0;
+      const double bucket_speedup = row.bucketed.seconds > 0
+                                        ? row.naive.seconds / row.bucketed.seconds
+                                        : 0.0;
+      out << "    {\"dataset\": \"" << row.dataset
+          << "\", \"cells\": " << row.cells
+          << ", \"unique_cells\": " << row.unique_cells
+          << ", \"dedup_factor\": " << row.dedup_factor
+          << ", \"naive_cells_per_sec\": " << row.naive.cells_per_sec
+          << ", \"memo_cells_per_sec\": " << row.memo.cells_per_sec
+          << ", \"memo_speedup\": " << memo_speedup
+          << ", \"bucketed_cells_per_sec\": " << row.bucketed.cells_per_sec
+          << ", \"bucketed_speedup\": " << bucket_speedup
+          << ", \"bucketed_step_fraction\": " << row.step_fraction
+          << ", \"predictions_match\": "
+          << (row.labels_match ? "true" : "false") << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "\nwrote " << json_path << "\n";
+  }
+  return mismatches > 0 ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace birnn::bench
+
+int main(int argc, char** argv) { return birnn::bench::Run(argc, argv); }

@@ -10,7 +10,6 @@
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/string_util.h"
-#include "util/threadpool.h"
 
 namespace birnn::core {
 
@@ -118,16 +117,16 @@ StatusOr<DetectionReport> ErrorDetector::RunInternal(
   report.train_cells = train.num_cells();
   report.test_cells = test.num_cells();
 
-  // 5. Detection over every cell of the frame.
-  std::vector<uint8_t> all_predictions;
-  if (options_.eval_threads > 0) {
-    ThreadPool pool(options_.eval_threads);
-    PredictDataset(model, all, options_.trainer.eval_batch, &all_predictions,
-                   &pool);
-  } else {
-    PredictDataset(model, all, options_.trainer.eval_batch, &all_predictions);
-  }
-  report.predicted = std::move(all_predictions);
+  // 5. Detection over every cell of the frame through the inference
+  // engine: distinct cell contents are predicted once and broadcast to
+  // their duplicates, optionally length-bucketed (see core/inference.h).
+  InferenceOptions inference_options;
+  inference_options.eval_batch = options_.trainer.eval_batch;
+  inference_options.threads = options_.eval_threads;
+  inference_options.bucketed = options_.bucketed_inference;
+  InferenceEngine engine(model, inference_options);
+  engine.Predict(all, &report.predicted);
+  report.inference = engine.stats();
 
   // Optional §5.7 ensemble: cross-attribute errors (violated dependencies,
   // duplicate-source disagreements) that a per-cell character model cannot

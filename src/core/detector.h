@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/inference.h"
 #include "core/model.h"
 #include "core/trainer.h"
 #include "data/prepare.h"
@@ -43,8 +44,15 @@ struct DetectorOptions {
   bool use_length_branch = true;
 
   /// Worker threads for the final whole-table inference sweep (0 = run on
-  /// the calling thread; useful on multi-core machines, a no-op here).
+  /// the calling thread). The sweep's batch plan never depends on the
+  /// thread count, so predictions are bit-identical for every value.
   int eval_threads = 0;
+
+  /// Opt-in: length-bucket the final inference sweep so the backward value
+  /// chain skips its all-pad prefix (precomputed once and warm-started per
+  /// bucket). Bit-identical predictions, fewer RNN steps on tables whose
+  /// value lengths vary; see InferenceOptions::bucketed.
+  bool bucketed_inference = false;
 
   /// Worker threads for data-parallel gradient computation during training
   /// (0 = inline). Copied into `trainer.train_threads`; results are
@@ -74,6 +82,9 @@ struct DetectionReport {
   eval::Confusion test_confusion;
   /// Training curve + best-epoch bookkeeping.
   TrainHistory history;
+  /// Accounting of the final whole-table inference sweep (dedup factor,
+  /// batches, RNN steps, wall clock).
+  InferenceStats inference;
   /// Sizes, for reporting ("trainset of size 220, testset of size 26,290").
   int64_t train_cells = 0;
   int64_t test_cells = 0;

@@ -1,0 +1,332 @@
+#include "core/inference.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "util/stopwatch.h"
+
+namespace birnn::core {
+namespace {
+
+/// Batches are padded (by repeating the last real cell) to a multiple of
+/// this row count. The elementwise transcendental sweeps (vecmath.cc) run
+/// libmvec SIMD bodies with scalar tails; keeping every (rows x cols)
+/// activation buffer a multiple of the widest SIMD register (16 floats)
+/// guarantees the tail is never taken, so a cell's values cannot depend on
+/// its position in a batch — the invariant behind "memoized == unmemoized,
+/// bit for bit".
+constexpr int kRowQuantum = 16;
+
+int64_t PaddedRows(int64_t rows) {
+  return (rows + kRowQuantum - 1) / kRowQuantum * kRowQuantum;
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(const ErrorDetectionModel& model,
+                                 InferenceOptions options, ThreadPool* pool)
+    : model_(model), options_(options), external_pool_(pool) {
+  options_.eval_batch = std::max(1, options_.eval_batch);
+  options_.bucket_quantum = std::max(1, options_.bucket_quantum);
+}
+
+void InferenceEngine::BuildPlan(const data::EncodedDataset& ds,
+                                const std::vector<int64_t>& indices,
+                                SweepPlan* plan) const {
+  const int64_t n = static_cast<int64_t>(indices.size());
+  plan->unique_cells.clear();
+  plan->cell_to_unique.resize(static_cast<size_t>(n));
+
+  if (options_.memoize) {
+    // Dedup on (attr id, encoded chars, length_norm), first occurrence
+    // wins; the hash narrows, content equality confirms.
+    std::unordered_map<uint64_t, std::vector<int32_t>> by_hash;
+    by_hash.reserve(static_cast<size_t>(n));
+    for (int64_t k = 0; k < n; ++k) {
+      const int64_t cell = indices[static_cast<size_t>(k)];
+      const uint64_t h = ds.CellContentHash(cell);
+      std::vector<int32_t>& bucket = by_hash[h];
+      int32_t unique = -1;
+      for (const int32_t u : bucket) {
+        if (ds.CellContentEquals(
+                plan->unique_cells[static_cast<size_t>(u)], cell)) {
+          unique = u;
+          break;
+        }
+      }
+      if (unique < 0) {
+        unique = static_cast<int32_t>(plan->unique_cells.size());
+        plan->unique_cells.push_back(cell);
+        bucket.push_back(unique);
+      }
+      plan->cell_to_unique[static_cast<size_t>(k)] = unique;
+    }
+  } else {
+    plan->unique_cells.assign(indices.begin(), indices.end());
+    for (int64_t k = 0; k < n; ++k) {
+      plan->cell_to_unique[static_cast<size_t>(k)] = static_cast<int32_t>(k);
+    }
+  }
+
+  const int64_t n_unique = static_cast<int64_t>(plan->unique_cells.size());
+  plan->order.resize(static_cast<size_t>(n_unique));
+  for (int64_t u = 0; u < n_unique; ++u) {
+    plan->order[static_cast<size_t>(u)] = static_cast<int32_t>(u);
+  }
+
+  // Padded length per unique cell: the dataset-global max_len, or — under
+  // opt-in bucketing — the effective length rounded up to the bucket
+  // quantum. A batch never mixes padded lengths, so each cell always runs
+  // at exactly its bucket's length regardless of batch composition.
+  std::vector<int> padded_len;
+  if (options_.bucketed) {
+    padded_len.resize(static_cast<size_t>(n_unique));
+    for (int64_t u = 0; u < n_unique; ++u) {
+      const int eff =
+          std::max(1, ds.effective_len(plan->unique_cells[static_cast<size_t>(u)]));
+      const int rounded =
+          (eff + options_.bucket_quantum - 1) / options_.bucket_quantum *
+          options_.bucket_quantum;
+      padded_len[static_cast<size_t>(u)] = std::min(ds.max_len, rounded);
+    }
+    std::stable_sort(plan->order.begin(), plan->order.end(),
+                     [&padded_len](int32_t a, int32_t b) {
+                       return padded_len[static_cast<size_t>(a)] <
+                              padded_len[static_cast<size_t>(b)];
+                     });
+  }
+
+  plan->batches.clear();
+  int64_t begin = 0;
+  while (begin < n_unique) {
+    const int len = options_.bucketed
+                        ? padded_len[static_cast<size_t>(
+                              plan->order[static_cast<size_t>(begin)])]
+                        : ds.max_len;
+    int64_t end = begin;
+    while (end < n_unique && end - begin < options_.eval_batch &&
+           (!options_.bucketed ||
+            padded_len[static_cast<size_t>(
+                plan->order[static_cast<size_t>(end)])] == len)) {
+      ++end;
+    }
+    plan->batches.push_back(PlanBatch{begin, end, len});
+    begin = end;
+  }
+}
+
+void InferenceEngine::RunPlan(const data::EncodedDataset& ds,
+                              const SweepPlan& plan, bool want_hidden,
+                              std::vector<float>* p_unique,
+                              nn::Tensor* hidden_unique) {
+  const int64_t n_unique = static_cast<int64_t>(plan.unique_cells.size());
+  if (want_hidden) {
+    hidden_unique->ResizeForOverwrite(
+        static_cast<int>(n_unique), model_.config().hidden_dense_dim);
+  } else {
+    p_unique->resize(static_cast<size_t>(n_unique));
+  }
+  if (n_unique == 0) return;
+
+  const int64_t n_batches = static_cast<int64_t>(plan.batches.size());
+  auto run_range = [&](int64_t b_begin, int64_t b_end) {
+    // Per-worker scratch: BatchInput columns, every forward tensor and the
+    // result buffers persist across this worker's batches.
+    InferenceScratch scratch;
+    BatchInput batch;
+    std::vector<int64_t> cells;
+    std::vector<float> probs;
+    nn::Tensor hidden;
+    for (int64_t b = b_begin; b < b_end; ++b) {
+      const PlanBatch& pb = plan.batches[static_cast<size_t>(b)];
+      cells.clear();
+      for (int64_t i = pb.begin; i < pb.end; ++i) {
+        cells.push_back(plan.unique_cells[static_cast<size_t>(
+            plan.order[static_cast<size_t>(i)])]);
+      }
+      const int64_t real_rows = pb.end - pb.begin;
+      while (static_cast<int64_t>(cells.size()) < PaddedRows(real_rows)) {
+        cells.push_back(cells.back());
+      }
+      MakeBatchInto(ds, cells, pb.padded_len, &batch);
+      const BucketedInferenceContext* ctx =
+          pb.padded_len < ds.max_len ? &bucketed_ctx_ : nullptr;
+      if (want_hidden) {
+        model_.ForwardHidden(batch, &hidden, &scratch, ctx);
+        for (int64_t r = 0; r < real_rows; ++r) {
+          const int32_t u = plan.order[static_cast<size_t>(pb.begin + r)];
+          for (int j = 0; j < hidden.cols(); ++j) {
+            hidden_unique->at(u, j) = hidden.at(static_cast<int>(r), j);
+          }
+        }
+      } else {
+        model_.PredictProbs(batch, &probs, &scratch, ctx);
+        for (int64_t r = 0; r < real_rows; ++r) {
+          const int32_t u = plan.order[static_cast<size_t>(pb.begin + r)];
+          (*p_unique)[static_cast<size_t>(u)] =
+              probs[static_cast<size_t>(r)];
+        }
+      }
+    }
+  };
+
+  // Shard contiguous batch ranges over the workers. Every batch's inputs
+  // and output slots are fixed by the plan, so the shard boundaries (and
+  // the thread count) cannot change any result bit.
+  ThreadPool* pool = external_pool_;
+  std::unique_ptr<ThreadPool> own_pool;
+  if (pool == nullptr && options_.threads > 0) {
+    own_pool = std::make_unique<ThreadPool>(options_.threads);
+    pool = own_pool.get();
+  }
+  const int workers = pool != nullptr ? pool->num_threads() : 0;
+  if (workers <= 1 || n_batches <= 1) {
+    run_range(0, n_batches);
+    return;
+  }
+  const int64_t n_chunks = std::min<int64_t>(workers, n_batches);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<size_t>(n_chunks));
+  for (int64_t c = 0; c < n_chunks; ++c) {
+    const int64_t b_begin = c * n_batches / n_chunks;
+    const int64_t b_end = (c + 1) * n_batches / n_chunks;
+    tasks.push_back([&run_range, b_begin, b_end]() {
+      run_range(b_begin, b_end);
+    });
+  }
+  pool->SubmitBulk(std::move(tasks));
+  pool->Wait();
+}
+
+void InferenceEngine::SweepUnique(const data::EncodedDataset& ds,
+                                  const std::vector<int64_t>& indices,
+                                  bool want_hidden, SweepPlan* plan,
+                                  std::vector<float>* p_unique,
+                                  nn::Tensor* hidden_unique) {
+  Stopwatch timer;
+  BuildPlan(ds, indices, plan);
+
+  if (options_.bucketed && !bucketed_ctx_ready_) {
+    model_.PrepareBucketedInference(&bucketed_ctx_);
+    bucketed_ctx_ready_ = true;
+  }
+
+  stats_ = InferenceStats{};
+  stats_.cells = static_cast<int64_t>(indices.size());
+  stats_.unique_cells = static_cast<int64_t>(plan->unique_cells.size());
+  stats_.dedup_factor =
+      stats_.unique_cells > 0
+          ? static_cast<double>(stats_.cells) /
+                static_cast<double>(stats_.unique_cells)
+          : 1.0;
+  stats_.batches = static_cast<int64_t>(plan->batches.size());
+  const int dirs = model_.config().bidirectional ? 2 : 1;
+  stats_.rnn_steps_dense = stats_.cells * ds.max_len * dirs;
+  for (const PlanBatch& pb : plan->batches) {
+    // The forward chain always runs to max_len; bucketing shortens only
+    // the backward chain (its pad prefix is warm-started, not re-run).
+    stats_.rnn_steps +=
+        PaddedRows(pb.end - pb.begin) *
+        (ds.max_len + (dirs == 2 ? pb.padded_len : 0));
+  }
+
+  RunPlan(ds, *plan, want_hidden, p_unique, hidden_unique);
+  stats_.seconds = timer.ElapsedSeconds();
+}
+
+void InferenceEngine::PredictProbs(const data::EncodedDataset& ds,
+                                   const std::vector<int64_t>& indices,
+                                   std::vector<float>* p_error) {
+  std::vector<int64_t> all;
+  const std::vector<int64_t>* use = &indices;
+  if (indices.empty()) {
+    all.resize(static_cast<size_t>(ds.num_cells()));
+    for (int64_t i = 0; i < ds.num_cells(); ++i) {
+      all[static_cast<size_t>(i)] = i;
+    }
+    use = &all;
+  }
+
+  SweepPlan plan;
+  std::vector<float> p_unique;
+  SweepUnique(ds, *use, /*want_hidden=*/false, &plan, &p_unique, nullptr);
+
+  p_error->resize(use->size());
+  for (size_t k = 0; k < use->size(); ++k) {
+    (*p_error)[k] = p_unique[static_cast<size_t>(plan.cell_to_unique[k])];
+  }
+}
+
+void InferenceEngine::Predict(const data::EncodedDataset& ds,
+                              std::vector<uint8_t>* labels) {
+  std::vector<float> p;
+  PredictProbs(ds, {}, &p);
+  labels->resize(p.size());
+  for (size_t i = 0; i < p.size(); ++i) {
+    (*labels)[i] = p[i] > 0.5f ? 1 : 0;
+  }
+}
+
+double InferenceEngine::Accuracy(const data::EncodedDataset& ds,
+                                 const std::vector<int64_t>& indices) {
+  std::vector<float> p;
+  PredictProbs(ds, indices, &p);
+  if (p.empty()) return 0.0;
+  int64_t correct = 0;
+  for (size_t k = 0; k < p.size(); ++k) {
+    const int64_t cell =
+        indices.empty() ? static_cast<int64_t>(k) : indices[k];
+    const int pred = p[k] > 0.5f ? 1 : 0;
+    if (pred == ds.labels[static_cast<size_t>(cell)]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(p.size());
+}
+
+void CalibrateBatchNormMemoized(ErrorDetectionModel* model,
+                                const data::EncodedDataset& ds,
+                                const InferenceOptions& options,
+                                ThreadPool* pool) {
+  if (ds.num_cells() == 0) return;
+  InferenceOptions calibrate_options = options;
+  calibrate_options.bucketed = false;  // exact activations only
+  InferenceEngine engine(*model, calibrate_options, pool);
+
+  std::vector<int64_t> all(static_cast<size_t>(ds.num_cells()));
+  for (int64_t i = 0; i < ds.num_cells(); ++i) {
+    all[static_cast<size_t>(i)] = i;
+  }
+  InferenceEngine::SweepPlan plan;
+  nn::Tensor hidden_unique;
+  engine.SweepUnique(ds, all, /*want_hidden=*/true, &plan, nullptr,
+                     &hidden_unique);
+
+  // Accumulate per original cell (not per unique cell) in dataset order —
+  // the same double-precision summation sequence as the unmemoized
+  // reference in ErrorDetectionModel::CalibrateBatchNorm.
+  const int features = model->config().hidden_dense_dim;
+  std::vector<double> sum(static_cast<size_t>(features), 0.0);
+  std::vector<double> sum_sq(static_cast<size_t>(features), 0.0);
+  for (int64_t i = 0; i < ds.num_cells(); ++i) {
+    const int32_t u = plan.cell_to_unique[static_cast<size_t>(i)];
+    for (int j = 0; j < features; ++j) {
+      const double v = hidden_unique.at(u, j);
+      sum[static_cast<size_t>(j)] += v;
+      sum_sq[static_cast<size_t>(j)] += v * v;
+    }
+  }
+  const double count = static_cast<double>(ds.num_cells());
+  nn::Tensor mean(std::vector<int>{features});
+  nn::Tensor var(std::vector<int>{features});
+  for (int j = 0; j < features; ++j) {
+    const size_t sj = static_cast<size_t>(j);
+    const double m = sum[sj] / count;
+    mean[sj] = static_cast<float>(m);
+    var[sj] =
+        static_cast<float>(std::max(0.0, sum_sq[sj] / count - m * m));
+  }
+  model->SetBatchNormStats(std::move(mean), std::move(var));
+}
+
+}  // namespace birnn::core

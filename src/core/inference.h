@@ -1,0 +1,168 @@
+#ifndef BIRNN_CORE_INFERENCE_H_
+#define BIRNN_CORE_INFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model.h"
+#include "data/encoding.h"
+#include "util/threadpool.h"
+
+namespace birnn::core {
+
+/// Configuration of the forward-only inference engine.
+struct InferenceOptions {
+  /// Cells per forward batch (before the internal row padding).
+  int eval_batch = 256;
+
+  /// Worker threads for the sweep (0 = run on the calling thread). Used
+  /// only when no external ThreadPool is handed to the engine. Results are
+  /// bit-identical for every thread count: the batch plan is a pure
+  /// function of the data and options, threads only execute it.
+  int threads = 0;
+
+  /// Predict each distinct cell content once and broadcast the result to
+  /// its duplicates. Exact: a cell's prediction is a pure function of its
+  /// (attribute id, character sequence, length_norm) key, every kernel on
+  /// the forward path is row-independent, and batches are padded to a
+  /// register-width multiple so no value ever depends on its batch
+  /// position. Real tables repeat values heavily (a `state` column holds
+  /// ~50 distinct strings across thousands of rows), so this alone removes
+  /// most of the sweep's work — `InferenceStats::dedup_factor` reports how
+  /// much.
+  bool memoize = true;
+
+  /// Opt-in: group cells by content length so the *backward* value chain
+  /// skips its all-pad prefix. The prefix is cell-independent — identical
+  /// pad inputs evolving the zero initial state — so it is precomputed once
+  /// per sweep and every bucket warm-starts from it. The forward chain
+  /// still runs its pad tail: the (trained) pad embedding keeps moving
+  /// per-cell state, so those steps cannot be skipped (they are not
+  /// absorbing under the tanh/GRU/LSTM cell equations — naive truncation
+  /// wrecks accuracy). Bit-identical to the unbucketed sweep, verified on
+  /// all six paper generators in inference_test; saves up to half the RNN
+  /// steps on tables whose values are much shorter than max_len.
+  bool bucketed = false;
+
+  /// Bucket granularity: padded lengths are rounded up to this multiple
+  /// (capped at max_len). Larger quanta mean fewer, fuller batches.
+  int bucket_quantum = 8;
+};
+
+/// What one sweep did — throughput accounting for the bench and reports.
+struct InferenceStats {
+  int64_t cells = 0;          ///< cells requested.
+  int64_t unique_cells = 0;   ///< distinct cell contents actually predicted.
+  double dedup_factor = 1.0;  ///< cells / unique_cells.
+  int64_t batches = 0;        ///< forward batches run.
+  /// Per-direction RNN time steps executed, summed over batches (including
+  /// the internal row padding). The forward chain always runs to max_len;
+  /// bucketing shortens only the backward chain.
+  int64_t rnn_steps = 0;
+  /// `cells * max_len * directions` — the unoptimized sweep's step count.
+  int64_t rnn_steps_dense = 0;
+  double seconds = 0.0;         ///< wall clock of the last sweep.
+};
+
+/// Reusable forward-only executor for whole-table detection sweeps: the
+/// serving-side counterpart of the data-parallel trainer. Memoizes
+/// duplicate cells, optionally length-buckets the unique ones, reuses
+/// per-worker scratch (BatchInput columns and every intermediate tensor),
+/// and shards batches over a ThreadPool with deterministic output order.
+///
+/// Determinism contract: for fixed data, the sweep's output is a pure
+/// function of the model weights — bit-identical across thread counts,
+/// memoize on/off, and bucketed on/off.
+class InferenceEngine {
+ public:
+  /// `model` must outlive the engine. `pool` (optional, not owned) is used
+  /// for the sweep when non-null; otherwise the engine runs inline unless
+  /// `options.threads > 0`, in which case it creates its own pool per
+  /// sweep.
+  explicit InferenceEngine(const ErrorDetectionModel& model,
+                           InferenceOptions options = {},
+                           ThreadPool* pool = nullptr);
+
+  /// Per-cell error probability for the cells listed in `indices` (all
+  /// cells of `ds` when empty), in listed order.
+  void PredictProbs(const data::EncodedDataset& ds,
+                    const std::vector<int64_t>& indices,
+                    std::vector<float>* p_error);
+
+  /// Thresholded per-cell predictions (p_error > 0.5) over every cell.
+  void Predict(const data::EncodedDataset& ds, std::vector<uint8_t>* labels);
+
+  /// Fraction of cells (restricted to `indices`, or all when empty) whose
+  /// thresholded prediction matches the dataset label.
+  double Accuracy(const data::EncodedDataset& ds,
+                  const std::vector<int64_t>& indices);
+
+  /// Accounting of the most recent sweep.
+  const InferenceStats& stats() const { return stats_; }
+
+  const InferenceOptions& options() const { return options_; }
+
+ private:
+  friend void CalibrateBatchNormMemoized(ErrorDetectionModel* model,
+                                         const data::EncodedDataset& ds,
+                                         const InferenceOptions& options,
+                                         ThreadPool* pool);
+
+  /// One forward batch of the sweep plan: unique-cell positions
+  /// [begin, end) of `SweepPlan::order`, padded to `padded_len` steps.
+  struct PlanBatch {
+    int64_t begin = 0;
+    int64_t end = 0;
+    int padded_len = 0;
+  };
+
+  /// The deterministic decomposition of a sweep. Built once per call from
+  /// (dataset, indices, options) — never from the thread count.
+  struct SweepPlan {
+    std::vector<int64_t> unique_cells;   ///< representative cell ids.
+    std::vector<int32_t> cell_to_unique; ///< per position of `indices`.
+    std::vector<int32_t> order;          ///< unique indices in sweep order.
+    std::vector<PlanBatch> batches;
+  };
+
+  void BuildPlan(const data::EncodedDataset& ds,
+                 const std::vector<int64_t>& indices, SweepPlan* plan) const;
+
+  /// Runs the planned batches (sharded over the pool when available),
+  /// calling the model once per batch. `want_hidden` selects the pre-batch-
+  /// norm hidden sweep (rows into `hidden_unique`) instead of the
+  /// probability sweep (values into `p_unique`).
+  void RunPlan(const data::EncodedDataset& ds, const SweepPlan& plan,
+               bool want_hidden, std::vector<float>* p_unique,
+               nn::Tensor* hidden_unique);
+
+  void SweepUnique(const data::EncodedDataset& ds,
+                   const std::vector<int64_t>& indices, bool want_hidden,
+                   SweepPlan* plan, std::vector<float>* p_unique,
+                   nn::Tensor* hidden_unique);
+
+  const ErrorDetectionModel& model_;
+  InferenceOptions options_;
+  ThreadPool* external_pool_;
+  InferenceStats stats_;
+  /// Shared pad-prefix trajectory for bucketed sweeps, computed lazily on
+  /// the first bucketed sweep (weights are fixed for the engine's lifetime).
+  BucketedInferenceContext bucketed_ctx_;
+  bool bucketed_ctx_ready_ = false;
+};
+
+/// Replaces the model's batch-norm running statistics with the exact
+/// trainset statistics under the current weights (what
+/// `ErrorDetectionModel::CalibrateBatchNorm` computes), but through the
+/// engine: the pre-normalization activations are computed once per distinct
+/// cell and accumulated per duplicate in original cell order — the same
+/// double-precision summation sequence as the unmemoized reference.
+/// Always runs unbucketed (full-length batches).
+void CalibrateBatchNormMemoized(ErrorDetectionModel* model,
+                                const data::EncodedDataset& ds,
+                                const InferenceOptions& options = {},
+                                ThreadPool* pool = nullptr);
+
+}  // namespace birnn::core
+
+#endif  // BIRNN_CORE_INFERENCE_H_

@@ -24,22 +24,30 @@ Status ModelConfig::Validate() const {
 BatchInput MakeBatch(const data::EncodedDataset& ds,
                      const std::vector<int64_t>& indices) {
   BatchInput b;
-  b.batch = static_cast<int>(indices.size());
-  b.char_steps.assign(static_cast<size_t>(ds.max_len),
-                      std::vector<int>(indices.size()));
-  b.attr_ids.resize(indices.size());
-  b.length_norm.resize(indices.size());
-  b.labels.resize(indices.size());
+  MakeBatchInto(ds, indices, ds.max_len, &b);
+  return b;
+}
+
+void MakeBatchInto(const data::EncodedDataset& ds,
+                   const std::vector<int64_t>& indices, int padded_len,
+                   BatchInput* out) {
+  BIRNN_CHECK_GE(padded_len, 1);
+  BIRNN_CHECK_LE(padded_len, ds.max_len);
+  out->batch = static_cast<int>(indices.size());
+  out->char_steps.resize(static_cast<size_t>(padded_len));
+  for (auto& step : out->char_steps) step.resize(indices.size());
+  out->attr_ids.resize(indices.size());
+  out->length_norm.resize(indices.size());
+  out->labels.resize(indices.size());
   for (size_t i = 0; i < indices.size(); ++i) {
     const int64_t cell = indices[i];
-    for (int t = 0; t < ds.max_len; ++t) {
-      b.char_steps[static_cast<size_t>(t)][i] = ds.seq_at(cell, t);
+    for (int t = 0; t < padded_len; ++t) {
+      out->char_steps[static_cast<size_t>(t)][i] = ds.seq_at(cell, t);
     }
-    b.attr_ids[i] = ds.attrs[static_cast<size_t>(cell)];
-    b.length_norm[i] = ds.length_norm[static_cast<size_t>(cell)];
-    b.labels[i] = ds.labels[static_cast<size_t>(cell)];
+    out->attr_ids[i] = ds.attrs[static_cast<size_t>(cell)];
+    out->length_norm[i] = ds.length_norm[static_cast<size_t>(cell)];
+    out->labels[i] = ds.labels[static_cast<size_t>(cell)];
   }
-  return b;
 }
 
 ErrorDetectionModel::ErrorDetectionModel(const ModelConfig& config)
@@ -139,63 +147,90 @@ void ErrorDetectionModel::UpdateBatchNorm(const nn::Tensor& batch_mean,
   batch_norm_->UpdateRunningStats(batch_mean, batch_var);
 }
 
-void ErrorDetectionModel::ForwardHidden(const BatchInput& batch,
-                                        nn::Tensor* hidden) const {
-  BIRNN_CHECK_EQ(static_cast<int>(batch.char_steps.size()), config_.max_len);
+void ErrorDetectionModel::ForwardHidden(
+    const BatchInput& batch, nn::Tensor* hidden, InferenceScratch* scratch,
+    const BucketedInferenceContext* bucketed) const {
+  const int t_count = static_cast<int>(batch.char_steps.size());
+  BIRNN_CHECK_GE(t_count, 1);
+  BIRNN_CHECK_LE(t_count, config_.max_len);
+  BIRNN_CHECK(t_count == config_.max_len || bucketed != nullptr);
 
-  std::vector<nn::Tensor> steps(batch.char_steps.size());
-  for (size_t t = 0; t < batch.char_steps.size(); ++t) {
-    char_emb_->LookupForward(batch.char_steps[t], &steps[t]);
+  if (scratch->char_steps.size() < static_cast<size_t>(t_count)) {
+    scratch->char_steps.resize(static_cast<size_t>(t_count));
   }
-  nn::Tensor features;
-  value_rnn_->ApplyForward(steps, &features);
+  for (int t = 0; t < t_count; ++t) {
+    char_emb_->LookupForward(batch.char_steps[static_cast<size_t>(t)],
+                             &scratch->char_steps[static_cast<size_t>(t)]);
+  }
+  if (t_count < config_.max_len) {
+    // Length-bucketed batch: complete the sequence to max_len exactly. The
+    // forward chain runs the pad tail on a shared all-pad input column; the
+    // backward chain warm-starts from the precomputed pad-prefix state.
+    scratch->pad_ids.assign(static_cast<size_t>(batch.batch), 0);
+    char_emb_->LookupForward(scratch->pad_ids, &scratch->pad_step);
+    value_rnn_->ApplyForwardBucketed(scratch->char_steps.data(), t_count,
+                                     config_.max_len, scratch->pad_step,
+                                     bucketed->value_traj, &scratch->features,
+                                     &scratch->value_rnn);
+  } else {
+    value_rnn_->ApplyForward(scratch->char_steps.data(), t_count,
+                             &scratch->features, &scratch->value_rnn);
+  }
 
-  std::vector<nn::Tensor> parts_storage;
-  parts_storage.reserve(3);
-  parts_storage.push_back(std::move(features));
+  std::vector<const nn::Tensor*> parts{&scratch->features};
   if (attr_rnn_ != nullptr) {
-    nn::Tensor attr_emb;
-    attr_emb_->LookupForward(batch.attr_ids, &attr_emb);
-    std::vector<nn::Tensor> attr_steps{std::move(attr_emb)};
-    nn::Tensor attr_out;
-    attr_rnn_->ApplyForward(attr_steps, &attr_out);
-    parts_storage.push_back(std::move(attr_out));
+    attr_emb_->LookupForward(batch.attr_ids, &scratch->attr_emb);
+    attr_rnn_->ApplyForward(&scratch->attr_emb, 1, &scratch->attr_features,
+                            &scratch->attr_rnn);
+    parts.push_back(&scratch->attr_features);
   }
   if (length_dense_ != nullptr) {
-    nn::Tensor len(batch.batch, 1);
+    scratch->len_in.ResizeForOverwrite(batch.batch, 1);
     for (int i = 0; i < batch.batch; ++i) {
-      len.at(i, 0) = batch.length_norm[static_cast<size_t>(i)];
+      scratch->len_in.at(i, 0) = batch.length_norm[static_cast<size_t>(i)];
     }
-    nn::Tensor len_out;
-    length_dense_->ApplyForward(len, &len_out);
-    parts_storage.push_back(std::move(len_out));
+    length_dense_->ApplyForward(scratch->len_in, &scratch->len_features,
+                                &scratch->dense);
+    parts.push_back(&scratch->len_features);
   }
-  nn::Tensor concat;
-  if (parts_storage.size() == 1) {
-    concat = std::move(parts_storage[0]);
+  if (parts.size() == 1) {
+    hidden_dense_->ApplyForward(scratch->features, hidden, &scratch->dense);
   } else {
-    std::vector<const nn::Tensor*> ptrs;
-    for (const auto& t : parts_storage) ptrs.push_back(&t);
-    nn::ConcatCols(ptrs, &concat);
+    nn::ConcatCols(parts, &scratch->concat);
+    hidden_dense_->ApplyForward(scratch->concat, hidden, &scratch->dense);
   }
-
-  hidden_dense_->ApplyForward(concat, hidden);
 }
 
 void ErrorDetectionModel::PredictProbs(const BatchInput& batch,
                                        std::vector<float>* p_error) const {
-  nn::Tensor hidden;
-  ForwardHidden(batch, &hidden);
-  nn::Tensor normed;
-  batch_norm_->ApplyForward(hidden, &normed);
-  nn::Tensor logits;
-  output_dense_->ApplyForward(normed, &logits);
-  nn::Tensor probs;
-  nn::SoftmaxRows(logits, &probs);
+  InferenceScratch scratch;
+  PredictProbs(batch, p_error, &scratch);
+}
+
+void ErrorDetectionModel::PrepareBucketedInference(
+    BucketedInferenceContext* ctx) const {
+  // 16 identical rows: one full SIMD register, so the elementwise kernels
+  // take the same vector path as the engine's row-padded batches and the
+  // trajectory is bit-identical to running the prefix inline.
+  const std::vector<int> pad_ids(16, 0);
+  nn::Tensor pad_step;
+  char_emb_->LookupForward(pad_ids, &pad_step);
+  value_rnn_->ComputeBackwardPadPrefix(pad_step, config_.max_len,
+                                       &ctx->value_traj);
+}
+
+void ErrorDetectionModel::PredictProbs(
+    const BatchInput& batch, std::vector<float>* p_error,
+    InferenceScratch* scratch, const BucketedInferenceContext* bucketed) const {
+  ForwardHidden(batch, &scratch->hidden, scratch, bucketed);
+  batch_norm_->ApplyForward(scratch->hidden, &scratch->normed);
+  output_dense_->ApplyForward(scratch->normed, &scratch->logits,
+                              &scratch->dense);
+  nn::SoftmaxRows(scratch->logits, &scratch->probs);
 
   p_error->resize(static_cast<size_t>(batch.batch));
   for (int i = 0; i < batch.batch; ++i) {
-    (*p_error)[static_cast<size_t>(i)] = probs.at(i, 1);
+    (*p_error)[static_cast<size_t>(i)] = scratch->probs.at(i, 1);
   }
 }
 
@@ -209,12 +244,14 @@ void ErrorDetectionModel::CalibrateBatchNorm(const data::EncodedDataset& ds,
 
   std::vector<int64_t> indices;
   nn::Tensor hidden;
+  InferenceScratch scratch;
+  BatchInput batch;
   for (int64_t start = 0; start < ds.num_cells(); start += batch_size) {
     const int64_t end = std::min<int64_t>(start + batch_size, ds.num_cells());
     indices.clear();
     for (int64_t i = start; i < end; ++i) indices.push_back(i);
-    const BatchInput batch = MakeBatch(ds, indices);
-    ForwardHidden(batch, &hidden);
+    MakeBatchInto(ds, indices, ds.max_len, &batch);
+    ForwardHidden(batch, &hidden, &scratch);
     for (int i = 0; i < hidden.rows(); ++i) {
       for (int j = 0; j < features; ++j) {
         const double v = hidden.at(i, j);
@@ -234,6 +271,10 @@ void ErrorDetectionModel::CalibrateBatchNorm(const data::EncodedDataset& ds,
     var[sj] = static_cast<float>(
         std::max(0.0, sum_sq[sj] / static_cast<double>(count) - m * m));
   }
+  batch_norm_->SetRunningStats(std::move(mean), std::move(var));
+}
+
+void ErrorDetectionModel::SetBatchNormStats(nn::Tensor mean, nn::Tensor var) {
   batch_norm_->SetRunningStats(std::move(mean), std::move(var));
 }
 

@@ -63,6 +63,45 @@ struct BatchInput {
 BatchInput MakeBatch(const data::EncodedDataset& ds,
                      const std::vector<int64_t>& indices);
 
+/// Assembles a BatchInput into caller-owned storage, padding the character
+/// sequences to `padded_len` time steps instead of the dataset's global
+/// `max_len` (`padded_len` must cover the effective length of every listed
+/// cell). Reuses `out`'s heap buffers across calls — the zero-allocation
+/// batch builder of the inference engine's sweep loop.
+void MakeBatchInto(const data::EncodedDataset& ds,
+                   const std::vector<int64_t>& indices, int padded_len,
+                   BatchInput* out);
+
+/// Reusable per-thread intermediates for the forward-only inference path.
+/// All tensors retain capacity across batches, so a sweep allocates only on
+/// its first batch (mirrors the trainer's tape-arena reuse).
+struct InferenceScratch {
+  std::vector<nn::Tensor> char_steps;
+  nn::StackedBiRecurrent::ForwardScratch value_rnn;
+  nn::StackedBiRecurrent::ForwardScratch attr_rnn;
+  nn::Tensor attr_emb;
+  nn::Tensor len_in;
+  nn::Dense::ForwardScratch dense;
+  nn::Tensor features;
+  nn::Tensor attr_features;
+  nn::Tensor len_features;
+  nn::Tensor concat;
+  nn::Tensor hidden;
+  nn::Tensor normed;
+  nn::Tensor logits;
+  nn::Tensor probs;
+  std::vector<int> pad_ids;  ///< bucketed only: all-pad id column.
+  nn::Tensor pad_step;       ///< bucketed only: pad embedding per row.
+};
+
+/// Cell-independent precomputation for length-bucketed inference: the
+/// backward value-chain's state trajectory over an all-pad prefix. Compute
+/// once per sweep with PrepareBucketedInference; safe to share read-only
+/// across threads.
+struct BucketedInferenceContext {
+  nn::PadPrefixTrajectory value_traj;
+};
+
 /// Weight snapshot including batch-norm running statistics — what the
 /// best-train-loss checkpoint callback captures.
 struct ModelSnapshot {
@@ -101,12 +140,40 @@ class ErrorDetectionModel {
   /// (class 1). No tape overhead; uses batch-norm running statistics.
   void PredictProbs(const BatchInput& batch, std::vector<float>* p_error) const;
 
+  /// Forward-only inference with caller-owned scratch (bit-identical to the
+  /// scratch-free overload). Unlike the training path, `batch.char_steps`
+  /// may hold fewer than `max_len` steps; `bucketed` must then be non-null,
+  /// and the value RNN completes the sequence to `max_len` exactly — pad
+  /// tail run for the forward chain, precomputed pad prefix for the
+  /// backward chain (see StackedBiRecurrent::ApplyForwardBucketed).
+  void PredictProbs(const BatchInput& batch, std::vector<float>* p_error,
+                    InferenceScratch* scratch,
+                    const BucketedInferenceContext* bucketed = nullptr) const;
+
+  /// Forward-only pipeline up to the pre-batch-norm hidden activations,
+  /// with caller-owned scratch. Same short-sequence contract as the scratch
+  /// PredictProbs. Exposed for the inference engine's memoized batch-norm
+  /// calibration.
+  void ForwardHidden(const BatchInput& batch, nn::Tensor* hidden,
+                     InferenceScratch* scratch,
+                     const BucketedInferenceContext* bucketed = nullptr) const;
+
+  /// Fills `ctx` for length-bucketed inference under the current weights.
+  /// Recompute after any weight update.
+  void PrepareBucketedInference(BucketedInferenceContext* ctx) const;
+
   /// Replaces the batch-norm running statistics with the exact mean and
   /// variance of the pre-normalization activations over `ds`, computed with
   /// the current weights. Run after restoring a checkpoint: the momentum-EMA
   /// estimates trail the rapidly moving activations of a small trainset and
   /// can wreck inference (see DESIGN.md, "BatchNorm calibration").
   void CalibrateBatchNorm(const data::EncodedDataset& ds, int batch_size = 256);
+
+  /// Overwrites the batch-norm running statistics directly. Used by the
+  /// inference engine's memoized calibration (core/inference.h), which
+  /// computes the same trainset statistics as CalibrateBatchNorm but visits
+  /// each distinct cell content only once.
+  void SetBatchNormStats(nn::Tensor mean, nn::Tensor var);
 
   /// Thresholded predictions (p_error > 0.5 -> 1).
   void Predict(const BatchInput& batch, std::vector<uint8_t>* labels) const;
@@ -123,9 +190,6 @@ class ErrorDetectionModel {
 
  private:
   int ConcatDim() const;
-
-  /// Forward-only pipeline up to the pre-batch-norm hidden activations.
-  void ForwardHidden(const BatchInput& batch, nn::Tensor* hidden) const;
 
   ModelConfig config_;
   std::string name_;

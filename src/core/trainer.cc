@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 
+#include "core/inference.h"
 #include "nn/optimizer.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -17,70 +18,19 @@ Trainer::Trainer(TrainerOptions options) : options_(options) {}
 void PredictDataset(const ErrorDetectionModel& model,
                     const data::EncodedDataset& ds, int eval_batch,
                     std::vector<uint8_t>* predictions, ThreadPool* pool) {
-  predictions->assign(static_cast<size_t>(ds.num_cells()), 0);
-  const int64_t n_batches =
-      (ds.num_cells() + eval_batch - 1) / std::max(1, eval_batch);
-  auto run_batch = [&](int64_t b) {
-    const int64_t start = b * eval_batch;
-    const int64_t end = std::min<int64_t>(start + eval_batch, ds.num_cells());
-    std::vector<int64_t> indices;
-    indices.reserve(static_cast<size_t>(end - start));
-    for (int64_t i = start; i < end; ++i) indices.push_back(i);
-    const BatchInput batch = MakeBatch(ds, indices);
-    std::vector<uint8_t> labels;
-    model.Predict(batch, &labels);
-    for (int64_t i = start; i < end; ++i) {
-      (*predictions)[static_cast<size_t>(i)] =
-          labels[static_cast<size_t>(i - start)];
-    }
-  };
-  if (pool != nullptr) {
-    pool->ParallelFor(n_batches, run_batch);
-  } else {
-    for (int64_t b = 0; b < n_batches; ++b) run_batch(b);
-  }
+  InferenceOptions opts;
+  opts.eval_batch = eval_batch;
+  InferenceEngine engine(model, opts, pool);
+  engine.Predict(ds, predictions);
 }
 
 double DatasetAccuracy(const ErrorDetectionModel& model,
                        const data::EncodedDataset& ds, int eval_batch,
                        const std::vector<int64_t>& indices, ThreadPool* pool) {
-  std::vector<int64_t> eval_indices = indices;
-  if (eval_indices.empty()) {
-    eval_indices.resize(static_cast<size_t>(ds.num_cells()));
-    for (int64_t i = 0; i < ds.num_cells(); ++i) {
-      eval_indices[static_cast<size_t>(i)] = i;
-    }
-  }
-  if (eval_indices.empty()) return 0.0;
-
-  eval_batch = std::max(1, eval_batch);
-  const int64_t n = static_cast<int64_t>(eval_indices.size());
-  const int64_t n_chunks = (n + eval_batch - 1) / eval_batch;
-  std::vector<int64_t> correct_per_chunk(static_cast<size_t>(n_chunks), 0);
-  auto run_chunk = [&](int64_t c) {
-    const size_t start = static_cast<size_t>(c) * eval_batch;
-    const size_t end =
-        std::min(start + static_cast<size_t>(eval_batch), eval_indices.size());
-    const std::vector<int64_t> chunk(
-        eval_indices.begin() + static_cast<std::ptrdiff_t>(start),
-        eval_indices.begin() + static_cast<std::ptrdiff_t>(end));
-    const BatchInput batch = MakeBatch(ds, chunk);
-    std::vector<uint8_t> labels;
-    model.Predict(batch, &labels);
-    int64_t correct = 0;
-    for (size_t i = 0; i < labels.size(); ++i) {
-      if (labels[i] == batch.labels[i]) ++correct;
-    }
-    correct_per_chunk[static_cast<size_t>(c)] = correct;
-  };
-  if (pool != nullptr) {
-    pool->ParallelFor(n_chunks, run_chunk);
-  } else {
-    for (int64_t c = 0; c < n_chunks; ++c) run_chunk(c);
-  }
-  int64_t correct = 0;
-  for (int64_t c : correct_per_chunk) correct += c;
-  return static_cast<double>(correct) / static_cast<double>(n);
+  InferenceOptions opts;
+  opts.eval_batch = eval_batch;
+  InferenceEngine engine(model, opts, pool);
+  return engine.Accuracy(ds, indices);
 }
 
 TrainHistory Trainer::Fit(ErrorDetectionModel* model,
@@ -239,7 +189,9 @@ TrainHistory Trainer::Fit(ErrorDetectionModel* model,
   }
 
   if (best_epoch >= 0) model->Restore(best);
-  if (options_.calibrate_batchnorm) model->CalibrateBatchNorm(train);
+  if (options_.calibrate_batchnorm) {
+    CalibrateBatchNormMemoized(model, train, {}, &pool);
+  }
   history.best_epoch = best_epoch;
   history.best_train_loss = best_loss;
   history.train_seconds = timer.ElapsedSeconds();

@@ -88,20 +88,20 @@ class Trainer {
   TrainerOptions options_;
 };
 
-/// Runs thresholded inference over every cell of `ds` in batches. When
-/// `pool` is non-null, batches are evaluated concurrently (the model's
-/// inference path is const and thread-safe); results are positionally
-/// identical to the sequential path.
+/// Runs thresholded inference over every cell of `ds` through a memoized
+/// InferenceEngine sweep (core/inference.h): each distinct cell content is
+/// predicted once and broadcast to its duplicates. When `pool` is non-null
+/// the sweep's batches are sharded across it; results are bit-identical for
+/// every thread count.
 void PredictDataset(const ErrorDetectionModel& model,
                     const data::EncodedDataset& ds, int eval_batch,
                     std::vector<uint8_t>* predictions,
                     ThreadPool* pool = nullptr);
 
 /// Fraction of cells of `ds` (restricted to `indices`, or all cells if
-/// empty) whose thresholded prediction matches the label. When `pool` is
-/// non-null the per-batch sweeps run concurrently; per-chunk correct counts
-/// are reduced with an integer sum, so the result is identical to the
-/// sequential path.
+/// empty) whose thresholded prediction matches the label. Runs a memoized
+/// InferenceEngine sweep; when `pool` is non-null the batches are sharded
+/// across it with results identical to the sequential path.
 double DatasetAccuracy(const ErrorDetectionModel& model,
                        const data::EncodedDataset& ds, int eval_batch,
                        const std::vector<int64_t>& indices,

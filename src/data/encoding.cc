@@ -1,11 +1,59 @@
 #include "data/encoding.h"
 
 #include <algorithm>
+#include <cstring>
 #include <unordered_set>
 
 #include "util/logging.h"
 
 namespace birnn::data {
+
+int EncodedDataset::effective_len(int64_t i) const {
+  const int32_t* seq = seqs.data() + static_cast<size_t>(i) * max_len;
+  int len = max_len;
+  while (len > 0 && seq[len - 1] == 0) --len;
+  return len;
+}
+
+uint64_t EncodedDataset::CellContentHash(int64_t i) const {
+  // FNV-1a, mixing the attribute id, the length_norm bit pattern and the
+  // character ids up to the effective length.
+  constexpr uint64_t kOffset = 1469598103934665603ULL;
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  uint64_t h = kOffset;
+  const auto mix = [&h](uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (b * 8)) & 0xFFu;
+      h *= kPrime;
+    }
+  };
+  mix(static_cast<uint64_t>(static_cast<uint32_t>(attrs[static_cast<size_t>(i)])));
+  uint32_t len_bits = 0;
+  static_assert(sizeof(len_bits) == sizeof(float));
+  std::memcpy(&len_bits, &length_norm[static_cast<size_t>(i)], sizeof(len_bits));
+  mix(len_bits);
+  const int len = effective_len(i);
+  mix(static_cast<uint64_t>(static_cast<uint32_t>(len)));
+  const int32_t* seq = seqs.data() + static_cast<size_t>(i) * max_len;
+  for (int t = 0; t < len; ++t) {
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(seq[t])));
+  }
+  return h;
+}
+
+bool EncodedDataset::CellContentEquals(int64_t a, int64_t b) const {
+  if (attrs[static_cast<size_t>(a)] != attrs[static_cast<size_t>(b)]) {
+    return false;
+  }
+  uint32_t la = 0;
+  uint32_t lb = 0;
+  std::memcpy(&la, &length_norm[static_cast<size_t>(a)], sizeof(la));
+  std::memcpy(&lb, &length_norm[static_cast<size_t>(b)], sizeof(lb));
+  if (la != lb) return false;
+  return std::memcmp(seqs.data() + static_cast<size_t>(a) * max_len,
+                     seqs.data() + static_cast<size_t>(b) * max_len,
+                     sizeof(int32_t) * static_cast<size_t>(max_len)) == 0;
+}
 
 EncodedDataset EncodeCells(const CellFrame& frame, const CharIndex& chars) {
   EncodedDataset ds;

@@ -30,6 +30,23 @@ struct EncodedDataset {
   int32_t seq_at(int64_t i, int t) const {
     return seqs[static_cast<size_t>(i) * max_len + static_cast<size_t>(t)];
   }
+
+  /// Number of leading character ids of cell i up to and including the last
+  /// non-pad id — the cell's content length; steps >= effective_len(i) are
+  /// all padding (id 0).
+  int effective_len(int64_t i) const;
+
+  /// Stable 64-bit content key of cell i (FNV-1a over the attribute id, the
+  /// length_norm bit pattern and the character ids up to the effective
+  /// length). The model's prediction for a cell is a pure function of
+  /// exactly these inputs, so cells with equal content — confirmed via
+  /// `CellContentEquals`, the hash alone can collide — are interchangeable
+  /// under memoized inference.
+  uint64_t CellContentHash(int64_t i) const;
+
+  /// True if cells a and b have identical model inputs (attribute id,
+  /// length_norm and character sequence).
+  bool CellContentEquals(int64_t a, int64_t b) const;
 };
 
 /// Encodes every cell of `frame` using the value dictionary: character

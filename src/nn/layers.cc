@@ -48,20 +48,23 @@ Dense::Bound Dense::Bind(Graph* g) {
 }
 
 void Dense::ApplyForward(const Tensor& x, Tensor* out) const {
-  Tensor z;
-  MatMul(x, w_.value, &z);
+  ForwardScratch scratch;
+  ApplyForward(x, out, &scratch);
+}
+
+void Dense::ApplyForward(const Tensor& x, Tensor* out,
+                         ForwardScratch* scratch) const {
+  MatMul(x, w_.value, &scratch->z);
   switch (act_) {
     case Activation::kNone:
-      AddBias(z, b_.value, out);
+      AddBias(scratch->z, b_.value, out);
       return;
-    case Activation::kRelu: {
-      Tensor zb;
-      AddBias(z, b_.value, &zb);
-      ReluElem(zb, out);
+    case Activation::kRelu:
+      AddBias(scratch->z, b_.value, &scratch->zb);
+      ReluElem(scratch->zb, out);
       return;
-    }
     case Activation::kTanh:
-      AddBiasTanh(z, b_.value, out);
+      AddBiasTanh(scratch->z, b_.value, out);
       return;
   }
 }
@@ -113,7 +116,7 @@ void BatchNorm1d::ApplyForward(const Tensor& x, Tensor* out) const {
   const int n = x.rows();
   const int m = x.cols();
   BIRNN_CHECK_EQ(running_mean_.size(), static_cast<size_t>(m));
-  *out = Tensor(n, m);
+  out->ResizeForOverwrite(n, m);
   for (int j = 0; j < m; ++j) {
     const size_t sj = static_cast<size_t>(j);
     const float inv_std =

@@ -51,8 +51,19 @@ class Dense {
   };
   Bound Bind(Graph* g);
 
+  /// Reusable intermediates for `ApplyForward`; keep one per thread and the
+  /// layer stops allocating after the first batch.
+  struct ForwardScratch {
+    Tensor z;
+    Tensor zb;
+  };
+
   /// Forward-only application for inference.
   void ApplyForward(const Tensor& x, Tensor* out) const;
+
+  /// Forward-only application writing intermediates into caller-owned
+  /// scratch (bit-identical to the scratch-free overload).
+  void ApplyForward(const Tensor& x, Tensor* out, ForwardScratch* scratch) const;
 
   std::vector<Parameter*> Params() { return {&w_, &b_}; }
   int input_dim() const { return w_.value.rows(); }

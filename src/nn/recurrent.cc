@@ -1,5 +1,6 @@
 #include "nn/recurrent.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "nn/init.h"
@@ -145,11 +146,18 @@ RecurrentState RecurrentCell::Bound::Step(Graph::Var x,
 
 void RecurrentCell::StepForward(const Tensor& x, const RecurrentTensors& prev,
                                 RecurrentTensors* out) const {
+  StepScratch scratch;
+  StepForward(x, prev, out, &scratch);
+}
+
+void RecurrentCell::StepForward(const Tensor& x, const RecurrentTensors& prev,
+                                RecurrentTensors* out,
+                                StepScratch* scratch) const {
   const int u = units_;
   const int batch = prev.h.rows();
   switch (type_) {
     case CellType::kVanilla: {
-      Tensor z;
+      Tensor& z = scratch->z1;
       MatMul(x, wx_.value, &z);
       MatMulAcc(prev.h, wh_.value, &z);
       AddBiasTanh(z, b_.value, &out->h);
@@ -157,9 +165,9 @@ void RecurrentCell::StepForward(const Tensor& x, const RecurrentTensors& prev,
     }
     case CellType::kGru: {
       // Bias is folded into the fused gate loop (no separate AddBias pass).
-      Tensor xg;
+      Tensor& xg = scratch->z1;
       MatMul(x, wx_.value, &xg);
-      Tensor hg;
+      Tensor& hg = scratch->z2;
       MatMul(prev.h, wh_.value, &hg);
       out->h.ResizeForOverwrite(batch, u);
       const float* bias = b_.value.data();
@@ -178,7 +186,7 @@ void RecurrentCell::StepForward(const Tensor& x, const RecurrentTensors& prev,
       return;
     }
     case CellType::kLstm: {
-      Tensor gates;
+      Tensor& gates = scratch->z1;
       MatMul(x, wx_.value, &gates);
       MatMulAcc(prev.h, wh_.value, &gates);
       out->h.ResizeForOverwrite(batch, u);
@@ -268,23 +276,55 @@ Graph::Var StackedBiRecurrent::Apply(Graph* g,
   return g->ConcatCols({out_fwd, out_bwd});
 }
 
-void StackedBiRecurrent::RunDirectionForward(
-    const std::vector<Tensor>& steps, bool backward_direction,
-    const std::vector<const RecurrentCell*>& cells, Tensor* out) const {
-  const int batch = steps[0].rows();
-  std::vector<RecurrentTensors> state;
-  state.reserve(cells.size());
-  for (const RecurrentCell* cell : cells) {
-    state.push_back(cell->InitialTensors(batch));
+namespace {
+/// Fills every row of `dst` (batch x units) with row 0 of `src` (1 x units).
+void BroadcastRow(const Tensor& src, int batch, Tensor* dst) {
+  dst->ResizeForOverwrite(batch, src.cols());
+  for (int r = 0; r < batch; ++r) {
+    std::copy(src.data(), src.data() + src.cols(),
+              dst->data() + static_cast<size_t>(r) * src.cols());
   }
-  RecurrentTensors next;
-  const int t_count = static_cast<int>(steps.size());
-  for (int i = 0; i < t_count; ++i) {
-    const int t = backward_direction ? (t_count - 1 - i) : i;
-    const Tensor* x = &steps[static_cast<size_t>(t)];
+}
+}  // namespace
+
+void StackedBiRecurrent::RunDirectionForward(
+    const Tensor* steps, int t_count, bool backward_direction,
+    const std::vector<const RecurrentCell*>& cells, const Tensor* tail_step,
+    int tail_count, const std::vector<RecurrentTensors>* warm, Tensor* out,
+    ForwardScratch* scratch) const {
+  const int batch = steps[0].rows();
+  std::vector<RecurrentTensors>& state = scratch->state;
+  if (state.size() < cells.size()) state.resize(cells.size());
+  for (size_t l = 0; l < cells.size(); ++l) {
+    if (warm != nullptr) {
+      // Warm start: the all-pad prefix state, identical for every row.
+      BroadcastRow((*warm)[l].h, batch, &state[l].h);
+      if (cells[l]->type() == CellType::kLstm) {
+        BroadcastRow((*warm)[l].c, batch, &state[l].c);
+      }
+    } else {
+      // Resize() zero-fills while reusing capacity — the initial state.
+      state[l].h.Resize(batch, cells[l]->units());
+      if (cells[l]->type() == CellType::kLstm) {
+        state[l].c.Resize(batch, cells[l]->units());
+      }
+    }
+  }
+  RecurrentTensors& next = scratch->next;
+  const int total = t_count + tail_count;
+  for (int i = 0; i < total; ++i) {
+    const Tensor* x;
+    if (backward_direction) {
+      x = &steps[t_count - 1 - i];
+    } else {
+      x = i < t_count ? &steps[i] : tail_step;
+    }
     for (size_t l = 0; l < cells.size(); ++l) {
-      cells[l]->StepForward(*x, state[l], &next);
-      state[l] = next;
+      cells[l]->StepForward(*x, state[l], &next, &scratch->step);
+      // StepForward fully overwrites `next`, so swapping buffers instead of
+      // copying is bit-identical.
+      std::swap(state[l].h, next.h);
+      if (cells[l]->type() == CellType::kLstm) std::swap(state[l].c, next.c);
       x = &state[l].h;
     }
   }
@@ -293,20 +333,94 @@ void StackedBiRecurrent::RunDirectionForward(
 
 void StackedBiRecurrent::ApplyForward(const std::vector<Tensor>& steps,
                                       Tensor* out) const {
-  BIRNN_CHECK(!steps.empty());
+  ForwardScratch scratch;
+  ApplyForward(steps.data(), static_cast<int>(steps.size()), out, &scratch);
+}
+
+void StackedBiRecurrent::ApplyForward(const Tensor* steps, int t_count,
+                                      Tensor* out,
+                                      ForwardScratch* scratch) const {
+  BIRNN_CHECK_GE(t_count, 1);
   std::vector<const RecurrentCell*> fwd;
   for (const auto& c : cells_[0]) fwd.push_back(&c);
-  Tensor out_fwd;
-  RunDirectionForward(steps, false, fwd, &out_fwd);
   if (!bidirectional_) {
-    *out = std::move(out_fwd);
+    RunDirectionForward(steps, t_count, false, fwd, nullptr, 0, nullptr, out,
+                        scratch);
     return;
   }
+  RunDirectionForward(steps, t_count, false, fwd, nullptr, 0, nullptr,
+                      &scratch->out_fwd, scratch);
   std::vector<const RecurrentCell*> bwd;
   for (const auto& c : cells_[1]) bwd.push_back(&c);
-  Tensor out_bwd;
-  RunDirectionForward(steps, true, bwd, &out_bwd);
-  ConcatCols({&out_fwd, &out_bwd}, out);
+  RunDirectionForward(steps, t_count, true, bwd, nullptr, 0, nullptr,
+                      &scratch->out_bwd, scratch);
+  ConcatCols({&scratch->out_fwd, &scratch->out_bwd}, out);
+}
+
+void StackedBiRecurrent::ComputeBackwardPadPrefix(
+    const Tensor& pad_step, int max_steps, PadPrefixTrajectory* traj) const {
+  traj->states.clear();
+  if (!bidirectional_) return;
+  const auto& cells = cells_[1];
+  const int batch = pad_step.rows();
+
+  std::vector<RecurrentTensors> state(cells.size());
+  for (size_t l = 0; l < cells.size(); ++l) {
+    state[l] = cells[l].InitialTensors(batch);
+  }
+  const auto record = [&]() {
+    std::vector<RecurrentTensors> row(cells.size());
+    for (size_t l = 0; l < cells.size(); ++l) {
+      row[l].h = Tensor(1, cells[l].units());
+      std::copy(state[l].h.data(), state[l].h.data() + cells[l].units(),
+                row[l].h.data());
+      if (cells[l].type() == CellType::kLstm) {
+        row[l].c = Tensor(1, cells[l].units());
+        std::copy(state[l].c.data(), state[l].c.data() + cells[l].units(),
+                  row[l].c.data());
+      }
+    }
+    traj->states.push_back(std::move(row));
+  };
+
+  record();  // k = 0: the zero initial state.
+  RecurrentTensors next;
+  StepScratch step;
+  for (int k = 1; k <= max_steps; ++k) {
+    const Tensor* x = &pad_step;
+    for (size_t l = 0; l < cells.size(); ++l) {
+      cells[l].StepForward(*x, state[l], &next, &step);
+      std::swap(state[l].h, next.h);
+      if (cells[l].type() == CellType::kLstm) std::swap(state[l].c, next.c);
+      x = &state[l].h;
+    }
+    record();
+  }
+}
+
+void StackedBiRecurrent::ApplyForwardBucketed(
+    const Tensor* steps, int t_count, int t_total, const Tensor& pad_step,
+    const PadPrefixTrajectory& traj, Tensor* out,
+    ForwardScratch* scratch) const {
+  BIRNN_CHECK_GE(t_count, 1);
+  BIRNN_CHECK_GE(t_total, t_count);
+  const int pad_count = t_total - t_count;
+  std::vector<const RecurrentCell*> fwd;
+  for (const auto& c : cells_[0]) fwd.push_back(&c);
+  if (!bidirectional_) {
+    RunDirectionForward(steps, t_count, false, fwd, &pad_step, pad_count,
+                        nullptr, out, scratch);
+    return;
+  }
+  RunDirectionForward(steps, t_count, false, fwd, &pad_step, pad_count,
+                      nullptr, &scratch->out_fwd, scratch);
+  BIRNN_CHECK_LE(pad_count, traj.max_steps());
+  std::vector<const RecurrentCell*> bwd;
+  for (const auto& c : cells_[1]) bwd.push_back(&c);
+  RunDirectionForward(steps, t_count, true, bwd, nullptr, 0,
+                      &traj.states[static_cast<size_t>(pad_count)],
+                      &scratch->out_bwd, scratch);
+  ConcatCols({&scratch->out_fwd, &scratch->out_bwd}, out);
 }
 
 std::vector<Parameter*> StackedBiRecurrent::Params() const {

@@ -35,6 +35,13 @@ struct RecurrentTensors {
   Tensor c;  ///< used only by kLstm.
 };
 
+/// Reusable pre-activation buffers for `RecurrentCell::StepForward`; keep
+/// one per thread and the per-step MatMul outputs stop allocating.
+struct StepScratch {
+  Tensor z1;  ///< vanilla: fused gates; gru: input gates; lstm: gates.
+  Tensor z2;  ///< gru only: recurrent gates.
+};
+
 /// One recurrent cell of any family, usable on the autodiff graph (training)
 /// and via forward-only kernels (inference). Weight layout per family:
 ///   vanilla: wx (in,u), wh (u,u), b (u)
@@ -69,6 +76,11 @@ class RecurrentCell {
   void StepForward(const Tensor& x, const RecurrentTensors& prev,
                    RecurrentTensors* out) const;
 
+  /// Forward-only step with caller-owned pre-activation scratch
+  /// (bit-identical to the scratch-free overload).
+  void StepForward(const Tensor& x, const RecurrentTensors& prev,
+                   RecurrentTensors* out, StepScratch* scratch) const;
+
   std::vector<Parameter*> Params() const;
   CellType type() const { return type_; }
   int units() const { return units_; }
@@ -83,6 +95,19 @@ class RecurrentCell {
   mutable Parameter b_;
 };
 
+/// Backward-chain states over an all-pad prefix. When a sequence ends in
+/// pad steps, the backward direction processes those pads FIRST — from the
+/// zero initial state, with the identical pad input at every step — so the
+/// state after k pad steps is the same for every cell, at every level of
+/// the stack. `states[k][l]` is level l's state (one row) after k pad
+/// steps; `states[0]` is the zero state. Precomputed once per sweep by
+/// `ComputeBackwardPadPrefix` and used to warm-start length-bucketed
+/// batches (`ApplyForwardBucketed`).
+struct PadPrefixTrajectory {
+  std::vector<std::vector<RecurrentTensors>> states;  ///< [k][level], 1 row.
+  int max_steps() const { return static_cast<int>(states.size()) - 1; }
+};
+
 /// Stack of recurrent levels run in one or two directions over a sequence —
 /// the generic version of StackedBiRnn, parameterized by cell family.
 /// Output is the concatenated final top-level hidden state(s)
@@ -92,9 +117,51 @@ class StackedBiRecurrent {
   StackedBiRecurrent(CellType type, std::string name, int input_dim,
                      int units, int stacks, bool bidirectional, Rng* rng);
 
+  /// Reusable per-thread state for `ApplyForward`: per-level hidden/cell
+  /// tensors plus the step buffers. After the first batch of a sweep, the
+  /// whole stack runs without heap allocation.
+  struct ForwardScratch {
+    std::vector<RecurrentTensors> state;
+    RecurrentTensors next;
+    StepScratch step;
+    Tensor out_fwd;
+    Tensor out_bwd;
+  };
+
   Graph::Var Apply(Graph* g, const std::vector<Graph::Var>& steps,
                    int batch) const;
   void ApplyForward(const std::vector<Tensor>& steps, Tensor* out) const;
+
+  /// Forward-only application over the span `steps[0, t_count)` with
+  /// caller-owned scratch (bit-identical to the scratch-free overload).
+  /// `t_count` may be shorter than the training sequence length — the stack
+  /// simply runs fewer time steps (the length-bucketed inference contract;
+  /// see core::InferenceEngine).
+  void ApplyForward(const Tensor* steps, int t_count, Tensor* out,
+                    ForwardScratch* scratch) const;
+
+  /// Precomputes the backward direction's state trajectory over an all-pad
+  /// prefix of up to `max_steps` steps. `pad_step` must hold the pad input
+  /// embedding replicated over its rows (use a full SIMD register of rows
+  /// so the elementwise kernels take the same vector path as real batches —
+  /// that keeps the warm start bit-identical to running the prefix inline).
+  /// Leaves the trajectory empty for unidirectional stacks.
+  void ComputeBackwardPadPrefix(const Tensor& pad_step, int max_steps,
+                                PadPrefixTrajectory* traj) const;
+
+  /// Length-bucketed application, bit-identical to ApplyForward over the
+  /// same sequence padded to `t_total` steps:
+  /// - the forward chain runs steps[0, t_count) and then `t_total - t_count`
+  ///   extra steps of `pad_step` input — its pad tail cannot be skipped,
+  ///   because the (trained) pad embedding keeps moving per-cell state;
+  /// - the backward chain runs only steps[t_count-1 .. 0], warm-started
+  ///   from `traj` at prefix length `t_total - t_count` — its pad prefix is
+  ///   cell-independent, so those steps are shared instead of re-run.
+  /// `pad_step` must hold the pad embedding in every row (batch rows).
+  void ApplyForwardBucketed(const Tensor* steps, int t_count, int t_total,
+                            const Tensor& pad_step,
+                            const PadPrefixTrajectory& traj, Tensor* out,
+                            ForwardScratch* scratch) const;
 
   std::vector<Parameter*> Params() const;
   int output_dim() const { return units_ * (bidirectional_ ? 2 : 1); }
@@ -104,10 +171,17 @@ class StackedBiRecurrent {
   Graph::Var RunDirection(Graph* g, const std::vector<Graph::Var>& steps,
                           int batch, bool backward_direction,
                           const std::vector<const RecurrentCell*>& cells) const;
-  void RunDirectionForward(const std::vector<Tensor>& steps,
+  /// Runs one direction. Forward direction: steps[0, t_count) followed by
+  /// `tail_count` steps of `tail_step` input. Backward direction
+  /// (tail_count must be 0): steps[t_count-1 .. 0], starting from `warm`
+  /// per-level states (broadcast over the batch rows) instead of zeros when
+  /// non-null.
+  void RunDirectionForward(const Tensor* steps, int t_count,
                            bool backward_direction,
                            const std::vector<const RecurrentCell*>& cells,
-                           Tensor* out) const;
+                           const Tensor* tail_step, int tail_count,
+                           const std::vector<RecurrentTensors>* warm,
+                           Tensor* out, ForwardScratch* scratch) const;
 
   CellType type_;
   int units_;

@@ -1,0 +1,339 @@
+#include "core/inference.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "data/dictionary.h"
+#include "data/encoding.h"
+#include "data/prepare.h"
+#include "datagen/datasets.h"
+#include "nn/graph.h"
+#include "nn/ops.h"
+#include "util/rng.h"
+#include "util/threadpool.h"
+
+namespace birnn::core {
+namespace {
+
+/// A small table with heavy value repetition (11 distinct values over 60
+/// rows) and varying cell lengths — the workload the memoizing, bucketing
+/// engine is built for.
+data::EncodedDataset DuplicateHeavyDataset() {
+  data::Table dirty(std::vector<std::string>{"a", "b", "c"});
+  data::Table clean(std::vector<std::string>{"a", "b", "c"});
+  Rng rng(41);
+  for (int i = 0; i < 60; ++i) {
+    const std::string v = "value" + std::to_string(i % 11);
+    const std::string w(static_cast<size_t>(1 + i % 7), 'x');
+    EXPECT_TRUE(dirty
+                    .AppendRow({rng.Bernoulli(0.4) ? v + "!" : v, w,
+                                "fixed-content"})
+                    .ok());
+    EXPECT_TRUE(clean.AppendRow({v, w, "fixed-content"}).ok());
+  }
+  auto frame = data::PrepareData(dirty, clean);
+  EXPECT_TRUE(frame.ok());
+  const data::CharIndex chars = data::CharIndex::Build(*frame);
+  return data::EncodeCells(*frame, chars);
+}
+
+ModelConfig SmallConfig(const data::EncodedDataset& ds) {
+  ModelConfig config;
+  config.vocab = ds.vocab;
+  config.max_len = ds.max_len;
+  config.n_attrs = ds.n_attrs;
+  config.char_emb_dim = 6;
+  config.units = 9;  // odd on purpose: exercises non-multiple-of-16 shapes
+  config.stacks = 2;
+  config.bidirectional = true;
+  config.enriched = true;
+  config.attr_emb_dim = 4;
+  config.attr_units = 3;
+  config.length_dense_dim = 8;
+  config.hidden_dense_dim = 6;
+  config.seed = 17;
+  return config;
+}
+
+std::vector<int64_t> AllIndices(const data::EncodedDataset& ds) {
+  std::vector<int64_t> indices(static_cast<size_t>(ds.num_cells()));
+  for (int64_t i = 0; i < ds.num_cells(); ++i) {
+    indices[static_cast<size_t>(i)] = i;
+  }
+  return indices;
+}
+
+TEST(InferenceScratchTest, PredictProbsScratchMatchesScratchFree) {
+  const data::EncodedDataset ds = DuplicateHeavyDataset();
+  ErrorDetectionModel model(SmallConfig(ds));
+
+  const BatchInput batch = MakeBatch(ds, AllIndices(ds));
+  std::vector<float> plain;
+  model.PredictProbs(batch, &plain);
+
+  InferenceScratch scratch;
+  std::vector<float> scratched;
+  model.PredictProbs(batch, &scratched, &scratch);
+  ASSERT_EQ(plain.size(), scratched.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i], scratched[i]) << "cell " << i;  // bit-identical
+  }
+
+  // Reusing the same scratch for a second, different batch must not leak
+  // state from the first.
+  std::vector<int64_t> subset;
+  for (int64_t i = 3; i < ds.num_cells(); i += 7) subset.push_back(i);
+  const BatchInput batch2 = MakeBatch(ds, subset);
+  std::vector<float> plain2;
+  model.PredictProbs(batch2, &plain2);
+  std::vector<float> scratched2;
+  model.PredictProbs(batch2, &scratched2, &scratch);
+  ASSERT_EQ(plain2.size(), scratched2.size());
+  for (size_t i = 0; i < plain2.size(); ++i) {
+    EXPECT_EQ(plain2[i], scratched2[i]) << "cell " << i;
+  }
+}
+
+TEST(InferenceParityTest, ForwardOnlyMatchesTrainingGraphSoftmax) {
+  // The forward-only path (running batch-norm stats) must agree with the
+  // autodiff graph run in eval mode + explicit softmax.
+  const data::EncodedDataset ds = DuplicateHeavyDataset();
+  ErrorDetectionModel model(SmallConfig(ds));
+  model.CalibrateBatchNorm(ds);
+
+  const BatchInput batch = MakeBatch(ds, AllIndices(ds));
+  nn::Graph g;
+  const nn::Graph::Var logits = model.Forward(&g, batch, /*training=*/false);
+  nn::Tensor graph_probs;
+  nn::SoftmaxRows(g.value(logits), &graph_probs);
+
+  std::vector<float> fast;
+  model.PredictProbs(batch, &fast);
+  ASSERT_EQ(static_cast<size_t>(graph_probs.rows()), fast.size());
+  for (int i = 0; i < graph_probs.rows(); ++i) {
+    EXPECT_NEAR(graph_probs.at(i, 1), fast[static_cast<size_t>(i)], 1e-5f)
+        << "cell " << i;
+  }
+}
+
+TEST(InferenceEngineTest, MemoizedBitIdenticalToUnmemoized) {
+  const data::EncodedDataset ds = DuplicateHeavyDataset();
+  ErrorDetectionModel model(SmallConfig(ds));
+  model.CalibrateBatchNorm(ds);
+
+  InferenceOptions memo_on;
+  memo_on.memoize = true;
+  InferenceOptions memo_off;
+  memo_off.memoize = false;
+  for (const int eval_batch : {7, 256}) {
+    memo_on.eval_batch = eval_batch;
+    memo_off.eval_batch = eval_batch;
+    InferenceEngine a(model, memo_on);
+    InferenceEngine b(model, memo_off);
+    std::vector<float> pa;
+    std::vector<float> pb;
+    a.PredictProbs(ds, {}, &pa);
+    b.PredictProbs(ds, {}, &pb);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (size_t i = 0; i < pa.size(); ++i) {
+      EXPECT_EQ(pa[i], pb[i]) << "cell " << i << " batch " << eval_batch;
+    }
+    EXPECT_GT(a.stats().dedup_factor, 1.5);
+    EXPECT_LT(a.stats().unique_cells, a.stats().cells);
+    EXPECT_EQ(b.stats().unique_cells, b.stats().cells);
+  }
+}
+
+TEST(InferenceEngineTest, BitIdenticalAcrossThreadCounts) {
+  const data::EncodedDataset ds = DuplicateHeavyDataset();
+  ErrorDetectionModel model(SmallConfig(ds));
+  model.CalibrateBatchNorm(ds);
+
+  for (const bool memoize : {true, false}) {
+    InferenceOptions options;
+    options.eval_batch = 7;  // many batches, so sharding actually happens
+    options.memoize = memoize;
+    InferenceEngine reference(model, options);
+    std::vector<float> expected;
+    reference.PredictProbs(ds, {}, &expected);
+
+    for (const int threads : {0, 1, 4}) {
+      InferenceOptions threaded = options;
+      threaded.threads = threads;
+      InferenceEngine engine(model, threaded);
+      std::vector<float> got;
+      engine.PredictProbs(ds, {}, &got);
+      ASSERT_EQ(expected.size(), got.size());
+      for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(expected[i], got[i])
+            << "cell " << i << " threads " << threads << " memo " << memoize;
+      }
+    }
+
+    // External pool path (what PredictDataset hands in).
+    ThreadPool pool(3);
+    InferenceEngine pooled(model, options, &pool);
+    std::vector<float> got;
+    pooled.PredictProbs(ds, {}, &got);
+    ASSERT_EQ(expected.size(), got.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(expected[i], got[i]) << "cell " << i << " memo " << memoize;
+    }
+  }
+}
+
+TEST(InferenceEngineTest, DuplicateCellsGetIdenticalPredictions) {
+  const data::EncodedDataset ds = DuplicateHeavyDataset();
+  ErrorDetectionModel model(SmallConfig(ds));
+  model.CalibrateBatchNorm(ds);
+
+  InferenceEngine engine(model);
+  std::vector<float> p;
+  engine.PredictProbs(ds, {}, &p);
+  for (int64_t a = 0; a < ds.num_cells(); ++a) {
+    for (int64_t b = a + 1; b < ds.num_cells(); ++b) {
+      if (ds.CellContentEquals(a, b)) {
+        EXPECT_EQ(p[static_cast<size_t>(a)], p[static_cast<size_t>(b)]);
+      }
+    }
+  }
+}
+
+TEST(InferenceEngineTest, IndexSubsetAndStats) {
+  const data::EncodedDataset ds = DuplicateHeavyDataset();
+  ErrorDetectionModel model(SmallConfig(ds));
+  model.CalibrateBatchNorm(ds);
+
+  InferenceEngine full(model);
+  std::vector<float> p_all;
+  full.PredictProbs(ds, {}, &p_all);
+  EXPECT_EQ(full.stats().cells, ds.num_cells());
+  EXPECT_EQ(full.stats().rnn_steps_dense,
+            ds.num_cells() * ds.max_len * 2);  // bidirectional
+  EXPECT_GT(full.stats().batches, 0);
+
+  // Cells 0/1/2 are the three attributes of row 0 — distinct content by
+  // attribute id even when the strings repeat.
+  std::vector<int64_t> subset = {0, 1, 2, 1, 0};
+  InferenceEngine part(model);
+  std::vector<float> p_sub;
+  part.PredictProbs(ds, subset, &p_sub);
+  ASSERT_EQ(p_sub.size(), subset.size());
+  for (size_t k = 0; k < subset.size(); ++k) {
+    EXPECT_EQ(p_sub[k], p_all[static_cast<size_t>(subset[k])]);
+  }
+  EXPECT_EQ(part.stats().cells, 5);
+  EXPECT_EQ(part.stats().unique_cells, 3);
+}
+
+TEST(InferenceEngineTest, BucketedIsInvariantToMemoization) {
+  // Bucketing is approximate w.r.t. the full-padding sweep, but within the
+  // bucketed mode results must still be a pure function of cell content:
+  // memoize on/off and any thread count give identical bits.
+  const data::EncodedDataset ds = DuplicateHeavyDataset();
+  ErrorDetectionModel model(SmallConfig(ds));
+  model.CalibrateBatchNorm(ds);
+
+  InferenceOptions base;
+  base.bucketed = true;
+  base.bucket_quantum = 4;
+  base.eval_batch = 7;
+  InferenceEngine reference(model, base);
+  std::vector<float> expected;
+  reference.PredictProbs(ds, {}, &expected);
+  EXPECT_LT(reference.stats().rnn_steps, reference.stats().rnn_steps_dense);
+
+  for (const bool memoize : {true, false}) {
+    for (const int threads : {0, 4}) {
+      InferenceOptions options = base;
+      options.memoize = memoize;
+      options.threads = threads;
+      InferenceEngine engine(model, options);
+      std::vector<float> got;
+      engine.PredictProbs(ds, {}, &got);
+      ASSERT_EQ(expected.size(), got.size());
+      for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(expected[i], got[i])
+            << "cell " << i << " memo " << memoize << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(InferenceEngineTest, CalibrateMemoizedMatchesReference) {
+  const data::EncodedDataset ds = DuplicateHeavyDataset();
+  const ModelConfig config = SmallConfig(ds);
+
+  ErrorDetectionModel reference(config);
+  reference.CalibrateBatchNorm(ds);
+  ErrorDetectionModel memoized(config);  // same seed -> same weights
+  CalibrateBatchNormMemoized(&memoized, ds);
+
+  const BatchInput batch = MakeBatch(ds, AllIndices(ds));
+  std::vector<float> p_ref;
+  reference.PredictProbs(batch, &p_ref);
+  std::vector<float> p_memo;
+  memoized.PredictProbs(batch, &p_memo);
+  ASSERT_EQ(p_ref.size(), p_memo.size());
+  for (size_t i = 0; i < p_ref.size(); ++i) {
+    EXPECT_NEAR(p_ref[i], p_memo[i], 1e-5f) << "cell " << i;
+  }
+}
+
+/// Bit-parity of opt-in bucketed inference on the six paper generators:
+/// the pad-prefix warm start and pad-tail completion make the bucketed
+/// sweep EXACT, so every per-cell probability must match the full-padding
+/// sweep bit for bit — on any weights (no training needed).
+TEST(BucketedInferenceTest, BitParityOnAllSixGenerators) {
+  int64_t steps_saved = 0;
+  for (const auto& spec : datagen::AllDatasetSpecs()) {
+    datagen::GenOptions gen;
+    gen.scale = 0.08;
+    gen.seed = 7;
+    auto pair = datagen::MakeDataset(spec.name, gen);
+    ASSERT_TRUE(pair.ok()) << spec.name;
+    auto frame = data::PrepareData(pair->dirty, pair->clean);
+    ASSERT_TRUE(frame.ok()) << spec.name;
+    const data::CharIndex chars = data::CharIndex::Build(*frame);
+    const data::EncodedDataset all = data::EncodeCells(*frame, chars);
+
+    ModelConfig config;
+    config.vocab = all.vocab;
+    config.max_len = all.max_len;
+    config.n_attrs = all.n_attrs;
+    config.char_emb_dim = 8;
+    config.units = 12;
+    config.enriched = true;
+    config.seed = 21;
+    ErrorDetectionModel model(config);
+    model.CalibrateBatchNorm(all);
+
+    InferenceOptions padded;
+    InferenceOptions bucketed;
+    bucketed.bucketed = true;
+    InferenceEngine engine_padded(model, padded);
+    InferenceEngine engine_bucketed(model, bucketed);
+
+    std::vector<float> p_padded;
+    std::vector<float> p_bucketed;
+    engine_padded.PredictProbs(all, {}, &p_padded);
+    engine_bucketed.PredictProbs(all, {}, &p_bucketed);
+    ASSERT_EQ(p_padded.size(), p_bucketed.size()) << spec.name;
+    for (size_t i = 0; i < p_padded.size(); ++i) {
+      ASSERT_EQ(p_padded[i], p_bucketed[i]) << spec.name << " cell " << i;
+    }
+    EXPECT_EQ(engine_padded.Accuracy(all, {}), engine_bucketed.Accuracy(all, {}))
+        << spec.name;
+    steps_saved += engine_padded.stats().rnn_steps -
+                   engine_bucketed.stats().rnn_steps;
+  }
+  // Across the six generators, bucketing must actually shorten the sweep.
+  EXPECT_GT(steps_saved, 0);
+}
+
+}  // namespace
+}  // namespace birnn::core
