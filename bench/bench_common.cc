@@ -3,12 +3,14 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "eval/report.h"
 #include "util/logging.h"
+#include "util/stats.h"
 #include "util/string_util.h"
 
 namespace birnn::bench {
 
-void AddCommonFlags(FlagSet* flags) {
+void AddCommonFlags(FlagSet* flags, const std::string& default_json) {
   flags->AddInt("reps", 3, "repetitions per experiment (paper: 10)");
   flags->AddInt("epochs", 80, "training epochs (paper: 120)");
   flags->AddInt("tuples", 20, "labeled tuples for training (paper: 20)");
@@ -21,6 +23,17 @@ void AddCommonFlags(FlagSet* flags) {
   flags->AddString("datasets", "",
                    "comma-separated subset (beers,flights,hospital,movies,"
                    "rayyan,tax); empty = all");
+  flags->AddInt("harness-threads", -1,
+                "experiment-scheduler workers: -1 = hardware threads, "
+                "0 = serial (results are identical either way)");
+  flags->AddBool("cache", true,
+                 "reuse cached (dataset, system, repetition) results and "
+                 "store new ones (--cache=false disables)");
+  flags->AddString("cache-dir", "",
+                   "artifact cache directory; empty = $BIRNN_CACHE_DIR, "
+                   "then .birnn-cache");
+  flags->AddString("json", default_json,
+                   "machine-readable output path (empty = skip)");
 }
 
 BenchConfig ParseCommonFlags(FlagSet* flags, int argc, char** argv,
@@ -53,6 +66,10 @@ BenchConfig ParseCommonFlags(FlagSet* flags, int argc, char** argv,
       if (!name.empty()) config.datasets.push_back(ToLower(Trim(name)));
     }
   }
+  config.harness_threads = flags->GetInt("harness-threads");
+  config.cache_enabled = flags->GetBool("cache");
+  config.cache_dir = flags->GetString("cache-dir");
+  config.json_path = flags->GetString("json");
   return config;
 }
 
@@ -80,6 +97,17 @@ std::vector<std::string> DatasetList(const BenchConfig& config) {
   return out;
 }
 
+std::vector<datagen::DatasetPair> MakeAllPairs(const BenchConfig& config) {
+  std::vector<datagen::DatasetPair> pairs;
+  const std::vector<std::string> names = DatasetList(config);
+  pairs.reserve(names.size());
+  for (const std::string& name : names) {
+    std::fprintf(stderr, "[datagen] %s...\n", name.c_str());
+    pairs.push_back(MakePair(name, config));
+  }
+  return pairs;
+}
+
 eval::RunnerOptions MakeRunnerOptions(const BenchConfig& config,
                                       const std::string& model,
                                       const std::string& sampler) {
@@ -91,6 +119,208 @@ eval::RunnerOptions MakeRunnerOptions(const BenchConfig& config,
   options.detector.n_label_tuples = config.n_label_tuples;
   options.detector.trainer.epochs = config.epochs;
   return options;
+}
+
+std::unique_ptr<eval::ArtifactCache> MakeCache(const BenchConfig& config) {
+  if (!config.cache_enabled) return nullptr;
+  return std::make_unique<eval::ArtifactCache>(config.cache_dir);
+}
+
+eval::SchedulerOptions MakeSchedulerOptions(const BenchConfig& config,
+                                            eval::ArtifactCache* cache) {
+  eval::SchedulerOptions options;
+  options.threads = config.harness_threads;
+  options.cache = cache;
+  return options;
+}
+
+void PrintSchedulerSummary(const eval::Scheduler& scheduler,
+                           std::ostream& out) {
+  const eval::SchedulerStats& stats = scheduler.stats();
+  out << "\nHarness: " << stats.jobs << " jobs (" << stats.computed
+      << " computed, " << stats.cache_hits << " cached, " << stats.failures
+      << " failed), " << stats.outer_threads << " outer x "
+      << (stats.inner_threads < 0 ? 0 : stats.inner_threads)
+      << " inner workers, wall-clock "
+      << FormatFixed(stats.wall_seconds, 1) << " s\n";
+}
+
+int BestEpoch(const std::vector<core::EpochStats>& history) {
+  int best = 0;
+  for (size_t e = 1; e < history.size(); ++e) {
+    if (history[e].train_loss < history[static_cast<size_t>(best)].train_loss) {
+      best = static_cast<int>(e);
+    }
+  }
+  return best;
+}
+
+void AddRunsToF1Map(F1Map* map, const eval::RepeatedResult& result) {
+  for (const eval::Metrics& m : result.runs) {
+    (*map)[result.system][result.dataset].push_back(m.f1);
+  }
+}
+
+void PrintAggregateF1Table(const F1Map& map, std::ostream& out) {
+  eval::TableWriter writer({"Name", "AVG w/o Flights", "S.D. w/o Flights",
+                            "AVG with Flights", "S.D. with Flights"});
+  for (const auto& [system, datasets] : map) {
+    std::vector<double> without_flights;
+    std::vector<double> with_flights;
+    for (const auto& [dataset, f1s] : datasets) {
+      const double mean_f1 = Mean(f1s);
+      with_flights.push_back(mean_f1);
+      if (dataset != "flights") without_flights.push_back(mean_f1);
+    }
+    writer.AddRow({system, eval::Fmt2(Mean(without_flights)),
+                   eval::Fmt2(SampleStdDev(without_flights)),
+                   eval::Fmt2(Mean(with_flights)),
+                   eval::Fmt2(SampleStdDev(with_flights))});
+  }
+  writer.Print(out);
+}
+
+std::vector<std::pair<std::string, eval::Scheduler::ExperimentId>>
+SubmitComparison(eval::Scheduler* scheduler, const datagen::DatasetPair& pair,
+                 const BenchConfig& config, int rotom_cells,
+                 bool skip_baselines) {
+  std::vector<std::pair<std::string, eval::Scheduler::ExperimentId>> out;
+  if (!skip_baselines) {
+    out.emplace_back("Raha",
+                     scheduler->SubmitRaha(pair, config.reps,
+                                           config.n_label_tuples,
+                                           config.seed));
+    out.emplace_back("Rotom",
+                     scheduler->SubmitRotom(pair, config.reps, rotom_cells,
+                                            /*ssl=*/false, config.seed));
+    out.emplace_back("Rotom+SSL",
+                     scheduler->SubmitRotom(pair, config.reps, rotom_cells,
+                                            /*ssl=*/true, config.seed));
+  }
+  out.emplace_back(
+      "TSB-RNN",
+      scheduler->SubmitDetector(pair, MakeRunnerOptions(config, "tsb")));
+  out.emplace_back(
+      "ETSB-RNN",
+      scheduler->SubmitDetector(pair, MakeRunnerOptions(config, "etsb")));
+  return out;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ << "{";
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  counts_.pop_back();
+  out_ << "}";
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ << "[";
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  counts_.pop_back();
+  out_ << "]";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& name) {
+  if (!counts_.empty() && counts_.back() > 0) out_ << ",";
+  if (!counts_.empty()) counts_.back() = -1;  // String() below: no comma.
+  String(name);
+  out_ << ":";
+  if (!counts_.empty()) counts_.back() = -1;  // next value: no comma.
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& value) {
+  BeforeValue();
+  out_ << '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"': out_ << "\\\""; break;
+      case '\\': out_ << "\\\\"; break;
+      case '\n': out_ << "\\n"; break;
+      case '\r': out_ << "\\r"; break;
+      case '\t': out_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ << buf;
+        } else {
+          out_ << c;
+        }
+    }
+  }
+  out_ << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  BeforeValue();
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ << value;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ << (value ? "true" : "false");
+  return *this;
+}
+
+void JsonWriter::BeforeValue() {
+  if (counts_.empty()) return;
+  if (counts_.back() > 0) out_ << ",";
+  if (counts_.back() < 0) counts_.back() = 0;  // value after a key.
+  ++counts_.back();
+}
+
+void WriteResultJson(JsonWriter* json, const eval::RepeatedResult& result) {
+  json->BeginObject();
+  json->Key("dataset").String(result.dataset);
+  json->Key("system").String(result.system);
+  const auto summary = [json](const char* name, const Summary& s) {
+    json->Key(name).BeginObject();
+    json->Key("mean").Number(s.mean);
+    json->Key("stddev").Number(s.stddev);
+    json->Key("ci95").Number(s.ci95);
+    json->Key("n").Int(static_cast<int64_t>(s.n));
+    json->EndObject();
+  };
+  summary("precision", result.precision);
+  summary("recall", result.recall);
+  summary("f1", result.f1);
+  summary("train_seconds", result.train_seconds);
+  summary("train_cpu_seconds", result.train_cpu_seconds);
+  json->Key("cache_hits").Int(result.cache_hits);
+  json->Key("runs").BeginArray();
+  for (const eval::Metrics& m : result.runs) {
+    json->BeginObject();
+    json->Key("precision").Number(m.precision);
+    json->Key("recall").Number(m.recall);
+    json->Key("f1").Number(m.f1);
+    json->Key("accuracy").Number(m.accuracy);
+    json->EndObject();
+  }
+  json->EndArray();
+  json->EndObject();
 }
 
 }  // namespace birnn::bench

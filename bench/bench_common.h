@@ -1,11 +1,15 @@
 #ifndef BIRNN_BENCH_BENCH_COMMON_H_
 #define BIRNN_BENCH_BENCH_COMMON_H_
 
+#include <map>
+#include <memory>
+#include <ostream>
 #include <string>
 #include <vector>
 
 #include "datagen/datasets.h"
 #include "eval/runner.h"
+#include "eval/scheduler.h"
 #include "util/flags.h"
 
 namespace birnn::bench {
@@ -22,10 +26,23 @@ struct BenchConfig {
   uint64_t seed = 1000;
   bool paper_fidelity = false;
   std::vector<std::string> datasets;  ///< empty = all six.
+
+  /// Outer experiment-scheduler workers: -1 = one per hardware thread
+  /// (default), 0 = serial legacy loop. Aggregates are bit-identical for
+  /// every value (DESIGN.md §8).
+  int harness_threads = -1;
+  /// Artifact cache for (dataset, system, repetition) results; warm
+  /// re-runs skip completed cells. `--cache=false` disables.
+  bool cache_enabled = true;
+  /// Cache directory; empty = $BIRNN_CACHE_DIR, then ".birnn-cache".
+  std::string cache_dir;
+  /// Machine-readable output next to the text tables; empty = skip.
+  std::string json_path;
 };
 
-/// Registers the shared flags on `flags`.
-void AddCommonFlags(FlagSet* flags);
+/// Registers the shared flags on `flags`. `default_json` is the bench's
+/// JSON output path (empty = bench has no JSON output).
+void AddCommonFlags(FlagSet* flags, const std::string& default_json = "");
 
 /// Reads the shared flags back; exits with usage on --help or parse error.
 BenchConfig ParseCommonFlags(FlagSet* flags, int argc, char** argv,
@@ -42,11 +59,80 @@ datagen::DatasetPair MakePair(const std::string& dataset,
 /// The dataset list this run covers (config.datasets or all six).
 std::vector<std::string> DatasetList(const BenchConfig& config);
 
+/// Generates every pair of DatasetList(config), in order. Benches submit
+/// scheduler jobs against references into the returned vector — it is
+/// fully built here precisely so those references stay stable.
+std::vector<datagen::DatasetPair> MakeAllPairs(const BenchConfig& config);
+
 /// Builds detector-based runner options with the bench configuration
 /// applied (model "tsb"/"etsb", sampler name).
 eval::RunnerOptions MakeRunnerOptions(const BenchConfig& config,
                                       const std::string& model,
                                       const std::string& sampler = "diverset");
+
+/// The bench's artifact cache per config (null when disabled).
+std::unique_ptr<eval::ArtifactCache> MakeCache(const BenchConfig& config);
+
+/// Scheduler options per config (`cache` borrowed, may be null).
+eval::SchedulerOptions MakeSchedulerOptions(const BenchConfig& config,
+                                            eval::ArtifactCache* cache);
+
+/// One-line harness accounting ("6 jobs, 4 computed, 2 cached, 8 workers,
+/// 12.3 s wall") printed by every scheduled bench.
+void PrintSchedulerSummary(const eval::Scheduler& scheduler,
+                           std::ostream& out);
+
+/// Epoch with the lowest train loss of one repetition's history (the
+/// paper's checkpoint-selection rule; Fig. 6/7 markers).
+int BestEpoch(const std::vector<core::EpochStats>& history);
+
+/// system -> dataset -> per-repetition F1 values; the shape both Table 4
+/// paths aggregate.
+using F1Map = std::map<std::string, std::map<std::string, std::vector<double>>>;
+
+/// Appends `result.runs` F1 values under (result.system, result.dataset).
+void AddRunsToF1Map(F1Map* map, const eval::RepeatedResult& result);
+
+/// Renders the paper's Table 4 from an F1Map: average F1 and S.D. across
+/// datasets, without and with Flights, one row per system.
+void PrintAggregateF1Table(const F1Map& map, std::ostream& out);
+
+/// The Table 3 comparison protocol: submits Raha / Rotom / Rotom+SSL
+/// (unless `skip_baselines`) and TSB-RNN / ETSB-RNN on `pair`. Returned
+/// pairs are (system name, experiment id) in submission order.
+std::vector<std::pair<std::string, eval::Scheduler::ExperimentId>>
+SubmitComparison(eval::Scheduler* scheduler, const datagen::DatasetPair& pair,
+                 const BenchConfig& config, int rotom_cells,
+                 bool skip_baselines);
+
+/// Minimal streaming JSON writer (comma/escape handling only — no
+/// formatting options). Used by the benches' machine-readable outputs.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(const std::string& name);
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Number(double value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Bool(bool value);
+
+ private:
+  void BeforeValue();
+
+  std::ostream& out_;
+  /// One entry per open container: number of elements written so far;
+  /// -1 flags "a key was just written, next value needs no comma".
+  std::vector<int64_t> counts_;
+};
+
+/// Writes a RepeatedResult as a JSON object (summary stats, timing, raw
+/// per-repetition metrics). The writer must be positioned for a value.
+void WriteResultJson(JsonWriter* json, const eval::RepeatedResult& result);
 
 }  // namespace birnn::bench
 

@@ -4,9 +4,10 @@
 // repetition (the red dots / blue triangles of the figure).
 //
 // Output is plain epoch/mean/ci columns per (dataset, model) series —
-// directly plottable with gnuplot/matplotlib.
+// directly plottable with gnuplot/matplotlib — plus the same data as
+// JSON. All 2 x |datasets| series run through one eval::Scheduler.
 
-#include <algorithm>
+#include <fstream>
 #include <iostream>
 
 #include "bench_common.h"
@@ -16,21 +17,10 @@
 namespace birnn::bench {
 namespace {
 
-/// Best (lowest train loss) epoch of one repetition's history.
-int BestEpoch(const std::vector<core::EpochStats>& history) {
-  int best = 0;
-  for (size_t e = 1; e < history.size(); ++e) {
-    if (history[e].train_loss < history[static_cast<size_t>(best)].train_loss) {
-      best = static_cast<int>(e);
-    }
-  }
-  return best;
-}
-
-void PrintSeries(const std::string& dataset, const std::string& model,
-                 const eval::RepeatedResult& result) {
-  eval::PrintCurve("Fig6 " + dataset + " " + model + " test-accuracy",
-                   eval::AverageTestAccuracyCurve(result), std::cout);
+void PrintSeries(const eval::RepeatedResult& result) {
+  eval::PrintCurve(
+      "Fig6 " + result.dataset + " " + result.system + " test-accuracy",
+      eval::AverageTestAccuracyCurve(result), std::cout);
   std::cout << "# selected epochs (best train loss per repetition): ";
   for (size_t rep = 0; rep < result.histories.size(); ++rep) {
     const int best = BestEpoch(result.histories[rep]);
@@ -43,9 +33,35 @@ void PrintSeries(const std::string& dataset, const std::string& model,
   std::cout << "\n\n";
 }
 
+void WriteSeriesJson(JsonWriter* json, const eval::RepeatedResult& result) {
+  json->BeginObject();
+  json->Key("dataset").String(result.dataset);
+  json->Key("system").String(result.system);
+  json->Key("test_accuracy").BeginArray();
+  for (const eval::CurvePoint& pt : eval::AverageTestAccuracyCurve(result)) {
+    json->BeginObject();
+    json->Key("epoch").Int(pt.epoch);
+    json->Key("mean").Number(pt.mean);
+    json->Key("ci95").Number(pt.ci95);
+    json->EndObject();
+  }
+  json->EndArray();
+  json->Key("selected_epochs").BeginArray();
+  for (const auto& history : result.histories) {
+    const int best = BestEpoch(history);
+    json->BeginObject();
+    json->Key("epoch").Int(best);
+    json->Key("test_accuracy")
+        .Number(history[static_cast<size_t>(best)].test_accuracy);
+    json->EndObject();
+  }
+  json->EndArray();
+  json->EndObject();
+}
+
 int Run(int argc, char** argv) {
   FlagSet flags;
-  AddCommonFlags(&flags);
+  AddCommonFlags(&flags, "fig6_test_accuracy.json");
   flags.AddInt("eval-cells", 1500,
                "test cells sampled for the per-epoch accuracy sweep");
   const BenchConfig config =
@@ -54,18 +70,42 @@ int Run(int argc, char** argv) {
   std::cout << "=== Figure 6: average test-accuracy during training "
             << "(" << config.reps << " repetitions, CI95) ===\n\n";
 
-  for (const std::string& dataset : DatasetList(config)) {
-    const datagen::DatasetPair pair = MakePair(dataset, config);
-    std::cerr << "[fig6] " << dataset << "...\n";
+  const std::vector<datagen::DatasetPair> pairs = MakeAllPairs(config);
+  std::unique_ptr<eval::ArtifactCache> cache = MakeCache(config);
+  eval::Scheduler scheduler(MakeSchedulerOptions(config, cache.get()));
+  std::vector<eval::Scheduler::ExperimentId> ids;
+  for (const datagen::DatasetPair& pair : pairs) {
     for (const char* model : {"tsb", "etsb"}) {
       eval::RunnerOptions options = MakeRunnerOptions(config, model);
       options.detector.trainer.track_test_accuracy = true;
       options.detector.trainer.test_eval_max_cells =
           flags.GetInt("eval-cells");
-      const eval::RepeatedResult result =
-          eval::RunRepeatedDetector(pair, options);
-      PrintSeries(dataset, result.system, result);
+      ids.push_back(scheduler.SubmitDetector(pair, options));
     }
+  }
+  scheduler.RunAll();
+
+  std::vector<eval::RepeatedResult> results;
+  results.reserve(ids.size());
+  for (const eval::Scheduler::ExperimentId id : ids) {
+    results.push_back(scheduler.Take(id));
+    PrintSeries(results.back());
+  }
+  PrintSchedulerSummary(scheduler, std::cout);
+
+  if (!config.json_path.empty()) {
+    std::ofstream out(config.json_path);
+    JsonWriter json(out);
+    json.BeginObject();
+    json.Key("figure").String("fig6");
+    json.Key("series").BeginArray();
+    for (const eval::RepeatedResult& result : results) {
+      WriteSeriesJson(&json, result);
+    }
+    json.EndArray();
+    json.EndObject();
+    out << "\n";
+    std::cout << "JSON written to " << config.json_path << "\n";
   }
   return 0;
 }

@@ -2,8 +2,10 @@
 // epoch for ETSB-RNN (with 95% confidence intervals), plus per-repetition
 // markers for the epoch with the lowest train loss (green dots = train
 // accuracy at that epoch, blue triangles = test accuracy) — the paper's
-// overfitting analysis.
+// overfitting analysis. One dataset = one scheduler experiment; JSON
+// mirrors the printed curves.
 
+#include <fstream>
 #include <iostream>
 
 #include "bench_common.h"
@@ -13,19 +15,22 @@
 namespace birnn::bench {
 namespace {
 
-int BestEpoch(const std::vector<core::EpochStats>& history) {
-  int best = 0;
-  for (size_t e = 1; e < history.size(); ++e) {
-    if (history[e].train_loss < history[static_cast<size_t>(best)].train_loss) {
-      best = static_cast<int>(e);
-    }
+void WriteCurveJson(JsonWriter* json, const char* name,
+                    const std::vector<eval::CurvePoint>& curve) {
+  json->Key(name).BeginArray();
+  for (const eval::CurvePoint& pt : curve) {
+    json->BeginObject();
+    json->Key("epoch").Int(pt.epoch);
+    json->Key("mean").Number(pt.mean);
+    json->Key("ci95").Number(pt.ci95);
+    json->EndObject();
   }
-  return best;
+  json->EndArray();
 }
 
 int Run(int argc, char** argv) {
   FlagSet flags;
-  AddCommonFlags(&flags);
+  AddCommonFlags(&flags, "fig7_train_test.json");
   flags.AddInt("eval-cells", 1500,
                "test cells sampled for the per-epoch accuracy sweep");
   const BenchConfig config =
@@ -34,19 +39,37 @@ int Run(int argc, char** argv) {
   std::cout << "=== Figure 7: ETSB-RNN train- vs test-accuracy per epoch "
             << "(" << config.reps << " repetitions, CI95) ===\n\n";
 
-  for (const std::string& dataset : DatasetList(config)) {
-    const datagen::DatasetPair pair = MakePair(dataset, config);
-    std::cerr << "[fig7] " << dataset << "...\n";
+  const std::vector<datagen::DatasetPair> pairs = MakeAllPairs(config);
+  std::unique_ptr<eval::ArtifactCache> cache = MakeCache(config);
+  eval::Scheduler scheduler(MakeSchedulerOptions(config, cache.get()));
+  std::vector<eval::Scheduler::ExperimentId> ids;
+  for (const datagen::DatasetPair& pair : pairs) {
     eval::RunnerOptions options = MakeRunnerOptions(config, "etsb");
     options.detector.trainer.track_test_accuracy = true;
     options.detector.trainer.test_eval_max_cells = flags.GetInt("eval-cells");
-    const eval::RepeatedResult result =
-        eval::RunRepeatedDetector(pair, options);
+    ids.push_back(scheduler.SubmitDetector(pair, options));
+  }
+  scheduler.RunAll();
 
-    eval::PrintCurve("Fig7 " + dataset + " ETSB-RNN train-accuracy",
-                     eval::AverageTrainAccuracyCurve(result), std::cout);
-    eval::PrintCurve("Fig7 " + dataset + " ETSB-RNN test-accuracy",
-                     eval::AverageTestAccuracyCurve(result), std::cout);
+  std::ofstream json_out;
+  std::unique_ptr<JsonWriter> json;
+  if (!config.json_path.empty()) {
+    json_out.open(config.json_path);
+    json = std::make_unique<JsonWriter>(json_out);
+    json->BeginObject();
+    json->Key("figure").String("fig7");
+    json->Key("series").BeginArray();
+  }
+
+  for (const eval::Scheduler::ExperimentId id : ids) {
+    const eval::RepeatedResult result = scheduler.Take(id);
+    const auto train_curve = eval::AverageTrainAccuracyCurve(result);
+    const auto test_curve = eval::AverageTestAccuracyCurve(result);
+
+    eval::PrintCurve("Fig7 " + result.dataset + " ETSB-RNN train-accuracy",
+                     train_curve, std::cout);
+    eval::PrintCurve("Fig7 " + result.dataset + " ETSB-RNN test-accuracy",
+                     test_curve, std::cout);
     std::cout << "# best-train-loss epochs (train acc / test acc): ";
     for (size_t rep = 0; rep < result.histories.size(); ++rep) {
       const auto& history = result.histories[rep];
@@ -58,16 +81,44 @@ int Run(int argc, char** argv) {
     }
     std::cout << "\n";
     // Overfitting verdict, as §5.4 reads the figure.
-    const auto train_curve = eval::AverageTrainAccuracyCurve(result);
-    const auto test_curve = eval::AverageTestAccuracyCurve(result);
+    double gap = 0.0;
     if (!train_curve.empty() && !test_curve.empty()) {
-      const double gap = train_curve.back().mean - test_curve.back().mean;
+      gap = train_curve.back().mean - test_curve.back().mean;
       std::cout << "# final train/test gap: " << FormatFixed(gap, 3)
                 << (gap > 0.15 ? "  (large gap — model struggles here, like "
                                  "Flights in the paper)"
                                : "  (no critical overfitting)")
                 << "\n\n";
     }
+
+    if (json != nullptr) {
+      json->BeginObject();
+      json->Key("dataset").String(result.dataset);
+      json->Key("system").String(result.system);
+      WriteCurveJson(json.get(), "train_accuracy", train_curve);
+      WriteCurveJson(json.get(), "test_accuracy", test_curve);
+      json->Key("selected_epochs").BeginArray();
+      for (const auto& history : result.histories) {
+        const int best = BestEpoch(history);
+        const auto& stats = history[static_cast<size_t>(best)];
+        json->BeginObject();
+        json->Key("epoch").Int(best);
+        json->Key("train_accuracy").Number(stats.train_accuracy);
+        json->Key("test_accuracy").Number(stats.test_accuracy);
+        json->EndObject();
+      }
+      json->EndArray();
+      json->Key("final_gap").Number(gap);
+      json->EndObject();
+    }
+  }
+  PrintSchedulerSummary(scheduler, std::cout);
+
+  if (json != nullptr) {
+    json->EndArray();
+    json->EndObject();
+    json_out << "\n";
+    std::cout << "JSON written to " << config.json_path << "\n";
   }
   return 0;
 }

@@ -1,0 +1,184 @@
+// Harness throughput: wall-clock of the Table-3-style experiment grid
+// (TSB-RNN + ETSB-RNN x datasets x repetitions) under three regimes:
+//   serial    — the legacy loop (harness_threads=0, no cache),
+//   scheduled — eval::Scheduler fan-out over the cores, cold cache,
+//   warm      — the same scheduled grid again; every cell should come out
+//               of the artifact cache with zero retraining.
+// The aggregated metrics of all three regimes must be bit-identical
+// (DESIGN.md §8) — the bench verifies this and refuses to report a
+// speedup otherwise. Writes BENCH_harness.json (see run_harness_throughput
+// target in CI).
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/report.h"
+#include "util/string_util.h"
+
+namespace birnn::bench {
+namespace {
+
+struct GridRun {
+  std::vector<eval::RepeatedResult> results;
+  eval::SchedulerStats stats;
+};
+
+GridRun RunGrid(const std::vector<datagen::DatasetPair>& pairs,
+                const BenchConfig& config, int threads,
+                eval::ArtifactCache* cache) {
+  eval::SchedulerOptions options;
+  options.threads = threads;
+  options.cache = cache;
+  eval::Scheduler scheduler(options);
+  std::vector<eval::Scheduler::ExperimentId> ids;
+  for (const datagen::DatasetPair& pair : pairs) {
+    ids.push_back(
+        scheduler.SubmitDetector(pair, MakeRunnerOptions(config, "tsb")));
+    ids.push_back(
+        scheduler.SubmitDetector(pair, MakeRunnerOptions(config, "etsb")));
+  }
+  scheduler.RunAll();
+  GridRun run;
+  for (const eval::Scheduler::ExperimentId id : ids) {
+    run.results.push_back(scheduler.Take(id));
+  }
+  run.stats = scheduler.stats();
+  return run;
+}
+
+// Bit-exact equality of the aggregates two regimes produced.
+bool SameMetrics(const std::vector<eval::RepeatedResult>& a,
+                 const std::vector<eval::RepeatedResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].runs.size() != b[i].runs.size()) return false;
+    if (a[i].precision.mean != b[i].precision.mean ||
+        a[i].recall.mean != b[i].recall.mean ||
+        a[i].f1.mean != b[i].f1.mean || a[i].f1.stddev != b[i].f1.stddev) {
+      return false;
+    }
+    for (size_t r = 0; r < a[i].runs.size(); ++r) {
+      if (a[i].runs[r].precision != b[i].runs[r].precision ||
+          a[i].runs[r].recall != b[i].runs[r].recall ||
+          a[i].runs[r].f1 != b[i].runs[r].f1) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  AddCommonFlags(&flags, "BENCH_harness.json");
+  flags.AddBool("skip-serial", false,
+                "skip the serial reference run (no speedup reported)");
+  BenchConfig config =
+      ParseCommonFlags(&flags, argc, argv, "bench_harness_throughput");
+  const bool skip_serial = flags.GetBool("skip-serial");
+
+  // This bench owns its cache directory so "cold" is actually cold.
+  const std::string cache_dir = config.cache_dir.empty()
+                                    ? std::string(".birnn-cache-harness-bench")
+                                    : config.cache_dir;
+  std::error_code ec;
+  std::filesystem::remove_all(cache_dir, ec);
+
+  std::cout << "=== Harness throughput: serial vs scheduled vs warm cache ("
+            << config.reps << " reps, " << config.epochs << " epochs) ===\n";
+
+  const std::vector<datagen::DatasetPair> pairs = MakeAllPairs(config);
+
+  GridRun serial;
+  if (!skip_serial) {
+    std::cerr << "[harness] serial reference...\n";
+    serial = RunGrid(pairs, config, /*threads=*/0, /*cache=*/nullptr);
+  }
+
+  std::cerr << "[harness] scheduled, cold cache...\n";
+  eval::ArtifactCache cache(cache_dir);
+  const GridRun cold =
+      RunGrid(pairs, config, config.harness_threads, &cache);
+
+  std::cerr << "[harness] scheduled, warm cache...\n";
+  eval::ArtifactCache warm_cache(cache_dir);
+  const GridRun warm =
+      RunGrid(pairs, config, config.harness_threads, &warm_cache);
+
+  const bool serial_identical =
+      skip_serial || SameMetrics(serial.results, cold.results);
+  const bool warm_identical = SameMetrics(cold.results, warm.results);
+  const double speedup = (!skip_serial && cold.stats.wall_seconds > 0)
+                             ? serial.stats.wall_seconds /
+                                   cold.stats.wall_seconds
+                             : 0.0;
+
+  eval::TableWriter writer(
+      {"Regime", "Wall [s]", "Computed", "Cached", "Speedup"});
+  if (!skip_serial) {
+    writer.AddRow({"serial", FormatFixed(serial.stats.wall_seconds, 2),
+                   std::to_string(serial.stats.computed),
+                   std::to_string(serial.stats.cache_hits), "1.00"});
+  }
+  writer.AddRow({"scheduled (cold)", FormatFixed(cold.stats.wall_seconds, 2),
+                 std::to_string(cold.stats.computed),
+                 std::to_string(cold.stats.cache_hits),
+                 skip_serial ? "-" : FormatFixed(speedup, 2)});
+  writer.AddRow({"scheduled (warm)", FormatFixed(warm.stats.wall_seconds, 2),
+                 std::to_string(warm.stats.computed),
+                 std::to_string(warm.stats.cache_hits),
+                 cold.stats.wall_seconds > 0 && warm.stats.wall_seconds > 0
+                     ? FormatFixed(cold.stats.wall_seconds /
+                                       warm.stats.wall_seconds,
+                                   2)
+                     : "-"});
+  writer.Print(std::cout);
+
+  std::cout << "\nAggregates bit-identical: serial-vs-cold "
+            << (serial_identical ? "yes" : "NO") << ", cold-vs-warm "
+            << (warm_identical ? "yes" : "NO") << "\n";
+  std::cout << "Warm retraining jobs: " << warm.stats.computed
+            << " (expected 0)\n";
+  if (!serial_identical || !warm_identical) {
+    std::cout << "ERROR: regimes disagree — speedups invalid\n";
+  }
+
+  if (!config.json_path.empty()) {
+    std::ofstream out(config.json_path);
+    JsonWriter json(out);
+    json.BeginObject();
+    json.Key("reps").Int(config.reps);
+    json.Key("epochs").Int(config.epochs);
+    json.Key("jobs").Int(cold.stats.jobs);
+    json.Key("outer_threads").Int(cold.stats.outer_threads);
+    json.Key("inner_threads").Int(cold.stats.inner_threads);
+    if (!skip_serial) {
+      json.Key("serial_seconds").Number(serial.stats.wall_seconds);
+    }
+    json.Key("cold_seconds").Number(cold.stats.wall_seconds);
+    json.Key("warm_seconds").Number(warm.stats.wall_seconds);
+    json.Key("cold_speedup").Number(speedup);
+    json.Key("warm_computed").Int(warm.stats.computed);
+    json.Key("warm_cache_hits").Int(warm.stats.cache_hits);
+    json.Key("serial_identical").Bool(serial_identical);
+    json.Key("warm_identical").Bool(warm_identical);
+    json.Key("results").BeginArray();
+    for (const eval::RepeatedResult& result : cold.results) {
+      WriteResultJson(&json, result);
+    }
+    json.EndArray();
+    json.EndObject();
+    out << "\n";
+    std::cout << "JSON written to " << config.json_path << "\n";
+  }
+  return (serial_identical && warm_identical && warm.stats.computed == 0)
+             ? 0
+             : 1;
+}
+
+}  // namespace
+}  // namespace birnn::bench
+
+int main(int argc, char** argv) { return birnn::bench::Run(argc, argv); }

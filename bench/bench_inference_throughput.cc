@@ -105,12 +105,10 @@ void EngineSweep(const core::ErrorDetectionModel& model,
 
 int Run(int argc, char** argv) {
   FlagSet flags;
-  AddCommonFlags(&flags);
+  AddCommonFlags(&flags, "BENCH_inference.json");
   flags.AddInt("eval-batch", 256, "cells per forward batch");
   flags.AddInt("threads", 0, "worker threads for the engine sweeps");
   flags.AddInt("bucket-quantum", 8, "length-bucket granularity");
-  flags.AddString("json", "BENCH_inference.json",
-                  "output JSON path (empty = skip)");
   BenchConfig config =
       ParseCommonFlags(&flags, argc, argv, "bench_inference_throughput");
   const int eval_batch = flags.GetInt("eval-batch");
@@ -207,7 +205,7 @@ int Run(int argc, char** argv) {
               << " dataset(s) with prediction mismatch — speedups invalid\n";
   }
 
-  const std::string json_path = flags.GetString("json");
+  const std::string& json_path = config.json_path;
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     out << "{\n  \"eval_batch\": " << eval_batch

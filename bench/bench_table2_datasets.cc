@@ -2,6 +2,7 @@
 // number of distinct characters and error types — for both the paper's
 // reference numbers and this repo's synthetic reproductions.
 
+#include <fstream>
 #include <iostream>
 
 #include "bench_common.h"
@@ -14,7 +15,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   FlagSet flags;
-  AddCommonFlags(&flags);
+  AddCommonFlags(&flags, "table2_datasets.json");
   const BenchConfig config =
       ParseCommonFlags(&flags, argc, argv, "bench_table2_datasets");
 
@@ -26,6 +27,15 @@ int Run(int argc, char** argv) {
                             "Error Rate (paper)", "Error Rate (gen)",
                             "Diff. Chars (paper)", "Diff. Chars (gen)",
                             "Error Types"});
+  std::ofstream json_out;
+  std::unique_ptr<JsonWriter> json;
+  if (!config.json_path.empty()) {
+    json_out.open(config.json_path);
+    json = std::make_unique<JsonWriter>(json_out);
+    json->BeginObject();
+    json->Key("table").String("table2");
+    json->Key("datasets").BeginArray();
+  }
   for (const std::string& name : DatasetList(config)) {
     const auto spec_or = datagen::FindDatasetSpec(name);
     if (!spec_or.ok()) {
@@ -46,8 +56,28 @@ int Run(int argc, char** argv) {
                    std::to_string(spec.paper_distinct_chars),
                    std::to_string(stats.distinct_chars),
                    stats.error_types});
+    if (json != nullptr) {
+      json->BeginObject();
+      json->Key("name").String(spec.name);
+      json->Key("paper_rows").Int(spec.paper_rows);
+      json->Key("paper_cols").Int(spec.paper_cols);
+      json->Key("generated_rows").Int(stats.rows);
+      json->Key("generated_cols").Int(stats.cols);
+      json->Key("paper_error_rate").Number(spec.paper_error_rate);
+      json->Key("generated_error_rate").Number(stats.error_rate);
+      json->Key("paper_distinct_chars").Int(spec.paper_distinct_chars);
+      json->Key("generated_distinct_chars").Int(stats.distinct_chars);
+      json->Key("error_types").String(stats.error_types);
+      json->EndObject();
+    }
   }
   writer.Print(std::cout);
+  if (json != nullptr) {
+    json->EndArray();
+    json->EndObject();
+    json_out << "\n";
+    std::cout << "\nJSON written to " << config.json_path << "\n";
+  }
   return 0;
 }
 

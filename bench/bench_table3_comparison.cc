@@ -5,49 +5,23 @@
 //
 // The RNN systems use 20 labeled tuples selected by DiverSet; the
 // Rotom-style baselines use 200 labeled cells, mirroring the comparison
-// protocol of §5.3.
+// protocol of §5.3. All (dataset, system, repetition) cells run through
+// one eval::Scheduler, so the grid fans out over every core and warm
+// re-runs are served from the artifact cache.
 
 #include <fstream>
 #include <iostream>
-#include <map>
 
 #include "bench_common.h"
 #include "eval/report.h"
-#include "util/stats.h"
-#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace birnn::bench {
 namespace {
 
-struct SystemResult {
-  std::string system;
-  std::map<std::string, eval::RepeatedResult> per_dataset;
-};
-
-void PrintTable4(const std::vector<SystemResult>& systems) {
-  std::cout << "\n=== Table 4: Average F1-score (AVG) and Standard "
-               "Deviation (S.D.) across datasets ===\n\n";
-  eval::TableWriter writer({"Name", "AVG w/o Flights", "S.D. w/o Flights",
-                            "AVG with Flights", "S.D. with Flights"});
-  for (const SystemResult& sys : systems) {
-    std::vector<double> without_flights;
-    std::vector<double> with_flights;
-    for (const auto& [dataset, result] : sys.per_dataset) {
-      with_flights.push_back(result.f1.mean);
-      if (dataset != "flights") without_flights.push_back(result.f1.mean);
-    }
-    writer.AddRow({sys.system, eval::Fmt2(Mean(without_flights)),
-                   eval::Fmt2(SampleStdDev(without_flights)),
-                   eval::Fmt2(Mean(with_flights)),
-                   eval::Fmt2(SampleStdDev(with_flights))});
-  }
-  writer.Print(std::cout);
-}
-
 int Run(int argc, char** argv) {
   FlagSet flags;
-  AddCommonFlags(&flags);
+  AddCommonFlags(&flags, "table3_metrics.json");
   flags.AddInt("rotom-cells", 200,
                "labeled cells for the Rotom baselines (paper: 200)");
   flags.AddString("out", "table3_metrics.csv",
@@ -64,68 +38,73 @@ int Run(int argc, char** argv) {
             << config.n_label_tuples << " labeled tuples, " << config.reps
             << " repetitions, " << config.epochs << " epochs) ===\n\n";
 
-  std::vector<SystemResult> systems;
-  if (!skip_baselines) {
-    systems.push_back({"Raha", {}});
-    systems.push_back({"Rotom", {}});
-    systems.push_back({"Rotom+SSL", {}});
-  }
-  systems.push_back({"TSB-RNN", {}});
-  systems.push_back({"ETSB-RNN", {}});
+  const std::vector<datagen::DatasetPair> pairs = MakeAllPairs(config);
+  std::unique_ptr<eval::ArtifactCache> cache = MakeCache(config);
+  eval::Scheduler scheduler(MakeSchedulerOptions(config, cache.get()));
 
-  eval::TableWriter writer({"System", "Dataset", "P", "R", "F1"});
-  Stopwatch total_timer;
-  for (const std::string& dataset : DatasetList(config)) {
-    const datagen::DatasetPair pair = MakePair(dataset, config);
-    std::cerr << "[table3] " << dataset << " (" << pair.dirty.num_rows()
-              << " rows)...\n";
-
-    for (SystemResult& sys : systems) {
-      eval::RepeatedResult result;
-      if (sys.system == "Raha") {
-        result = eval::RunRepeatedRaha(pair, config.reps,
-                                       config.n_label_tuples, config.seed);
-      } else if (sys.system == "Rotom") {
-        result = eval::RunRepeatedRotom(pair, config.reps, rotom_cells,
-                                        /*ssl=*/false, config.seed);
-      } else if (sys.system == "Rotom+SSL") {
-        result = eval::RunRepeatedRotom(pair, config.reps, rotom_cells,
-                                        /*ssl=*/true, config.seed);
-      } else {
-        const std::string model =
-            sys.system == "TSB-RNN" ? "tsb" : "etsb";
-        result = eval::RunRepeatedDetector(pair,
-                                           MakeRunnerOptions(config, model));
-        result.system = sys.system;
-      }
-      writer.AddRow({sys.system, dataset, eval::Fmt2(result.precision.mean),
-                     eval::Fmt2(result.recall.mean),
-                     eval::Fmt2(result.f1.mean)});
-      writer.AddRow({"  S.D.", "", eval::Fmt2(result.precision.stddev),
-                     eval::Fmt2(result.recall.stddev),
-                     eval::Fmt2(result.f1.stddev)});
-      sys.per_dataset[dataset] = std::move(result);
+  // (system name, experiment id) in Table 3 row order.
+  std::vector<std::pair<std::string, eval::Scheduler::ExperimentId>> cells;
+  for (const datagen::DatasetPair& pair : pairs) {
+    for (auto& cell :
+         SubmitComparison(&scheduler, pair, config, rotom_cells,
+                          skip_baselines)) {
+      cells.push_back(std::move(cell));
     }
   }
+  scheduler.RunAll();
+
+  eval::TableWriter writer({"System", "Dataset", "P", "R", "F1"});
+  F1Map f1_map;
+  std::vector<eval::RepeatedResult> results;
+  results.reserve(cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    eval::RepeatedResult result = scheduler.Take(cells[i].second);
+    result.system = cells[i].first;
+    writer.AddRow({result.system, result.dataset,
+                   eval::Fmt2(result.precision.mean),
+                   eval::Fmt2(result.recall.mean),
+                   eval::Fmt2(result.f1.mean)});
+    writer.AddRow({"  S.D.", "", eval::Fmt2(result.precision.stddev),
+                   eval::Fmt2(result.recall.stddev),
+                   eval::Fmt2(result.f1.stddev)});
+    AddRunsToF1Map(&f1_map, result);
+    results.push_back(std::move(result));
+  }
   writer.Print(std::cout);
-  PrintTable4(systems);
-  std::cout << "\nTotal wall-clock: "
-            << FormatFixed(total_timer.ElapsedSeconds(), 1) << " s\n";
+
+  std::cout << "\n=== Table 4: Average F1-score (AVG) and Standard "
+               "Deviation (S.D.) across datasets ===\n\n";
+  PrintAggregateF1Table(f1_map, std::cout);
+  PrintSchedulerSummary(scheduler, std::cout);
 
   const std::string out_path = flags.GetString("out");
   if (!out_path.empty()) {
     std::ofstream out(out_path);
     out << "system,dataset,rep,precision,recall,f1\n";
-    for (const SystemResult& sys : systems) {
-      for (const auto& [dataset, result] : sys.per_dataset) {
-        for (size_t rep = 0; rep < result.runs.size(); ++rep) {
-          out << sys.system << "," << dataset << "," << rep << ","
-              << result.runs[rep].precision << "," << result.runs[rep].recall
-              << "," << result.runs[rep].f1 << "\n";
-        }
+    for (const eval::RepeatedResult& result : results) {
+      for (size_t rep = 0; rep < result.runs.size(); ++rep) {
+        out << result.system << "," << result.dataset << "," << rep << ","
+            << result.runs[rep].precision << "," << result.runs[rep].recall
+            << "," << result.runs[rep].f1 << "\n";
       }
     }
     std::cout << "Raw metrics written to " << out_path << "\n";
+  }
+  if (!config.json_path.empty()) {
+    std::ofstream out(config.json_path);
+    JsonWriter json(out);
+    json.BeginObject();
+    json.Key("table").String("table3");
+    json.Key("reps").Int(config.reps);
+    json.Key("epochs").Int(config.epochs);
+    json.Key("results").BeginArray();
+    for (const eval::RepeatedResult& result : results) {
+      WriteResultJson(&json, result);
+    }
+    json.EndArray();
+    json.EndObject();
+    out << "\n";
+    std::cout << "JSON written to " << config.json_path << "\n";
   }
   return 0;
 }

@@ -2,12 +2,11 @@
 // deviation across datasets, with and without Flights, for every system.
 //
 // Either aggregates a CSV produced by `bench_table3_comparison --out ...`
-// (--from), or reruns a reduced comparison itself (default).
+// (--from), or reruns a reduced comparison itself through eval::Scheduler
+// (default).
 
 #include <fstream>
 #include <iostream>
-#include <map>
-#include <sstream>
 
 #include "bench_common.h"
 #include "eval/report.h"
@@ -16,9 +15,6 @@
 
 namespace birnn::bench {
 namespace {
-
-// system -> dataset -> per-rep F1 values.
-using F1Map = std::map<std::string, std::map<std::string, std::vector<double>>>;
 
 StatusOr<F1Map> LoadCsv(const std::string& path) {
   std::ifstream in(path);
@@ -38,35 +34,30 @@ StatusOr<F1Map> LoadCsv(const std::string& path) {
 }
 
 F1Map ComputeFresh(const BenchConfig& config, int rotom_cells) {
-  F1Map map;
-  for (const std::string& dataset : DatasetList(config)) {
-    const datagen::DatasetPair pair = MakePair(dataset, config);
-    std::cerr << "[table4] " << dataset << "...\n";
-    auto add = [&](const eval::RepeatedResult& result) {
-      for (const auto& m : result.runs) {
-        map[result.system][dataset].push_back(m.f1);
-      }
-    };
-    add(eval::RunRepeatedRaha(pair, config.reps, config.n_label_tuples,
-                              config.seed));
-    add(eval::RunRepeatedRotom(pair, config.reps, rotom_cells, false,
-                               config.seed));
-    add(eval::RunRepeatedRotom(pair, config.reps, rotom_cells, true,
-                               config.seed));
-    auto tsb = eval::RunRepeatedDetector(pair, MakeRunnerOptions(config, "tsb"));
-    tsb.system = "TSB-RNN";
-    add(tsb);
-    auto etsb =
-        eval::RunRepeatedDetector(pair, MakeRunnerOptions(config, "etsb"));
-    etsb.system = "ETSB-RNN";
-    add(etsb);
+  const std::vector<datagen::DatasetPair> pairs = MakeAllPairs(config);
+  std::unique_ptr<eval::ArtifactCache> cache = MakeCache(config);
+  eval::Scheduler scheduler(MakeSchedulerOptions(config, cache.get()));
+  std::vector<std::pair<std::string, eval::Scheduler::ExperimentId>> cells;
+  for (const datagen::DatasetPair& pair : pairs) {
+    for (auto& cell : SubmitComparison(&scheduler, pair, config, rotom_cells,
+                                       /*skip_baselines=*/false)) {
+      cells.push_back(std::move(cell));
+    }
   }
+  scheduler.RunAll();
+  F1Map map;
+  for (auto& [system, id] : cells) {
+    eval::RepeatedResult result = scheduler.Take(id);
+    result.system = system;
+    AddRunsToF1Map(&map, result);
+  }
+  PrintSchedulerSummary(scheduler, std::cout);
   return map;
 }
 
 int Run(int argc, char** argv) {
   FlagSet flags;
-  AddCommonFlags(&flags);
+  AddCommonFlags(&flags, "table4_aggregate.json");
   flags.AddString("from", "table3_metrics.csv",
                   "CSV from bench_table3_comparison --out; if the file is "
                   "missing the comparison is rerun here");
@@ -94,22 +85,38 @@ int Run(int argc, char** argv) {
 
   std::cout << "=== Table 4: Average F1-score (AVG) and Standard Deviation "
                "(S.D.) for the different models ===\n\n";
-  eval::TableWriter writer({"Name", "AVG w/o Flights", "S.D. w/o Flights",
-                            "AVG with Flights", "S.D. with Flights"});
-  for (const auto& [system, datasets] : map) {
-    std::vector<double> without_flights;
-    std::vector<double> with_flights;
-    for (const auto& [dataset, f1s] : datasets) {
-      const double mean_f1 = Mean(f1s);
-      with_flights.push_back(mean_f1);
-      if (dataset != "flights") without_flights.push_back(mean_f1);
+  PrintAggregateF1Table(map, std::cout);
+
+  if (!config.json_path.empty()) {
+    std::ofstream out(config.json_path);
+    JsonWriter json(out);
+    json.BeginObject();
+    json.Key("table").String("table4");
+    json.Key("systems").BeginArray();
+    for (const auto& [system, datasets] : map) {
+      std::vector<double> without_flights;
+      std::vector<double> with_flights;
+      json.BeginObject();
+      json.Key("system").String(system);
+      json.Key("datasets").BeginObject();
+      for (const auto& [dataset, f1s] : datasets) {
+        const double mean_f1 = Mean(f1s);
+        json.Key(dataset).Number(mean_f1);
+        with_flights.push_back(mean_f1);
+        if (dataset != "flights") without_flights.push_back(mean_f1);
+      }
+      json.EndObject();
+      json.Key("avg_without_flights").Number(Mean(without_flights));
+      json.Key("sd_without_flights").Number(SampleStdDev(without_flights));
+      json.Key("avg_with_flights").Number(Mean(with_flights));
+      json.Key("sd_with_flights").Number(SampleStdDev(with_flights));
+      json.EndObject();
     }
-    writer.AddRow({system, eval::Fmt2(Mean(without_flights)),
-                   eval::Fmt2(SampleStdDev(without_flights)),
-                   eval::Fmt2(Mean(with_flights)),
-                   eval::Fmt2(SampleStdDev(with_flights))});
+    json.EndArray();
+    json.EndObject();
+    out << "\n";
+    std::cout << "\nJSON written to " << config.json_path << "\n";
   }
-  writer.Print(std::cout);
   return 0;
 }
 

@@ -1,0 +1,230 @@
+#include "eval/cache.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace birnn::eval {
+
+namespace {
+
+/// Exact-round-trip rendering of a double: hexfloat, parsed back by strtod.
+std::string HexDouble(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+bool ParseHexDouble(const std::string& token, double* out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(token.c_str(), &end);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+uint64_t FingerprintTable(const data::Table& table) {
+  Fnv1a64 h;
+  h.AddU64(static_cast<uint64_t>(table.num_rows()));
+  h.AddU64(static_cast<uint64_t>(table.num_columns()));
+  for (const std::string& name : table.column_names()) {
+    h.Add(name);
+    h.Add(std::string_view("\x1f", 1));  // unit separator: "ab","c" != "a","bc"
+  }
+  for (int r = 0; r < table.num_rows(); ++r) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      h.Add(table.cell(r, c));
+      h.Add(std::string_view("\x1f", 1));
+    }
+  }
+  return h.digest();
+}
+
+uint64_t FingerprintPair(const datagen::DatasetPair& pair) {
+  Fnv1a64 h;
+  h.Add(pair.name);
+  h.AddU64(FingerprintTable(pair.dirty));
+  h.AddU64(FingerprintTable(pair.clean));
+  return h.digest();
+}
+
+ArtifactCache::ArtifactCache(std::string dir) : dir_(ResolveDir(dir)) {}
+
+std::string ArtifactCache::ResolveDir(const std::string& dir) {
+  if (!dir.empty()) return dir;
+  const char* env = std::getenv("BIRNN_CACHE_DIR");
+  if (env != nullptr && env[0] != '\0') return env;
+  return ".birnn-cache";
+}
+
+uint64_t ArtifactCache::Key(uint64_t dataset_fingerprint,
+                            const std::string& job_config,
+                            uint32_t schema_version) {
+  Fnv1a64 h;
+  h.AddU64(schema_version);
+  h.AddU64(dataset_fingerprint);
+  h.Add(job_config);
+  return h.digest();
+}
+
+std::string ArtifactCache::EntryPath(uint64_t key) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(key));
+  return dir_ + "/" + buf + ".birnn";
+}
+
+bool ArtifactCache::Lookup(uint64_t key, JobOutcome* out) {
+  const auto miss = [this](bool corrupt) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.misses;
+    if (corrupt) ++stats_.corrupt;
+    return false;
+  };
+
+  std::ifstream in(EntryPath(key));
+  if (!in) return miss(false);
+
+  JobOutcome outcome;
+  std::string line;
+  // Header: magic + schema + key echo (the file must describe itself).
+  if (!std::getline(in, line) || line != "birnn-artifact v1") return miss(true);
+  {
+    std::istringstream ls;
+    std::string tag;
+    uint32_t schema = 0;
+    if (!std::getline(in, line)) return miss(true);
+    ls.str(line);
+    if (!(ls >> tag >> schema) || tag != "schema" ||
+        schema != kCacheSchemaVersion) {
+      return miss(true);
+    }
+  }
+  {
+    std::istringstream ls;
+    std::string tag, hex;
+    if (!std::getline(in, line)) return miss(true);
+    ls.str(line);
+    if (!(ls >> tag >> hex) || tag != "key") return miss(true);
+    char* end = nullptr;
+    if (std::strtoull(hex.c_str(), &end, 16) != key || *end != '\0') {
+      return miss(true);
+    }
+  }
+
+  const auto read_double_line = [&](const char* want, double* v) {
+    std::string tag, token;
+    if (!std::getline(in, line)) return false;
+    std::istringstream ls(line);
+    if (!(ls >> tag >> token) || tag != want) return false;
+    return ParseHexDouble(token, v);
+  };
+
+  if (!read_double_line("precision", &outcome.metrics.precision) ||
+      !read_double_line("recall", &outcome.metrics.recall) ||
+      !read_double_line("f1", &outcome.metrics.f1) ||
+      !read_double_line("accuracy", &outcome.metrics.accuracy) ||
+      !read_double_line("train_seconds", &outcome.train_seconds) ||
+      !read_double_line("train_cpu_seconds", &outcome.train_cpu_seconds)) {
+    return miss(true);
+  }
+
+  size_t n_epochs = 0;
+  {
+    std::string tag;
+    if (!std::getline(in, line)) return miss(true);
+    std::istringstream ls(line);
+    if (!(ls >> tag >> n_epochs) || tag != "epochs" || n_epochs > 1000000) {
+      return miss(true);
+    }
+  }
+  outcome.history.reserve(n_epochs);
+  for (size_t e = 0; e < n_epochs; ++e) {
+    if (!std::getline(in, line)) return miss(true);
+    std::istringstream ls(line);
+    std::string tag, loss_tok, train_tok, test_tok;
+    core::EpochStats stats;
+    int has_test = 0;
+    if (!(ls >> tag >> stats.epoch >> loss_tok >> train_tok >> test_tok >>
+          has_test) ||
+        tag != "e" || !ParseHexDouble(loss_tok, &stats.train_loss) ||
+        !ParseHexDouble(train_tok, &stats.train_accuracy) ||
+        !ParseHexDouble(test_tok, &stats.test_accuracy)) {
+      return miss(true);
+    }
+    stats.has_test = has_test != 0;
+    outcome.history.push_back(stats);
+  }
+  if (!std::getline(in, line) || line != "end") return miss(true);
+
+  outcome.ok = true;
+  outcome.from_cache = true;
+  *out = std::move(outcome);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.hits;
+  return true;
+}
+
+Status ArtifactCache::Store(uint64_t key, const JobOutcome& outcome) {
+  if (!outcome.ok) {
+    return Status::InvalidArgument("refusing to cache a failed job");
+  }
+  // mkdir -p for a single-level dir; nested paths need existing parents.
+  if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IoError("cannot create cache dir " + dir_ + ": " +
+                           std::strerror(errno));
+  }
+
+  const std::string path = EntryPath(key);
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Status::IoError("cannot write " + tmp);
+    char keyhex[32];
+    std::snprintf(keyhex, sizeof(keyhex), "%016llx",
+                  static_cast<unsigned long long>(key));
+    out << "birnn-artifact v1\n";
+    out << "schema " << kCacheSchemaVersion << "\n";
+    out << "key " << keyhex << "\n";
+    out << "precision " << HexDouble(outcome.metrics.precision) << "\n";
+    out << "recall " << HexDouble(outcome.metrics.recall) << "\n";
+    out << "f1 " << HexDouble(outcome.metrics.f1) << "\n";
+    out << "accuracy " << HexDouble(outcome.metrics.accuracy) << "\n";
+    out << "train_seconds " << HexDouble(outcome.train_seconds) << "\n";
+    out << "train_cpu_seconds " << HexDouble(outcome.train_cpu_seconds)
+        << "\n";
+    out << "epochs " << outcome.history.size() << "\n";
+    for (const core::EpochStats& e : outcome.history) {
+      out << "e " << e.epoch << " " << HexDouble(e.train_loss) << " "
+          << HexDouble(e.train_accuracy) << " " << HexDouble(e.test_accuracy)
+          << " " << (e.has_test ? 1 : 0) << "\n";
+    }
+    out << "end\n";
+    if (!out) return Status::IoError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename " + tmp + " -> " + path);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.stores;
+  return Status::OK();
+}
+
+CacheStats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace birnn::eval

@@ -1,134 +1,46 @@
 #include "eval/runner.h"
 
-#include "raha/detector.h"
-#include "rotom/baseline.h"
-#include "util/logging.h"
-#include "util/stopwatch.h"
+#include <algorithm>
+
+#include "eval/scheduler.h"
 
 namespace birnn::eval {
 
-namespace {
-void Summarize(RepeatedResult* result,
-               const std::vector<double>& train_times) {
-  std::vector<double> ps;
-  std::vector<double> rs;
-  std::vector<double> f1s;
-  for (const Metrics& m : result->runs) {
-    ps.push_back(m.precision);
-    rs.push_back(m.recall);
-    f1s.push_back(m.f1);
-  }
-  result->precision = birnn::Summarize(ps);
-  result->recall = birnn::Summarize(rs);
-  result->f1 = birnn::Summarize(f1s);
-  result->train_seconds = birnn::Summarize(train_times);
-}
-}  // namespace
+// The three Run* entry points predate the scheduler and keep their serial
+// semantics: one experiment, repetitions fanned out (or run inline) by a
+// private Scheduler. Harness binaries that run many experiments should
+// share one Scheduler across all of them instead.
 
 RepeatedResult RunRepeatedDetector(const datagen::DatasetPair& pair,
                                    const RunnerOptions& options) {
-  RepeatedResult result;
-  result.dataset = pair.name;
-
-  std::vector<double> train_times;
-  for (int rep = 0; rep < options.repetitions; ++rep) {
-    core::DetectorOptions detector_options = options.detector;
-    detector_options.seed = options.base_seed + static_cast<uint64_t>(rep);
-    core::ErrorDetector detector(detector_options);
-    auto report_or = detector.Run(pair.dirty, pair.clean);
-    if (!report_or.ok()) {
-      BIRNN_LOG(Error) << "detector run failed on " << pair.name << ": "
-                       << report_or.status().ToString();
-      continue;
-    }
-    core::DetectionReport& report = *report_or;
-    result.runs.push_back(report.test_metrics);
-    result.histories.push_back(std::move(report.history.epochs));
-    train_times.push_back(report.history.train_seconds);
-    if (result.system.empty()) {
-      result.system =
-          detector_options.model == "etsb" ? "ETSB-RNN" : "TSB-RNN";
-    }
-  }
-  Summarize(&result, train_times);
-  return result;
+  SchedulerOptions scheduler_options;
+  scheduler_options.threads = options.harness_threads;
+  scheduler_options.inner_threads = options.harness_inner_threads;
+  scheduler_options.cache = options.cache;
+  Scheduler scheduler(scheduler_options);
+  const Scheduler::ExperimentId id = scheduler.SubmitDetector(pair, options);
+  scheduler.RunAll();
+  return scheduler.Take(id);
 }
 
 RepeatedResult RunRepeatedRaha(const datagen::DatasetPair& pair,
                                int repetitions, int n_label_tuples,
                                uint64_t base_seed) {
-  RepeatedResult result;
-  result.dataset = pair.name;
-  result.system = "Raha";
-
-  // Truth labels in cell order.
-  const int n_cols = pair.dirty.num_columns();
-  std::vector<int32_t> truth(
-      static_cast<size_t>(pair.dirty.num_rows()) * n_cols, 0);
-  for (int r = 0; r < pair.dirty.num_rows(); ++r) {
-    for (int c = 0; c < n_cols; ++c) {
-      truth[static_cast<size_t>(r) * n_cols + static_cast<size_t>(c)] =
-          pair.dirty.cell(r, c) != pair.clean.cell(r, c) ? 1 : 0;
-    }
-  }
-
-  std::vector<double> train_times;
-  for (int rep = 0; rep < repetitions; ++rep) {
-    Rng rng(base_seed + static_cast<uint64_t>(rep));
-    raha::RahaOptions options;
-    options.n_label_tuples = n_label_tuples;
-    raha::RahaDetector detector(options);
-    Stopwatch timer;
-    std::vector<int64_t> labeled;
-    const raha::DetectionMask predicted =
-        detector.DetectErrors(pair.dirty, pair.clean, &rng, &labeled);
-    train_times.push_back(timer.ElapsedSeconds());
-
-    // Evaluate on test cells only (tuples that were not labeled).
-    std::vector<uint8_t> in_train(static_cast<size_t>(pair.dirty.num_rows()),
-                                  0);
-    for (int64_t r : labeled) in_train[static_cast<size_t>(r)] = 1;
-    Confusion confusion;
-    for (int r = 0; r < pair.dirty.num_rows(); ++r) {
-      if (in_train[static_cast<size_t>(r)]) continue;
-      for (int c = 0; c < n_cols; ++c) {
-        const size_t i =
-            static_cast<size_t>(r) * n_cols + static_cast<size_t>(c);
-        confusion.Add(predicted[i], truth[i]);
-      }
-    }
-    result.runs.push_back(Metrics::From(confusion));
-  }
-  Summarize(&result, train_times);
-  return result;
+  Scheduler scheduler;
+  const Scheduler::ExperimentId id =
+      scheduler.SubmitRaha(pair, repetitions, n_label_tuples, base_seed);
+  scheduler.RunAll();
+  return scheduler.Take(id);
 }
 
 RepeatedResult RunRepeatedRotom(const datagen::DatasetPair& pair,
                                 int repetitions, int n_label_cells, bool ssl,
                                 uint64_t base_seed) {
-  RepeatedResult result;
-  result.dataset = pair.name;
-  result.system = ssl ? "Rotom+SSL" : "Rotom";
-
-  std::vector<double> train_times;
-  for (int rep = 0; rep < repetitions; ++rep) {
-    rotom::RotomOptions options;
-    options.n_label_cells = n_label_cells;
-    options.ssl = ssl;
-    options.seed = base_seed + static_cast<uint64_t>(rep);
-    rotom::RotomBaseline baseline(options);
-    Stopwatch timer;
-    auto rotom_result = baseline.Detect(pair.dirty, pair.clean);
-    if (!rotom_result.ok()) {
-      BIRNN_LOG(Error) << "rotom run failed on " << pair.name << ": "
-                       << rotom_result.status().ToString();
-      continue;
-    }
-    train_times.push_back(timer.ElapsedSeconds());
-    result.runs.push_back(rotom_result->test_metrics);
-  }
-  Summarize(&result, train_times);
-  return result;
+  Scheduler scheduler;
+  const Scheduler::ExperimentId id = scheduler.SubmitRotom(
+      pair, repetitions, n_label_cells, ssl, base_seed);
+  scheduler.RunAll();
+  return scheduler.Take(id);
 }
 
 namespace {

@@ -11,6 +11,8 @@
 
 namespace birnn::eval {
 
+class ArtifactCache;
+
 /// Aggregated outcome of repeating one experiment `n` times with different
 /// seeds (the paper repeats 10 times and reports AVG and S.D.).
 struct RepeatedResult {
@@ -19,7 +21,18 @@ struct RepeatedResult {
   Summary precision;
   Summary recall;
   Summary f1;
+  /// Per-repetition train/detect time, measured *inside* each job on its
+  /// own thread — meaningful even when repetitions overlap (Table 5).
   Summary train_seconds;
+  /// Per-repetition CPU time of the job thread (excludes inner pool
+  /// workers); immune to contention inflation under concurrency.
+  Summary train_cpu_seconds;
+  /// Wall clock of the harness run that produced this result (covers every
+  /// experiment scheduled together, not just this one). Report this — never
+  /// the sum of train_seconds — as "how long the harness took".
+  double harness_wall_seconds = 0.0;
+  /// Repetitions answered from the artifact cache instead of recomputed.
+  int64_t cache_hits = 0;
   /// Raw per-repetition metrics, for downstream aggregation.
   std::vector<Metrics> runs;
   /// Per-epoch accuracy curves per repetition (empty unless tracked).
@@ -31,11 +44,22 @@ struct RunnerOptions {
   int repetitions = 10;
   uint64_t base_seed = 1000;
   core::DetectorOptions detector;
+
+  /// Harness scheduling (eval::Scheduler). `harness_threads` fans the
+  /// repetitions out over a thread pool (0 = the legacy serial loop; -1 =
+  /// one worker per hardware thread); aggregates are bit-identical either
+  /// way. `cache` (borrowed, may be null) answers repeated jobs from disk.
+  int harness_threads = 0;
+  int harness_inner_threads = -1;  ///< -1 = auto budget; see SchedulerOptions.
+  ArtifactCache* cache = nullptr;
 };
 
 /// Runs the paper's neural detector `repetitions` times on a dataset pair,
 /// re-generating nothing (same data, different model/sampler seeds), and
-/// aggregates precision/recall/F1.
+/// aggregates precision/recall/F1. A thin wrapper over eval::Scheduler —
+/// multi-experiment harnesses should submit every experiment to one
+/// Scheduler instead, so jobs from different datasets and systems share
+/// the fan-out.
 RepeatedResult RunRepeatedDetector(const datagen::DatasetPair& pair,
                                    const RunnerOptions& options);
 

@@ -13,7 +13,12 @@ RahaDetector::RahaDetector(RahaOptions options)
 void RahaDetector::Analyze(const data::Table& dirty) {
   n_rows_ = dirty.num_rows();
   n_cols_ = dirty.num_columns();
-  features_ = BuildFeatures(dirty, strategies_);
+  if (options_.feature_threads > 0) {
+    ThreadPool pool(options_.feature_threads);
+    features_ = BuildFeatures(dirty, strategies_, &pool);
+  } else {
+    features_ = BuildFeatures(dirty, strategies_);
+  }
   const int k = options_.clusters_per_column > 0 ? options_.clusters_per_column
                                                  : options_.n_label_tuples;
   clusterings_ = ClusterAllColumns(features_, k);

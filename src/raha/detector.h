@@ -23,6 +23,11 @@ struct RahaOptions {
   /// Fallback vote threshold for columns/clusters with no label signal:
   /// a cell flagged by at least this many strategies is predicted dirty.
   int fallback_votes = 2;
+
+  /// Worker threads for the strategy featurization in Analyze() (0 = run
+  /// every strategy inline). The feature matrix is bit-identical for every
+  /// value — each strategy writes disjoint slots (see BuildFeatures).
+  int feature_threads = 0;
 };
 
 /// Answers "is cell (row, col) erroneous?" for tuples a user labeled. In

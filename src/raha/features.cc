@@ -4,7 +4,8 @@ namespace birnn::raha {
 
 FeatureMatrix BuildFeatures(
     const data::Table& table,
-    const std::vector<std::unique_ptr<Strategy>>& strategies) {
+    const std::vector<std::unique_ptr<Strategy>>& strategies,
+    ThreadPool* pool) {
   FeatureMatrix fm;
   fm.n_rows = table.num_rows();
   fm.n_cols = table.num_columns();
@@ -12,12 +13,22 @@ FeatureMatrix BuildFeatures(
   const size_t n_cells = static_cast<size_t>(fm.n_rows) * fm.n_cols;
   fm.bits.assign(n_cells * fm.n_strategies, 0);
 
-  DetectionMask mask;
-  for (size_t s = 0; s < strategies.size(); ++s) {
-    mask.assign(n_cells, 0);
-    strategies[s]->Detect(table, &mask);
+  // One task per strategy: strategy s owns exactly the byte slots
+  // bits[cell * n_strategies + s], so tasks never write the same address
+  // and the result cannot depend on scheduling order.
+  const auto run_strategy = [&](int64_t s) {
+    DetectionMask mask(n_cells, 0);
+    strategies[static_cast<size_t>(s)]->Detect(table, &mask);
     for (size_t cell = 0; cell < n_cells; ++cell) {
-      fm.bits[cell * strategies.size() + s] = mask[cell];
+      fm.bits[cell * strategies.size() + static_cast<size_t>(s)] = mask[cell];
+    }
+  };
+
+  if (pool != nullptr && pool->num_threads() > 0) {
+    pool->ParallelFor(static_cast<int64_t>(strategies.size()), run_strategy);
+  } else {
+    for (size_t s = 0; s < strategies.size(); ++s) {
+      run_strategy(static_cast<int64_t>(s));
     }
   }
   return fm;

@@ -7,6 +7,7 @@
 
 #include "data/table.h"
 #include "raha/strategy.h"
+#include "util/threadpool.h"
 
 namespace birnn::raha {
 
@@ -36,10 +37,13 @@ struct FeatureMatrix {
 };
 
 /// Runs every strategy over the table and assembles the per-cell feature
-/// vectors.
+/// vectors. When `pool` is non-null the strategies fan out across it —
+/// each strategy is stateless and writes only its own stride-`s` slots of
+/// `bits`, so the matrix is bit-identical for every thread count.
 FeatureMatrix BuildFeatures(
     const data::Table& table,
-    const std::vector<std::unique_ptr<Strategy>>& strategies);
+    const std::vector<std::unique_ptr<Strategy>>& strategies,
+    ThreadPool* pool = nullptr);
 
 /// Hamming distance between two feature vectors of length n.
 int HammingDistance(const uint8_t* a, const uint8_t* b, int n);

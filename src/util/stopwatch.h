@@ -2,6 +2,7 @@
 #define BIRNN_UTIL_STOPWATCH_H_
 
 #include <chrono>
+#include <ctime>
 
 namespace birnn {
 
@@ -25,6 +26,21 @@ class Stopwatch {
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
+
+/// CPU seconds consumed by the *calling thread* so far (POSIX
+/// CLOCK_THREAD_CPUTIME_ID; 0.0 where unavailable). Unlike wall clock this
+/// is meaningful when experiment jobs overlap: contention inflates a job's
+/// wall time but not its thread CPU time. Inner-pool worker time is not
+/// attributed to the submitting thread.
+inline double ThreadCpuSeconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+#else
+  return 0.0;
+#endif
+}
 
 }  // namespace birnn
 

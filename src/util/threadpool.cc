@@ -4,6 +4,11 @@
 
 namespace birnn {
 
+int HardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
 ThreadPool::ThreadPool(int threads) {
   BIRNN_CHECK_GE(threads, 0);
   workers_.reserve(static_cast<size_t>(threads));

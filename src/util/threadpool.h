@@ -10,6 +10,11 @@
 
 namespace birnn {
 
+/// Number of hardware threads, with a floor of 1 (hardware_concurrency()
+/// may report 0). The experiment scheduler budgets its outer/inner
+/// parallelism against this.
+int HardwareConcurrency();
+
 /// Fixed-size worker pool for embarrassingly parallel work (batch
 /// inference, per-dataset experiment fan-out). Tasks are plain
 /// `std::function<void()>`; `Wait()` blocks until the queue drains and all

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "bench_common.h"
 
 namespace birnn::bench {
@@ -82,6 +84,77 @@ TEST(BenchCommonTest, AllDatasetsByDefault) {
   ASSERT_EQ(list.size(), 6u);
   EXPECT_EQ(list.front(), "beers");
   EXPECT_EQ(list.back(), "tax");
+}
+
+TEST(BenchCommonTest, HarnessFlagDefaultsAndOverrides) {
+  FlagSet flags;
+  AddCommonFlags(&flags, "out.json");
+  const char* argv[] = {"prog", "--harness-threads=4", "--cache=false",
+                        "--cache-dir=/tmp/c"};
+  const BenchConfig config =
+      ParseCommonFlags(&flags, 4, const_cast<char**>(argv), "prog");
+  EXPECT_EQ(config.harness_threads, 4);
+  EXPECT_FALSE(config.cache_enabled);
+  EXPECT_EQ(config.cache_dir, "/tmp/c");
+  EXPECT_EQ(config.json_path, "out.json");  // default_json passes through.
+  EXPECT_EQ(MakeCache(config), nullptr);    // disabled cache -> null.
+}
+
+TEST(BenchCommonTest, SchedulerOptionsMapping) {
+  BenchConfig config;
+  config.harness_threads = 3;
+  eval::ArtifactCache cache("/tmp/unused");
+  const eval::SchedulerOptions options = MakeSchedulerOptions(config, &cache);
+  EXPECT_EQ(options.threads, 3);
+  EXPECT_EQ(options.cache, &cache);
+}
+
+TEST(JsonWriterTest, CommasEscapingAndNesting) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.BeginObject();
+  json.Key("name").String("a \"b\"\n\\c");
+  json.Key("n").Int(-3);
+  json.Key("x").Number(0.5);
+  json.Key("ok").Bool(true);
+  json.Key("list").BeginArray();
+  json.Int(1);
+  json.Int(2);
+  json.BeginObject();
+  json.Key("y").Number(1.25);
+  json.EndObject();
+  json.EndArray();
+  json.EndObject();
+  EXPECT_EQ(out.str(),
+            "{\"name\":\"a \\\"b\\\"\\n\\\\c\",\"n\":-3,\"x\":0.5,"
+            "\"ok\":true,\"list\":[1,2,{\"y\":1.25}]}");
+}
+
+TEST(BenchCommonTest, BestEpochPicksLowestTrainLoss) {
+  std::vector<core::EpochStats> history(4);
+  history[0].train_loss = 0.9f;
+  history[1].train_loss = 0.3f;
+  history[2].train_loss = 0.5f;
+  history[3].train_loss = 0.3f;  // ties keep the earliest.
+  EXPECT_EQ(BestEpoch(history), 1);
+}
+
+TEST(BenchCommonTest, F1MapAggregation) {
+  eval::RepeatedResult result;
+  result.system = "TSB-RNN";
+  result.dataset = "beers";
+  eval::Metrics m;
+  m.f1 = 0.5;
+  result.runs.push_back(m);
+  m.f1 = 0.7;
+  result.runs.push_back(m);
+  F1Map map;
+  AddRunsToF1Map(&map, result);
+  ASSERT_EQ(map["TSB-RNN"]["beers"].size(), 2u);
+  std::ostringstream out;
+  PrintAggregateF1Table(map, out);
+  EXPECT_NE(out.str().find("TSB-RNN"), std::string::npos);
+  EXPECT_NE(out.str().find("0.60"), std::string::npos);  // mean of .5/.7
 }
 
 }  // namespace

@@ -192,6 +192,48 @@ TEST(FeaturesTest, HammingDistance) {
   EXPECT_EQ(HammingDistance(a, a, 4), 0);
 }
 
+TEST(FeaturesTest, ParallelFeaturizationIsBitIdentical) {
+  // Each strategy writes disjoint slots, so the feature matrix must not
+  // depend on how the strategy fan-out is scheduled.
+  datagen::GenOptions gen;
+  gen.scale = 0.05;
+  gen.seed = 11;
+  const datagen::DatasetPair pair = datagen::MakeHospital(gen);
+  auto strategies = DefaultStrategies();
+
+  const FeatureMatrix serial = BuildFeatures(pair.dirty, strategies);
+  for (const int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    const FeatureMatrix parallel = BuildFeatures(pair.dirty, strategies, &pool);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ASSERT_EQ(parallel.bits.size(), serial.bits.size());
+    EXPECT_EQ(parallel.bits, serial.bits);
+  }
+}
+
+TEST(RahaDetectorTest, FeatureThreadsDoNotChangeDetections) {
+  datagen::GenOptions gen;
+  gen.scale = 0.05;
+  gen.seed = 23;
+  const datagen::DatasetPair pair = datagen::MakeHospital(gen);
+
+  RahaOptions serial_options;
+  serial_options.n_label_tuples = 8;
+  RahaOptions parallel_options = serial_options;
+  parallel_options.feature_threads = 4;
+
+  Rng rng_a(99);
+  RahaDetector serial(serial_options);
+  const DetectionMask mask_a =
+      serial.DetectErrors(pair.dirty, pair.clean, &rng_a);
+
+  Rng rng_b(99);
+  RahaDetector parallel(parallel_options);
+  const DetectionMask mask_b =
+      parallel.DetectErrors(pair.dirty, pair.clean, &rng_b);
+  EXPECT_EQ(mask_a, mask_b);
+}
+
 // -------------------------------------------------------------- clustering
 
 TEST(ClusterTest, GroupsIdenticalVectorsTogether) {
