@@ -36,7 +36,8 @@ ModelConfig BuildModelConfig(const DetectorOptions& options, int vocab,
 }
 
 StatusOr<DetectionReport> ErrorDetector::Run(const data::Table& dirty,
-                                             const data::Table& clean) {
+                                             const data::Table& clean,
+                                             TrainedDetector* trained) {
   // Ground-truth oracle: the user "labels" by consulting the clean table.
   LabelOracle oracle = [&dirty, &clean](int64_t row, int attr) {
     return TrimLeft(dirty.cell(static_cast<int>(row), attr)) !=
@@ -44,17 +45,18 @@ StatusOr<DetectionReport> ErrorDetector::Run(const data::Table& dirty,
                ? 1
                : 0;
   };
-  return RunInternal(dirty, &clean, oracle);
+  return RunInternal(dirty, &clean, oracle, trained);
 }
 
 StatusOr<DetectionReport> ErrorDetector::RunWithOracle(
-    const data::Table& dirty, const LabelOracle& oracle) {
-  return RunInternal(dirty, nullptr, oracle);
+    const data::Table& dirty, const LabelOracle& oracle,
+    TrainedDetector* trained) {
+  return RunInternal(dirty, nullptr, oracle, trained);
 }
 
 StatusOr<DetectionReport> ErrorDetector::RunInternal(
     const data::Table& dirty, const data::Table* clean,
-    const LabelOracle& oracle) {
+    const LabelOracle& oracle, TrainedDetector* trained) {
   const std::string model_name = ToLower(options_.model);
   if (model_name != "tsb" && model_name != "etsb") {
     return Status::InvalidArgument("unknown model: " + options_.model);
@@ -105,7 +107,8 @@ StatusOr<DetectionReport> ErrorDetector::RunInternal(
   // 4. Training.
   ModelConfig config = BuildModelConfig(options_, all.vocab, all.max_len,
                                         all.n_attrs);
-  ErrorDetectionModel model(config);
+  auto model_ptr = std::make_unique<ErrorDetectionModel>(config);
+  ErrorDetectionModel& model = *model_ptr;
   TrainerOptions trainer_options = options_.trainer;
   trainer_options.seed = options_.seed ^ 0x5EEDULL;
   trainer_options.train_threads = options_.train_threads;
@@ -140,6 +143,25 @@ StatusOr<DetectionReport> ErrorDetector::RunInternal(
     for (size_t i = 0; i < report.predicted.size(); ++i) {
       report.predicted[i] = report.predicted[i] || fd_mask[i];
     }
+  }
+
+  // Export the trained artifacts *after* the detection sweep: the model is
+  // in exactly the state (best-checkpoint weights, calibrated batch norm)
+  // that produced report.predicted, so a detector served from these
+  // artifacts answers bit-identically to this run.
+  if (trained != nullptr) {
+    trained->config = config;
+    trained->chars = chars;
+    trained->attr_names = frame.attr_names();
+    trained->attr_max_value_len.assign(
+        static_cast<size_t>(frame.num_attrs()), 0);
+    for (const auto& cell : frame.cells()) {
+      int32_t& mx = trained->attr_max_value_len[static_cast<size_t>(cell.attr)];
+      mx = std::max(mx, static_cast<int32_t>(cell.value.size()));
+    }
+    trained->prepare = options_.prepare;
+    trained->options = options_;
+    trained->model = std::move(model_ptr);
   }
 
   // 6. Evaluation on the test cells (experiment mode only).

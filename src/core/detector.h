@@ -2,12 +2,14 @@
 #define BIRNN_CORE_DETECTOR_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/inference.h"
 #include "core/model.h"
 #include "core/trainer.h"
+#include "data/dictionary.h"
 #include "data/prepare.h"
 #include "data/table.h"
 #include "eval/metrics.h"
@@ -90,6 +92,27 @@ struct DetectionReport {
   int64_t test_cells = 0;
 };
 
+/// Everything needed to reconstruct a trained detector without retraining —
+/// the unit serve::SaveDetectorBundle persists. The model holds the
+/// best-checkpoint weights with calibrated batch-norm statistics: exactly
+/// the state that produced the accompanying DetectionReport's predictions,
+/// so a served detector answers bit-identically to the offline run. The
+/// encoding state (dictionary, attribute names, per-attribute length_norm
+/// denominators) lets serving-time cells be encoded exactly as the training
+/// frame's cells were.
+struct TrainedDetector {
+  ModelConfig config;
+  std::unique_ptr<ErrorDetectionModel> model;
+  data::CharIndex chars;
+  std::vector<std::string> attr_names;
+  /// Longest value_x length per attribute over the training frame — the
+  /// denominator of data::CellRecord::length_norm.
+  std::vector<int32_t> attr_max_value_len;
+  data::PrepareOptions prepare;
+  /// Provenance: the options the detector was trained with.
+  DetectorOptions options;
+};
+
 /// The paper's end-to-end system: data preparation -> trainset selection ->
 /// user labeling -> training -> per-cell error detection.
 class ErrorDetector {
@@ -97,22 +120,27 @@ class ErrorDetector {
   explicit ErrorDetector(DetectorOptions options = {});
 
   /// Experiment mode: the clean table provides both the oracle labels for
-  /// the sampled tuples and the ground truth for evaluation.
+  /// the sampled tuples and the ground truth for evaluation. When `trained`
+  /// is non-null it receives the trained model and encoding state for
+  /// serving (see TrainedDetector).
   StatusOr<DetectionReport> Run(const data::Table& dirty,
-                                const data::Table& clean);
+                                const data::Table& clean,
+                                TrainedDetector* trained = nullptr);
 
   /// Deployment mode: no clean table; `oracle` labels the sampled tuples
   /// (e.g. by asking a human). The report's truth vector and test metrics
   /// are empty/zero.
   StatusOr<DetectionReport> RunWithOracle(const data::Table& dirty,
-                                          const LabelOracle& oracle);
+                                          const LabelOracle& oracle,
+                                          TrainedDetector* trained = nullptr);
 
   const DetectorOptions& options() const { return options_; }
 
  private:
   StatusOr<DetectionReport> RunInternal(const data::Table& dirty,
                                         const data::Table* clean,
-                                        const LabelOracle& oracle);
+                                        const LabelOracle& oracle,
+                                        TrainedDetector* trained);
 
   DetectorOptions options_;
 };

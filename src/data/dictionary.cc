@@ -28,6 +28,33 @@ CharIndex CharIndex::BuildFromStrings(const std::vector<std::string>& values) {
   return idx;
 }
 
+StatusOr<CharIndex> CharIndex::FromIndexTable(const std::array<int, 256>& table,
+                                              int num_chars) {
+  if (num_chars < 0 || num_chars > 256) {
+    return Status::InvalidArgument("char dictionary count out of range");
+  }
+  std::array<int, 256> seen{};
+  for (int c = 0; c < 256; ++c) {
+    const int idx = table[static_cast<size_t>(c)];
+    if (idx == 0) continue;
+    if (idx < 1 || idx > num_chars) {
+      return Status::InvalidArgument("char index entry out of range");
+    }
+    if (seen[static_cast<size_t>(idx - 1)]++ > 0) {
+      return Status::InvalidArgument("duplicate char index entry");
+    }
+  }
+  for (int i = 0; i < num_chars; ++i) {
+    if (seen[static_cast<size_t>(i)] == 0) {
+      return Status::InvalidArgument("unused char index slot");
+    }
+  }
+  CharIndex idx;
+  idx.index_of_ = table;
+  idx.num_chars_ = num_chars;
+  return idx;
+}
+
 int CharIndex::IndexOf(char c) const {
   const int i = index_of_[static_cast<unsigned char>(c)];
   return i == 0 ? unknown_index() : i;

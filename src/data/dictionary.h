@@ -24,6 +24,18 @@ class CharIndex {
   /// Builds from an explicit list of strings (tests, custom corpora).
   static CharIndex BuildFromStrings(const std::vector<std::string>& values);
 
+  /// Reconstructs a dictionary from its serialized state (index table +
+  /// count), as stored in a detector bundle. `table[c]` must be 0 or a
+  /// value in 1..num_chars, with every value in that range used exactly
+  /// once; violations are rejected.
+  static StatusOr<CharIndex> FromIndexTable(const std::array<int, 256>& table,
+                                            int num_chars);
+
+  /// The raw byte -> index table backing IndexOf (0 = not in dictionary).
+  /// Together with num_chars() this is the dictionary's full state — what
+  /// a detector bundle persists.
+  const std::array<int, 256>& index_table() const { return index_of_; }
+
   /// Index for a character: 1..N if known, unknown_index() otherwise.
   int IndexOf(char c) const;
 

@@ -4,20 +4,119 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <sstream>
 
 namespace birnn::nn {
 
 namespace {
 constexpr char kMagic[8] = {'B', 'R', 'N', 'N', 'C', 'K', 'P', 'T'};
+constexpr uint32_t kVersionSentinel = 0xFFFFFFFFu;
+constexpr uint8_t kFormatVersion = 1;
 
-void WriteU32(std::ofstream& out, uint32_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+uint64_t Fnv1a(const char* data, size_t n) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<uint8_t>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
 }
 
-bool ReadU32(std::ifstream& in, uint32_t* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return static_cast<bool>(in);
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
+
+void AppendBytes(std::string* out, const void* data, size_t n) {
+  out->append(reinterpret_cast<const char*>(data), n);
+}
+
+/// Bounds-checked cursor over an in-memory checkpoint image. Every read
+/// fails cleanly at the end of the buffer, so truncation can never turn
+/// into an out-of-bounds access or a partially initialized tensor.
+struct Reader {
+  const char* data;
+  size_t size;
+  size_t pos = 0;
+
+  bool Read(void* out, size_t n) {
+    if (n > size - pos) return false;
+    std::memcpy(out, data + pos, n);
+    pos += n;
+    return true;
+  }
+  bool ReadU32(uint32_t* v) { return Read(v, sizeof(*v)); }
+  size_t remaining() const { return size - pos; }
+};
+
+/// Parses the entry section (u32 count + entries) starting at `r.pos` and
+/// loads it into `params`, enforcing exact coverage: every parameter must
+/// be present with a matching shape, and the file must not contain
+/// duplicate or extra entries.
+Status ParseEntries(Reader* r, const std::vector<Parameter*>& params,
+                    const std::string& path) {
+  uint32_t count = 0;
+  if (!r->ReadU32(&count)) return Status::IoError("truncated header: " + path);
+
+  std::map<std::string, Tensor> loaded;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    if (!r->ReadU32(&name_len)) return Status::IoError("truncated entry");
+    if (name_len > r->remaining()) return Status::IoError("truncated entry");
+    std::string name(name_len, '\0');
+    if (!r->Read(name.data(), name_len)) return Status::IoError("truncated entry");
+    uint32_t rank = 0;
+    if (!r->ReadU32(&rank)) return Status::IoError("truncated entry");
+    if (rank > 8) return Status::InvalidArgument("implausible rank for " + name);
+    std::vector<int> shape(rank);
+    for (uint32_t d = 0; d < rank; ++d) {
+      int32_t dim = 0;
+      if (!r->Read(&dim, sizeof(dim))) return Status::IoError("truncated entry");
+      if (dim < 0) return Status::InvalidArgument("negative dimension");
+      shape[d] = dim;
+    }
+    Tensor t(shape);
+    const size_t bytes = t.size() * sizeof(float);
+    if (!r->Read(t.data(), bytes)) {
+      return Status::IoError("truncated tensor data for " + name);
+    }
+    if (!loaded.emplace(std::move(name), std::move(t)).second) {
+      return Status::InvalidArgument("duplicate checkpoint entry");
+    }
+  }
+  if (r->remaining() > 0) {
+    return Status::InvalidArgument("trailing bytes after last entry: " + path);
+  }
+
+  for (Parameter* p : params) {
+    auto it = loaded.find(p->name);
+    if (it == loaded.end()) {
+      return Status::NotFound("checkpoint missing parameter: " + p->name);
+    }
+    if (it->second.shape() != p->value.shape()) {
+      return Status::InvalidArgument("shape mismatch for " + p->name);
+    }
+    p->value = std::move(it->second);
+    loaded.erase(it);
+  }
+  if (!loaded.empty()) {
+    std::ostringstream msg;
+    msg << "checkpoint has " << loaded.size()
+        << " extra entr" << (loaded.size() == 1 ? "y" : "ies")
+        << " not matched by any parameter:";
+    int shown = 0;
+    for (const auto& [name, tensor] : loaded) {
+      (void)tensor;
+      if (shown++ == 4) {
+        msg << " ...";
+        break;
+      }
+      msg << ' ' << name;
+    }
+    return Status::InvalidArgument(msg.str());
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 std::vector<Tensor> SnapshotParams(const std::vector<Parameter*>& params) {
@@ -39,21 +138,29 @@ void RestoreParams(const std::vector<Tensor>& snapshot,
 
 Status SaveParameters(const std::vector<Parameter*>& params,
                       const std::string& path) {
+  std::string payload;
+  AppendU32(&payload, static_cast<uint32_t>(params.size()));
+  for (const Parameter* p : params) {
+    AppendU32(&payload, static_cast<uint32_t>(p->name.size()));
+    AppendBytes(&payload, p->name.data(), p->name.size());
+    AppendU32(&payload, static_cast<uint32_t>(p->value.rank()));
+    for (int d : p->value.shape()) {
+      const int32_t dim = d;
+      AppendBytes(&payload, &dim, sizeof(dim));
+    }
+    AppendBytes(&payload, p->value.data(), p->value.size() * sizeof(float));
+  }
+  const uint64_t checksum = Fnv1a(payload.data(), payload.size());
+
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open for write: " + path);
   out.write(kMagic, sizeof(kMagic));
-  WriteU32(out, static_cast<uint32_t>(params.size()));
-  for (const Parameter* p : params) {
-    WriteU32(out, static_cast<uint32_t>(p->name.size()));
-    out.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
-    WriteU32(out, static_cast<uint32_t>(p->value.rank()));
-    for (int d : p->value.shape()) {
-      const int32_t dim = d;
-      out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
-    }
-    out.write(reinterpret_cast<const char*>(p->value.data()),
-              static_cast<std::streamsize>(p->value.size() * sizeof(float)));
-  }
+  const uint32_t sentinel = kVersionSentinel;
+  out.write(reinterpret_cast<const char*>(&sentinel), sizeof(sentinel));
+  const uint8_t version = kFormatVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
   if (!out) return Status::IoError("write failed: " + path);
   return Status::OK();
 }
@@ -62,47 +169,48 @@ Status LoadParameters(const std::string& path,
                       const std::vector<Parameter*>& params) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open for read: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in) return Status::IoError("read failed: " + path);
+  const std::string image = std::move(buffer).str();
+
+  Reader r{image.data(), image.size()};
   char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  if (!r.Read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::InvalidArgument("not a BRNNCKPT file: " + path);
   }
-  uint32_t count = 0;
-  if (!ReadU32(in, &count)) return Status::IoError("truncated header");
+  uint32_t first = 0;
+  if (!r.ReadU32(&first)) return Status::IoError("truncated header: " + path);
 
-  std::map<std::string, Tensor> loaded;
-  for (uint32_t i = 0; i < count; ++i) {
-    uint32_t name_len = 0;
-    if (!ReadU32(in, &name_len)) return Status::IoError("truncated entry");
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    uint32_t rank = 0;
-    if (!ReadU32(in, &rank)) return Status::IoError("truncated entry");
-    std::vector<int> shape(rank);
-    for (uint32_t d = 0; d < rank; ++d) {
-      int32_t dim = 0;
-      in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
-      if (dim < 0) return Status::InvalidArgument("negative dimension");
-      shape[d] = dim;
-    }
-    Tensor t(shape);
-    in.read(reinterpret_cast<char*>(t.data()),
-            static_cast<std::streamsize>(t.size() * sizeof(float)));
-    if (!in) return Status::IoError("truncated tensor data for " + name);
-    loaded.emplace(std::move(name), std::move(t));
+  if (first != kVersionSentinel) {
+    // v0: `first` is the entry count and there is no checksum. Rewind so
+    // ParseEntries re-reads it as the count.
+    r.pos -= sizeof(first);
+    return ParseEntries(&r, params, path);
   }
 
-  for (Parameter* p : params) {
-    auto it = loaded.find(p->name);
-    if (it == loaded.end()) {
-      return Status::NotFound("checkpoint missing parameter: " + p->name);
-    }
-    if (it->second.shape() != p->value.shape()) {
-      return Status::InvalidArgument("shape mismatch for " + p->name);
-    }
-    p->value = it->second;
+  uint8_t version = 0;
+  if (!r.Read(&version, sizeof(version))) {
+    return Status::IoError("truncated header: " + path);
   }
-  return Status::OK();
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported checkpoint format version " +
+                                   std::to_string(version) + ": " + path);
+  }
+  if (r.remaining() < sizeof(uint64_t)) {
+    return Status::IoError("truncated checkpoint (no checksum): " + path);
+  }
+  const size_t payload_size = r.remaining() - sizeof(uint64_t);
+  uint64_t stored = 0;
+  std::memcpy(&stored, image.data() + r.pos + payload_size, sizeof(stored));
+  const uint64_t actual = Fnv1a(image.data() + r.pos, payload_size);
+  if (stored != actual) {
+    return Status::IoError("checkpoint checksum mismatch (truncated or "
+                           "corrupted file): " + path);
+  }
+  Reader payload{image.data() + r.pos, payload_size};
+  return ParseEntries(&payload, params, path);
 }
 
 }  // namespace birnn::nn

@@ -18,14 +18,27 @@ std::vector<Tensor> SnapshotParams(const std::vector<Parameter*>& params);
 void RestoreParams(const std::vector<Tensor>& snapshot,
                    const std::vector<Parameter*>& params);
 
-/// Binary on-disk checkpoint. Format: magic "BRNNCKPT", u32 count, then per
-/// parameter: u32 name length, name bytes, u32 rank, dims (i32 each),
-/// float32 data. Little-endian (the only platform we target).
+/// Binary on-disk checkpoint, format v1:
+///   magic "BRNNCKPT"
+///   u32  0xFFFFFFFF           version sentinel (v0 stored the entry count
+///                             here; four billion parameters is impossible,
+///                             so the sentinel is unambiguous)
+///   u8   format version (1)
+///   payload: u32 count, then per parameter: u32 name length, name bytes,
+///            u32 rank, dims (i32 each), float32 data
+///   u64  FNV-1a checksum of the payload bytes
+/// Little-endian (the only platform we target). The trailing checksum makes
+/// truncated or bit-flipped files fail loudly instead of loading garbage
+/// weights.
 Status SaveParameters(const std::vector<Parameter*>& params,
                       const std::string& path);
 
-/// Loads a checkpoint saved by SaveParameters. Parameters are matched by
-/// name; a missing or shape-mismatched entry is an error.
+/// Loads a checkpoint saved by SaveParameters. Verifies the payload
+/// checksum (v1), then matches parameters by name; a missing,
+/// shape-mismatched, duplicate or *extra* unmatched entry is an error —
+/// a checkpoint that does not exactly cover the parameter list is treated
+/// as drift, not silently accepted. Files written before the checksum
+/// existed (v0: count immediately after the magic) still load.
 Status LoadParameters(const std::string& path,
                       const std::vector<Parameter*>& params);
 

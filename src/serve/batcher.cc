@@ -1,0 +1,185 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace birnn::serve {
+
+namespace {
+
+core::InferenceOptions MakeEngineOptions(const BatcherOptions& options) {
+  core::InferenceOptions engine_options;
+  engine_options.eval_batch = std::max(1, options.max_batch);
+  engine_options.threads = 0;  // the dispatcher thread runs the sweep
+  engine_options.memoize = true;
+  engine_options.bucketed = options.bucketed;
+  return engine_options;
+}
+
+}  // namespace
+
+MicroBatcher::MicroBatcher(const LoadedDetector& detector,
+                           BatcherOptions options)
+    : detector_(detector),
+      options_(options),
+      engine_(detector.model(), MakeEngineOptions(options)) {
+  options_.max_batch = std::max(1, options_.max_batch);
+  options_.max_delay_us = std::max(0, options_.max_delay_us);
+  options_.queue_capacity = std::max(1, options_.queue_capacity);
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+MicroBatcher::~MicroBatcher() { Stop(); }
+
+void MicroBatcher::Submit(const std::vector<CellQuery>& cells,
+                          ResultCallback callback) {
+  if (cells.empty()) {
+    callback(Status::OK(), {});
+    return;
+  }
+  StatusOr<data::EncodedDataset> encoded = detector_.EncodeQueries(cells);
+  if (!encoded.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.rejected_requests;
+    }
+    callback(encoded.status(), {});
+    return;
+  }
+  const int64_t n = encoded->num_cells();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_) {
+    ++stats_.rejected_requests;
+    lock.unlock();
+    callback(Status::FailedPrecondition("batcher stopped"), {});
+    return;
+  }
+  if (pending_cells_ + n > options_.queue_capacity) {
+    ++stats_.shed_requests;
+    stats_.shed_cells += n;
+    lock.unlock();
+    callback(Status::Overloaded("admission queue full"), {});
+    return;
+  }
+  pending_.push_back(Pending{std::move(*encoded), std::move(callback),
+                             std::chrono::steady_clock::now()});
+  pending_cells_ += n;
+  ++stats_.requests;
+  stats_.cells += n;
+  lock.unlock();
+  wake_dispatcher_.notify_all();
+}
+
+Status MicroBatcher::Detect(const std::vector<CellQuery>& cells,
+                            std::vector<CellVerdict>* verdicts) {
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+  Status result;
+  Submit(cells, [&](const Status& status,
+                    const std::vector<CellVerdict>& answer) {
+    std::lock_guard<std::mutex> lock(done_mutex);
+    result = status;
+    *verdicts = answer;
+    done = true;
+    done_cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return done; });
+  return result;
+}
+
+void MicroBatcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_dispatcher_.notify_all();
+  std::lock_guard<std::mutex> join_lock(join_mutex_);
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+BatcherStats MicroBatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void MicroBatcher::DispatchLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_dispatcher_.wait(lock,
+                          [this] { return stopping_ || !pending_.empty(); });
+    if (pending_.empty()) {
+      if (stopping_) return;  // drained
+      continue;
+    }
+
+    // The batching window: wait for a full batch, the oldest request's
+    // deadline, or shutdown — whichever comes first. During a drain there
+    // is no window; everything admitted flushes immediately.
+    if (!stopping_ && pending_cells_ < options_.max_batch) {
+      const auto deadline =
+          pending_.front().arrival +
+          std::chrono::microseconds(options_.max_delay_us);
+      wake_dispatcher_.wait_until(lock, deadline, [this] {
+        return stopping_ || pending_cells_ >= options_.max_batch;
+      });
+    }
+
+    // Coalesce whole requests up to max_batch cells. The first request is
+    // always taken, so an oversized request still gets served (in one big
+    // batch) rather than starving.
+    std::vector<Pending> taken;
+    int64_t batch_cells = 0;
+    while (!pending_.empty()) {
+      const int64_t n = pending_.front().encoded.num_cells();
+      if (!taken.empty() && batch_cells + n > options_.max_batch) break;
+      batch_cells += n;
+      taken.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    pending_cells_ -= batch_cells;
+    lock.unlock();
+
+    // One padded forward batch for everything taken. The engine memoizes
+    // duplicate cell contents within the batch and pads rows to a register
+    // multiple, so each cell's verdict is independent of its batch-mates.
+    data::EncodedDataset* batch = &taken.front().encoded;
+    data::EncodedDataset merged;
+    if (taken.size() > 1) {
+      merged = taken.front().encoded;
+      for (size_t i = 1; i < taken.size(); ++i) {
+        AppendDataset(taken[i].encoded, &merged);
+      }
+      batch = &merged;
+    }
+    std::vector<float> probs;
+    engine_.PredictProbs(*batch, {}, &probs);
+    const double batch_seconds = engine_.stats().seconds;
+
+    // Account the batch before delivering responses, so a client that
+    // receives its verdict and immediately asks for stats sees it counted.
+    lock.lock();
+    ++stats_.batches;
+    stats_.max_batch_cells = std::max(stats_.max_batch_cells, batch_cells);
+    stats_.batch_seconds += batch_seconds;
+    lock.unlock();
+
+    size_t offset = 0;
+    for (Pending& p : taken) {
+      const size_t n = static_cast<size_t>(p.encoded.num_cells());
+      std::vector<CellVerdict> verdicts(n);
+      for (size_t i = 0; i < n; ++i) {
+        const float prob = probs[offset + i];
+        verdicts[i] = CellVerdict{prob, prob > 0.5f};
+      }
+      offset += n;
+      p.callback(Status::OK(), verdicts);
+    }
+
+    lock.lock();
+  }
+}
+
+}  // namespace birnn::serve

@@ -1,0 +1,92 @@
+#ifndef BIRNN_SERVE_BUNDLE_H_
+#define BIRNN_SERVE_BUNDLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/model.h"
+#include "data/dictionary.h"
+#include "data/encoding.h"
+#include "util/status.h"
+
+namespace birnn::serve {
+
+/// One cell of an online detection request: the raw (dirty) value plus the
+/// attribute it belongs to, either by index or by name (name wins when the
+/// index is negative).
+struct CellQuery {
+  int attr = -1;
+  std::string attr_name;
+  std::string value;
+};
+
+/// A detector reconstructed from a bundle: the trained model plus
+/// everything needed to encode serving-time cells exactly as the training
+/// frame's cells were encoded (dictionary, per-attribute length_norm
+/// denominators, prepare transforms). Movable, not copyable; safe to share
+/// read-only across threads once loaded.
+class LoadedDetector {
+ public:
+  LoadedDetector() = default;
+  LoadedDetector(LoadedDetector&&) = default;
+  LoadedDetector& operator=(LoadedDetector&&) = default;
+
+  const core::ModelConfig& config() const { return config_; }
+  const core::ErrorDetectionModel& model() const { return *model_; }
+  const std::vector<std::string>& attr_names() const { return attr_names_; }
+  int n_attrs() const { return config_.n_attrs; }
+
+  /// Index of a named attribute, or -1 if absent.
+  int AttrIndex(const std::string& name) const;
+
+  /// Encodes raw query cells into an EncodedDataset ready for the
+  /// inference engine, replicating the training-time pipeline bit-exactly:
+  /// leading-whitespace trim, truncation to the training max value length,
+  /// dictionary lookup (unseen characters map to the unknown index), and
+  /// per-attribute length_norm with the training-frame denominator. A cell
+  /// content that appeared in the training table therefore encodes to the
+  /// identical model input, so served predictions match the offline sweep
+  /// bit for bit. Fails on an unknown attribute name or out-of-range index.
+  StatusOr<data::EncodedDataset> EncodeQueries(
+      const std::vector<CellQuery>& cells) const;
+
+ private:
+  friend StatusOr<LoadedDetector> LoadDetectorBundle(const std::string& dir);
+  friend StatusOr<LoadedDetector> MakeLoadedDetector(
+      core::TrainedDetector trained);
+
+  core::ModelConfig config_;
+  std::unique_ptr<core::ErrorDetectionModel> model_;
+  data::CharIndex chars_;
+  std::vector<std::string> attr_names_;
+  std::vector<int32_t> attr_max_value_len_;
+  data::PrepareOptions prepare_;
+};
+
+/// Writes a trained detector to `dir` (created if missing) as a two-file
+/// bundle:
+///   manifest.txt — model architecture + encoding state (dictionary index
+///                  table, attribute names, length_norm denominators,
+///                  prepare options), line-oriented text;
+///   weights.ckpt — nn::SaveParameters checkpoint of every model parameter
+///                  plus the batch-norm running statistics as the pseudo
+///                  entries "__bn/running_mean" / "__bn/running_var".
+Status SaveDetectorBundle(const core::TrainedDetector& trained,
+                          const std::string& dir);
+
+/// Reconstructs a detector from a bundle directory without retraining.
+StatusOr<LoadedDetector> LoadDetectorBundle(const std::string& dir);
+
+/// Builds a LoadedDetector directly from in-memory trained artifacts
+/// (consumes the model). The no-disk path for in-process serving and tests.
+StatusOr<LoadedDetector> MakeLoadedDetector(core::TrainedDetector trained);
+
+/// Appends every cell of `src` to `dst` (shapes must match). The micro-
+/// batcher's dataset coalescing primitive.
+void AppendDataset(const data::EncodedDataset& src, data::EncodedDataset* dst);
+
+}  // namespace birnn::serve
+
+#endif  // BIRNN_SERVE_BUNDLE_H_

@@ -1,0 +1,70 @@
+#ifndef BIRNN_SERVE_JSON_H_
+#define BIRNN_SERVE_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace birnn::serve {
+
+/// Minimal JSON document model for the serve line protocol: objects,
+/// arrays, strings (with \uXXXX escapes decoded as UTF-8), doubles, bools,
+/// null. Parsing is strict RFC 8259 minus number edge pedantry; depth is
+/// bounded so hostile input cannot blow the stack. This is deliberately a
+/// tiny parser for one-line requests, not a general JSON library.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  /// Parses exactly one JSON value; trailing non-whitespace is an error.
+  static StatusOr<JsonValue> Parse(const std::string& text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Convenience typed getters with defaults for optional members.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+  double GetNumber(const std::string& key, double fallback = 0.0) const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;                       // arrays
+  std::vector<std::pair<std::string, JsonValue>> members_;  // objects
+};
+
+/// Appends `s` to `out` as a quoted JSON string (escaping quotes,
+/// backslashes and control characters).
+void AppendJsonString(const std::string& s, std::string* out);
+
+/// Renders a float with enough digits (max_digits10) that parsing the
+/// decimal form recovers the exact bit pattern — the protocol's p_error
+/// values survive the wire round trip.
+std::string JsonFloat(float v);
+
+}  // namespace birnn::serve
+
+#endif  // BIRNN_SERVE_JSON_H_

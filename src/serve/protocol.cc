@@ -1,0 +1,165 @@
+#include "serve/protocol.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "serve/json.h"
+
+namespace birnn::serve {
+
+StatusOr<Request> ParseRequest(const std::string& line) {
+  BIRNN_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::Parse(line));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  Request request;
+  request.id = doc.GetString("id");
+  request.op = doc.GetString("op", "detect");
+  request.model = doc.GetString("model");
+  if (request.op != "detect" && request.op != "ping" &&
+      request.op != "models" && request.op != "stats" &&
+      request.op != "quit") {
+    return Status::InvalidArgument("unknown op: " + request.op);
+  }
+  if (request.op != "detect") return request;
+
+  const JsonValue* cells = doc.Find("cells");
+  if (cells == nullptr || !cells->is_array()) {
+    return Status::InvalidArgument("detect request needs a \"cells\" array");
+  }
+  request.cells.reserve(cells->items().size());
+  for (const JsonValue& item : cells->items()) {
+    if (!item.is_object()) {
+      return Status::InvalidArgument("each cell must be a JSON object");
+    }
+    CellQuery cell;
+    const JsonValue* attr = item.Find("attr");
+    if (attr == nullptr) attr = item.Find("attr_name");
+    if (attr == nullptr) {
+      return Status::InvalidArgument("cell is missing \"attr\"");
+    }
+    if (attr->is_number()) {
+      const double idx = attr->as_number();
+      if (idx != std::floor(idx) || idx < 0 || idx > 1e6) {
+        return Status::InvalidArgument("cell \"attr\" index out of range");
+      }
+      cell.attr = static_cast<int>(idx);
+    } else if (attr->is_string()) {
+      cell.attr_name = attr->as_string();
+    } else {
+      return Status::InvalidArgument(
+          "cell \"attr\" must be a name or an index");
+    }
+    const JsonValue* value = item.Find("value");
+    if (value == nullptr || !value->is_string()) {
+      return Status::InvalidArgument("cell needs a string \"value\"");
+    }
+    cell.value = value->as_string();
+    request.cells.push_back(std::move(cell));
+  }
+  return request;
+}
+
+std::string StatusCodeToProtocolString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kOverloaded: return "OVERLOADED";
+    default: return "UNKNOWN";
+  }
+}
+
+namespace {
+
+// Opens a response object and writes the echoed id + status. The id is
+// rendered as JSON null when the request carried none (or never parsed).
+void OpenResponse(const std::string& id, const std::string& status,
+                  std::string* out) {
+  out->append("{\"id\":");
+  if (id.empty()) {
+    out->append("null");
+  } else {
+    AppendJsonString(id, out);
+  }
+  out->append(",\"status\":");
+  AppendJsonString(status, out);
+}
+
+}  // namespace
+
+std::string OkDetectResponse(const std::string& id,
+                             const std::vector<CellVerdict>& verdicts) {
+  std::string out;
+  out.reserve(64 + verdicts.size() * 40);
+  OpenResponse(id, "OK", &out);
+  out.append(",\"results\":[");
+  for (size_t i = 0; i < verdicts.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.append("{\"p_error\":");
+    out.append(JsonFloat(verdicts[i].p_error));
+    out.append(",\"error\":");
+    out.append(verdicts[i].is_error ? "true" : "false");
+    out.push_back('}');
+  }
+  out.append("]}");
+  return out;
+}
+
+std::string ErrorResponse(const std::string& id, const Status& status) {
+  std::string out;
+  OpenResponse(id, StatusCodeToProtocolString(status.code()), &out);
+  out.append(",\"message\":");
+  AppendJsonString(status.message(), &out);
+  out.push_back('}');
+  return out;
+}
+
+std::string PongResponse(const std::string& id) {
+  std::string out;
+  OpenResponse(id, "OK", &out);
+  out.append(",\"pong\":true}");
+  return out;
+}
+
+std::string ModelsResponse(const std::string& id,
+                           const std::vector<std::string>& names) {
+  std::string out;
+  OpenResponse(id, "OK", &out);
+  out.append(",\"models\":[");
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendJsonString(names[i], &out);
+  }
+  out.append("]}");
+  return out;
+}
+
+std::string StatsResponse(const std::string& id, const std::string& model,
+                          const BatcherStats& stats) {
+  std::string out;
+  OpenResponse(id, "OK", &out);
+  out.append(",\"model\":");
+  AppendJsonString(model, &out);
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                ",\"requests\":%lld,\"cells\":%lld,\"shed_requests\":%lld,"
+                "\"shed_cells\":%lld,\"rejected_requests\":%lld,"
+                "\"batches\":%lld,\"max_batch_cells\":%lld,"
+                "\"batch_seconds\":%.6f}",
+                static_cast<long long>(stats.requests),
+                static_cast<long long>(stats.cells),
+                static_cast<long long>(stats.shed_requests),
+                static_cast<long long>(stats.shed_cells),
+                static_cast<long long>(stats.rejected_requests),
+                static_cast<long long>(stats.batches),
+                static_cast<long long>(stats.max_batch_cells),
+                stats.batch_seconds);
+  out.append(buf);
+  return out;
+}
+
+}  // namespace birnn::serve

@@ -1,0 +1,59 @@
+#ifndef BIRNN_SERVE_PROTOCOL_H_
+#define BIRNN_SERVE_PROTOCOL_H_
+
+#include <string>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/bundle.h"
+#include "util/status.h"
+
+namespace birnn::serve {
+
+/// The wire format is one JSON object per line in each direction.
+///
+/// Request:
+///   {"id": "r1", "op": "detect", "model": "beers",
+///    "cells": [{"attr": "city", "value": "Chicago"},
+///              {"attr": 3, "value": "60614"}]}
+///   - "op" defaults to "detect"; other ops: "ping", "models", "stats",
+///     "quit" (asks the server to close this connection, no response).
+///   - "model" may be omitted when the server hosts exactly one model.
+///   - "attr" is an attribute name (string) or index (number).
+///   - "id" is echoed verbatim in the response (any string; optional).
+///
+/// Response:
+///   {"id": "r1", "status": "OK",
+///    "results": [{"p_error": 0.93204946, "error": true}, ...]}
+///   {"id": "r2", "status": "OVERLOADED", "message": "admission queue full"}
+///   - "status" is "OK" or a SCREAMING_SNAKE status code; non-OK responses
+///     carry a "message" and no "results". p_error is printed with
+///     max_digits10 so the float survives the wire bit-exactly.
+struct Request {
+  std::string id;
+  std::string op = "detect";
+  std::string model;
+  std::vector<CellQuery> cells;
+};
+
+/// Parses one request line. A parse failure reports InvalidArgument; the
+/// server answers it with a status line carrying a null id.
+StatusOr<Request> ParseRequest(const std::string& line);
+
+/// Protocol rendering of a status code: "OK", "OVERLOADED",
+/// "INVALID_ARGUMENT", "NOT_FOUND", ...
+std::string StatusCodeToProtocolString(StatusCode code);
+
+/// Response lines (no trailing newline; the server appends it).
+std::string OkDetectResponse(const std::string& id,
+                             const std::vector<CellVerdict>& verdicts);
+std::string ErrorResponse(const std::string& id, const Status& status);
+std::string PongResponse(const std::string& id);
+std::string ModelsResponse(const std::string& id,
+                           const std::vector<std::string>& names);
+std::string StatsResponse(const std::string& id, const std::string& model,
+                          const BatcherStats& stats);
+
+}  // namespace birnn::serve
+
+#endif  // BIRNN_SERVE_PROTOCOL_H_

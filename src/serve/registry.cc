@@ -1,0 +1,52 @@
+#include "serve/registry.h"
+
+namespace birnn::serve {
+
+Status ModelRegistry::LoadBundle(const std::string& name,
+                                 const std::string& dir) {
+  if (name.empty()) return Status::InvalidArgument("empty model name");
+  BIRNN_ASSIGN_OR_RETURN(LoadedDetector detector, LoadDetectorBundle(dir));
+  return Add(name, std::move(detector));
+}
+
+Status ModelRegistry::Add(const std::string& name, LoadedDetector detector) {
+  if (name.empty()) return Status::InvalidArgument("empty model name");
+  auto shared =
+      std::make_shared<const LoadedDetector>(std::move(detector));
+  std::lock_guard<std::mutex> lock(mutex_);
+  models_[name] = std::move(shared);
+  return Status::OK();
+}
+
+std::shared_ptr<const LoadedDetector> ModelRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+Status ModelRegistry::Unload(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (models_.erase(name) == 0) {
+    return Status::NotFound("no model named " + name);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> ModelRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, detector] : models_) {
+    (void)detector;
+    names.push_back(name);
+  }
+  return names;
+}
+
+int ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(models_.size());
+}
+
+}  // namespace birnn::serve

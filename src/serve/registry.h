@@ -1,0 +1,45 @@
+#ifndef BIRNN_SERVE_REGISTRY_H_
+#define BIRNN_SERVE_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/bundle.h"
+#include "util/status.h"
+
+namespace birnn::serve {
+
+/// Thread-safe name -> detector map backing the server. Detectors are held
+/// behind shared_ptr<const ...> so a request being served keeps its model
+/// alive even if the name is replaced or unloaded mid-flight.
+class ModelRegistry {
+ public:
+  /// Loads a bundle from disk under `name`. Replaces an existing entry of
+  /// the same name (in-flight requests on the old detector finish on it).
+  Status LoadBundle(const std::string& name, const std::string& dir);
+
+  /// Registers an already-loaded detector (in-process serving, tests).
+  Status Add(const std::string& name, LoadedDetector detector);
+
+  /// The detector registered under `name`, or null.
+  std::shared_ptr<const LoadedDetector> Get(const std::string& name) const;
+
+  /// Removes `name`; NotFound if absent.
+  Status Unload(const std::string& name);
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  int size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const LoadedDetector>> models_;
+};
+
+}  // namespace birnn::serve
+
+#endif  // BIRNN_SERVE_REGISTRY_H_

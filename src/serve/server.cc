@@ -1,0 +1,264 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "serve/protocol.h"
+#include "util/logging.h"
+
+namespace birnn::serve {
+
+namespace {
+
+// write() until the whole buffer is out; false on a broken connection.
+bool WriteAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::write(fd, data + sent, size - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WriteLine(int fd, const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  return WriteAll(fd, framed.data(), framed.size());
+}
+
+}  // namespace
+
+Server::Server(const ModelRegistry* registry, ServerOptions options)
+    : registry_(registry), options_(options) {
+  options_.io_threads = std::max(1, options_.io_threads);
+  options_.backlog = std::max(1, options_.backlog);
+  options_.max_line_bytes = std::max(1024, options_.max_line_bytes);
+}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+  const std::vector<std::string> names = registry_->Names();
+  if (names.empty()) {
+    return Status::FailedPrecondition("registry has no models to serve");
+  }
+  for (const std::string& name : names) {
+    std::shared_ptr<const LoadedDetector> detector = registry_->Get(name);
+    if (detector == nullptr) continue;  // unloaded between Names() and here
+    auto batcher =
+        std::make_unique<MicroBatcher>(*detector, options_.batcher);
+    batchers_.emplace(name,
+                      std::make_pair(std::move(detector), std::move(batcher)));
+  }
+  if (batchers_.empty()) {
+    return Status::FailedPrecondition("registry has no models to serve");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad host address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("bind " + options_.host + ":" +
+                            std::to_string(options_.port) + ": " + err);
+  }
+  if (::listen(listen_fd_, options_.backlog) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("listen: " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  pool_ = std::make_unique<ThreadPool>(options_.io_threads);
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  BIRNN_LOG(Info) << "serve: listening on " << options_.host << ":" << port_
+                  << " (" << batchers_.size() << " model(s), "
+                  << options_.io_threads << " io thread(s))";
+  return Status::OK();
+}
+
+void Server::Shutdown() {
+  // Serialize concurrent Shutdown() calls; the loser waits for the full
+  // drain instead of returning early.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_ || shutting_down_) return;
+    shutting_down_ = true;
+  }
+
+  // 1. Stop accepting: closing the listener makes accept() fail and the
+  //    accept thread exit.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 2. Wake handlers blocked in read(): half-close every open connection so
+  //    their next read returns EOF. Responses already being written still
+  //    flush (write side stays open).
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const int fd : open_connections_) ::shutdown(fd, SHUT_RD);
+  }
+
+  // 3. Let every handler finish answering what it already read.
+  if (pool_ != nullptr) pool_->Wait();
+
+  // 4. Drain the batchers: every admitted request is answered before Stop
+  //    returns.
+  for (auto& [name, entry] : batchers_) entry.second->Stop();
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed — shutting down
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (shutting_down_) {
+        ::close(fd);
+        return;
+      }
+      open_connections_.insert(fd);
+    }
+    pool_->Submit([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool alive = true;
+  while (alive) {
+    const size_t newline = buffer.find('\n');
+    if (newline == std::string::npos) {
+      if (buffer.size() > static_cast<size_t>(options_.max_line_bytes)) {
+        WriteLine(fd, ErrorResponse(
+                          "", Status::InvalidArgument("request line too long")));
+        break;
+      }
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;  // peer closed, error, or drain half-close
+      buffer.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+
+    std::string line = buffer.substr(0, newline);
+    buffer.erase(0, newline + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;  // blank keep-alive lines are fine
+
+    StatusOr<Request> request = ParseRequest(line);
+    std::string response;
+    if (!request.ok()) {
+      response = ErrorResponse("", request.status());
+    } else if (request->op == "quit") {
+      break;
+    } else {
+      response = HandleRequest(*request);
+    }
+    alive = WriteLine(fd, response);
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(mutex_);
+  open_connections_.erase(fd);
+}
+
+MicroBatcher* Server::FindBatcher(const std::string& model,
+                                  std::string* resolved) {
+  // batchers_ is immutable after Start(), so reads need no lock.
+  if (model.empty()) {
+    if (batchers_.size() == 1) {
+      *resolved = batchers_.begin()->first;
+      return batchers_.begin()->second.second.get();
+    }
+    return nullptr;
+  }
+  const auto it = batchers_.find(model);
+  if (it == batchers_.end()) return nullptr;
+  *resolved = it->first;
+  return it->second.second.get();
+}
+
+std::string Server::HandleRequest(const Request& request) {
+  if (request.op == "ping") return PongResponse(request.id);
+  if (request.op == "models") {
+    std::vector<std::string> names;
+    names.reserve(batchers_.size());
+    for (const auto& [name, entry] : batchers_) names.push_back(name);
+    return ModelsResponse(request.id, names);
+  }
+
+  std::string resolved;
+  MicroBatcher* batcher = FindBatcher(request.model, &resolved);
+  if (batcher == nullptr) {
+    const std::string why =
+        request.model.empty()
+            ? "no \"model\" given and more than one model is hosted"
+            : "unknown model: " + request.model;
+    return ErrorResponse(request.id, Status::NotFound(why));
+  }
+
+  if (request.op == "stats") {
+    return StatsResponse(request.id, resolved, batcher->stats());
+  }
+
+  std::vector<CellVerdict> verdicts;
+  const Status status = batcher->Detect(request.cells, &verdicts);
+  if (!status.ok()) return ErrorResponse(request.id, status);
+  return OkDetectResponse(request.id, verdicts);
+}
+
+StatusOr<BatcherStats> Server::ModelStats(const std::string& name) const {
+  const auto it = batchers_.find(name);
+  if (it == batchers_.end()) {
+    return Status::NotFound("unknown model: " + name);
+  }
+  return it->second.second->stats();
+}
+
+}  // namespace birnn::serve

@@ -1,0 +1,107 @@
+#ifndef BIRNN_SERVE_SERVER_H_
+#define BIRNN_SERVE_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/protocol.h"
+#include "serve/registry.h"
+#include "util/status.h"
+#include "util/threadpool.h"
+
+namespace birnn::serve {
+
+struct ServerOptions {
+  /// Bind address. Loopback by default — the service has no auth layer, so
+  /// exposing it wider is an explicit decision.
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the actual one from port() after
+  /// Start() (the tests and the CI smoke job rely on this).
+  int port = 0;
+  /// Connection-handler threads; also the concurrent-connection bound
+  /// (later connections queue in the pool until a handler frees up).
+  /// Clamped to >= 1 — inline execution would deadlock the accept loop.
+  int io_threads = 4;
+  /// Listen backlog for not-yet-accepted connections.
+  int backlog = 64;
+  /// A request line longer than this kills its connection (bounds per-
+  /// connection memory against hostile input).
+  int max_line_bytes = 1 << 20;
+  /// Micro-batching policy, applied to every hosted model.
+  BatcherOptions batcher;
+};
+
+/// Blocking-socket TCP server speaking the newline-delimited JSON protocol
+/// in serve/protocol.h. One accept thread hands connections to a
+/// util::ThreadPool of synchronous handlers; each detect request goes
+/// through the hosted model's MicroBatcher, so concurrent connections
+/// coalesce into shared forward batches.
+///
+/// Shutdown() drains gracefully: stop accepting, wake handlers blocked in
+/// read (shutdown(SHUT_RD) on their sockets), wait for them to finish
+/// writing answers for everything already admitted, then stop the batchers.
+/// No admitted request is dropped.
+class Server {
+ public:
+  /// `registry` must outlive the server. Models present at Start() get a
+  /// batcher each; models added to the registry later are served one-off
+  /// (no batching) until the server is restarted.
+  Server(const ModelRegistry* registry, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts the accept thread. Fails on bind errors or
+  /// an empty registry.
+  Status Start();
+
+  /// The bound port (resolves option port 0), or 0 before Start().
+  int port() const { return port_; }
+
+  /// Graceful drain, idempotent; also run by the destructor.
+  void Shutdown();
+
+  /// Handles one already-parsed request and returns the response line
+  /// (without newline). Exposed for in-process use and tests — this is
+  /// exactly what a connection handler runs per line.
+  std::string HandleRequest(const Request& request);
+
+  /// Aggregated stats for one hosted model; NotFound for unknown names.
+  StatusOr<BatcherStats> ModelStats(const std::string& name) const;
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  MicroBatcher* FindBatcher(const std::string& model, std::string* resolved);
+
+  const ModelRegistry* registry_;
+  ServerOptions options_;
+
+  // Keeps each batcher's detector alive for the server's lifetime.
+  std::map<std::string,
+           std::pair<std::shared_ptr<const LoadedDetector>,
+                     std::unique_ptr<MicroBatcher>>>
+      batchers_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex mutex_;
+  std::mutex shutdown_mutex_;  ///< serializes concurrent Shutdown() calls.
+  std::set<int> open_connections_;
+  bool shutting_down_ = false;
+  bool started_ = false;
+};
+
+}  // namespace birnn::serve
+
+#endif  // BIRNN_SERVE_SERVER_H_

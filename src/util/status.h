@@ -19,6 +19,9 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kIoError,
+  /// Load-shedding signal: the request was refused because an admission
+  /// queue is full (serve::MicroBatcher backpressure). Retryable.
+  kOverloaded,
 };
 
 /// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
@@ -60,6 +63,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,228 @@
+// Edge-case coverage for the v1 checkpoint format (magic + version sentinel
+// + FNV-1a payload checksum) and its strict load contract: truncation,
+// corruption, shape/coverage mismatches and v0 back-compat.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "nn/graph.h"
+#include "nn/init.h"
+#include "nn/serialize.h"
+#include "util/rng.h"
+
+namespace birnn::nn {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return data;
+}
+
+void WriteFile(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+// A v0 checkpoint image: magic, u32 entry count, entries — no version byte,
+// no checksum. This is the format older checkpoints on disk still have.
+std::string MakeV0Image(
+    const std::vector<std::pair<std::string, std::vector<float>>>& entries) {
+  std::string image = "BRNNCKPT";
+  AppendU32(&image, static_cast<uint32_t>(entries.size()));
+  for (const auto& [name, values] : entries) {
+    AppendU32(&image, static_cast<uint32_t>(name.size()));
+    image.append(name);
+    AppendU32(&image, 1);  // rank
+    AppendU32(&image, static_cast<uint32_t>(values.size()));
+    image.append(reinterpret_cast<const char*>(values.data()),
+                 values.size() * sizeof(float));
+  }
+  return image;
+}
+
+TEST(SerializeV1Test, RoundtripIsBitExact) {
+  Rng rng(7);
+  Parameter a("enc/w", Tensor(5, 3));
+  Parameter b("enc/b", Tensor(std::vector<int>{3}));
+  NormalInit(&a.value, 1.0f, &rng);
+  NormalInit(&b.value, 1.0f, &rng);
+  // Plant awkward values: negative zero, denormal, huge.
+  a.value[0] = -0.0f;
+  a.value[1] = 1e-40f;
+  b.value[0] = 3.0e38f;
+  const Tensor a_orig = a.value;
+  const Tensor b_orig = b.value;
+
+  const std::string path = TempPath("birnn_ser_v1_roundtrip.bin");
+  ASSERT_TRUE(SaveParameters({&a, &b}, path).ok());
+  a.value.Fill(0.0f);
+  b.value.Fill(0.0f);
+  ASSERT_TRUE(LoadParameters(path, {&a, &b}).ok());
+  EXPECT_EQ(0, std::memcmp(a.value.data(), a_orig.data(),
+                           a_orig.size() * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(b.value.data(), b_orig.data(),
+                           b_orig.size() * sizeof(float)));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeV1Test, FileStartsWithMagicAndSentinel) {
+  Parameter a("a", Tensor(1, 1));
+  const std::string path = TempPath("birnn_ser_v1_header.bin");
+  ASSERT_TRUE(SaveParameters({&a}, path).ok());
+  const std::string image = ReadFile(path);
+  ASSERT_GE(image.size(), 13u);
+  EXPECT_EQ(image.substr(0, 8), "BRNNCKPT");
+  uint32_t sentinel = 0;
+  std::memcpy(&sentinel, image.data() + 8, sizeof(sentinel));
+  EXPECT_EQ(sentinel, 0xFFFFFFFFu);
+  EXPECT_EQ(static_cast<uint8_t>(image[12]), 1);  // format version
+  std::remove(path.c_str());
+}
+
+TEST(SerializeV1Test, TruncatedFileFails) {
+  Rng rng(8);
+  Parameter a("a", Tensor(4, 4));
+  NormalInit(&a.value, 1.0f, &rng);
+  const std::string path = TempPath("birnn_ser_v1_trunc.bin");
+  ASSERT_TRUE(SaveParameters({&a}, path).ok());
+  const std::string image = ReadFile(path);
+
+  // Any strict prefix must fail to load — never crash, never half-load.
+  for (const size_t keep :
+       {image.size() - 1, image.size() - 8, image.size() / 2, size_t{13},
+        size_t{10}, size_t{4}, size_t{0}}) {
+    WriteFile(path, image.substr(0, keep));
+    Parameter fresh("a", Tensor(4, 4));
+    EXPECT_FALSE(LoadParameters(path, {&fresh}).ok()) << "prefix " << keep;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeV1Test, CorruptedPayloadFailsChecksum) {
+  Rng rng(9);
+  Parameter a("a", Tensor(8, 8));
+  NormalInit(&a.value, 1.0f, &rng);
+  const std::string path = TempPath("birnn_ser_v1_corrupt.bin");
+  ASSERT_TRUE(SaveParameters({&a}, path).ok());
+  std::string image = ReadFile(path);
+
+  // Flip one bit in the middle of the tensor data.
+  image[image.size() / 2] ^= 0x01;
+  WriteFile(path, image);
+  Parameter fresh("a", Tensor(8, 8));
+  const Status st = LoadParameters(path, {&fresh});
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_NE(st.message().find("checksum"), std::string::npos) << st.message();
+  std::remove(path.c_str());
+}
+
+TEST(SerializeV1Test, CorruptedChecksumTrailerFails) {
+  Parameter a("a", Tensor(2, 2));
+  const std::string path = TempPath("birnn_ser_v1_badsum.bin");
+  ASSERT_TRUE(SaveParameters({&a}, path).ok());
+  std::string image = ReadFile(path);
+  image[image.size() - 3] ^= 0xFF;  // inside the trailing u64 checksum
+  WriteFile(path, image);
+  Parameter fresh("a", Tensor(2, 2));
+  EXPECT_EQ(LoadParameters(path, {&fresh}).code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeV1Test, WrongShapeFails) {
+  Parameter a("a", Tensor(2, 3));
+  const std::string path = TempPath("birnn_ser_v1_shape.bin");
+  ASSERT_TRUE(SaveParameters({&a}, path).ok());
+  Parameter wrong("a", Tensor(3, 2));
+  EXPECT_EQ(LoadParameters(path, {&wrong}).code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeV1Test, ExtraEntriesFail) {
+  Parameter a("a", Tensor(1, 2));
+  Parameter b("b", Tensor(1, 2));
+  Parameter c("c", Tensor(1, 2));
+  const std::string path = TempPath("birnn_ser_v1_extra.bin");
+  ASSERT_TRUE(SaveParameters({&a, &b, &c}, path).ok());
+  // Loading into a strict subset must fail loudly — silent partial loads
+  // hide a model/checkpoint mismatch.
+  Parameter only_a("a", Tensor(1, 2));
+  const Status st = LoadParameters(path, {&only_a});
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("extra"), std::string::npos) << st.message();
+  EXPECT_NE(st.message().find("b"), std::string::npos) << st.message();
+  std::remove(path.c_str());
+}
+
+TEST(SerializeV1Test, UnsupportedVersionFails) {
+  std::string image = "BRNNCKPT";
+  AppendU32(&image, 0xFFFFFFFFu);
+  image.push_back(static_cast<char>(2));  // a future format version
+  const std::string path = TempPath("birnn_ser_v1_future.bin");
+  WriteFile(path, image);
+  Parameter a("a", Tensor(1, 1));
+  const Status st = LoadParameters(path, {&a});
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("version"), std::string::npos) << st.message();
+  std::remove(path.c_str());
+}
+
+TEST(SerializeV0CompatTest, V0CheckpointStillLoads) {
+  const std::vector<float> w = {1.5f, -2.25f, 0.125f};
+  const std::string path = TempPath("birnn_ser_v0_ok.bin");
+  WriteFile(path, MakeV0Image({{"layer/w", w}}));
+
+  Parameter p("layer/w", Tensor(std::vector<int>{3}));
+  ASSERT_TRUE(LoadParameters(path, {&p}).ok());
+  EXPECT_EQ(0, std::memcmp(p.value.data(), w.data(), w.size() * sizeof(float)));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeV0CompatTest, V0DuplicateEntryFails) {
+  const std::vector<float> w = {1.0f};
+  const std::string path = TempPath("birnn_ser_v0_dup.bin");
+  WriteFile(path, MakeV0Image({{"w", w}, {"w", w}}));
+  Parameter p("w", Tensor(std::vector<int>{1}));
+  EXPECT_EQ(LoadParameters(path, {&p}).code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeV0CompatTest, V0ExtraEntryFails) {
+  const std::vector<float> w = {1.0f};
+  const std::string path = TempPath("birnn_ser_v0_extra.bin");
+  WriteFile(path, MakeV0Image({{"w", w}, {"stale", w}}));
+  Parameter p("w", Tensor(std::vector<int>{1}));
+  const Status st = LoadParameters(path, {&p});
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("stale"), std::string::npos) << st.message();
+  std::remove(path.c_str());
+}
+
+TEST(SerializeV0CompatTest, V0TrailingGarbageFails) {
+  const std::vector<float> w = {1.0f};
+  const std::string path = TempPath("birnn_ser_v0_trail.bin");
+  WriteFile(path, MakeV0Image({{"w", w}}) + "junk");
+  Parameter p("w", Tensor(std::vector<int>{1}));
+  EXPECT_FALSE(LoadParameters(path, {&p}).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace birnn::nn
