@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "eval/report.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stats.h"
 #include "util/string_util.h"
@@ -34,6 +37,12 @@ void AddCommonFlags(FlagSet* flags, const std::string& default_json) {
                    "then .birnn-cache");
   flags->AddString("json", default_json,
                    "machine-readable output path (empty = skip)");
+  flags->AddString("trace", "",
+                   "Chrome trace_event JSON output path (load in "
+                   "chrome://tracing; empty = skip)");
+  flags->AddString("metrics", "",
+                   "text metrics-snapshot output path (Prometheus "
+                   "exposition; empty = skip)");
 }
 
 BenchConfig ParseCommonFlags(FlagSet* flags, int argc, char** argv,
@@ -70,6 +79,8 @@ BenchConfig ParseCommonFlags(FlagSet* flags, int argc, char** argv,
   config.cache_enabled = flags->GetBool("cache");
   config.cache_dir = flags->GetString("cache-dir");
   config.json_path = flags->GetString("json");
+  config.trace_path = flags->GetString("trace");
+  config.metrics_path = flags->GetString("metrics");
   return config;
 }
 
@@ -321,6 +332,61 @@ void WriteResultJson(JsonWriter* json, const eval::RepeatedResult& result) {
   }
   json->EndArray();
   json->EndObject();
+}
+
+void WriteObsJson(JsonWriter* json) {
+  const std::vector<obs::MetricSnapshot> snapshot =
+      obs::Registry::Get().Snapshot();
+  json->BeginObject();
+  json->Key("counters").BeginObject();
+  for (const obs::MetricSnapshot& m : snapshot) {
+    if (m.type != obs::Metric::Type::kCounter) continue;
+    json->Key(m.name).Int(m.counter);
+  }
+  json->EndObject();
+  json->Key("gauges").BeginObject();
+  for (const obs::MetricSnapshot& m : snapshot) {
+    if (m.type != obs::Metric::Type::kGauge) continue;
+    json->Key(m.name).Number(m.gauge);
+  }
+  json->EndObject();
+  json->Key("histograms").BeginObject();
+  for (const obs::MetricSnapshot& m : snapshot) {
+    if (m.type != obs::Metric::Type::kHistogram) continue;
+    json->Key(m.name).BeginObject();
+    json->Key("count").Int(m.histogram.count);
+    json->Key("sum").Number(m.histogram.sum);
+    json->Key("p50").Number(m.histogram.Quantile(0.5));
+    json->Key("p95").Number(m.histogram.Quantile(0.95));
+    json->Key("p99").Number(m.histogram.Quantile(0.99));
+    json->Key("max").Number(m.histogram.max);
+    json->EndObject();
+  }
+  json->EndObject();
+  json->EndObject();
+}
+
+void WriteObsArtifacts(const BenchConfig& config) {
+  if (!config.trace_path.empty()) {
+    const Status st = obs::Tracing::Get().WriteChromeTrace(config.trace_path);
+    if (st.ok()) {
+      std::printf("trace written to %s (open in chrome://tracing)\n",
+                  config.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace write failed: %s\n", st.ToString().c_str());
+    }
+  }
+  if (!config.metrics_path.empty()) {
+    std::ofstream out(config.metrics_path, std::ios::trunc);
+    if (out) out << obs::Registry::Get().TextExposition();
+    if (out) {
+      std::printf("metrics snapshot written to %s\n",
+                  config.metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "metrics write failed: %s\n",
+                   config.metrics_path.c_str());
+    }
+  }
 }
 
 }  // namespace birnn::bench

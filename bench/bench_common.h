@@ -38,6 +38,10 @@ struct BenchConfig {
   std::string cache_dir;
   /// Machine-readable output next to the text tables; empty = skip.
   std::string json_path;
+  /// Chrome trace_event JSON of the run's obs spans; empty = skip.
+  std::string trace_path;
+  /// Prometheus-style text snapshot of the obs registry; empty = skip.
+  std::string metrics_path;
 };
 
 /// Registers the shared flags on `flags`. `default_json` is the bench's
@@ -133,6 +137,16 @@ class JsonWriter {
 /// Writes a RepeatedResult as a JSON object (summary stats, timing, raw
 /// per-repetition metrics). The writer must be positioned for a value.
 void WriteResultJson(JsonWriter* json, const eval::RepeatedResult& result);
+
+/// Writes the current obs registry snapshot as one JSON object:
+/// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,p50,p95,
+/// p99,max}}}. The writer must be positioned for a value.
+void WriteObsJson(JsonWriter* json);
+
+/// Honors --trace / --metrics: dumps the Chrome trace and the text
+/// exposition of everything recorded so far to the configured paths
+/// (each skipped when empty). Prints where the artifacts went.
+void WriteObsArtifacts(const BenchConfig& config);
 
 }  // namespace birnn::bench
 

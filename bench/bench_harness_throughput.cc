@@ -169,10 +169,13 @@ int Run(int argc, char** argv) {
       WriteResultJson(&json, result);
     }
     json.EndArray();
+    json.Key("obs");
+    WriteObsJson(&json);
     json.EndObject();
     out << "\n";
     std::cout << "JSON written to " << config.json_path << "\n";
   }
+  WriteObsArtifacts(config);
   return (serial_identical && warm_identical && warm.stats.computed == 0)
              ? 0
              : 1;

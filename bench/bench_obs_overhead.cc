@@ -1,0 +1,219 @@
+// Overhead gate for the obs subsystem: runs the PR 1 training workload
+// (Trainer::Fit on the hospital trainset) and the PR 2 inference workload
+// (InferenceEngine whole-table sweep) with instrumentation enabled and
+// disabled (obs::SetEnabled), interleaving the two arms A/B/A/B per rep so
+// thermal / frequency drift hits both sides equally. Reports min-of-reps
+// for each arm and exits nonzero when the enabled/disabled ratio of either
+// workload exceeds --budget-pct (default 2%). CI runs this as a smoke job;
+// see .github/workflows/ci.yml.
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/inference.h"
+#include "core/model.h"
+#include "core/trainer.h"
+#include "data/dictionary.h"
+#include "data/encoding.h"
+#include "data/prepare.h"
+#include "datagen/datasets.h"
+#include "eval/report.h"
+#include "obs/registry.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace birnn::bench {
+namespace {
+
+// One workload's A/B accounting: best (minimum) wall-clock per arm.
+struct ArmTimes {
+  double enabled_sec = std::numeric_limits<double>::infinity();
+  double disabled_sec = std::numeric_limits<double>::infinity();
+
+  double overhead_pct() const {
+    if (disabled_sec <= 0.0) return 0.0;
+    return (enabled_sec / disabled_sec - 1.0) * 100.0;
+  }
+};
+
+// Everything both workloads need, prepared once so the measured region is
+// purely Fit / PredictProbs.
+struct Workloads {
+  data::EncodedDataset all;
+  data::EncodedDataset train;
+  data::EncodedDataset test;
+  core::ModelConfig model_config;
+  int epochs = 0;
+  int eval_batch = 0;
+  uint64_t seed = 0;
+};
+
+double RunTrainOnce(const Workloads& w) {
+  core::ErrorDetectionModel model(w.model_config);
+  core::TrainerOptions options;
+  options.epochs = w.epochs;
+  options.seed = w.seed;
+  options.train_threads = 0;  // inline: no scheduling noise in the timing
+  core::Trainer trainer(options);
+  const core::TrainHistory history = trainer.Fit(&model, w.train, &w.test);
+  return history.train_seconds;
+}
+
+double RunInferenceOnce(const Workloads& w,
+                        const core::ErrorDetectionModel& model) {
+  core::InferenceOptions options;
+  options.eval_batch = w.eval_batch;
+  core::InferenceEngine engine(model, options);
+  std::vector<float> probs;
+  engine.PredictProbs(w.all, {}, &probs);
+  return engine.stats().seconds;
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  flags.AddString("dataset", "hospital", "dataset generator to measure on");
+  flags.AddInt("epochs", 10, "training epochs per measurement");
+  flags.AddInt("train-rows", 24, "labeled rows in the trainset");
+  flags.AddInt("eval-batch", 256, "cells per inference batch");
+  flags.AddInt("reps", 5, "interleaved A/B repetitions per workload");
+  flags.AddDouble("budget-pct", 2.0,
+                  "maximum tolerated enabled-vs-disabled overhead [%]");
+  flags.AddDouble("scale", 0.0, "dataset scale (0 = bench default)");
+  flags.AddInt("seed", 1000, "generation / training seed");
+  flags.AddString("json", "BENCH_obs_overhead.json",
+                  "output JSON path (empty = skip)");
+  const Status st = flags.Parse(argc, argv);
+  if (!st.ok() || flags.help_requested()) {
+    std::cerr << flags.Usage("bench_obs_overhead");
+    return st.ok() ? 0 : 1;
+  }
+
+  BenchConfig config;
+  config.scale = flags.GetDouble("scale");
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const std::string dataset = flags.GetString("dataset");
+  const int reps = std::max(1, flags.GetInt("reps"));
+  const double budget_pct = flags.GetDouble("budget-pct");
+
+  const datagen::DatasetPair pair = MakePair(dataset, config);
+  auto frame = data::PrepareData(pair.dirty, pair.clean);
+  if (!frame.ok()) {
+    std::cerr << "PrepareData failed: " << frame.status().message() << "\n";
+    return 1;
+  }
+  const data::CharIndex chars = data::CharIndex::Build(*frame);
+
+  Workloads w;
+  w.all = data::EncodeCells(*frame, chars);
+  std::vector<int64_t> train_ids;
+  for (int64_t i = 0; i < flags.GetInt("train-rows"); ++i) {
+    train_ids.push_back(i);
+  }
+  data::SplitByRowIds(w.all, train_ids, &w.train, &w.test);
+  w.model_config.vocab = w.all.vocab;
+  w.model_config.max_len = w.all.max_len;
+  w.model_config.n_attrs = w.all.n_attrs;
+  w.model_config.enriched = true;
+  w.model_config.seed = config.seed;
+  w.epochs = flags.GetInt("epochs");
+  w.eval_batch = flags.GetInt("eval-batch");
+  w.seed = config.seed;
+
+  // A fixed calibrated model shared by every inference measurement, so the
+  // arms run the exact same forward passes.
+  core::ErrorDetectionModel infer_model(w.model_config);
+  infer_model.CalibrateBatchNorm(w.all, w.eval_batch);
+
+  std::cout << "=== obs overhead gate (" << dataset << ", "
+            << w.train.num_cells() << " train cells x " << w.epochs
+            << " epochs, " << w.all.num_cells() << " sweep cells, " << reps
+            << " reps, budget " << FormatFixed(budget_pct, 1) << "%) ===\n";
+#if !BIRNN_OBS_ENABLED
+  std::cout << "NOTE: compiled with BIRNN_OBS=OFF — every macro is a no-op, "
+               "both arms run identical code.\n";
+#endif
+
+  const bool was_enabled = obs::Enabled();
+  ArmTimes train_times;
+  ArmTimes infer_times;
+  for (int rep = 0; rep < reps; ++rep) {
+    // Warm-up rep 0 primes caches and the leaky metric statics; its
+    // timings still count (min-of-reps discards slow outliers anyway).
+    obs::SetEnabled(true);
+    train_times.enabled_sec =
+        std::min(train_times.enabled_sec, RunTrainOnce(w));
+    obs::SetEnabled(false);
+    train_times.disabled_sec =
+        std::min(train_times.disabled_sec, RunTrainOnce(w));
+
+    obs::SetEnabled(true);
+    infer_times.enabled_sec =
+        std::min(infer_times.enabled_sec, RunInferenceOnce(w, infer_model));
+    obs::SetEnabled(false);
+    infer_times.disabled_sec =
+        std::min(infer_times.disabled_sec, RunInferenceOnce(w, infer_model));
+
+    std::cerr << "[obs-overhead] rep " << (rep + 1) << "/" << reps
+              << " train on/off=" << FormatFixed(train_times.enabled_sec, 3)
+              << "/" << FormatFixed(train_times.disabled_sec, 3)
+              << "s infer on/off=" << FormatFixed(infer_times.enabled_sec, 3)
+              << "/" << FormatFixed(infer_times.disabled_sec, 3) << "s\n";
+  }
+  obs::SetEnabled(was_enabled);
+
+  eval::TableWriter writer(
+      {"Workload", "Enabled [s]", "Disabled [s]", "Overhead", "Budget"});
+  const auto verdict = [budget_pct](const ArmTimes& t) {
+    return t.overhead_pct() <= budget_pct ? "ok" : "OVER";
+  };
+  writer.AddRow({"train (PR 1)", FormatFixed(train_times.enabled_sec, 3),
+                 FormatFixed(train_times.disabled_sec, 3),
+                 FormatFixed(train_times.overhead_pct(), 2) + "%",
+                 verdict(train_times)});
+  writer.AddRow({"inference (PR 2)", FormatFixed(infer_times.enabled_sec, 3),
+                 FormatFixed(infer_times.disabled_sec, 3),
+                 FormatFixed(infer_times.overhead_pct(), 2) + "%",
+                 verdict(infer_times)});
+  writer.Print(std::cout);
+
+  const bool ok = train_times.overhead_pct() <= budget_pct &&
+                  infer_times.overhead_pct() <= budget_pct;
+  std::cout << "\nObs overhead within " << FormatFixed(budget_pct, 1)
+            << "% budget: " << (ok ? "yes" : "NO") << "\n";
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    JsonWriter json(out);
+    json.BeginObject();
+    json.Key("dataset").String(dataset);
+    json.Key("obs_compiled_in").Bool(BIRNN_OBS_ENABLED != 0);
+    json.Key("epochs").Int(w.epochs);
+    json.Key("train_cells").Int(w.train.num_cells());
+    json.Key("sweep_cells").Int(w.all.num_cells());
+    json.Key("reps").Int(reps);
+    json.Key("budget_pct").Number(budget_pct);
+    json.Key("train_enabled_seconds").Number(train_times.enabled_sec);
+    json.Key("train_disabled_seconds").Number(train_times.disabled_sec);
+    json.Key("train_overhead_pct").Number(train_times.overhead_pct());
+    json.Key("inference_enabled_seconds").Number(infer_times.enabled_sec);
+    json.Key("inference_disabled_seconds").Number(infer_times.disabled_sec);
+    json.Key("inference_overhead_pct").Number(infer_times.overhead_pct());
+    json.Key("within_budget").Bool(ok);
+    json.EndObject();
+    out << "\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace birnn::bench
+
+int main(int argc, char** argv) { return birnn::bench::Run(argc, argv); }

@@ -403,10 +403,13 @@ int Run(int argc, char** argv) {
       json.EndObject();
     }
     json.EndArray();
+    json.Key("obs");
+    WriteObsJson(&json);
     json.EndObject();
     out << "\n";
     std::cout << "\nwrote " << config.json_path << "\n";
   }
+  WriteObsArtifacts(config);
   return failures > 0 ? 1 : 0;
 }
 

@@ -9,6 +9,8 @@
 //    newline-delimited JSON to it over a real socket: ping, then a detect
 //    request for a clean-looking and an obviously corrupted cell.
 // 4. Shut down gracefully (every admitted request is answered first).
+// 5. Dump the run's observability artifacts: a chrome://tracing-loadable
+//    span timeline and a Prometheus-style metrics snapshot (DESIGN.md §11).
 //
 // Build & run:  ./build/examples/serve_detector
 //
@@ -22,9 +24,12 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "core/detector.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "datagen/datasets.h"
 #include "serve/bundle.h"
 #include "serve/registry.h"
@@ -121,5 +126,22 @@ int main() {
   // 4. Graceful drain.
   server.Shutdown();
   std::printf("\nserver drained and stopped.\n");
+
+  // 5. Everything above was also recorded by the obs layer: training
+  // epochs, inference batches, micro-batcher dispatches, request spans.
+  // Export the trace (load in chrome://tracing) and a text metrics
+  // snapshot of the whole train-bundle-serve session.
+  const std::string trace_path = "serve_detector.trace.json";
+  if (auto st = birnn::obs::Tracing::Get().WriteChromeTrace(trace_path);
+      st.ok()) {
+    std::printf("trace written to %s (%lld spans)\n", trace_path.c_str(),
+                static_cast<long long>(birnn::obs::Tracing::Get().EventCount()));
+  } else {
+    std::fprintf(stderr, "trace write failed: %s\n", st.ToString().c_str());
+  }
+  const std::string metrics_path = "serve_detector.metrics.txt";
+  std::ofstream metrics_out(metrics_path);
+  metrics_out << birnn::obs::Registry::Get().TextExposition();
+  std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "obs/obs.h"
 #include "util/stopwatch.h"
 
 namespace birnn::core {
@@ -140,6 +141,7 @@ void InferenceEngine::RunPlan(const data::EncodedDataset& ds,
     std::vector<float> probs;
     nn::Tensor hidden;
     for (int64_t b = b_begin; b < b_end; ++b) {
+      OBS_SPAN("inference/batch");
       const PlanBatch& pb = plan.batches[static_cast<size_t>(b)];
       cells.clear();
       for (int64_t i = pb.begin; i < pb.end; ++i) {
@@ -205,6 +207,7 @@ void InferenceEngine::SweepUnique(const data::EncodedDataset& ds,
                                   bool want_hidden, SweepPlan* plan,
                                   std::vector<float>* p_unique,
                                   nn::Tensor* hidden_unique) {
+  OBS_SPAN("inference/sweep");
   Stopwatch timer;
   BuildPlan(ds, indices, plan);
 
@@ -224,16 +227,30 @@ void InferenceEngine::SweepUnique(const data::EncodedDataset& ds,
   stats_.batches = static_cast<int64_t>(plan->batches.size());
   const int dirs = model_.config().bidirectional ? 2 : 1;
   stats_.rnn_steps_dense = stats_.cells * ds.max_len * dirs;
+  int64_t pad_rows = 0;
   for (const PlanBatch& pb : plan->batches) {
     // The forward chain always runs to max_len; bucketing shortens only
     // the backward chain (its pad prefix is warm-started, not re-run).
+    const int64_t real_rows = pb.end - pb.begin;
+    pad_rows += PaddedRows(real_rows) - real_rows;
     stats_.rnn_steps +=
-        PaddedRows(pb.end - pb.begin) *
+        PaddedRows(real_rows) *
         (ds.max_len + (dirs == 2 ? pb.padded_len : 0));
+    OBS_HISTOGRAM_RECORD("inference/batch_fill",
+                         static_cast<double>(real_rows) /
+                             static_cast<double>(PaddedRows(real_rows)));
   }
+  OBS_COUNTER_ADD("inference/cells", stats_.cells);
+  OBS_COUNTER_ADD("inference/unique_cells", stats_.unique_cells);
+  OBS_COUNTER_ADD("inference/memo_hits", stats_.cells - stats_.unique_cells);
+  OBS_COUNTER_ADD("inference/batches", stats_.batches);
+  OBS_COUNTER_ADD("inference/rnn_steps", stats_.rnn_steps);
+  OBS_COUNTER_ADD("inference/rnn_steps_dense", stats_.rnn_steps_dense);
+  OBS_COUNTER_ADD("inference/pad_rows", pad_rows);
 
   RunPlan(ds, *plan, want_hidden, p_unique, hidden_unique);
   stats_.seconds = timer.ElapsedSeconds();
+  OBS_HISTOGRAM_RECORD("inference/sweep_seconds", stats_.seconds);
 }
 
 void InferenceEngine::PredictProbs(const data::EncodedDataset& ds,

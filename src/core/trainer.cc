@@ -7,6 +7,7 @@
 
 #include "core/inference.h"
 #include "nn/optimizer.h"
+#include "obs/obs.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -37,6 +38,7 @@ TrainHistory Trainer::Fit(ErrorDetectionModel* model,
                           const data::EncodedDataset& train,
                           const data::EncodedDataset* test) {
   BIRNN_CHECK_GT(train.num_cells(), 0);
+  OBS_SPAN("trainer/fit");
   Stopwatch timer;
   Rng rng(options_.seed ^ 0x7124139ULL);
 
@@ -92,6 +94,8 @@ TrainHistory Trainer::Fit(ErrorDetectionModel* model,
   std::vector<std::function<void()>> shard_tasks;
 
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    OBS_SPAN("trainer/epoch");
+    Stopwatch epoch_timer;
     if (options_.shuffle) rng.Shuffle(&order);
 
     double loss_sum = 0.0;
@@ -113,6 +117,7 @@ TrainHistory Trainer::Fit(ErrorDetectionModel* model,
         ShardWorkspace* ws = workspaces[static_cast<size_t>(s)].get();
         shard_tasks.push_back([ws, s_begin, s_end, batch_rows, &order, &train,
                                model]() {
+          OBS_SPAN("trainer/grad_shard");
           const std::vector<int64_t> shard_indices(
               order.begin() + s_begin, order.begin() + s_end);
           const BatchInput batch = MakeBatch(train, shard_indices);
@@ -165,7 +170,12 @@ TrainHistory Trainer::Fit(ErrorDetectionModel* model,
 
       loss_sum += batch_loss;
       ++batches;
+      OBS_COUNTER_ADD("trainer/batches", 1);
+      OBS_COUNTER_ADD("trainer/cells", batch_rows);
+      OBS_COUNTER_ADD("trainer/grad_shards", num_shards);
     }
+    OBS_COUNTER_ADD("trainer/epochs", 1);
+    OBS_HISTOGRAM_RECORD("trainer/epoch_seconds", epoch_timer.ElapsedSeconds());
 
     EpochStats stats;
     stats.epoch = epoch;

@@ -10,6 +10,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/obs.h"
+
 namespace birnn::eval {
 
 namespace {
@@ -85,10 +87,10 @@ std::string ArtifactCache::EntryPath(uint64_t key) const {
 }
 
 bool ArtifactCache::Lookup(uint64_t key, JobOutcome* out) {
+  OBS_SPAN("eval/cache_lookup");
   const auto miss = [this](bool corrupt) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.misses;
-    if (corrupt) ++stats_.corrupt;
+    misses_.Add(1);
+    if (corrupt) corrupt_.Add(1);
     return false;
   };
 
@@ -170,12 +172,12 @@ bool ArtifactCache::Lookup(uint64_t key, JobOutcome* out) {
   outcome.ok = true;
   outcome.from_cache = true;
   *out = std::move(outcome);
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.hits;
+  hits_.Add(1);
   return true;
 }
 
 Status ArtifactCache::Store(uint64_t key, const JobOutcome& outcome) {
+  OBS_SPAN("eval/cache_store");
   if (!outcome.ok) {
     return Status::InvalidArgument("refusing to cache a failed job");
   }
@@ -217,14 +219,17 @@ Status ArtifactCache::Store(uint64_t key, const JobOutcome& outcome) {
     std::remove(tmp.c_str());
     return Status::IoError("cannot rename " + tmp + " -> " + path);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.stores;
+  stores_.Add(1);
   return Status::OK();
 }
 
 CacheStats ArtifactCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  CacheStats stats;
+  stats.hits = hits_.Value();
+  stats.misses = misses_.Value();
+  stats.stores = stores_.Value();
+  stats.corrupt = corrupt_.Value();
+  return stats;
 }
 
 }  // namespace birnn::eval

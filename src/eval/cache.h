@@ -2,7 +2,6 @@
 #define BIRNN_EVAL_CACHE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -10,6 +9,7 @@
 #include "core/trainer.h"
 #include "datagen/injector.h"
 #include "eval/metrics.h"
+#include "obs/registry.h"
 #include "util/status.h"
 
 namespace birnn::eval {
@@ -72,7 +72,11 @@ struct JobOutcome {
   bool from_cache = false;
 };
 
-/// Cache-observability counters (all monotonically increasing).
+/// Snapshot of one cache's observability counters (all monotonically
+/// increasing). Backed by obs::Counter instances owned by the cache, so the
+/// same numbers also land on the global obs registry under
+/// `eval/cache/{hits,misses,stores,corrupt}` — per-instance reads stay
+/// exact while scrapes see the process-wide aggregate.
 struct CacheStats {
   int64_t hits = 0;
   int64_t misses = 0;
@@ -91,7 +95,7 @@ struct CacheStats {
 /// half-written entry behind and cold runs resume where they stopped.
 ///
 /// Thread-safe: Lookup/Store may be called concurrently (distinct jobs have
-/// distinct keys; the stats counters are mutex-protected).
+/// distinct keys; the stats counters are lock-free obs::Counters).
 class ArtifactCache {
  public:
   /// `dir` empty resolves to $BIRNN_CACHE_DIR, falling back to
@@ -123,8 +127,10 @@ class ArtifactCache {
   std::string EntryPath(uint64_t key) const;
 
   std::string dir_;
-  mutable std::mutex mutex_;
-  CacheStats stats_;
+  obs::Counter hits_{"eval/cache/hits"};
+  obs::Counter misses_{"eval/cache/misses"};
+  obs::Counter stores_{"eval/cache/stores"};
+  obs::Counter corrupt_{"eval/cache/corrupt"};
 };
 
 }  // namespace birnn::eval

@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/obs.h"
 #include "raha/detector.h"
 #include "rotom/baseline.h"
 #include "util/logging.h"
@@ -262,6 +263,7 @@ Scheduler::ExperimentId Scheduler::SubmitRotom(
 void Scheduler::RunAll() {
   BIRNN_CHECK(!ran_) << "RunAll() may only be called once";
   ran_ = true;
+  OBS_SPAN("eval/run_all");
   Stopwatch timer;
 
   std::vector<Job*> jobs;
@@ -281,7 +283,10 @@ void Scheduler::RunAll() {
 
   ArtifactCache* cache = options_.cache;
   const auto run_job = [cache, inner](Job* job) {
+    OBS_SPAN("eval/job");
+    Stopwatch job_timer;
     if (cache != nullptr && cache->Lookup(job->cache_key, &job->outcome)) {
+      OBS_HISTOGRAM_RECORD("eval/job_seconds", job_timer.ElapsedSeconds());
       return;
     }
     job->outcome = job->compute(inner);
@@ -292,6 +297,9 @@ void Scheduler::RunAll() {
         BIRNN_LOG(Warning) << "cache store failed: " << status.ToString();
       }
     }
+    OBS_HISTOGRAM_RECORD("eval/job_seconds", job_timer.ElapsedSeconds());
+    OBS_HISTOGRAM_RECORD("eval/job_cpu_seconds",
+                         job->outcome.train_cpu_seconds);
   };
 
   if (budget.outer == 0) {
@@ -317,6 +325,10 @@ void Scheduler::RunAll() {
     }
   }
   stats_.wall_seconds = timer.ElapsedSeconds();
+  OBS_COUNTER_ADD("eval/jobs", stats_.jobs);
+  OBS_COUNTER_ADD("eval/computed", stats_.computed);
+  OBS_COUNTER_ADD("eval/cache_hits", stats_.cache_hits);
+  OBS_COUNTER_ADD("eval/failures", stats_.failures);
 }
 
 RepeatedResult Scheduler::Take(ExperimentId id) {

@@ -1,0 +1,100 @@
+#ifndef BIRNN_OBS_OBS_H_
+#define BIRNN_OBS_OBS_H_
+
+/// Ambient instrumentation macros. Each OBS_* macro lazily creates one
+/// process-lifetime metric per call site (thread-safe static init) and
+/// checks the runtime obs::Enabled() switch before recording. With
+/// BIRNN_OBS_ENABLED=0 (the BIRNN_OBS=OFF CMake option) every macro
+/// compiles to nothing — arguments are unevaluated — while the direct
+/// metric API in registry.h keeps working, so component-owned stats
+/// (MicroBatcher, ArtifactCache) are unaffected by the build flavor.
+
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+#ifndef BIRNN_OBS_ENABLED
+#define BIRNN_OBS_ENABLED 1
+#endif
+
+#define BIRNN_OBS_CONCAT_INNER_(a, b) a##b
+#define BIRNN_OBS_CONCAT_(a, b) BIRNN_OBS_CONCAT_INNER_(a, b)
+
+#if BIRNN_OBS_ENABLED
+
+/// Scoped trace span; `name` must be a string literal. Records a Chrome
+/// trace_event "X" slice into the calling thread's ring buffer.
+#define OBS_SPAN(name)                                        \
+  ::birnn::obs::ScopedSpan BIRNN_OBS_CONCAT_(_obs_span_,      \
+                                             __COUNTER__) {   \
+    name                                                      \
+  }
+
+#define OBS_COUNTER_ADD(name, delta)                                     \
+  do {                                                                   \
+    if (::birnn::obs::Enabled()) {                                       \
+      static ::birnn::obs::Counter& _obs_metric =                        \
+          ::birnn::obs::internal::LeakyCounter(name);                    \
+      _obs_metric.Add(delta);                                            \
+    }                                                                    \
+  } while (0)
+
+#define OBS_GAUGE_SET(name, value)                                       \
+  do {                                                                   \
+    if (::birnn::obs::Enabled()) {                                       \
+      static ::birnn::obs::Gauge& _obs_metric =                          \
+          ::birnn::obs::internal::LeakyGauge(name);                      \
+      _obs_metric.Set(value);                                            \
+    }                                                                    \
+  } while (0)
+
+#define OBS_GAUGE_ADD(name, delta)                                       \
+  do {                                                                   \
+    if (::birnn::obs::Enabled()) {                                       \
+      static ::birnn::obs::Gauge& _obs_metric =                          \
+          ::birnn::obs::internal::LeakyGauge(name);                      \
+      _obs_metric.Add(delta);                                            \
+    }                                                                    \
+  } while (0)
+
+#define OBS_HISTOGRAM_RECORD(name, value)                                \
+  do {                                                                   \
+    if (::birnn::obs::Enabled()) {                                       \
+      static ::birnn::obs::Histogram& _obs_metric =                      \
+          ::birnn::obs::internal::LeakyHistogram(name);                  \
+      _obs_metric.Record(value);                                         \
+    }                                                                    \
+  } while (0)
+
+#else  // !BIRNN_OBS_ENABLED
+
+// sizeof keeps the operands syntactically checked but unevaluated, so the
+// OFF build costs nothing at runtime and still catches typos at compile
+// time (no unused-variable warnings under -Wall -Wextra either).
+#define OBS_SPAN(name)                 \
+  do {                                 \
+    (void)sizeof(name);                \
+  } while (0)
+#define OBS_COUNTER_ADD(name, delta)   \
+  do {                                 \
+    (void)sizeof(name);                \
+    (void)sizeof(delta);               \
+  } while (0)
+#define OBS_GAUGE_SET(name, value)     \
+  do {                                 \
+    (void)sizeof(name);                \
+    (void)sizeof(value);               \
+  } while (0)
+#define OBS_GAUGE_ADD(name, delta)     \
+  do {                                 \
+    (void)sizeof(name);                \
+    (void)sizeof(delta);               \
+  } while (0)
+#define OBS_HISTOGRAM_RECORD(name, value) \
+  do {                                    \
+    (void)sizeof(name);                   \
+    (void)sizeof(value);                  \
+  } while (0)
+
+#endif  // BIRNN_OBS_ENABLED
+
+#endif  // BIRNN_OBS_OBS_H_

@@ -1,0 +1,324 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <utility>
+
+namespace birnn::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+/// Lock-free CAS helpers; std::atomic<double>::fetch_add is C++20 but not
+/// universally lowered well, and CAS loops are portable and TSAN-clean.
+void AtomicAddDouble(std::atomic<double>* a, double delta) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + delta,
+                                   std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxDouble(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMinDouble(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (cur > v &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::string FormatSample(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+double BucketUpperBound(int i) {
+  if (i >= kHistogramBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::ldexp(1.0, i - 21);
+}
+
+int BucketIndex(double v) {
+  if (!(v > 0.0)) return 0;  // also catches NaN
+  int exp = 0;
+  const double mantissa = std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
+  // v <= 2^(exp-1) exactly when the mantissa is 0.5.
+  const int i = mantissa == 0.5 ? exp + 20 : exp + 21;
+  return std::clamp(i, 0, kHistogramBuckets - 1);
+}
+
+// --------------------------------------------------------------- lifecycle
+
+Metric::Metric(std::string name, Type type)
+    : name_(std::move(name)), type_(type) {
+  Registry::Get().Register(this);
+}
+
+Metric::~Metric() {
+  // Normally the derived destructor has already Retire()d with its final
+  // value; this is the fallback for a metric that dies mid-construction.
+  if (!retired_) Registry::Get().Unregister(this);
+}
+
+void Metric::Retire(const MetricSnapshot& final_snapshot) {
+  if (retired_) return;
+  retired_ = true;
+  Registry::Get().UnregisterAndRetain(this, final_snapshot);
+}
+
+// ----------------------------------------------------------------- Counter
+
+Counter::Counter(std::string name)
+    : Metric(std::move(name), Type::kCounter) {}
+
+Counter::~Counter() {
+  MetricSnapshot final_value;
+  final_value.name = name();
+  final_value.type = type();
+  final_value.counter = Value();
+  Retire(final_value);
+}
+
+void Counter::Add(int64_t delta) {
+  cells_[static_cast<size_t>(internal::ThreadStripe())].v.fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const Cell& cell : cells_) {
+    total += cell.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+// ------------------------------------------------------------------- Gauge
+
+Gauge::Gauge(std::string name) : Metric(std::move(name), Type::kGauge) {}
+
+Gauge::~Gauge() {
+  MetricSnapshot final_value;
+  final_value.name = name();
+  final_value.type = type();
+  final_value.gauge = Value();
+  Retire(final_value);
+}
+
+void Gauge::Set(double v) { v_.store(v, std::memory_order_relaxed); }
+
+void Gauge::Add(double delta) { AtomicAddDouble(&v_, delta); }
+
+void Gauge::KeepMax(double v) { AtomicMaxDouble(&v_, v); }
+
+double Gauge::Value() const { return v_.load(std::memory_order_relaxed); }
+
+// --------------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::string name)
+    : Metric(std::move(name), Type::kHistogram),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+Histogram::~Histogram() {
+  MetricSnapshot final_value;
+  final_value.name = name();
+  final_value.type = type();
+  final_value.histogram = Snapshot();
+  Retire(final_value);
+}
+
+void Histogram::Record(double v) {
+  Stripe& stripe = stripes_[static_cast<size_t>(internal::ThreadStripe())];
+  stripe.buckets[static_cast<size_t>(BucketIndex(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  stripe.count.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&stripe.sum, v);
+  AtomicMinDouble(&min_, v);
+  AtomicMaxDouble(&max_, v);
+}
+
+HistogramData Histogram::Snapshot() const {
+  HistogramData data;
+  for (const Stripe& stripe : stripes_) {
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      data.buckets[static_cast<size_t>(i)] +=
+          stripe.buckets[static_cast<size_t>(i)].load(
+              std::memory_order_relaxed);
+    }
+    data.count += stripe.count.load(std::memory_order_relaxed);
+    data.sum += stripe.sum.load(std::memory_order_relaxed);
+  }
+  if (data.count > 0) {
+    data.min = min_.load(std::memory_order_relaxed);
+    data.max = max_.load(std::memory_order_relaxed);
+  }
+  return data;
+}
+
+double HistogramData::Quantile(double q) const {
+  if (count <= 0) return 0.0;
+  const double rank = std::clamp(q, 0.0, 1.0) * static_cast<double>(count);
+  int64_t cumulative = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    cumulative += buckets[static_cast<size_t>(i)];
+    if (cumulative > 0 && static_cast<double>(cumulative) >= rank) {
+      return std::clamp(BucketUpperBound(i), min, max);
+    }
+  }
+  return max;
+}
+
+void HistogramData::Merge(const HistogramData& other) {
+  if (other.count <= 0) return;
+  if (count <= 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    buckets[static_cast<size_t>(i)] += other.buckets[static_cast<size_t>(i)];
+  }
+}
+
+// ---------------------------------------------------------------- Registry
+
+Registry& Registry::Get() {
+  static Registry* registry = new Registry();  // leaked: outlives statics
+  return *registry;
+}
+
+void Registry::Register(Metric* metric) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  metrics_.push_back(metric);
+}
+
+void Registry::Unregister(Metric* metric) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  metrics_.erase(std::remove(metrics_.begin(), metrics_.end(), metric),
+                 metrics_.end());
+}
+
+void Registry::UnregisterAndRetain(Metric* metric,
+                                   const MetricSnapshot& final_value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  metrics_.erase(std::remove(metrics_.begin(), metrics_.end(), metric),
+                 metrics_.end());
+  const auto key =
+      std::make_pair(metric->name(), static_cast<int>(metric->type()));
+  MetricSnapshot& slot = retained_[key];
+  slot.name = metric->name();
+  slot.type = metric->type();
+  slot.counter += final_value.counter;
+  slot.gauge += final_value.gauge;
+  slot.histogram.Merge(final_value.histogram);
+}
+
+std::vector<MetricSnapshot> Registry::Snapshot() const {
+  std::map<std::pair<std::string, int>, MetricSnapshot> merged;
+  std::lock_guard<std::mutex> lock(mutex_);
+  merged = retained_;
+  for (const Metric* metric : metrics_) {
+    const auto key =
+        std::make_pair(metric->name(), static_cast<int>(metric->type()));
+    MetricSnapshot& slot = merged[key];
+    slot.name = metric->name();
+    slot.type = metric->type();
+    switch (metric->type()) {
+      case Metric::Type::kCounter:
+        slot.counter += static_cast<const Counter*>(metric)->Value();
+        break;
+      case Metric::Type::kGauge:
+        slot.gauge += static_cast<const Gauge*>(metric)->Value();
+        break;
+      case Metric::Type::kHistogram:
+        slot.histogram.Merge(
+            static_cast<const Histogram*>(metric)->Snapshot());
+        break;
+    }
+  }
+  std::vector<MetricSnapshot> out;
+  out.reserve(merged.size());
+  for (auto& [key, snapshot] : merged) out.push_back(std::move(snapshot));
+  return out;
+}
+
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out = "birnn_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string Registry::TextExposition() const {
+  std::string out;
+  for (const MetricSnapshot& m : Snapshot()) {
+    const std::string sample = SanitizeMetricName(m.name);
+    switch (m.type) {
+      case Metric::Type::kCounter:
+        out += "# TYPE " + sample + " counter\n";
+        out += sample + " " + std::to_string(m.counter) + "\n";
+        break;
+      case Metric::Type::kGauge:
+        out += "# TYPE " + sample + " gauge\n";
+        out += sample + " " + FormatSample(m.gauge) + "\n";
+        break;
+      case Metric::Type::kHistogram:
+        out += "# TYPE " + sample + " summary\n";
+        out += sample + "{quantile=\"0.5\"} " +
+               FormatSample(m.histogram.Quantile(0.5)) + "\n";
+        out += sample + "{quantile=\"0.95\"} " +
+               FormatSample(m.histogram.Quantile(0.95)) + "\n";
+        out += sample + "{quantile=\"0.99\"} " +
+               FormatSample(m.histogram.Quantile(0.99)) + "\n";
+        out += sample + "_sum " + FormatSample(m.histogram.sum) + "\n";
+        out += sample + "_count " + std::to_string(m.histogram.count) + "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- internal
+
+namespace internal {
+
+int ThreadStripe() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const int stripe = static_cast<int>(
+      next.fetch_add(1, std::memory_order_relaxed) %
+      static_cast<uint32_t>(kStripes));
+  return stripe;
+}
+
+Counter& LeakyCounter(const char* name) { return *new Counter(name); }
+Gauge& LeakyGauge(const char* name) { return *new Gauge(name); }
+Histogram& LeakyHistogram(const char* name) { return *new Histogram(name); }
+
+}  // namespace internal
+}  // namespace birnn::obs

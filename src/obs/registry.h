@@ -1,0 +1,220 @@
+#ifndef BIRNN_OBS_REGISTRY_H_
+#define BIRNN_OBS_REGISTRY_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace birnn::obs {
+
+/// Writers are striped: each thread hashes to one of `kStripes`
+/// cache-line-separated cells, so concurrent updates from up to 16 threads
+/// never contend on a cache line and more threads contend only pairwise.
+/// Reads (scrapes) sum the stripes — they are rare and may be momentarily
+/// inconsistent across metrics, which is fine for monitoring.
+inline constexpr int kStripes = 16;
+
+/// Fixed exponential bucket layout shared by every histogram: bucket `i`
+/// holds values in (2^(i-22), 2^(i-21)], i.e. upper bounds from 2^-21
+/// (~0.5 us when recording seconds) through 2^13 (8192), with the last
+/// bucket catching everything above. One layout serves both latency
+/// histograms (seconds) and size histograms (cells per batch) — percentile
+/// estimates are exact to within one power of two and are clamped to the
+/// observed [min, max].
+inline constexpr int kHistogramBuckets = 36;
+
+/// Upper bound of bucket `i` (+inf for the last bucket).
+double BucketUpperBound(int i);
+
+/// Bucket index for value `v` (values <= 0 land in bucket 0).
+int BucketIndex(double v);
+
+class Registry;
+struct MetricSnapshot;
+
+/// Base of every metric: construction registers the object with the global
+/// Registry under `name`; destruction unregisters it and folds the final
+/// value into the registry's retained aggregates, so process-wide totals
+/// survive component teardown (a scrape after a served model unloads still
+/// shows its request counts). Metrics with the same name aggregate on
+/// scrape (sum for counters/gauges, merge for histograms), so per-instance
+/// metrics — e.g. one MicroBatcher per served model — can share a family
+/// name while their owners read their own handles for instance-local
+/// accounting.
+class Metric {
+ public:
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  Metric(std::string name, Type type);
+  virtual ~Metric();
+
+  Metric(const Metric&) = delete;
+  Metric& operator=(const Metric&) = delete;
+
+  const std::string& name() const { return name_; }
+  Type type() const { return type_; }
+
+ protected:
+  /// Derived destructors call this with their final aggregate — the base
+  /// destructor runs after the derived object is gone and can no longer
+  /// read it. Unregisters and retains in one step; idempotent.
+  void Retire(const MetricSnapshot& final_snapshot);
+
+ private:
+  std::string name_;
+  Type type_;
+  bool retired_ = false;
+};
+
+/// Monotonic counter. Add() is wait-free: one relaxed fetch_add on the
+/// calling thread's stripe.
+class Counter : public Metric {
+ public:
+  explicit Counter(std::string name);
+  ~Counter() override;
+
+  void Add(int64_t delta = 1);
+
+  /// Aggregate over all stripes (relaxed; exact once writers quiesce).
+  int64_t Value() const;
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<int64_t> v{0};
+  };
+  std::array<Cell, kStripes> cells_;
+};
+
+/// Instantaneous value (queue depth, in-flight work). Not striped: sets and
+/// deltas target one atomic, which is the only way "current value" stays
+/// meaningful across threads.
+class Gauge : public Metric {
+ public:
+  explicit Gauge(std::string name);
+  /// Retains the final value — balanced gauges (queue depth) should be
+  /// back at zero by the time their owner dies.
+  ~Gauge() override;
+
+  void Set(double v);
+  void Add(double delta);
+  /// Monotonic high-water mark update.
+  void KeepMax(double v);
+  double Value() const;
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Aggregated view of one histogram (or of several merged same-name
+/// histograms).
+struct HistogramData {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< 0 when empty.
+  double max = 0.0;  ///< 0 when empty.
+  std::array<int64_t, kHistogramBuckets> buckets{};
+
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+
+  /// Percentile estimate for q in [0, 1]: the upper bound of the bucket
+  /// holding the q-th sample, clamped to [min, max]. 0 when empty; exact
+  /// for a single sample; monotone in q.
+  double Quantile(double q) const;
+
+  void Merge(const HistogramData& other);
+};
+
+/// Fixed-bucket histogram with striped writers. Record() is two relaxed
+/// fetch_adds plus a CAS-max — no locks anywhere on the write path.
+class Histogram : public Metric {
+ public:
+  explicit Histogram(std::string name);
+  ~Histogram() override;
+
+  void Record(double v);
+  HistogramData Snapshot() const;
+
+ private:
+  struct alignas(64) Stripe {
+    std::array<std::atomic<int64_t>, kHistogramBuckets> buckets{};
+    std::atomic<int64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+  std::array<Stripe, kStripes> stripes_;
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// One scraped metric, already aggregated across same-name instances.
+struct MetricSnapshot {
+  std::string name;
+  Metric::Type type = Metric::Type::kCounter;
+  int64_t counter = 0;
+  double gauge = 0.0;
+  HistogramData histogram;
+};
+
+/// Global directory of live metrics. Components either own their metric
+/// objects (per-instance accounting that also lands on the registry) or go
+/// through the OBS_* macros in obs/obs.h, which lazily create
+/// process-lifetime metrics per call site.
+class Registry {
+ public:
+  static Registry& Get();
+
+  /// Aggregated snapshot of every live metric, grouped by (name, type) and
+  /// sorted by name.
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// Prometheus-style text exposition: counters and gauges as single
+  /// samples, histograms as summaries (quantile 0.5/0.95/0.99 plus _sum and
+  /// _count). Names are sanitized to [a-zA-Z0-9_] and prefixed "birnn_".
+  std::string TextExposition() const;
+
+ private:
+  friend class Metric;
+  Registry() = default;
+  void Register(Metric* metric);
+  void Unregister(Metric* metric);
+  /// Unregister + fold the metric's final aggregate into `retained_` so
+  /// scrapes after the owner's teardown still see its totals.
+  void UnregisterAndRetain(Metric* metric, const MetricSnapshot& final_value);
+
+  mutable std::mutex mutex_;
+  std::vector<Metric*> metrics_;
+  /// (name, type) -> aggregate of every dead same-name metric.
+  std::map<std::pair<std::string, int>, MetricSnapshot> retained_;
+};
+
+/// Runtime kill switch for the OBS_* macro sites (and spans). Direct metric
+/// API calls — e.g. a MicroBatcher bumping its own counters — always
+/// record, so component stats stay correct when ambient instrumentation is
+/// muted. Defaults to enabled.
+void SetEnabled(bool enabled);
+bool Enabled();
+
+/// Prometheus-style sample name for a metric path: "serve/batcher/cells"
+/// -> "birnn_serve_batcher_cells".
+std::string SanitizeMetricName(const std::string& name);
+
+namespace internal {
+
+/// Per-call-site metric factories for the OBS_* macros: the returned object
+/// is intentionally leaked so it outlives every static destructor that
+/// might still record into it.
+Counter& LeakyCounter(const char* name);
+Gauge& LeakyGauge(const char* name);
+Histogram& LeakyHistogram(const char* name);
+
+/// Stable stripe index of the calling thread.
+int ThreadStripe();
+
+}  // namespace internal
+}  // namespace birnn::obs
+
+#endif  // BIRNN_OBS_REGISTRY_H_

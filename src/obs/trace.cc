@@ -1,0 +1,166 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/registry.h"
+
+namespace birnn::obs {
+
+// ---------------------------------------------------------------- TraceRing
+
+void TraceRing::Push(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() < kCapacity) {
+    events_.push_back(event);
+    return;
+  }
+  events_[next_] = event;
+  next_ = (next_ + 1) % kCapacity;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> TraceRing::Drain() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  // Once the ring wraps, `next_` points at the oldest surviving event.
+  for (size_t i = 0; i < events_.size(); ++i) {
+    out.push_back(events_[(next_ + i) % events_.size()]);
+  }
+  return out;
+}
+
+int64_t TraceRing::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void TraceRing::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  next_ = 0;
+  dropped_ = 0;
+}
+
+// ------------------------------------------------------------------ Tracing
+
+Tracing& Tracing::Get() {
+  static Tracing* tracing = new Tracing();  // leaked: outlives statics
+  return *tracing;
+}
+
+TraceRing* Tracing::ThreadRing(int* tid) {
+  struct ThreadSlot {
+    std::shared_ptr<TraceRing> ring;
+    int tid = 0;
+  };
+  thread_local ThreadSlot slot = [] {
+    ThreadSlot s;
+    s.ring = std::make_shared<TraceRing>();
+    Tracing& tracing = Get();
+    std::lock_guard<std::mutex> lock(tracing.mutex_);
+    s.tid = static_cast<int>(tracing.rings_.size());
+    tracing.rings_.push_back(s.ring);
+    return s;
+  }();
+  if (tid != nullptr) *tid = slot.tid;
+  return slot.ring.get();
+}
+
+std::string Tracing::ChromeTraceJson() const {
+  std::vector<std::shared_ptr<TraceRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings = rings_;
+  }
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[256];
+  for (size_t tid = 0; tid < rings.size(); ++tid) {
+    for (const TraceEvent& e : rings[tid]->Drain()) {
+      // Chrome's trace_event format takes microseconds as doubles; keep
+      // sub-microsecond resolution with fractional values.
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%zu,"
+                    "\"ts\":%.3f,\"dur\":%.3f}",
+                    first ? "" : ",", e.name, tid,
+                    static_cast<double>(e.ts_ns) / 1000.0,
+                    static_cast<double>(e.dur_ns) / 1000.0);
+      out += buf;
+      first = false;
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+Status Tracing::WriteChromeTrace(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    return Status::IoError("cannot open trace file: " + path);
+  }
+  file << ChromeTraceJson();
+  file.flush();
+  if (!file) {
+    return Status::IoError("failed writing trace file: " + path);
+  }
+  return Status::OK();
+}
+
+int64_t Tracing::EventCount() const {
+  std::vector<std::shared_ptr<TraceRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings = rings_;
+  }
+  int64_t total = 0;
+  for (const auto& ring : rings) {
+    total += static_cast<int64_t>(ring->Drain().size());
+  }
+  return total;
+}
+
+int64_t Tracing::DroppedCount() const {
+  std::vector<std::shared_ptr<TraceRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings = rings_;
+  }
+  int64_t total = 0;
+  for (const auto& ring : rings) total += ring->dropped();
+  return total;
+}
+
+void Tracing::Clear() {
+  std::vector<std::shared_ptr<TraceRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings = rings_;
+  }
+  for (const auto& ring : rings) ring->Clear();
+}
+
+int64_t TraceNowNs() {
+  static const auto anchor = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - anchor)
+      .count();
+}
+
+// --------------------------------------------------------------- ScopedSpan
+
+ScopedSpan::ScopedSpan(const char* name)
+    : name_(Enabled() ? name : nullptr) {
+  if (name_ != nullptr) begin_ns_ = TraceNowNs();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (name_ == nullptr) return;
+  const int64_t end_ns = TraceNowNs();
+  Tracing::Get().ThreadRing(nullptr)->Push(
+      TraceEvent{name_, begin_ns_, end_ns - begin_ns_});
+}
+
+}  // namespace birnn::obs

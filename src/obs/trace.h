@@ -1,0 +1,98 @@
+#ifndef BIRNN_OBS_TRACE_H_
+#define BIRNN_OBS_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace birnn::obs {
+
+/// One completed span. `name` must be a string literal (or otherwise outlive
+/// the process) — spans store the pointer, never copy the text, so the write
+/// path stays allocation-free.
+struct TraceEvent {
+  const char* name = nullptr;
+  int64_t ts_ns = 0;   ///< Begin time, ns since the process trace anchor.
+  int64_t dur_ns = 0;  ///< Duration in ns.
+};
+
+/// Per-thread bounded span ring. Each thread writes only its own ring; the
+/// ring's mutex is therefore uncontended on the hot path and exists solely
+/// so exporters can read a consistent view without data races.
+class TraceRing {
+ public:
+  static constexpr size_t kCapacity = 8192;
+
+  void Push(const TraceEvent& event);
+
+  /// Events in arrival order (oldest first). Drops are reflected in
+  /// dropped().
+  std::vector<TraceEvent> Drain() const;
+  int64_t dropped() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  size_t next_ = 0;         ///< Overwrite cursor once the ring is full.
+  int64_t dropped_ = 0;     ///< Events overwritten so far.
+};
+
+/// Process-wide trace collector: hands each thread its own ring (kept alive
+/// by shared_ptr after thread exit) and exports everything recorded so far.
+class Tracing {
+ public:
+  static Tracing& Get();
+
+  /// The calling thread's ring plus its stable sequential tid.
+  TraceRing* ThreadRing(int* tid);
+
+  /// Chrome trace_event JSON ("X" complete events, one tid per thread),
+  /// loadable in chrome://tracing or https://ui.perfetto.dev.
+  std::string ChromeTraceJson() const;
+
+  /// Writes ChromeTraceJson() to `path`.
+  Status WriteChromeTrace(const std::string& path) const;
+
+  /// Total spans recorded (sum over rings, not counting overwritten ones)
+  /// and total overwritten.
+  int64_t EventCount() const;
+  int64_t DroppedCount() const;
+
+  /// Empties every ring (tids are retained). For tests and benchmarks.
+  void Clear();
+
+ private:
+  Tracing() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<TraceRing>> rings_;
+};
+
+/// Nanoseconds since the process trace anchor (a static steady_clock origin
+/// captured on first use).
+int64_t TraceNowNs();
+
+/// RAII span: records one TraceEvent into the calling thread's ring on
+/// destruction. Checks obs::Enabled() once, at construction; a span that
+/// started disabled stays muted even if tracing is re-enabled mid-flight.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;  ///< nullptr when muted.
+  int64_t begin_ns_ = 0;
+};
+
+}  // namespace birnn::obs
+
+#endif  // BIRNN_OBS_TRACE_H_

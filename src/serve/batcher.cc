@@ -1,7 +1,10 @@
 #include "serve/batcher.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
+
+#include "obs/obs.h"
 
 namespace birnn::serve {
 
@@ -39,10 +42,7 @@ void MicroBatcher::Submit(const std::vector<CellQuery>& cells,
   }
   StatusOr<data::EncodedDataset> encoded = detector_.EncodeQueries(cells);
   if (!encoded.ok()) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.rejected_requests;
-    }
+    rejected_requests_.Add(1);
     callback(encoded.status(), {});
     return;
   }
@@ -50,23 +50,27 @@ void MicroBatcher::Submit(const std::vector<CellQuery>& cells,
 
   std::unique_lock<std::mutex> lock(mutex_);
   if (stopping_) {
-    ++stats_.rejected_requests;
     lock.unlock();
+    rejected_requests_.Add(1);
     callback(Status::FailedPrecondition("batcher stopped"), {});
     return;
   }
   if (pending_cells_ + n > options_.queue_capacity) {
-    ++stats_.shed_requests;
-    stats_.shed_cells += n;
     lock.unlock();
+    shed_requests_.Add(1);
+    shed_cells_.Add(n);
     callback(Status::Overloaded("admission queue full"), {});
     return;
   }
+  // Count the admission before unlocking: once the dispatcher can see the
+  // request, a client that receives its verdict and immediately asks for
+  // stats must see it counted.
+  requests_.Add(1);
+  cells_.Add(n);
+  queue_cells_.Add(static_cast<double>(n));
   pending_.push_back(Pending{std::move(*encoded), std::move(callback),
                              std::chrono::steady_clock::now()});
   pending_cells_ += n;
-  ++stats_.requests;
-  stats_.cells += n;
   lock.unlock();
   wake_dispatcher_.notify_all();
 }
@@ -101,8 +105,17 @@ void MicroBatcher::Stop() {
 }
 
 BatcherStats MicroBatcher::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  BatcherStats stats;
+  stats.requests = requests_.Value();
+  stats.cells = cells_.Value();
+  stats.shed_requests = shed_requests_.Value();
+  stats.shed_cells = shed_cells_.Value();
+  stats.rejected_requests = rejected_requests_.Value();
+  const obs::HistogramData batch_cells = batch_cells_.Snapshot();
+  stats.batches = batch_cells.count;
+  stats.max_batch_cells = static_cast<int64_t>(std::llround(batch_cells.max));
+  stats.batch_seconds = batch_seconds_.Snapshot().sum;
+  return stats;
 }
 
 void MicroBatcher::DispatchLoop() {
@@ -141,6 +154,7 @@ void MicroBatcher::DispatchLoop() {
     }
     pending_cells_ -= batch_cells;
     lock.unlock();
+    queue_cells_.Add(static_cast<double>(-batch_cells));
 
     // One padded forward batch for everything taken. The engine memoizes
     // duplicate cell contents within the batch and pads rows to a register
@@ -155,16 +169,16 @@ void MicroBatcher::DispatchLoop() {
       batch = &merged;
     }
     std::vector<float> probs;
-    engine_.PredictProbs(*batch, {}, &probs);
+    {
+      OBS_SPAN("serve/batch");
+      engine_.PredictProbs(*batch, {}, &probs);
+    }
     const double batch_seconds = engine_.stats().seconds;
 
     // Account the batch before delivering responses, so a client that
     // receives its verdict and immediately asks for stats sees it counted.
-    lock.lock();
-    ++stats_.batches;
-    stats_.max_batch_cells = std::max(stats_.max_batch_cells, batch_cells);
-    stats_.batch_seconds += batch_seconds;
-    lock.unlock();
+    batch_cells_.Record(static_cast<double>(batch_cells));
+    batch_seconds_.Record(batch_seconds);
 
     size_t offset = 0;
     for (Pending& p : taken) {
@@ -175,6 +189,10 @@ void MicroBatcher::DispatchLoop() {
         verdicts[i] = CellVerdict{prob, prob > 0.5f};
       }
       offset += n;
+      request_seconds_.Record(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        p.arrival)
+              .count());
       p.callback(Status::OK(), verdicts);
     }
 

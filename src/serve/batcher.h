@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/inference.h"
+#include "obs/registry.h"
 #include "serve/bundle.h"
 #include "util/status.h"
 
@@ -38,7 +39,10 @@ struct CellVerdict {
   bool is_error = false;
 };
 
-/// Lifetime accounting of one batcher.
+/// Snapshot of one batcher's lifetime accounting. Backed by obs metrics
+/// owned by the batcher (`serve/batcher/*` on the global registry), so a
+/// registry scrape sees the process-wide aggregate while stats() stays
+/// exact per instance.
 struct BatcherStats {
   int64_t requests = 0;        ///< admitted requests.
   int64_t cells = 0;           ///< admitted cells.
@@ -118,7 +122,19 @@ class MicroBatcher {
   std::deque<Pending> pending_;
   int64_t pending_cells_ = 0;
   bool stopping_ = false;
-  BatcherStats stats_;
+
+  // Per-instance metrics (also aggregated on registry scrapes). The
+  // batch_cells_ histogram doubles as the batches/max_batch_cells source;
+  // request_seconds_ is admission-to-response latency.
+  obs::Counter requests_{"serve/batcher/requests"};
+  obs::Counter cells_{"serve/batcher/cells"};
+  obs::Counter shed_requests_{"serve/batcher/shed_requests"};
+  obs::Counter shed_cells_{"serve/batcher/shed_cells"};
+  obs::Counter rejected_requests_{"serve/batcher/rejected_requests"};
+  obs::Histogram batch_cells_{"serve/batcher/batch_cells"};
+  obs::Histogram batch_seconds_{"serve/batcher/batch_seconds"};
+  obs::Histogram request_seconds_{"serve/batcher/request_seconds"};
+  obs::Gauge queue_cells_{"serve/batcher/queue_cells"};
 
   std::mutex join_mutex_;  ///< serializes concurrent Stop() calls.
   std::thread dispatcher_;

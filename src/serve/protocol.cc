@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/registry.h"
 #include "serve/json.h"
 
 namespace birnn::serve {
@@ -89,6 +90,61 @@ void OpenResponse(const std::string& id, const std::string& status,
   AppendJsonString(status, out);
 }
 
+// Full registry snapshot: {"counters":{...},"gauges":{...},"histograms":
+// {name:{count,sum,p50,p95,p99,max}}}. Doubles use %.9g (compact, enough
+// digits for latencies); field names are the raw metric paths.
+void AppendRegistrySnapshot(std::string* out) {
+  const auto fmt = [](double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return std::string(buf);
+  };
+  const std::vector<obs::MetricSnapshot> snapshot =
+      obs::Registry::Get().Snapshot();
+  out->append("{\"counters\":{");
+  bool first = true;
+  for (const obs::MetricSnapshot& m : snapshot) {
+    if (m.type != obs::Metric::Type::kCounter) continue;
+    if (!first) out->push_back(',');
+    first = false;
+    AppendJsonString(m.name, out);
+    out->push_back(':');
+    out->append(std::to_string(m.counter));
+  }
+  out->append("},\"gauges\":{");
+  first = true;
+  for (const obs::MetricSnapshot& m : snapshot) {
+    if (m.type != obs::Metric::Type::kGauge) continue;
+    if (!first) out->push_back(',');
+    first = false;
+    AppendJsonString(m.name, out);
+    out->push_back(':');
+    out->append(fmt(m.gauge));
+  }
+  out->append("},\"histograms\":{");
+  first = true;
+  for (const obs::MetricSnapshot& m : snapshot) {
+    if (m.type != obs::Metric::Type::kHistogram) continue;
+    if (!first) out->push_back(',');
+    first = false;
+    AppendJsonString(m.name, out);
+    out->append(":{\"count\":");
+    out->append(std::to_string(m.histogram.count));
+    out->append(",\"sum\":");
+    out->append(fmt(m.histogram.sum));
+    out->append(",\"p50\":");
+    out->append(fmt(m.histogram.Quantile(0.5)));
+    out->append(",\"p95\":");
+    out->append(fmt(m.histogram.Quantile(0.95)));
+    out->append(",\"p99\":");
+    out->append(fmt(m.histogram.Quantile(0.99)));
+    out->append(",\"max\":");
+    out->append(fmt(m.histogram.max));
+    out->push_back('}');
+  }
+  out->append("}}");
+}
+
 }  // namespace
 
 std::string OkDetectResponse(const std::string& id,
@@ -149,7 +205,7 @@ std::string StatsResponse(const std::string& id, const std::string& model,
                 ",\"requests\":%lld,\"cells\":%lld,\"shed_requests\":%lld,"
                 "\"shed_cells\":%lld,\"rejected_requests\":%lld,"
                 "\"batches\":%lld,\"max_batch_cells\":%lld,"
-                "\"batch_seconds\":%.6f}",
+                "\"batch_seconds\":%.6f",
                 static_cast<long long>(stats.requests),
                 static_cast<long long>(stats.cells),
                 static_cast<long long>(stats.shed_requests),
@@ -159,6 +215,11 @@ std::string StatsResponse(const std::string& id, const std::string& model,
                 static_cast<long long>(stats.max_batch_cells),
                 stats.batch_seconds);
   out.append(buf);
+  // The batcher-level fields above stay for back-compat; the registry block
+  // adds the process-wide view (every layer's counters/gauges/histograms).
+  out.append(",\"registry\":");
+  AppendRegistrySnapshot(&out);
+  out.push_back('}');
   return out;
 }
 

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/obs.h"
 #include "serve/protocol.h"
 #include "util/logging.h"
 
@@ -164,6 +165,7 @@ void Server::AcceptLoop() {
       }
       open_connections_.insert(fd);
     }
+    OBS_COUNTER_ADD("serve/connections", 1);
     pool_->Submit([this, fd] { HandleConnection(fd); });
   }
 }
@@ -225,6 +227,8 @@ MicroBatcher* Server::FindBatcher(const std::string& model,
 }
 
 std::string Server::HandleRequest(const Request& request) {
+  OBS_SPAN("serve/request");
+  OBS_COUNTER_ADD("serve/requests", 1);
   if (request.op == "ping") return PongResponse(request.id);
   if (request.op == "models") {
     std::vector<std::string> names;
