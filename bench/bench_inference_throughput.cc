@@ -208,31 +208,37 @@ int Run(int argc, char** argv) {
   const std::string& json_path = config.json_path;
   if (!json_path.empty()) {
     std::ofstream out(json_path);
-    out << "{\n  \"eval_batch\": " << eval_batch
-        << ",\n  \"threads\": " << threads
-        << ",\n  \"bucket_quantum\": " << quantum << ",\n  \"datasets\": [\n";
-    for (size_t i = 0; i < rows.size(); ++i) {
-      const DatasetRow& row = rows[i];
+    // JsonWriter emits doubles with %.17g, so the recorded throughputs and
+    // speedups round-trip exactly (ostream's default 6 digits does not).
+    JsonWriter json(out);
+    json.BeginObject();
+    json.Key("eval_batch").Int(eval_batch);
+    json.Key("threads").Int(threads);
+    json.Key("bucket_quantum").Int(quantum);
+    json.Key("datasets").BeginArray();
+    for (const DatasetRow& row : rows) {
       const double memo_speedup =
           row.memo.seconds > 0 ? row.naive.seconds / row.memo.seconds : 0.0;
-      const double bucket_speedup = row.bucketed.seconds > 0
-                                        ? row.naive.seconds / row.bucketed.seconds
-                                        : 0.0;
-      out << "    {\"dataset\": \"" << row.dataset
-          << "\", \"cells\": " << row.cells
-          << ", \"unique_cells\": " << row.unique_cells
-          << ", \"dedup_factor\": " << row.dedup_factor
-          << ", \"naive_cells_per_sec\": " << row.naive.cells_per_sec
-          << ", \"memo_cells_per_sec\": " << row.memo.cells_per_sec
-          << ", \"memo_speedup\": " << memo_speedup
-          << ", \"bucketed_cells_per_sec\": " << row.bucketed.cells_per_sec
-          << ", \"bucketed_speedup\": " << bucket_speedup
-          << ", \"bucketed_step_fraction\": " << row.step_fraction
-          << ", \"predictions_match\": "
-          << (row.labels_match ? "true" : "false") << "}"
-          << (i + 1 < rows.size() ? "," : "") << "\n";
+      const double bucket_speedup =
+          row.bucketed.seconds > 0 ? row.naive.seconds / row.bucketed.seconds
+                                   : 0.0;
+      json.BeginObject();
+      json.Key("dataset").String(row.dataset);
+      json.Key("cells").Int(row.cells);
+      json.Key("unique_cells").Int(row.unique_cells);
+      json.Key("dedup_factor").Number(row.dedup_factor);
+      json.Key("naive_cells_per_sec").Number(row.naive.cells_per_sec);
+      json.Key("memo_cells_per_sec").Number(row.memo.cells_per_sec);
+      json.Key("memo_speedup").Number(memo_speedup);
+      json.Key("bucketed_cells_per_sec").Number(row.bucketed.cells_per_sec);
+      json.Key("bucketed_speedup").Number(bucket_speedup);
+      json.Key("bucketed_step_fraction").Number(row.step_fraction);
+      json.Key("predictions_match").Bool(row.labels_match);
+      json.EndObject();
     }
-    out << "  ]\n}\n";
+    json.EndArray();
+    json.EndObject();
+    out << "\n";
     std::cout << "\nwrote " << json_path << "\n";
   }
   return mismatches > 0 ? 1 : 0;

@@ -119,18 +119,24 @@ int Run(int argc, char** argv) {
   const std::string json_path = flags.GetString("json");
   if (!json_path.empty()) {
     std::ofstream out(json_path);
-    out << "{\n  \"dataset\": \"" << dataset << "\",\n"
-        << "  \"train_cells\": " << train.num_cells() << ",\n"
-        << "  \"epochs\": " << epochs << ",\n"
-        << "  \"grad_shard_cells\": " << flags.GetInt("grad-shard-cells")
-        << ",\n  \"runs\": [\n";
-    for (size_t i = 0; i < rows.size(); ++i) {
-      out << "    {\"threads\": " << rows[i].threads
-          << ", \"fit_seconds\": " << rows[i].seconds
-          << ", \"cells_per_second\": " << rows[i].cells_per_sec << "}"
-          << (i + 1 < rows.size() ? "," : "") << "\n";
+    // JsonWriter emits doubles with %.17g, so timings round-trip exactly.
+    JsonWriter json(out);
+    json.BeginObject();
+    json.Key("dataset").String(dataset);
+    json.Key("train_cells").Int(train.num_cells());
+    json.Key("epochs").Int(epochs);
+    json.Key("grad_shard_cells").Int(flags.GetInt("grad-shard-cells"));
+    json.Key("runs").BeginArray();
+    for (const ThroughputRow& row : rows) {
+      json.BeginObject();
+      json.Key("threads").Int(row.threads);
+      json.Key("fit_seconds").Number(row.seconds);
+      json.Key("cells_per_second").Number(row.cells_per_sec);
+      json.EndObject();
     }
-    out << "  ]\n}\n";
+    json.EndArray();
+    json.EndObject();
+    out << "\n";
     std::cout << "\nwrote " << json_path << "\n";
   }
   return 0;

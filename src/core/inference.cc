@@ -156,7 +156,8 @@ void InferenceEngine::RunPlan(const data::EncodedDataset& ds,
       const BucketedInferenceContext* ctx =
           pb.padded_len < ds.max_len ? &bucketed_ctx_ : nullptr;
       if (want_hidden) {
-        model_.ForwardHidden(batch, &hidden, &scratch, ctx);
+        model_.ForwardHidden(batch, &hidden, &scratch, ctx,
+                             options_.precision);
         for (int64_t r = 0; r < real_rows; ++r) {
           const int32_t u = plan.order[static_cast<size_t>(pb.begin + r)];
           for (int j = 0; j < hidden.cols(); ++j) {
@@ -164,7 +165,8 @@ void InferenceEngine::RunPlan(const data::EncodedDataset& ds,
           }
         }
       } else {
-        model_.PredictProbs(batch, &probs, &scratch, ctx);
+        model_.PredictProbs(batch, &probs, &scratch, ctx,
+                            options_.precision);
         for (int64_t r = 0; r < real_rows; ++r) {
           const int32_t u = plan.order[static_cast<size_t>(pb.begin + r)];
           (*p_unique)[static_cast<size_t>(u)] =
@@ -211,8 +213,17 @@ void InferenceEngine::SweepUnique(const data::EncodedDataset& ds,
   Stopwatch timer;
   BuildPlan(ds, indices, plan);
 
+  // Shadow weights and the pad-prefix trajectory are built serially here,
+  // before RunPlan fans out: the pool's task submission gives every worker
+  // a happens-before edge on them. The trajectory is computed *at the
+  // engine's precision* — the bucketed==unbucketed bit-identity must hold
+  // within the precision the sweep actually runs.
+  if (options_.precision != nn::Precision::kFp32 && !quant_ready_) {
+    model_.PrepareQuantizedInference(options_.precision);
+    quant_ready_ = true;
+  }
   if (options_.bucketed && !bucketed_ctx_ready_) {
-    model_.PrepareBucketedInference(&bucketed_ctx_);
+    model_.PrepareBucketedInference(&bucketed_ctx_, options_.precision);
     bucketed_ctx_ready_ = true;
   }
 
@@ -308,6 +319,9 @@ void CalibrateBatchNormMemoized(ErrorDetectionModel* model,
   if (ds.num_cells() == 0) return;
   InferenceOptions calibrate_options = options;
   calibrate_options.bucketed = false;  // exact activations only
+  // Calibration defines the model's training-time statistics; they must
+  // not drift with the serving precision.
+  calibrate_options.precision = nn::Precision::kFp32;
   InferenceEngine engine(*model, calibrate_options, pool);
 
   std::vector<int64_t> all(static_cast<size_t>(ds.num_cells()));

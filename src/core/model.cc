@@ -1,6 +1,8 @@
 #include "core/model.h"
 
 #include <algorithm>
+#include <map>
+#include <utility>
 
 #include "nn/ops.h"
 #include "nn/optimizer.h"
@@ -149,7 +151,7 @@ void ErrorDetectionModel::UpdateBatchNorm(const nn::Tensor& batch_mean,
 
 void ErrorDetectionModel::ForwardHidden(
     const BatchInput& batch, nn::Tensor* hidden, InferenceScratch* scratch,
-    const BucketedInferenceContext* bucketed) const {
+    const BucketedInferenceContext* bucketed, nn::Precision precision) const {
   const int t_count = static_cast<int>(batch.char_steps.size());
   BIRNN_CHECK_GE(t_count, 1);
   BIRNN_CHECK_LE(t_count, config_.max_len);
@@ -171,17 +173,18 @@ void ErrorDetectionModel::ForwardHidden(
     value_rnn_->ApplyForwardBucketed(scratch->char_steps.data(), t_count,
                                      config_.max_len, scratch->pad_step,
                                      bucketed->value_traj, &scratch->features,
-                                     &scratch->value_rnn);
+                                     &scratch->value_rnn, precision);
   } else {
     value_rnn_->ApplyForward(scratch->char_steps.data(), t_count,
-                             &scratch->features, &scratch->value_rnn);
+                             &scratch->features, &scratch->value_rnn,
+                             precision);
   }
 
   std::vector<const nn::Tensor*> parts{&scratch->features};
   if (attr_rnn_ != nullptr) {
     attr_emb_->LookupForward(batch.attr_ids, &scratch->attr_emb);
     attr_rnn_->ApplyForward(&scratch->attr_emb, 1, &scratch->attr_features,
-                            &scratch->attr_rnn);
+                            &scratch->attr_rnn, precision);
     parts.push_back(&scratch->attr_features);
   }
   if (length_dense_ != nullptr) {
@@ -208,7 +211,7 @@ void ErrorDetectionModel::PredictProbs(const BatchInput& batch,
 }
 
 void ErrorDetectionModel::PrepareBucketedInference(
-    BucketedInferenceContext* ctx) const {
+    BucketedInferenceContext* ctx, nn::Precision precision) const {
   // 16 identical rows: one full SIMD register, so the elementwise kernels
   // take the same vector path as the engine's row-padded batches and the
   // trajectory is bit-identical to running the prefix inline.
@@ -216,13 +219,64 @@ void ErrorDetectionModel::PrepareBucketedInference(
   nn::Tensor pad_step;
   char_emb_->LookupForward(pad_ids, &pad_step);
   value_rnn_->ComputeBackwardPadPrefix(pad_step, config_.max_len,
-                                       &ctx->value_traj);
+                                       &ctx->value_traj, precision);
+}
+
+void ErrorDetectionModel::PrepareQuantizedInference(nn::Precision p) const {
+  if (p == nn::Precision::kFp32) return;
+  std::lock_guard<std::mutex> lock(quant_mutex_);
+  value_rnn_->PrepareQuantized(p);
+  if (attr_rnn_ != nullptr) attr_rnn_->PrepareQuantized(p);
+}
+
+bool ErrorDetectionModel::QuantizedInferenceReady(nn::Precision p) const {
+  if (!value_rnn_->QuantizedReady(p)) return false;
+  return attr_rnn_ == nullptr || attr_rnn_->QuantizedReady(p);
+}
+
+void ErrorDetectionModel::ExportQuantized(
+    std::vector<nn::TypedEntry>* entries) const {
+  std::lock_guard<std::mutex> lock(quant_mutex_);
+  value_rnn_->ExportQuantized(entries);
+  if (attr_rnn_ != nullptr) attr_rnn_->ExportQuantized(entries);
+}
+
+std::vector<const nn::Parameter*> ErrorDetectionModel::ConstParams() const {
+  // Params() is non-const because the trainer writes through it; this view
+  // only drops the mutability for callers that inspect.
+  std::vector<const nn::Parameter*> out;
+  for (nn::Parameter* p : const_cast<ErrorDetectionModel*>(this)->Params()) {
+    out.push_back(p);
+  }
+  return out;
+}
+
+Status ErrorDetectionModel::ImportQuantized(
+    std::vector<nn::TypedEntry> entries) {
+  std::map<std::string, nn::TypedEntry> by_name;
+  for (auto& e : entries) {
+    const std::string name = e.name;
+    if (!by_name.emplace(name, std::move(e)).second) {
+      return Status::InvalidArgument("duplicate quantized entry: " + name);
+    }
+  }
+  std::lock_guard<std::mutex> lock(quant_mutex_);
+  BIRNN_RETURN_IF_ERROR(value_rnn_->ImportQuantized(&by_name));
+  if (attr_rnn_ != nullptr) {
+    BIRNN_RETURN_IF_ERROR(attr_rnn_->ImportQuantized(&by_name));
+  }
+  if (!by_name.empty()) {
+    return Status::InvalidArgument("unrecognized quantized entry: " +
+                                   by_name.begin()->first);
+  }
+  return Status::OK();
 }
 
 void ErrorDetectionModel::PredictProbs(
     const BatchInput& batch, std::vector<float>* p_error,
-    InferenceScratch* scratch, const BucketedInferenceContext* bucketed) const {
-  ForwardHidden(batch, &scratch->hidden, scratch, bucketed);
+    InferenceScratch* scratch, const BucketedInferenceContext* bucketed,
+    nn::Precision precision) const {
+  ForwardHidden(batch, &scratch->hidden, scratch, bucketed, precision);
   batch_norm_->ApplyForward(scratch->hidden, &scratch->normed);
   output_dense_->ApplyForward(scratch->normed, &scratch->logits,
                               &scratch->dense);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <utility>
 
 #include "nn/init.h"
 #include "nn/ops.h"
@@ -44,6 +46,8 @@ int GateCount(CellType type) {
   return 1;
 }
 }  // namespace
+
+int RecurrentCell::gate_count() const { return GateCount(type_); }
 
 RecurrentCell::RecurrentCell(CellType type, std::string name, int input_dim,
                              int units, Rng* rng)
@@ -144,6 +148,135 @@ RecurrentState RecurrentCell::Bound::Step(Graph::Var x,
   return next;
 }
 
+void RecurrentCell::PrepareQuantized(Precision p) const {
+  switch (p) {
+    case Precision::kFp32:
+      return;
+    case Precision::kInt8:
+      if (quant_.wx_q8.empty()) {
+        quant_.wx_q8 = QuantizeWeightInt8(wx_.value);
+        quant_.wh_q8 = QuantizeWeightInt8(wh_.value);
+      }
+      return;
+    case Precision::kBf16:
+      if (quant_.wx_bf16.empty()) {
+        quant_.wx_bf16 = QuantizeWeightBf16(wx_.value);
+        quant_.wh_bf16 = QuantizeWeightBf16(wh_.value);
+      }
+      return;
+  }
+}
+
+bool RecurrentCell::QuantizedReady(Precision p) const {
+  switch (p) {
+    case Precision::kFp32:
+      return true;
+    case Precision::kInt8:
+      return !quant_.wx_q8.empty();
+    case Precision::kBf16:
+      return !quant_.wx_bf16.empty();
+  }
+  return false;
+}
+
+void RecurrentCell::InstallInt8(QuantizedMatrix wx, QuantizedMatrix wh) const {
+  BIRNN_CHECK_EQ(wx.rows, wx_.value.cols());
+  BIRNN_CHECK_EQ(wx.cols, wx_.value.rows());
+  BIRNN_CHECK_EQ(wh.rows, wh_.value.cols());
+  BIRNN_CHECK_EQ(wh.cols, wh_.value.rows());
+  quant_.wx_q8 = std::move(wx);
+  quant_.wh_q8 = std::move(wh);
+}
+
+void RecurrentCell::InstallBf16(Bf16Matrix wx, Bf16Matrix wh) const {
+  BIRNN_CHECK_EQ(wx.rows, wx_.value.rows());
+  BIRNN_CHECK_EQ(wx.cols, wx_.value.cols());
+  BIRNN_CHECK_EQ(wh.rows, wh_.value.rows());
+  BIRNN_CHECK_EQ(wh.cols, wh_.value.cols());
+  quant_.wx_bf16 = std::move(wx);
+  quant_.wh_bf16 = std::move(wh);
+}
+
+void RecurrentCell::ProjectInput(const Tensor& x, Tensor* out,
+                                 StepScratch* scratch,
+                                 Precision precision) const {
+  switch (precision) {
+    case Precision::kFp32:
+      MatMul(x, wx_.value, out);
+      return;
+    case Precision::kInt8:
+      Int8MatMul(x, quant_.wx_q8, out, &scratch->quant);
+      return;
+    case Precision::kBf16:
+      Bf16MatMul(x, quant_.wx_bf16, out);
+      return;
+  }
+}
+
+void RecurrentCell::RecurrentProjection(const Tensor& h, bool accumulate,
+                                        Tensor* out, StepScratch* scratch,
+                                        Precision precision) const {
+  switch (precision) {
+    case Precision::kFp32:
+      accumulate ? MatMulAcc(h, wh_.value, out) : MatMul(h, wh_.value, out);
+      return;
+    case Precision::kInt8:
+      accumulate ? Int8MatMulAcc(h, quant_.wh_q8, out, &scratch->quant)
+                 : Int8MatMul(h, quant_.wh_q8, out, &scratch->quant);
+      return;
+    case Precision::kBf16:
+      accumulate ? Bf16MatMulAcc(h, quant_.wh_bf16, out)
+                 : Bf16MatMul(h, quant_.wh_bf16, out);
+      return;
+  }
+}
+
+void RecurrentCell::GruGateTail(const Tensor& xg, const Tensor& hg,
+                                const RecurrentTensors& prev,
+                                RecurrentTensors* out) const {
+  const int u = units_;
+  const int batch = prev.h.rows();
+  out->h.ResizeForOverwrite(batch, u);
+  const float* bias = b_.value.data();
+  for (int i = 0; i < batch; ++i) {
+    for (int j = 0; j < u; ++j) {
+      const float z = 1.0f / (1.0f + std::exp(-(xg.at(i, j) + bias[j] +
+                                                hg.at(i, j))));
+      const float r =
+          1.0f / (1.0f + std::exp(-(xg.at(i, u + j) + bias[u + j] +
+                                    hg.at(i, u + j))));
+      const float cand = std::tanh(xg.at(i, 2 * u + j) + bias[2 * u + j] +
+                                   r * hg.at(i, 2 * u + j));
+      out->h.at(i, j) = (1.0f - z) * prev.h.at(i, j) + z * cand;
+    }
+  }
+}
+
+void RecurrentCell::LstmGateTail(const Tensor& gates,
+                                 const RecurrentTensors& prev,
+                                 RecurrentTensors* out) const {
+  const int u = units_;
+  const int batch = prev.h.rows();
+  out->h.ResizeForOverwrite(batch, u);
+  out->c.ResizeForOverwrite(batch, u);
+  const float* bias = b_.value.data();
+  for (int i = 0; i < batch; ++i) {
+    for (int j = 0; j < u; ++j) {
+      const auto sigmoid = [](float v) {
+        return 1.0f / (1.0f + std::exp(-v));
+      };
+      const float in_gate = sigmoid(gates.at(i, j) + bias[j]);
+      const float forget = sigmoid(gates.at(i, u + j) + bias[u + j]);
+      const float cand = std::tanh(gates.at(i, 2 * u + j) + bias[2 * u + j]);
+      const float out_gate =
+          sigmoid(gates.at(i, 3 * u + j) + bias[3 * u + j]);
+      const float c_new = forget * prev.c.at(i, j) + in_gate * cand;
+      out->c.at(i, j) = c_new;
+      out->h.at(i, j) = out_gate * std::tanh(c_new);
+    }
+  }
+}
+
 void RecurrentCell::StepForward(const Tensor& x, const RecurrentTensors& prev,
                                 RecurrentTensors* out) const {
   StepScratch scratch;
@@ -151,62 +284,44 @@ void RecurrentCell::StepForward(const Tensor& x, const RecurrentTensors& prev,
 }
 
 void RecurrentCell::StepForward(const Tensor& x, const RecurrentTensors& prev,
-                                RecurrentTensors* out,
-                                StepScratch* scratch) const {
-  const int u = units_;
-  const int batch = prev.h.rows();
+                                RecurrentTensors* out, StepScratch* scratch,
+                                Precision precision) const {
+  BIRNN_CHECK(QuantizedReady(precision))
+      << "shadow weights not prepared for " << PrecisionName(precision);
+  // Project the input, then run the recurrent projection + gate tail via
+  // the shared pre-projected step so both entry points are one code path
+  // (and therefore trivially bit-identical).
+  ProjectInput(x, &scratch->z1, scratch, precision);
+  StepForwardPre(prev, out, scratch, precision);
+}
+
+void RecurrentCell::StepForwardPre(const RecurrentTensors& prev,
+                                   RecurrentTensors* out, StepScratch* scratch,
+                                   Precision precision) const {
   switch (type_) {
     case CellType::kVanilla: {
+      // z1 holds x·Wx; accumulate h·Wh then the fused bias+tanh pass —
+      // for int8 this is the fused quantized RnnTanhStep shape: activations
+      // quantized on the fly, one combined scale per output element.
       Tensor& z = scratch->z1;
-      MatMul(x, wx_.value, &z);
-      MatMulAcc(prev.h, wh_.value, &z);
+      RecurrentProjection(prev.h, /*accumulate=*/true, &z, scratch, precision);
       AddBiasTanh(z, b_.value, &out->h);
       return;
     }
     case CellType::kGru: {
       // Bias is folded into the fused gate loop (no separate AddBias pass).
       Tensor& xg = scratch->z1;
-      MatMul(x, wx_.value, &xg);
       Tensor& hg = scratch->z2;
-      MatMul(prev.h, wh_.value, &hg);
-      out->h.ResizeForOverwrite(batch, u);
-      const float* bias = b_.value.data();
-      for (int i = 0; i < batch; ++i) {
-        for (int j = 0; j < u; ++j) {
-          const float z = 1.0f / (1.0f + std::exp(-(xg.at(i, j) + bias[j] +
-                                                    hg.at(i, j))));
-          const float r =
-              1.0f / (1.0f + std::exp(-(xg.at(i, u + j) + bias[u + j] +
-                                        hg.at(i, u + j))));
-          const float cand = std::tanh(xg.at(i, 2 * u + j) + bias[2 * u + j] +
-                                       r * hg.at(i, 2 * u + j));
-          out->h.at(i, j) = (1.0f - z) * prev.h.at(i, j) + z * cand;
-        }
-      }
+      RecurrentProjection(prev.h, /*accumulate=*/false, &hg, scratch,
+                          precision);
+      GruGateTail(xg, hg, prev, out);
       return;
     }
     case CellType::kLstm: {
       Tensor& gates = scratch->z1;
-      MatMul(x, wx_.value, &gates);
-      MatMulAcc(prev.h, wh_.value, &gates);
-      out->h.ResizeForOverwrite(batch, u);
-      out->c.ResizeForOverwrite(batch, u);
-      const float* bias = b_.value.data();
-      for (int i = 0; i < batch; ++i) {
-        for (int j = 0; j < u; ++j) {
-          const auto sigmoid = [](float v) {
-            return 1.0f / (1.0f + std::exp(-v));
-          };
-          const float in_gate = sigmoid(gates.at(i, j) + bias[j]);
-          const float forget = sigmoid(gates.at(i, u + j) + bias[u + j]);
-          const float cand = std::tanh(gates.at(i, 2 * u + j) + bias[2 * u + j]);
-          const float out_gate =
-              sigmoid(gates.at(i, 3 * u + j) + bias[3 * u + j]);
-          const float c_new = forget * prev.c.at(i, j) + in_gate * cand;
-          out->c.at(i, j) = c_new;
-          out->h.at(i, j) = out_gate * std::tanh(c_new);
-        }
-      }
+      RecurrentProjection(prev.h, /*accumulate=*/true, &gates, scratch,
+                          precision);
+      LstmGateTail(gates, prev, out);
       return;
     }
   }
@@ -291,42 +406,79 @@ void StackedBiRecurrent::RunDirectionForward(
     const Tensor* steps, int t_count, bool backward_direction,
     const std::vector<const RecurrentCell*>& cells, const Tensor* tail_step,
     int tail_count, const std::vector<RecurrentTensors>* warm, Tensor* out,
-    ForwardScratch* scratch) const {
+    ForwardScratch* scratch, Precision precision) const {
   const int batch = steps[0].rows();
+  const int total = t_count + tail_count;
   std::vector<RecurrentTensors>& state = scratch->state;
   if (state.size() < cells.size()) state.resize(cells.size());
+  RecurrentTensors& next = scratch->next;
+
+  // Stack every step's input batch in PROCESSING order: stacked row block p
+  // is the input the recurrence consumes at its p-th step (forward: step p,
+  // then the pad tail; backward: step t_count-1-p). One contiguous matrix
+  // lets each level's input projection run as a single GEMM below.
+  const int in0 = steps[0].cols();
+  Tensor* seq_in = &scratch->seq_in;
+  Tensor* seq_out = &scratch->seq_out;
+  seq_in->ResizeForOverwrite(total * batch, in0);
+  for (int p = 0; p < total; ++p) {
+    const Tensor* src;
+    if (backward_direction) {
+      src = &steps[t_count - 1 - p];
+    } else {
+      src = p < t_count ? &steps[p] : tail_step;
+    }
+    BIRNN_CHECK_EQ(src->rows(), batch);
+    std::copy(src->data(), src->data() + src->size(),
+              seq_in->data() + static_cast<size_t>(p) * batch * in0);
+  }
+
   for (size_t l = 0; l < cells.size(); ++l) {
+    const RecurrentCell* cell = cells[l];
+    BIRNN_CHECK(cell->QuantizedReady(precision))
+        << "shadow weights not prepared for " << PrecisionName(precision);
+    const int u = cell->units();
+    // Time-step-batched input projection: all `total` step batches of this
+    // level share one weights-load of Wx in a single GEMM. Bit-identical
+    // to per-step projections because the GEMM kernels (fp32, int8, bf16
+    // alike) compute each output row from its input row alone.
+    cell->ProjectInput(*seq_in, &scratch->xz, &scratch->step, precision);
+    const int zcols = scratch->xz.cols();
+
     if (warm != nullptr) {
       // Warm start: the all-pad prefix state, identical for every row.
       BroadcastRow((*warm)[l].h, batch, &state[l].h);
-      if (cells[l]->type() == CellType::kLstm) {
+      if (cell->type() == CellType::kLstm) {
         BroadcastRow((*warm)[l].c, batch, &state[l].c);
       }
     } else {
       // Resize() zero-fills while reusing capacity — the initial state.
-      state[l].h.Resize(batch, cells[l]->units());
-      if (cells[l]->type() == CellType::kLstm) {
-        state[l].c.Resize(batch, cells[l]->units());
+      state[l].h.Resize(batch, u);
+      if (cell->type() == CellType::kLstm) state[l].c.Resize(batch, u);
+    }
+
+    const bool record = l + 1 < cells.size();
+    if (record) seq_out->ResizeForOverwrite(total * batch, u);
+    for (int p = 0; p < total; ++p) {
+      // This step's slice of the batched projection becomes the step's
+      // pre-activation buffer (consumed in place by StepForwardPre).
+      scratch->step.z1.ResizeForOverwrite(batch, zcols);
+      const float* src =
+          scratch->xz.data() + static_cast<size_t>(p) * batch * zcols;
+      std::copy(src, src + static_cast<size_t>(batch) * zcols,
+                scratch->step.z1.data());
+      cell->StepForwardPre(state[l], &next, &scratch->step, precision);
+      // StepForwardPre fully overwrites `next`, so swapping buffers instead
+      // of copying is bit-identical.
+      std::swap(state[l].h, next.h);
+      if (cell->type() == CellType::kLstm) std::swap(state[l].c, next.c);
+      if (record) {
+        std::copy(state[l].h.data(),
+                  state[l].h.data() + static_cast<size_t>(batch) * u,
+                  seq_out->data() + static_cast<size_t>(p) * batch * u);
       }
     }
-  }
-  RecurrentTensors& next = scratch->next;
-  const int total = t_count + tail_count;
-  for (int i = 0; i < total; ++i) {
-    const Tensor* x;
-    if (backward_direction) {
-      x = &steps[t_count - 1 - i];
-    } else {
-      x = i < t_count ? &steps[i] : tail_step;
-    }
-    for (size_t l = 0; l < cells.size(); ++l) {
-      cells[l]->StepForward(*x, state[l], &next, &scratch->step);
-      // StepForward fully overwrites `next`, so swapping buffers instead of
-      // copying is bit-identical.
-      std::swap(state[l].h, next.h);
-      if (cells[l]->type() == CellType::kLstm) std::swap(state[l].c, next.c);
-      x = &state[l].h;
-    }
+    if (record) std::swap(seq_in, seq_out);
   }
   *out = state.back().h;
 }
@@ -338,27 +490,28 @@ void StackedBiRecurrent::ApplyForward(const std::vector<Tensor>& steps,
 }
 
 void StackedBiRecurrent::ApplyForward(const Tensor* steps, int t_count,
-                                      Tensor* out,
-                                      ForwardScratch* scratch) const {
+                                      Tensor* out, ForwardScratch* scratch,
+                                      Precision precision) const {
   BIRNN_CHECK_GE(t_count, 1);
   std::vector<const RecurrentCell*> fwd;
   for (const auto& c : cells_[0]) fwd.push_back(&c);
   if (!bidirectional_) {
     RunDirectionForward(steps, t_count, false, fwd, nullptr, 0, nullptr, out,
-                        scratch);
+                        scratch, precision);
     return;
   }
   RunDirectionForward(steps, t_count, false, fwd, nullptr, 0, nullptr,
-                      &scratch->out_fwd, scratch);
+                      &scratch->out_fwd, scratch, precision);
   std::vector<const RecurrentCell*> bwd;
   for (const auto& c : cells_[1]) bwd.push_back(&c);
   RunDirectionForward(steps, t_count, true, bwd, nullptr, 0, nullptr,
-                      &scratch->out_bwd, scratch);
+                      &scratch->out_bwd, scratch, precision);
   ConcatCols({&scratch->out_fwd, &scratch->out_bwd}, out);
 }
 
 void StackedBiRecurrent::ComputeBackwardPadPrefix(
-    const Tensor& pad_step, int max_steps, PadPrefixTrajectory* traj) const {
+    const Tensor& pad_step, int max_steps, PadPrefixTrajectory* traj,
+    Precision precision) const {
   traj->states.clear();
   if (!bidirectional_) return;
   const auto& cells = cells_[1];
@@ -389,7 +542,7 @@ void StackedBiRecurrent::ComputeBackwardPadPrefix(
   for (int k = 1; k <= max_steps; ++k) {
     const Tensor* x = &pad_step;
     for (size_t l = 0; l < cells.size(); ++l) {
-      cells[l].StepForward(*x, state[l], &next, &step);
+      cells[l].StepForward(*x, state[l], &next, &step, precision);
       std::swap(state[l].h, next.h);
       if (cells[l].type() == CellType::kLstm) std::swap(state[l].c, next.c);
       x = &state[l].h;
@@ -400,8 +553,8 @@ void StackedBiRecurrent::ComputeBackwardPadPrefix(
 
 void StackedBiRecurrent::ApplyForwardBucketed(
     const Tensor* steps, int t_count, int t_total, const Tensor& pad_step,
-    const PadPrefixTrajectory& traj, Tensor* out,
-    ForwardScratch* scratch) const {
+    const PadPrefixTrajectory& traj, Tensor* out, ForwardScratch* scratch,
+    Precision precision) const {
   BIRNN_CHECK_GE(t_count, 1);
   BIRNN_CHECK_GE(t_total, t_count);
   const int pad_count = t_total - t_count;
@@ -409,18 +562,171 @@ void StackedBiRecurrent::ApplyForwardBucketed(
   for (const auto& c : cells_[0]) fwd.push_back(&c);
   if (!bidirectional_) {
     RunDirectionForward(steps, t_count, false, fwd, &pad_step, pad_count,
-                        nullptr, out, scratch);
+                        nullptr, out, scratch, precision);
     return;
   }
   RunDirectionForward(steps, t_count, false, fwd, &pad_step, pad_count,
-                      nullptr, &scratch->out_fwd, scratch);
+                      nullptr, &scratch->out_fwd, scratch, precision);
   BIRNN_CHECK_LE(pad_count, traj.max_steps());
   std::vector<const RecurrentCell*> bwd;
   for (const auto& c : cells_[1]) bwd.push_back(&c);
   RunDirectionForward(steps, t_count, true, bwd, nullptr, 0,
                       &traj.states[static_cast<size_t>(pad_count)],
-                      &scratch->out_bwd, scratch);
+                      &scratch->out_bwd, scratch, precision);
   ConcatCols({&scratch->out_fwd, &scratch->out_bwd}, out);
+}
+
+void StackedBiRecurrent::PrepareQuantized(Precision p) const {
+  for (const auto& dir : cells_) {
+    for (const auto& cell : dir) cell.PrepareQuantized(p);
+  }
+}
+
+bool StackedBiRecurrent::QuantizedReady(Precision p) const {
+  for (const auto& dir : cells_) {
+    for (const auto& cell : dir) {
+      if (!cell.QuantizedReady(p)) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+void AppendInt8Entries(const std::string& param_name, const QuantizedMatrix& m,
+                       std::vector<TypedEntry>* entries) {
+  TypedEntry data;
+  data.name = "__q8/" + param_name;
+  data.dtype = kDtypeI8;
+  data.shape = {m.rows, m.cols};
+  data.bytes.assign(reinterpret_cast<const char*>(m.q.data()), m.q.size());
+  entries->push_back(std::move(data));
+  TypedEntry scales;
+  scales.name = "__q8s/" + param_name;
+  scales.dtype = kDtypeF32;
+  scales.shape = {m.rows};
+  scales.bytes.assign(reinterpret_cast<const char*>(m.scales.data()),
+                      m.scales.size() * sizeof(float));
+  entries->push_back(std::move(scales));
+}
+
+void AppendBf16Entry(const std::string& param_name, const Bf16Matrix& m,
+                     std::vector<TypedEntry>* entries) {
+  TypedEntry data;
+  data.name = "__bf16/" + param_name;
+  data.dtype = kDtypeU16;
+  data.shape = {m.rows, m.cols};
+  data.bytes.assign(reinterpret_cast<const char*>(m.q.data()),
+                    m.q.size() * sizeof(uint16_t));
+  entries->push_back(std::move(data));
+}
+
+/// Pulls "name" out of `entries` if present; returns nullopt-like signal
+/// via the bool. The entry is consumed (erased).
+bool TakeEntry(std::map<std::string, TypedEntry>* entries,
+               const std::string& name, TypedEntry* out) {
+  auto it = entries->find(name);
+  if (it == entries->end()) return false;
+  *out = std::move(it->second);
+  entries->erase(it);
+  return true;
+}
+
+StatusOr<QuantizedMatrix> Int8FromEntries(const TypedEntry& data,
+                                          const TypedEntry& scales) {
+  if (data.dtype != kDtypeI8 || data.shape.size() != 2) {
+    return Status::InvalidArgument("malformed int8 entry " + data.name);
+  }
+  if (scales.dtype != kDtypeF32 || scales.shape.size() != 1 ||
+      scales.shape[0] != data.shape[0]) {
+    return Status::InvalidArgument("malformed int8 scales " + scales.name);
+  }
+  const int rows = data.shape[0];
+  const int cols = data.shape[1];
+  std::vector<int8_t> q(static_cast<size_t>(rows) * cols);
+  std::memcpy(q.data(), data.bytes.data(), q.size());
+  std::vector<float> s(static_cast<size_t>(rows));
+  std::memcpy(s.data(), scales.bytes.data(), s.size() * sizeof(float));
+  return QuantizedMatrixFromParts(rows, cols, std::move(q), std::move(s));
+}
+
+Bf16Matrix Bf16FromEntry(const TypedEntry& data) {
+  Bf16Matrix m;
+  m.rows = data.shape[0];
+  m.cols = data.shape[1];
+  m.q.resize(static_cast<size_t>(m.rows) * m.cols);
+  std::memcpy(m.q.data(), data.bytes.data(), m.q.size() * sizeof(uint16_t));
+  return m;
+}
+
+}  // namespace
+
+void StackedBiRecurrent::ExportQuantized(
+    std::vector<TypedEntry>* entries) const {
+  PrepareQuantized(Precision::kInt8);
+  PrepareQuantized(Precision::kBf16);
+  for (const auto& dir : cells_) {
+    for (const auto& cell : dir) {
+      const auto& q = cell.quant();
+      AppendInt8Entries(cell.wx_name(), q.wx_q8, entries);
+      AppendInt8Entries(cell.wh_name(), q.wh_q8, entries);
+      AppendBf16Entry(cell.wx_name(), q.wx_bf16, entries);
+      AppendBf16Entry(cell.wh_name(), q.wh_bf16, entries);
+    }
+  }
+}
+
+Status StackedBiRecurrent::ImportQuantized(
+    std::map<std::string, TypedEntry>* entries) const {
+  for (const auto& dir : cells_) {
+    for (const auto& cell : dir) {
+      TypedEntry wx_q, wx_s, wh_q, wh_s;
+      const bool has_wx = TakeEntry(entries, "__q8/" + cell.wx_name(), &wx_q);
+      const bool has_wxs =
+          TakeEntry(entries, "__q8s/" + cell.wx_name(), &wx_s);
+      const bool has_wh = TakeEntry(entries, "__q8/" + cell.wh_name(), &wh_q);
+      const bool has_whs =
+          TakeEntry(entries, "__q8s/" + cell.wh_name(), &wh_s);
+      if (has_wx != has_wxs || has_wx != has_wh || has_wh != has_whs) {
+        return Status::InvalidArgument("incomplete int8 entry set for " +
+                                       cell.wx_name());
+      }
+      if (has_wx) {
+        auto wx = Int8FromEntries(wx_q, wx_s);
+        if (!wx.ok()) return wx.status();
+        auto wh = Int8FromEntries(wh_q, wh_s);
+        if (!wh.ok()) return wh.status();
+        if (wx->rows != cell.units() * cell.gate_count() ||
+            wx->cols != cell.input_dim() ||
+            wh->rows != cell.units() * cell.gate_count() ||
+            wh->cols != cell.units()) {
+          return Status::InvalidArgument("int8 shape mismatch for " +
+                                         cell.wx_name());
+        }
+        cell.InstallInt8(std::move(*wx), std::move(*wh));
+      }
+      TypedEntry bx, bh;
+      const bool has_bx = TakeEntry(entries, "__bf16/" + cell.wx_name(), &bx);
+      const bool has_bh = TakeEntry(entries, "__bf16/" + cell.wh_name(), &bh);
+      if (has_bx != has_bh) {
+        return Status::InvalidArgument("incomplete bf16 entry set for " +
+                                       cell.wx_name());
+      }
+      if (has_bx) {
+        if (bx.dtype != kDtypeU16 || bx.shape.size() != 2 ||
+            bh.dtype != kDtypeU16 || bh.shape.size() != 2 ||
+            bx.shape[0] != cell.input_dim() ||
+            bx.shape[1] != cell.units() * cell.gate_count() ||
+            bh.shape[0] != cell.units() ||
+            bh.shape[1] != cell.units() * cell.gate_count()) {
+          return Status::InvalidArgument("bf16 shape mismatch for " +
+                                         cell.wx_name());
+        }
+        cell.InstallBf16(Bf16FromEntry(bx), Bf16FromEntry(bh));
+      }
+    }
+  }
+  return Status::OK();
 }
 
 std::vector<Parameter*> StackedBiRecurrent::Params() const {

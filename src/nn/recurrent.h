@@ -1,11 +1,14 @@
 #ifndef BIRNN_NN_RECURRENT_H_
 #define BIRNN_NN_RECURRENT_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
 #include "nn/graph.h"
 #include "nn/parameter.h"
+#include "nn/quant.h"
+#include "nn/serialize.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -40,6 +43,7 @@ struct RecurrentTensors {
 struct StepScratch {
   Tensor z1;  ///< vanilla: fused gates; gru: input gates; lstm: gates.
   Tensor z2;  ///< gru only: recurrent gates.
+  QuantScratch quant;  ///< int8 path: activation rows + accumulators.
 };
 
 /// One recurrent cell of any family, usable on the autodiff graph (training)
@@ -50,6 +54,12 @@ struct StepScratch {
 /// Input kernels are Glorot-initialized, recurrent kernels orthogonal per
 /// gate block, biases zero except the LSTM forget gate (+1, the standard
 /// trick).
+///
+/// Low-precision inference: each cell can carry quantized shadow copies of
+/// wx/wh (int8 per-row-absmax and/or bf16 truncation — see nn/quant.h).
+/// The shadows are pure deterministic functions of the fp32 weights, built
+/// by PrepareQuantized or installed from a bundle; the fp32 parameters stay
+/// authoritative and the fp32 forward path is untouched.
 class RecurrentCell {
  public:
   RecurrentCell(CellType type, std::string name, int input_dim, int units,
@@ -77,22 +87,72 @@ class RecurrentCell {
                    RecurrentTensors* out) const;
 
   /// Forward-only step with caller-owned pre-activation scratch
-  /// (bit-identical to the scratch-free overload).
+  /// (bit-identical to the scratch-free overload). With a non-fp32
+  /// precision, the two GEMMs run the quantized kernels (the shadow
+  /// weights must be prepared); the gate nonlinearities always run fp32.
   void StepForward(const Tensor& x, const RecurrentTensors& prev,
-                   RecurrentTensors* out, StepScratch* scratch) const;
+                   RecurrentTensors* out, StepScratch* scratch,
+                   Precision precision = Precision::kFp32) const;
+
+  /// Forward-only step whose input projection x·Wx (no bias) has already
+  /// been computed into `scratch->z1` — the level-major batched path
+  /// (StackedBiRecurrent computes one GEMM covering every time step, then
+  /// slices per-step rows into z1). Consumes/overwrites z1. Bit-identical
+  /// to StepForward at the same precision: the kernels are row-independent
+  /// and the per-element FP operation sequence is unchanged.
+  void StepForwardPre(const RecurrentTensors& prev, RecurrentTensors* out,
+                      StepScratch* scratch, Precision precision) const;
+
+  /// out = x · Wx at `precision` (overwrite; no bias). The batched
+  /// projection hook: `x` may stack any number of step batches row-wise.
+  void ProjectInput(const Tensor& x, Tensor* out, StepScratch* scratch,
+                    Precision precision) const;
+
+  /// Per-precision shadow weights (empty until prepared/installed).
+  struct QuantWeights {
+    QuantizedMatrix wx_q8, wh_q8;
+    Bf16Matrix wx_bf16, wh_bf16;
+  };
+
+  /// Idempotently builds the shadow weights for `p` from the fp32 kernels
+  /// (kFp32 is a no-op). Mutates only the mutable shadow cache; NOT
+  /// thread-safe — callers serialize and establish a happens-before edge
+  /// to any concurrent readers (see ErrorDetectionModel::
+  /// PrepareQuantizedInference).
+  void PrepareQuantized(Precision p) const;
+  bool QuantizedReady(Precision p) const;
+  const QuantWeights& quant() const { return quant_; }
+
+  /// Installs pre-quantized weights (bundle load). Shapes must match.
+  void InstallInt8(QuantizedMatrix wx, QuantizedMatrix wh) const;
+  void InstallBf16(Bf16Matrix wx, Bf16Matrix wh) const;
 
   std::vector<Parameter*> Params() const;
   CellType type() const { return type_; }
   int units() const { return units_; }
   int input_dim() const { return input_dim_; }
+  int gate_count() const;
+  const std::string& wx_name() const { return wx_.name; }
+  const std::string& wh_name() const { return wh_.name; }
 
  private:
+  /// out (+)= h · Wh at `precision`.
+  void RecurrentProjection(const Tensor& h, bool accumulate, Tensor* out,
+                           StepScratch* scratch, Precision precision) const;
+  /// The fused GRU / LSTM elementwise gate tails (bias folded in), shared
+  /// verbatim by the fp32 and quantized step paths.
+  void GruGateTail(const Tensor& xg, const Tensor& hg,
+                   const RecurrentTensors& prev, RecurrentTensors* out) const;
+  void LstmGateTail(const Tensor& gates, const RecurrentTensors& prev,
+                    RecurrentTensors* out) const;
+
   CellType type_;
   int input_dim_;
   int units_;
   mutable Parameter wx_;
   mutable Parameter wh_;
   mutable Parameter b_;
+  mutable QuantWeights quant_;
 };
 
 /// Backward-chain states over an all-pad prefix. When a sequence ends in
@@ -126,6 +186,9 @@ class StackedBiRecurrent {
     StepScratch step;
     Tensor out_fwd;
     Tensor out_bwd;
+    Tensor seq_in;   ///< level inputs, all steps stacked in process order.
+    Tensor seq_out;  ///< level outputs, same stacking.
+    Tensor xz;       ///< batched input projections for the current level.
   };
 
   Graph::Var Apply(Graph* g, const std::vector<Graph::Var>& steps,
@@ -136,21 +199,26 @@ class StackedBiRecurrent {
   /// caller-owned scratch (bit-identical to the scratch-free overload).
   /// `t_count` may be shorter than the training sequence length — the stack
   /// simply runs fewer time steps (the length-bucketed inference contract;
-  /// see core::InferenceEngine).
+  /// see core::InferenceEngine). Non-fp32 precisions require prepared
+  /// shadow weights (PrepareQuantized).
   void ApplyForward(const Tensor* steps, int t_count, Tensor* out,
-                    ForwardScratch* scratch) const;
+                    ForwardScratch* scratch,
+                    Precision precision = Precision::kFp32) const;
 
   /// Precomputes the backward direction's state trajectory over an all-pad
   /// prefix of up to `max_steps` steps. `pad_step` must hold the pad input
   /// embedding replicated over its rows (use a full SIMD register of rows
   /// so the elementwise kernels take the same vector path as real batches —
   /// that keeps the warm start bit-identical to running the prefix inline).
-  /// Leaves the trajectory empty for unidirectional stacks.
+  /// The trajectory is precision-specific: compute it at the precision the
+  /// bucketed sweep will run. Leaves the trajectory empty for
+  /// unidirectional stacks.
   void ComputeBackwardPadPrefix(const Tensor& pad_step, int max_steps,
-                                PadPrefixTrajectory* traj) const;
+                                PadPrefixTrajectory* traj,
+                                Precision precision = Precision::kFp32) const;
 
   /// Length-bucketed application, bit-identical to ApplyForward over the
-  /// same sequence padded to `t_total` steps:
+  /// same sequence padded to `t_total` steps (at the same precision):
   /// - the forward chain runs steps[0, t_count) and then `t_total - t_count`
   ///   extra steps of `pad_step` input — its pad tail cannot be skipped,
   ///   because the (trained) pad embedding keeps moving per-cell state;
@@ -161,7 +229,25 @@ class StackedBiRecurrent {
   void ApplyForwardBucketed(const Tensor* steps, int t_count, int t_total,
                             const Tensor& pad_step,
                             const PadPrefixTrajectory& traj, Tensor* out,
-                            ForwardScratch* scratch) const;
+                            ForwardScratch* scratch,
+                            Precision precision = Precision::kFp32) const;
+
+  /// Builds every cell's shadow weights for `p` (idempotent; kFp32 no-op).
+  /// Not thread-safe — see RecurrentCell::PrepareQuantized.
+  void PrepareQuantized(Precision p) const;
+  bool QuantizedReady(Precision p) const;
+
+  /// Appends this stack's quantized shadow weights (int8 + bf16, prepared
+  /// on demand) as typed checkpoint entries named
+  ///   "__q8/<param>" (i8, out×in) / "__q8s/<param>" (f32 scales, out) /
+  ///   "__bf16/<param>" (u16, in×out)
+  /// for each wx/wh parameter name.
+  void ExportQuantized(std::vector<TypedEntry>* entries) const;
+
+  /// Installs shadow weights from `entries` (consuming recognized names).
+  /// Partial precisions are fine (e.g. int8-only bundles); shape or scale
+  /// mismatches fail.
+  Status ImportQuantized(std::map<std::string, TypedEntry>* entries) const;
 
   std::vector<Parameter*> Params() const;
   int output_dim() const { return units_ * (bidirectional_ ? 2 : 1); }
@@ -175,13 +261,20 @@ class StackedBiRecurrent {
   /// `tail_count` steps of `tail_step` input. Backward direction
   /// (tail_count must be 0): steps[t_count-1 .. 0], starting from `warm`
   /// per-level states (broadcast over the batch rows) instead of zeros when
-  /// non-null.
+  /// non-null. Executes level-major with time-step-batched input
+  /// projections: level l runs over every step before level l+1 starts, so
+  /// each level's x·Wx collapses into ONE GEMM over the whole sequence and
+  /// the per-step work is just the recurrent projection + gate tail. This
+  /// is bit-identical to the step-major order (levels only consume the
+  /// level below at the same step) and to per-step projections (the GEMM
+  /// kernels are row-independent).
   void RunDirectionForward(const Tensor* steps, int t_count,
                            bool backward_direction,
                            const std::vector<const RecurrentCell*>& cells,
                            const Tensor* tail_step, int tail_count,
                            const std::vector<RecurrentTensors>* warm,
-                           Tensor* out, ForwardScratch* scratch) const;
+                           Tensor* out, ForwardScratch* scratch,
+                           Precision precision) const;
 
   CellType type_;
   int units_;

@@ -3,15 +3,29 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <iomanip>
 #include <map>
 #include <sstream>
 
 namespace birnn::nn {
 
+size_t DtypeSize(uint8_t dtype) {
+  switch (dtype) {
+    case kDtypeF32:
+      return sizeof(float);
+    case kDtypeI8:
+      return 1;
+    case kDtypeU16:
+      return sizeof(uint16_t);
+  }
+  return 0;
+}
+
 namespace {
 constexpr char kMagic[8] = {'B', 'R', 'N', 'N', 'C', 'K', 'P', 'T'};
 constexpr uint32_t kVersionSentinel = 0xFFFFFFFFu;
 constexpr uint8_t kFormatVersion = 1;
+constexpr uint8_t kFormatVersionTyped = 2;
 
 uint64_t Fnv1a(const char* data, size_t n) {
   uint64_t h = 1469598103934665603ULL;
@@ -51,19 +65,36 @@ struct Reader {
 /// Parses the entry section (u32 count + entries) starting at `r.pos` and
 /// loads it into `params`, enforcing exact coverage: every parameter must
 /// be present with a matching shape, and the file must not contain
-/// duplicate or extra entries.
+/// duplicate or extra entries. When `typed` (format v2), each entry carries
+/// a dtype byte; non-f32 entries — and f32 entries whose name matches no
+/// parameter, such as the "__q8s/..." quantization scales — are routed to
+/// `extras` instead of the parameter match. Drift is still caught: a
+/// missing parameter errors here, and the model rejects unrecognized
+/// extras when installing them.
 Status ParseEntries(Reader* r, const std::vector<Parameter*>& params,
-                    const std::string& path) {
+                    const std::string& path, bool typed,
+                    std::vector<TypedEntry>* extras) {
   uint32_t count = 0;
   if (!r->ReadU32(&count)) return Status::IoError("truncated header: " + path);
 
   std::map<std::string, Tensor> loaded;
+  std::map<std::string, TypedEntry> loaded_extras;
   for (uint32_t i = 0; i < count; ++i) {
     uint32_t name_len = 0;
     if (!r->ReadU32(&name_len)) return Status::IoError("truncated entry");
     if (name_len > r->remaining()) return Status::IoError("truncated entry");
     std::string name(name_len, '\0');
     if (!r->Read(name.data(), name_len)) return Status::IoError("truncated entry");
+    uint8_t dtype = kDtypeF32;
+    if (typed) {
+      if (!r->Read(&dtype, sizeof(dtype))) {
+        return Status::IoError("truncated entry");
+      }
+      if (DtypeSize(dtype) == 0) {
+        return Status::InvalidArgument("unknown dtype " +
+                                       std::to_string(dtype) + " for " + name);
+      }
+    }
     uint32_t rank = 0;
     if (!r->ReadU32(&rank)) return Status::IoError("truncated entry");
     if (rank > 8) return Status::InvalidArgument("implausible rank for " + name);
@@ -73,6 +104,29 @@ Status ParseEntries(Reader* r, const std::vector<Parameter*>& params,
       if (!r->Read(&dim, sizeof(dim))) return Status::IoError("truncated entry");
       if (dim < 0) return Status::InvalidArgument("negative dimension");
       shape[d] = dim;
+    }
+    if (dtype != kDtypeF32) {
+      TypedEntry entry;
+      entry.dtype = dtype;
+      entry.shape = shape;
+      const size_t bytes = ShapeSize(shape) * DtypeSize(dtype);
+      if (bytes > r->remaining()) {
+        return Status::IoError("truncated tensor data for " + name);
+      }
+      entry.bytes.resize(bytes);
+      if (!r->Read(entry.bytes.data(), bytes)) {
+        return Status::IoError("truncated tensor data for " + name);
+      }
+      entry.name = name;
+      if (extras == nullptr) {
+        return Status::InvalidArgument(
+            "checkpoint has typed (quantized) entries but the caller "
+            "accepts only parameters: " + name);
+      }
+      if (!loaded_extras.emplace(std::move(name), std::move(entry)).second) {
+        return Status::InvalidArgument("duplicate checkpoint entry");
+      }
+      continue;
     }
     Tensor t(shape);
     const size_t bytes = t.size() * sizeof(float);
@@ -98,6 +152,29 @@ Status ParseEntries(Reader* r, const std::vector<Parameter*>& params,
     p->value = std::move(it->second);
     loaded.erase(it);
   }
+  if (!loaded.empty() && typed) {
+    // v2: unmatched f32 entries are sidecar blobs (quantization scales),
+    // not parameter drift. Hand them to the caller with the other extras.
+    if (extras == nullptr) {
+      return Status::InvalidArgument(
+          "checkpoint has typed (quantized) entries but the caller "
+          "accepts only parameters: " + loaded.begin()->first);
+    }
+    for (auto& [name, tensor] : loaded) {
+      TypedEntry entry;
+      entry.name = name;
+      entry.dtype = kDtypeF32;
+      entry.shape = tensor.shape();
+      entry.bytes.assign(
+          reinterpret_cast<const char*>(tensor.data()),
+          reinterpret_cast<const char*>(tensor.data()) +
+              tensor.size() * sizeof(float));
+      if (!loaded_extras.emplace(name, std::move(entry)).second) {
+        return Status::InvalidArgument("duplicate checkpoint entry");
+      }
+    }
+    loaded.clear();
+  }
   if (!loaded.empty()) {
     std::ostringstream msg;
     msg << "checkpoint has " << loaded.size()
@@ -114,6 +191,52 @@ Status ParseEntries(Reader* r, const std::vector<Parameter*>& params,
     }
     return Status::InvalidArgument(msg.str());
   }
+  if (extras != nullptr) {
+    extras->clear();
+    extras->reserve(loaded_extras.size());
+    for (auto& [name, entry] : loaded_extras) {
+      (void)name;
+      extras->push_back(std::move(entry));
+    }
+  }
+  return Status::OK();
+}
+
+/// Serializes one entry (v2 layout: name, dtype, shape, raw data).
+void AppendTypedEntry(std::string* payload, const std::string& name,
+                      uint8_t dtype, const std::vector<int>& shape,
+                      const char* data, size_t bytes) {
+  AppendU32(payload, static_cast<uint32_t>(name.size()));
+  AppendBytes(payload, name.data(), name.size());
+  payload->push_back(static_cast<char>(dtype));
+  AppendU32(payload, static_cast<uint32_t>(shape.size()));
+  for (int d : shape) {
+    const int32_t dim = d;
+    AppendBytes(payload, &dim, sizeof(dim));
+  }
+  AppendBytes(payload, data, bytes);
+}
+
+std::string HexU64(uint64_t v) {
+  std::ostringstream out;
+  out << "0x" << std::hex << std::setfill('0') << std::setw(16) << v;
+  return out.str();
+}
+
+/// Frames a payload with the magic/sentinel/version header and trailing
+/// FNV-1a checksum, shared by the v1 and v2 writers.
+Status WriteCheckpoint(const std::string& payload, uint8_t version,
+                       const std::string& path) {
+  const uint64_t checksum = Fnv1a(payload.data(), payload.size());
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const uint32_t sentinel = kVersionSentinel;
+  out.write(reinterpret_cast<const char*>(&sentinel), sizeof(sentinel));
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  if (!out) return Status::IoError("write failed: " + path);
   return Status::OK();
 }
 
@@ -150,23 +273,37 @@ Status SaveParameters(const std::vector<Parameter*>& params,
     }
     AppendBytes(&payload, p->value.data(), p->value.size() * sizeof(float));
   }
-  const uint64_t checksum = Fnv1a(payload.data(), payload.size());
+  return WriteCheckpoint(payload, kFormatVersion, path);
+}
 
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-  out.write(kMagic, sizeof(kMagic));
-  const uint32_t sentinel = kVersionSentinel;
-  out.write(reinterpret_cast<const char*>(&sentinel), sizeof(sentinel));
-  const uint8_t version = kFormatVersion;
-  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
-  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+Status SaveParametersV2(const std::vector<Parameter*>& params,
+                        const std::vector<TypedEntry>& extras,
+                        const std::string& path) {
+  std::string payload;
+  AppendU32(&payload, static_cast<uint32_t>(params.size() + extras.size()));
+  for (const Parameter* p : params) {
+    AppendTypedEntry(&payload, p->name, kDtypeF32, p->value.shape(),
+                     reinterpret_cast<const char*>(p->value.data()),
+                     p->value.size() * sizeof(float));
+  }
+  for (const TypedEntry& e : extras) {
+    BIRNN_CHECK_EQ(e.bytes.size(), ShapeSize(e.shape) * DtypeSize(e.dtype))
+        << "typed entry payload/shape mismatch for " << e.name;
+    AppendTypedEntry(&payload, e.name, e.dtype, e.shape, e.bytes.data(),
+                     e.bytes.size());
+  }
+  return WriteCheckpoint(payload, kFormatVersionTyped, path);
 }
 
 Status LoadParameters(const std::string& path,
                       const std::vector<Parameter*>& params) {
+  return LoadParameters(path, params, nullptr);
+}
+
+Status LoadParameters(const std::string& path,
+                      const std::vector<Parameter*>& params,
+                      std::vector<TypedEntry>* extras) {
+  if (extras != nullptr) extras->clear();
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open for read: " + path);
   std::ostringstream buffer;
@@ -187,14 +324,14 @@ Status LoadParameters(const std::string& path,
     // v0: `first` is the entry count and there is no checksum. Rewind so
     // ParseEntries re-reads it as the count.
     r.pos -= sizeof(first);
-    return ParseEntries(&r, params, path);
+    return ParseEntries(&r, params, path, /*typed=*/false, extras);
   }
 
   uint8_t version = 0;
   if (!r.Read(&version, sizeof(version))) {
     return Status::IoError("truncated header: " + path);
   }
-  if (version != kFormatVersion) {
+  if (version != kFormatVersion && version != kFormatVersionTyped) {
     return Status::InvalidArgument("unsupported checkpoint format version " +
                                    std::to_string(version) + ": " + path);
   }
@@ -206,11 +343,14 @@ Status LoadParameters(const std::string& path,
   std::memcpy(&stored, image.data() + r.pos + payload_size, sizeof(stored));
   const uint64_t actual = Fnv1a(image.data() + r.pos, payload_size);
   if (stored != actual) {
-    return Status::IoError("checkpoint checksum mismatch (truncated or "
-                           "corrupted file): " + path);
+    return Status::IoError(
+        "checkpoint checksum mismatch (truncated or corrupted file): " +
+        path + " expected FNV-1a " + HexU64(stored) + ", actual " +
+        HexU64(actual));
   }
   Reader payload{image.data() + r.pos, payload_size};
-  return ParseEntries(&payload, params, path);
+  return ParseEntries(&payload, params, path,
+                      /*typed=*/version == kFormatVersionTyped, extras);
 }
 
 }  // namespace birnn::nn

@@ -16,6 +16,7 @@ core::InferenceOptions MakeEngineOptions(const BatcherOptions& options) {
   engine_options.threads = 0;  // the dispatcher thread runs the sweep
   engine_options.memoize = true;
   engine_options.bucketed = options.bucketed;
+  engine_options.precision = options.precision;
   return engine_options;
 }
 

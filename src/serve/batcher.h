@@ -31,6 +31,10 @@ struct BatcherOptions {
   /// Length-bucketed inference for the coalesced batches (bit-identical
   /// either way; see core::InferenceOptions::bucketed).
   bool bucketed = false;
+  /// Kernel precision for the served sweeps (see
+  /// core::InferenceOptions::precision). Quantized shadow weights come
+  /// free with a v2 bundle; otherwise the first batch prepares them.
+  nn::Precision precision = nn::Precision::kFp32;
 };
 
 /// Verdict for one queried cell.

@@ -21,6 +21,9 @@ namespace {
 
 constexpr char kManifestHeader[] = "birnn-detector-bundle";
 constexpr int kBundleVersion = 1;
+/// Version 2 = weights.ckpt may carry quantized shadow weights (checkpoint
+/// format v2). The manifest text is otherwise identical to v1.
+constexpr int kBundleVersionQuantized = 2;
 constexpr char kBnMeanName[] = "__bn/running_mean";
 constexpr char kBnVarName[] = "__bn/running_var";
 
@@ -76,10 +79,12 @@ StatusOr<Manifest> ReadManifest(const std::string& path) {
     if (first) {
       int version = -1;
       ls >> version;
-      if (key != kManifestHeader || version != kBundleVersion) {
-        return Status::InvalidArgument("not a v" +
-                                       std::to_string(kBundleVersion) +
-                                       " detector bundle manifest: " + path);
+      if (key != kManifestHeader ||
+          (version != kBundleVersion && version != kBundleVersionQuantized)) {
+        return Status::InvalidArgument(
+            "not a v" + std::to_string(kBundleVersion) + "/v" +
+            std::to_string(kBundleVersionQuantized) +
+            " detector bundle manifest: " + path);
       }
       first = false;
       continue;
@@ -165,7 +170,8 @@ StatusOr<data::EncodedDataset> LoadedDetector::EncodeQueries(
 }
 
 Status SaveDetectorBundle(const core::TrainedDetector& trained,
-                          const std::string& dir) {
+                          const std::string& dir,
+                          const BundleSaveOptions& options) {
   if (trained.model == nullptr) {
     return Status::InvalidArgument("TrainedDetector has no model");
   }
@@ -182,7 +188,9 @@ Status SaveDetectorBundle(const core::TrainedDetector& trained,
 
   std::ofstream out(ManifestPath(dir));
   if (!out) return Status::IoError("cannot write " + ManifestPath(dir));
-  out << kManifestHeader << ' ' << kBundleVersion << '\n';
+  out << kManifestHeader << ' '
+      << (options.include_quantized ? kBundleVersionQuantized : kBundleVersion)
+      << '\n';
   out << "cell_type " << nn::CellTypeName(config.cell_type) << '\n';
   out << "vocab " << config.vocab << '\n';
   out << "max_len " << config.max_len << '\n';
@@ -223,7 +231,14 @@ Status SaveDetectorBundle(const core::TrainedDetector& trained,
   nn::Parameter bn_var(kBnVarName, std::move(snapshot.bn_var));
   params.push_back(&bn_mean);
   params.push_back(&bn_var);
-  return nn::SaveParameters(params, WeightsPath(dir));
+  if (!options.include_quantized) {
+    return nn::SaveParameters(params, WeightsPath(dir));
+  }
+  // Quantize once at save time; every loader then installs the blobs
+  // instead of re-deriving them.
+  std::vector<nn::TypedEntry> extras;
+  trained.model->ExportQuantized(&extras);
+  return nn::SaveParametersV2(params, extras, WeightsPath(dir));
 }
 
 StatusOr<LoadedDetector> LoadDetectorBundle(const std::string& dir) {
@@ -315,9 +330,14 @@ StatusOr<LoadedDetector> LoadDetectorBundle(const std::string& dir) {
                        nn::Tensor(std::vector<int>{config.hidden_dense_dim}));
   params.push_back(&bn_mean);
   params.push_back(&bn_var);
-  BIRNN_RETURN_IF_ERROR(nn::LoadParameters(WeightsPath(dir), params));
+  std::vector<nn::TypedEntry> extras;
+  BIRNN_RETURN_IF_ERROR(
+      nn::LoadParameters(WeightsPath(dir), params, &extras));
   det.model_->SetBatchNormStats(std::move(bn_mean.value),
                                 std::move(bn_var.value));
+  if (!extras.empty()) {
+    BIRNN_RETURN_IF_ERROR(det.model_->ImportQuantized(std::move(extras)));
+  }
   return det;
 }
 

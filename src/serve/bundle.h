@@ -65,18 +65,33 @@ class LoadedDetector {
   data::PrepareOptions prepare_;
 };
 
+/// Knobs for SaveDetectorBundle.
+struct BundleSaveOptions {
+  /// Ship pre-quantized int8 + bf16 shadow weights for the recurrent
+  /// stacks inside weights.ckpt (checkpoint format v2, manifest version 2)
+  /// so low-precision serving pays no quantization cost at load time.
+  /// Off reproduces the v1 bundle byte layout exactly.
+  bool include_quantized = true;
+};
+
 /// Writes a trained detector to `dir` (created if missing) as a two-file
 /// bundle:
 ///   manifest.txt — model architecture + encoding state (dictionary index
 ///                  table, attribute names, length_norm denominators,
 ///                  prepare options), line-oriented text;
-///   weights.ckpt — nn::SaveParameters checkpoint of every model parameter
-///                  plus the batch-norm running statistics as the pseudo
-///                  entries "__bn/running_mean" / "__bn/running_var".
+///   weights.ckpt — checkpoint of every model parameter plus the
+///                  batch-norm running statistics as the pseudo entries
+///                  "__bn/running_mean" / "__bn/running_var"; with
+///                  `options.include_quantized`, also the pre-quantized
+///                  "__q8/..." / "__q8s/..." / "__bf16/..." shadow weights
+///                  (checkpoint format v2).
 Status SaveDetectorBundle(const core::TrainedDetector& trained,
-                          const std::string& dir);
+                          const std::string& dir,
+                          const BundleSaveOptions& options = {});
 
 /// Reconstructs a detector from a bundle directory without retraining.
+/// Accepts v1 and v2 bundles; quantized shadow weights in a v2 bundle are
+/// installed into the model, making int8/bf16 sweeps start instantly.
 StatusOr<LoadedDetector> LoadDetectorBundle(const std::string& dir);
 
 /// Builds a LoadedDetector directly from in-memory trained artifacts

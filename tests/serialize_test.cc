@@ -174,7 +174,7 @@ TEST(SerializeV1Test, ExtraEntriesFail) {
 TEST(SerializeV1Test, UnsupportedVersionFails) {
   std::string image = "BRNNCKPT";
   AppendU32(&image, 0xFFFFFFFFu);
-  image.push_back(static_cast<char>(2));  // a future format version
+  image.push_back(static_cast<char>(3));  // a future format version
   const std::string path = TempPath("birnn_ser_v1_future.bin");
   WriteFile(path, image);
   Parameter a("a", Tensor(1, 1));
