@@ -26,11 +26,15 @@ MicroBatcher::MicroBatcher(const LoadedDetector& detector,
                            BatcherOptions options)
     : detector_(detector),
       options_(options),
-      engine_(detector.model(), MakeEngineOptions(options)) {
+      memo_(options.memo_capacity) {
   options_.max_batch = std::max(1, options_.max_batch);
   options_.max_delay_us = std::max(0, options_.max_delay_us);
   options_.queue_capacity = std::max(1, options_.queue_capacity);
-  dispatcher_ = std::thread([this] { DispatchLoop(); });
+  options_.replicas = std::max(1, options_.replicas);
+  dispatchers_.reserve(static_cast<size_t>(options_.replicas));
+  for (int r = 0; r < options_.replicas; ++r) {
+    dispatchers_.emplace_back([this] { DispatchLoop(); });
+  }
 }
 
 MicroBatcher::~MicroBatcher() { Stop(); }
@@ -102,7 +106,9 @@ void MicroBatcher::Stop() {
   }
   wake_dispatcher_.notify_all();
   std::lock_guard<std::mutex> join_lock(join_mutex_);
-  if (dispatcher_.joinable()) dispatcher_.join();
+  for (std::thread& dispatcher : dispatchers_) {
+    if (dispatcher.joinable()) dispatcher.join();
+  }
 }
 
 BatcherStats MicroBatcher::stats() const {
@@ -116,10 +122,17 @@ BatcherStats MicroBatcher::stats() const {
   stats.batches = batch_cells.count;
   stats.max_batch_cells = static_cast<int64_t>(std::llround(batch_cells.max));
   stats.batch_seconds = batch_seconds_.Snapshot().sum;
+  stats.memo_hits = memo_hits_.Value();
+  stats.memo_entries = memo_.entries();
   return stats;
 }
 
 void MicroBatcher::DispatchLoop() {
+  // Each replica owns a private engine over the shared (const) weights:
+  // engines hold scratch and stats, so they cannot be shared, but the
+  // verdict memo can and is.
+  core::InferenceEngine engine(detector_.model(), MakeEngineOptions(options_));
+
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     wake_dispatcher_.wait(lock,
@@ -139,6 +152,7 @@ void MicroBatcher::DispatchLoop() {
       wake_dispatcher_.wait_until(lock, deadline, [this] {
         return stopping_ || pending_cells_ >= options_.max_batch;
       });
+      if (pending_.empty()) continue;  // a sibling replica took everything
     }
 
     // Coalesce whole requests up to max_batch cells. The first request is
@@ -169,12 +183,44 @@ void MicroBatcher::DispatchLoop() {
       }
       batch = &merged;
     }
-    std::vector<float> probs;
-    {
+
+    // The shared memo answers cells the service has predicted before (any
+    // replica, any earlier batch); only the leftovers touch the engine.
+    // Running the engine on the miss subset is exact: per-cell outputs are
+    // batch-composition independent.
+    const int64_t n_cells = batch->num_cells();
+    std::vector<float> probs(static_cast<size_t>(n_cells), 0.0f);
+    std::vector<uint8_t> hit(static_cast<size_t>(n_cells), 0);
+    const int64_t hits = memo_.enabled() ? memo_.Lookup(*batch, &probs, &hit)
+                                         : 0;
+    double batch_seconds = 0.0;
+    if (hits < n_cells) {
       OBS_SPAN("serve/batch");
-      engine_.PredictProbs(*batch, {}, &probs);
+      if (hits == 0) {
+        engine.PredictProbs(*batch, {}, &probs);
+      } else {
+        std::vector<int64_t> miss;
+        miss.reserve(static_cast<size_t>(n_cells - hits));
+        for (int64_t i = 0; i < n_cells; ++i) {
+          if (!hit[static_cast<size_t>(i)]) miss.push_back(i);
+        }
+        const data::EncodedDataset subset = data::TakeCells(*batch, miss);
+        std::vector<float> miss_probs;
+        engine.PredictProbs(subset, {}, &miss_probs);
+        for (size_t m = 0; m < miss.size(); ++m) {
+          probs[static_cast<size_t>(miss[m])] = miss_probs[m];
+        }
+      }
+      batch_seconds = engine.stats().seconds;
+      if (memo_.enabled()) {
+        for (int64_t i = 0; i < n_cells; ++i) {
+          if (!hit[static_cast<size_t>(i)]) {
+            memo_.Insert(*batch, i, probs[static_cast<size_t>(i)]);
+          }
+        }
+      }
     }
-    const double batch_seconds = engine_.stats().seconds;
+    if (hits > 0) memo_hits_.Add(hits);
 
     // Account the batch before delivering responses, so a client that
     // receives its verdict and immediately asks for stats sees it counted.

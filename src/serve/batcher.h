@@ -13,6 +13,7 @@
 #include "core/inference.h"
 #include "obs/registry.h"
 #include "serve/bundle.h"
+#include "serve/memo.h"
 #include "util/status.h"
 
 namespace birnn::serve {
@@ -35,6 +36,18 @@ struct BatcherOptions {
   /// core::InferenceOptions::precision). Quantized shadow weights come
   /// free with a v2 bundle; otherwise the first batch prepares them.
   nn::Precision precision = nn::Precision::kFp32;
+  /// Engine replicas: dispatcher threads pulling from the shared admission
+  /// queue, each owning a private InferenceEngine over the same weights.
+  /// One replica reproduces the classic single-dispatcher batcher; more
+  /// replicas overlap forward batches on multicore hosts. Verdicts are
+  /// bit-identical at any replica count (batch-composition independence,
+  /// core/inference.h), though response *order* across concurrent requests
+  /// is scheduling-dependent, as it already was.
+  int replicas = 1;
+  /// Entry bound of the cross-request verdict memo shared by the replicas
+  /// (see serve/memo.h); 0 disables it. Exact — cached verdicts are a pure
+  /// function of cell content under fixed weights.
+  int64_t memo_capacity = 1 << 18;
 };
 
 /// Verdict for one queried cell.
@@ -56,12 +69,16 @@ struct BatcherStats {
   int64_t batches = 0;         ///< forward batches dispatched.
   int64_t max_batch_cells = 0; ///< largest coalesced batch.
   double batch_seconds = 0.0;  ///< wall clock inside the inference engine.
+  int64_t memo_hits = 0;       ///< cells answered from the shared memo.
+  int64_t memo_entries = 0;    ///< current shared-memo population.
 };
 
-/// Coalesces concurrent detection requests into padded batches through a
-/// core::InferenceEngine. One dispatcher thread owns the engine; callers
-/// enqueue encoded cells and are answered via callback once their batch
-/// completes.
+/// Coalesces concurrent detection requests into padded batches through
+/// core::InferenceEngine replicas. Each of `options.replicas` dispatcher
+/// threads owns a private engine and pulls coalesced batches from the
+/// shared admission queue; callers enqueue encoded cells and are answered
+/// via callback once their batch completes. A shared VerdictMemo answers
+/// repeated cell contents across requests without touching any engine.
 ///
 /// Because the engine's forward path is batch-composition independent
 /// (row-independent kernels, register-width row padding, content-keyed
@@ -119,7 +136,7 @@ class MicroBatcher {
 
   const LoadedDetector& detector_;
   BatcherOptions options_;
-  core::InferenceEngine engine_;
+  VerdictMemo memo_;
 
   mutable std::mutex mutex_;
   std::condition_variable wake_dispatcher_;
@@ -139,9 +156,10 @@ class MicroBatcher {
   obs::Histogram batch_seconds_{"serve/batcher/batch_seconds"};
   obs::Histogram request_seconds_{"serve/batcher/request_seconds"};
   obs::Gauge queue_cells_{"serve/batcher/queue_cells"};
+  obs::Counter memo_hits_{"serve/batcher/memo_hits"};
 
   std::mutex join_mutex_;  ///< serializes concurrent Stop() calls.
-  std::thread dispatcher_;
+  std::vector<std::thread> dispatchers_;
 };
 
 }  // namespace birnn::serve

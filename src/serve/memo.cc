@@ -1,0 +1,102 @@
+#include "serve/memo.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace birnn::serve {
+
+namespace {
+
+uint32_t FloatBits(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+VerdictMemo::VerdictMemo(int64_t capacity)
+    : capacity_(std::max<int64_t>(0, capacity)),
+      shard_capacity_(std::max<int64_t>(1, capacity_ / kShards)) {}
+
+bool VerdictMemo::Matches(const Entry& e, const data::EncodedDataset& ds,
+                          int64_t i) {
+  if (e.attr != ds.attrs[static_cast<size_t>(i)]) return false;
+  if (e.length_norm_bits != FloatBits(ds.length_norm[static_cast<size_t>(i)]))
+    return false;
+  const int len = ds.effective_len(i);
+  if (static_cast<size_t>(len) != e.seq.size()) return false;
+  const int32_t* row = ds.seqs.data() + static_cast<size_t>(i) * ds.max_len;
+  return std::memcmp(e.seq.data(), row, sizeof(int32_t) * e.seq.size()) == 0;
+}
+
+int64_t VerdictMemo::Lookup(const data::EncodedDataset& ds,
+                            std::vector<float>* p,
+                            std::vector<uint8_t>* hit) const {
+  if (capacity_ == 0) return 0;
+  int64_t hits = 0;
+  for (int64_t i = 0; i < ds.num_cells(); ++i) {
+    const uint64_t key = ds.CellContentHash(i);
+    const Shard& shard = shards_[key % kShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(key);
+    if (it == shard.map.end()) continue;
+    for (const Entry& e : it->second) {
+      if (Matches(e, ds, i)) {
+        (*p)[static_cast<size_t>(i)] = e.p_error;
+        (*hit)[static_cast<size_t>(i)] = 1;
+        ++hits;
+        break;
+      }
+    }
+  }
+  return hits;
+}
+
+void VerdictMemo::Insert(const data::EncodedDataset& ds, int64_t i,
+                         float p_error) {
+  if (capacity_ == 0) return;
+  const uint64_t key = ds.CellContentHash(i);
+  Shard& shard = shards_[key % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  std::vector<Entry>& chain = shard.map[key];
+  for (const Entry& e : chain) {
+    if (Matches(e, ds, i)) return;  // already memoized
+  }
+  if (shard.entries >= shard_capacity_) {
+    // Bounded memory beats retention: dump the shard and start over. Real
+    // serving traffic re-fills the hot set within a few batches.
+    shard.map.clear();
+    shard.entries = 0;
+    ++shard.evictions;
+  }
+  Entry e;
+  e.attr = ds.attrs[static_cast<size_t>(i)];
+  e.length_norm_bits = FloatBits(ds.length_norm[static_cast<size_t>(i)]);
+  const int len = ds.effective_len(i);
+  const int32_t* row = ds.seqs.data() + static_cast<size_t>(i) * ds.max_len;
+  e.seq.assign(row, row + len);
+  e.p_error = p_error;
+  shard.map[key].push_back(std::move(e));
+  ++shard.entries;
+}
+
+int64_t VerdictMemo::entries() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.entries;
+  }
+  return total;
+}
+
+int64_t VerdictMemo::evictions() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.evictions;
+  }
+  return total;
+}
+
+}  // namespace birnn::serve

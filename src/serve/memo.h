@@ -1,0 +1,83 @@
+#ifndef BIRNN_SERVE_MEMO_H_
+#define BIRNN_SERVE_MEMO_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "data/encoding.h"
+
+namespace birnn::serve {
+
+/// Cross-request verdict memo shared by every engine replica of one served
+/// model. The inference engine already memoizes duplicate cells *within* a
+/// sweep; this cache carries the same content key across sweeps, so a value
+/// the service has answered once (a `state` column holds ~50 distinct
+/// strings across millions of requests) is answered again without touching
+/// the model.
+///
+/// Exactness: a cell's p_error is a pure function of its content key
+/// (attribute id, length_norm bit pattern, character sequence) — the same
+/// invariant that makes in-sweep memoization and micro-batch coalescing
+/// bit-identical (core/inference.h). Keys are FNV-1a hashes confirmed
+/// against the stored full content, so hash collisions cannot cross-wire
+/// verdicts. The cache must not outlive a weight change: it is owned by
+/// the MicroBatcher, and a hot bundle reload builds a fresh batcher.
+///
+/// Thread safety: fully thread-safe; 16 mutex-striped shards keep replica
+/// dispatchers from contending. Capacity is bounded per shard — an
+/// overflowing shard is cleared whole (counted in `evictions`), so memory
+/// stays bounded under hostile unique-content floods.
+class VerdictMemo {
+ public:
+  /// `capacity` bounds the total entry count (0 disables the cache).
+  explicit VerdictMemo(int64_t capacity);
+
+  VerdictMemo(const VerdictMemo&) = delete;
+  VerdictMemo& operator=(const VerdictMemo&) = delete;
+
+  /// Probes every cell of `ds`. On a hit, `(*p)[i]` receives the memoized
+  /// p_error and `(*hit)[i]` is set to 1; misses leave their slots alone.
+  /// Both vectors must already be sized to `ds.num_cells()`. Returns the
+  /// hit count.
+  int64_t Lookup(const data::EncodedDataset& ds, std::vector<float>* p,
+                 std::vector<uint8_t>* hit) const;
+
+  /// Records cell `i` of `ds` -> `p_error`. Duplicate inserts of the same
+  /// content are ignored (first value wins; all writers compute the same
+  /// value anyway).
+  void Insert(const data::EncodedDataset& ds, int64_t i, float p_error);
+
+  int64_t entries() const;
+  int64_t evictions() const;
+  bool enabled() const { return capacity_ > 0; }
+
+ private:
+  static constexpr int kShards = 16;
+
+  struct Entry {
+    uint32_t length_norm_bits = 0;
+    int32_t attr = 0;
+    float p_error = 0.0f;
+    std::vector<int32_t> seq;  ///< effective-length character ids.
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, std::vector<Entry>> map;
+    int64_t entries = 0;
+    int64_t evictions = 0;
+  };
+
+  static bool Matches(const Entry& e, const data::EncodedDataset& ds,
+                      int64_t i);
+
+  int64_t capacity_ = 0;
+  int64_t shard_capacity_ = 0;
+  Shard shards_[kShards];
+};
+
+}  // namespace birnn::serve
+
+#endif  // BIRNN_SERVE_MEMO_H_

@@ -1,5 +1,8 @@
 #include "serve/protocol.h"
 
+#include <unistd.h>
+
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 
@@ -17,9 +20,11 @@ StatusOr<Request> ParseRequest(const std::string& line) {
   request.id = doc.GetString("id");
   request.op = doc.GetString("op", "detect");
   request.model = doc.GetString("model");
+  request.dir = doc.GetString("dir");
   if (request.op != "detect" && request.op != "ping" &&
       request.op != "models" && request.op != "stats" &&
-      request.op != "quit") {
+      request.op != "quit" && request.op != "reload" &&
+      request.op != "rollback") {
     return Status::InvalidArgument("unknown op: " + request.op);
   }
   if (request.op != "detect") return request;
@@ -195,17 +200,20 @@ std::string ModelsResponse(const std::string& id,
 }
 
 std::string StatsResponse(const std::string& id, const std::string& model,
-                          const BatcherStats& stats) {
+                          const BatcherStats& stats, int64_t generation) {
   std::string out;
   OpenResponse(id, "OK", &out);
   out.append(",\"model\":");
   AppendJsonString(model, &out);
-  char buf[512];
+  char buf[640];
   std::snprintf(buf, sizeof(buf),
-                ",\"requests\":%lld,\"cells\":%lld,\"shed_requests\":%lld,"
+                ",\"generation\":%lld,"
+                "\"requests\":%lld,\"cells\":%lld,\"shed_requests\":%lld,"
                 "\"shed_cells\":%lld,\"rejected_requests\":%lld,"
                 "\"batches\":%lld,\"max_batch_cells\":%lld,"
-                "\"batch_seconds\":%.6f",
+                "\"batch_seconds\":%.6f,"
+                "\"memo_hits\":%lld,\"memo_entries\":%lld",
+                static_cast<long long>(generation),
                 static_cast<long long>(stats.requests),
                 static_cast<long long>(stats.cells),
                 static_cast<long long>(stats.shed_requests),
@@ -213,7 +221,9 @@ std::string StatsResponse(const std::string& id, const std::string& model,
                 static_cast<long long>(stats.rejected_requests),
                 static_cast<long long>(stats.batches),
                 static_cast<long long>(stats.max_batch_cells),
-                stats.batch_seconds);
+                stats.batch_seconds,
+                static_cast<long long>(stats.memo_hits),
+                static_cast<long long>(stats.memo_entries));
   out.append(buf);
   // The batcher-level fields above stay for back-compat; the registry block
   // adds the process-wide view (every layer's counters/gauges/histograms).
@@ -221,6 +231,39 @@ std::string StatsResponse(const std::string& id, const std::string& model,
   AppendRegistrySnapshot(&out);
   out.push_back('}');
   return out;
+}
+
+std::string ReloadResponse(const std::string& id, const std::string& model,
+                           int64_t generation) {
+  std::string out;
+  OpenResponse(id, "OK", &out);
+  out.append(",\"model\":");
+  AppendJsonString(model, &out);
+  out.append(",\"generation\":");
+  out.append(std::to_string(generation));
+  out.push_back('}');
+  return out;
+}
+
+bool SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::write(fd, data + sent, size - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WriteResponseLine(int fd, const std::string& line) {
+  std::string framed;
+  framed.reserve(line.size() + 1);
+  framed.append(line);
+  framed.push_back('\n');
+  return SendAll(fd, framed.data(), framed.size());
 }
 
 }  // namespace birnn::serve

@@ -17,10 +17,13 @@ namespace birnn::serve {
 ///    "cells": [{"attr": "city", "value": "Chicago"},
 ///              {"attr": 3, "value": "60614"}]}
 ///   - "op" defaults to "detect"; other ops: "ping", "models", "stats",
-///     "quit" (asks the server to close this connection, no response).
+///     "quit" (asks the server to close this connection, no response),
+///     "reload" (hot-swap the model from the bundle at "dir"), "rollback"
+///     (swap back to the previously-served bundle).
 ///   - "model" may be omitted when the server hosts exactly one model.
 ///   - "attr" is an attribute name (string) or index (number).
 ///   - "id" is echoed verbatim in the response (any string; optional).
+///   - "dir" is the bundle directory for "reload"; ignored otherwise.
 ///
 /// Response:
 ///   {"id": "r1", "status": "OK",
@@ -33,6 +36,7 @@ struct Request {
   std::string id;
   std::string op = "detect";
   std::string model;
+  std::string dir;  ///< bundle directory ("reload" only).
   std::vector<CellQuery> cells;
 };
 
@@ -52,7 +56,20 @@ std::string PongResponse(const std::string& id);
 std::string ModelsResponse(const std::string& id,
                            const std::vector<std::string>& names);
 std::string StatsResponse(const std::string& id, const std::string& model,
-                          const BatcherStats& stats);
+                          const BatcherStats& stats,
+                          int64_t generation = 0);
+/// Acknowledges a successful "reload" or "rollback": echoes the resolved
+/// model name and the bundle generation now being served.
+std::string ReloadResponse(const std::string& id, const std::string& model,
+                           int64_t generation);
+
+/// write()s the whole buffer, retrying EINTR and short writes (a small
+/// socket send buffer or a signal mid-write must never truncate a
+/// response). False once the connection is broken.
+bool SendAll(int fd, const char* data, size_t size);
+
+/// SendAll of `line` + '\n' — one framed response on a blocking socket.
+bool WriteResponseLine(int fd, const std::string& line);
 
 }  // namespace birnn::serve
 

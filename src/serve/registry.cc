@@ -18,6 +18,12 @@ Status ModelRegistry::Add(const std::string& name, LoadedDetector detector) {
   return Status::OK();
 }
 
+void ModelRegistry::Put(const std::string& name,
+                        std::shared_ptr<const LoadedDetector> detector) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  models_[name] = std::move(detector);
+}
+
 std::shared_ptr<const LoadedDetector> ModelRegistry::Get(
     const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);

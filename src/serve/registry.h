@@ -24,6 +24,12 @@ class ModelRegistry {
   /// Registers an already-loaded detector (in-process serving, tests).
   Status Add(const std::string& name, LoadedDetector detector);
 
+  /// Installs an already-shared detector under `name`, replacing any
+  /// existing entry. The server's hot reload uses this to keep the
+  /// registry in step with the serving swap.
+  void Put(const std::string& name,
+           std::shared_ptr<const LoadedDetector> detector);
+
   /// The detector registered under `name`, or null.
   std::shared_ptr<const LoadedDetector> Get(const std::string& name) const;
 

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -17,33 +18,11 @@
 
 namespace birnn::serve {
 
-namespace {
-
-// write() until the whole buffer is out; false on a broken connection.
-bool WriteAll(int fd, const char* data, size_t size) {
-  size_t sent = 0;
-  while (sent < size) {
-    const ssize_t n = ::write(fd, data + sent, size - sent);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-bool WriteLine(int fd, const std::string& line) {
-  std::string framed = line;
-  framed.push_back('\n');
-  return WriteAll(fd, framed.data(), framed.size());
-}
-
-}  // namespace
-
-Server::Server(const ModelRegistry* registry, ServerOptions options)
-    : registry_(registry), options_(options) {
+Server::Server(ModelRegistry* registry, ServerOptions options)
+    : registry_(registry), options_(std::move(options)) {
   options_.io_threads = std::max(1, options_.io_threads);
+  options_.reactor_threads = std::max(1, options_.reactor_threads);
+  options_.max_connections = std::max(1, options_.max_connections);
   options_.backlog = std::max(1, options_.backlog);
   options_.max_line_bytes = std::max(1024, options_.max_line_bytes);
 }
@@ -59,12 +38,15 @@ Status Server::Start() {
   for (const std::string& name : names) {
     std::shared_ptr<const LoadedDetector> detector = registry_->Get(name);
     if (detector == nullptr) continue;  // unloaded between Names() and here
-    auto batcher =
-        std::make_unique<MicroBatcher>(*detector, options_.batcher);
-    batchers_.emplace(name,
-                      std::make_pair(std::move(detector), std::move(batcher)));
+    auto entry = std::make_unique<ModelEntry>();
+    entry->name = name;
+    entry->current = std::make_shared<ServingModel>();
+    entry->current->detector = std::move(detector);
+    entry->current->batcher = std::make_unique<MicroBatcher>(
+        *entry->current->detector, options_.batcher);
+    models_.emplace(name, std::move(entry));
   }
-  if (batchers_.empty()) {
+  if (models_.empty()) {
     return Status::FailedPrecondition("registry has no models to serve");
   }
 
@@ -104,12 +86,40 @@ Status Server::Start() {
     port_ = ntohs(bound.sin_port);
   }
 
-  pool_ = std::make_unique<ThreadPool>(options_.io_threads);
+  if (options_.mode == ServeMode::kReactor) {
+    ReactorOptions reactor_options;
+    reactor_options.threads = options_.reactor_threads;
+    reactor_options.max_connections = options_.max_connections;
+    reactor_options.max_line_bytes = options_.max_line_bytes;
+    reactor_options.max_output_backlog = options_.max_output_backlog;
+    reactor_options.drain_timeout_ms = options_.drain_timeout_ms;
+    reactor_options.overload_line =
+        ErrorResponse("", Status::Overloaded("connection limit reached"));
+    reactor_options.oversize_line =
+        ErrorResponse("", Status::InvalidArgument("request line too long"));
+    reactor_ = std::make_unique<Reactor>(this, reactor_options);
+    const Status status = reactor_->Start(listen_fd_);
+    if (!status.ok()) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      reactor_.reset();
+      return status;
+    }
+    // The reactor owns the listener from here (closes it on Shutdown).
+  } else {
+    pool_ = std::make_unique<ThreadPool>(options_.io_threads);
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+  }
   started_ = true;
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
   BIRNN_LOG(Info) << "serve: listening on " << options_.host << ":" << port_
-                  << " (" << batchers_.size() << " model(s), "
-                  << options_.io_threads << " io thread(s))";
+                  << " (" << models_.size() << " model(s), "
+                  << (options_.mode == ServeMode::kReactor
+                          ? std::to_string(options_.reactor_threads) +
+                                " reactor loop(s)"
+                          : std::to_string(options_.io_threads) +
+                                " io thread(s)")
+                  << ", " << std::max(1, options_.batcher.replicas)
+                  << " replica(s)/model)";
   return Status::OK();
 }
 
@@ -123,36 +133,62 @@ void Server::Shutdown() {
     shutting_down_ = true;
   }
 
-  // 1. Stop accepting: closing the listener makes accept() fail and the
-  //    accept thread exit.
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  if (accept_thread_.joinable()) accept_thread_.join();
+  if (reactor_ != nullptr) {
+    // Drain: stop accepting and reading, flush every response for already-
+    // admitted requests (which waits out the batcher callbacks), close.
+    reactor_->Shutdown();
+    listen_fd_ = -1;  // the reactor closed it
+  } else {
+    // 1. Stop accepting: closing the listener makes accept() fail and the
+    //    accept thread exit.
+    if (listen_fd_ >= 0) {
+      ::shutdown(listen_fd_, SHUT_RDWR);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    if (accept_thread_.joinable()) accept_thread_.join();
 
-  // 2. Wake handlers blocked in read(): half-close every open connection so
-  //    their next read returns EOF. Responses already being written still
-  //    flush (write side stays open).
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (const int fd : open_connections_) ::shutdown(fd, SHUT_RD);
-  }
+    // 2. Wake handlers blocked in read(): half-close every open connection
+    //    so their next read returns EOF. Responses already being written
+    //    still flush (write side stays open).
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const int fd : open_connections_) ::shutdown(fd, SHUT_RD);
+    }
 
-  // 3. Let every handler finish answering what it already read.
-  if (pool_ != nullptr) pool_->Wait();
+    // 3. Let every handler finish answering what it already read.
+    if (pool_ != nullptr) pool_->Wait();
+  }
 
   // 4. Drain the batchers: every admitted request is answered before Stop
-  //    returns.
-  for (auto& [name, entry] : batchers_) entry.second->Stop();
+  //    returns. Taking admin_mu first waits out any in-flight reload.
+  for (auto& [name, entry] : models_) {
+    std::lock_guard<std::mutex> admin(entry->admin_mu);
+    std::shared_ptr<ServingModel> current;
+    {
+      std::lock_guard<std::mutex> lock(entry->mu);
+      current = entry->current;
+    }
+    current->batcher->Stop();
+  }
 }
 
 void Server::AcceptLoop() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
+      // A connection that died between SYN and accept() is the peer's
+      // failure, not the listener's — never let it kill the accept loop.
+      if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) {
+        continue;
+      }
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // fd/memory exhaustion: back off instead of spinning; pending
+        // connections wait in the listen backlog.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
       return;  // listener closed — shutting down
     }
     const int one = 1;
@@ -178,8 +214,8 @@ void Server::HandleConnection(int fd) {
     const size_t newline = buffer.find('\n');
     if (newline == std::string::npos) {
       if (buffer.size() > static_cast<size_t>(options_.max_line_bytes)) {
-        WriteLine(fd, ErrorResponse(
-                          "", Status::InvalidArgument("request line too long")));
+        WriteResponseLine(fd, ErrorResponse("", Status::InvalidArgument(
+                                                    "request line too long")));
         break;
       }
       const ssize_t n = ::read(fd, chunk, sizeof(chunk));
@@ -203,27 +239,186 @@ void Server::HandleConnection(int fd) {
     } else {
       response = HandleRequest(*request);
     }
-    alive = WriteLine(fd, response);
+    alive = WriteResponseLine(fd, response);
   }
   ::close(fd);
   std::lock_guard<std::mutex> lock(mutex_);
   open_connections_.erase(fd);
 }
 
-MicroBatcher* Server::FindBatcher(const std::string& model,
-                                  std::string* resolved) {
-  // batchers_ is immutable after Start(), so reads need no lock.
-  if (model.empty()) {
-    if (batchers_.size() == 1) {
-      *resolved = batchers_.begin()->first;
-      return batchers_.begin()->second.second.get();
-    }
-    return nullptr;
+void Server::OnLine(const Reactor::ConnRef& conn, uint64_t seq,
+                    std::string line) {
+  StatusOr<Request> request = ParseRequest(line);
+  if (!request.ok()) {
+    reactor_->Respond(conn, seq, ErrorResponse("", request.status()));
+    return;
   }
-  const auto it = batchers_.find(model);
-  if (it == batchers_.end()) return nullptr;
+  if (request->op == "quit") {
+    // No response bytes; the empty line advances the sequence and the
+    // close flag tears the connection down once earlier responses flush.
+    reactor_->Respond(conn, seq, "", /*close_after=*/true);
+    return;
+  }
+  if (request->op != "detect") {
+    // ping/models/stats/reload/rollback are answered synchronously (reload
+    // is a rare admin op; it briefly stalls this loop's connections but
+    // drains through the batcher threads, so it cannot deadlock).
+    reactor_->Respond(conn, seq, HandleRequest(*request));
+    return;
+  }
+
+  // Async detect: acquire the model (pinning it across any concurrent
+  // reload), enqueue into its batcher, answer from the batcher callback.
+  OBS_SPAN("serve/request");
+  OBS_COUNTER_ADD("serve/requests", 1);
+  std::string resolved;
+  std::shared_ptr<ServingModel> sm = AcquireModel(request->model, &resolved);
+  if (sm == nullptr) {
+    const std::string why =
+        request->model.empty()
+            ? "no \"model\" given and more than one model is hosted"
+            : "unknown model: " + request->model;
+    reactor_->Respond(conn, seq,
+                      ErrorResponse(request->id, Status::NotFound(why)));
+    return;
+  }
+  std::string id = request->id;
+  sm->batcher->Submit(
+      request->cells,
+      [this, conn, seq, id = std::move(id), sm](
+          const Status& status, const std::vector<CellVerdict>& verdicts) {
+        std::string response = status.ok() ? OkDetectResponse(id, verdicts)
+                                           : ErrorResponse(id, status);
+        reactor_->Respond(conn, seq, std::move(response));
+        // Release *after* Respond: once a reload's drain-wait returns, every
+        // old-model response has been handed to the reactor.
+        ReleaseModel(sm);
+      });
+}
+
+Server::ModelEntry* Server::ResolveEntry(const std::string& model,
+                                         std::string* resolved) {
+  // models_ has a fixed key set after Start(), so lookups need no lock.
+  if (model.empty()) {
+    if (models_.size() != 1) return nullptr;
+    *resolved = models_.begin()->first;
+    return models_.begin()->second.get();
+  }
+  const auto it = models_.find(model);
+  if (it == models_.end()) return nullptr;
   *resolved = it->first;
-  return it->second.second.get();
+  return it->second.get();
+}
+
+std::shared_ptr<Server::ServingModel> Server::AcquireModel(
+    const std::string& model, std::string* resolved) {
+  ModelEntry* entry = ResolveEntry(model, resolved);
+  if (entry == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(entry->mu);
+  std::shared_ptr<ServingModel> sm = entry->current;
+  sm->active.fetch_add(1, std::memory_order_acq_rel);
+  return sm;
+}
+
+void Server::ReleaseModel(const std::shared_ptr<ServingModel>& sm) {
+  if (sm->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last user out — a reload drain may be waiting on exactly this.
+    { std::lock_guard<std::mutex> lock(sm->drain_mu); }
+    sm->drain_cv.notify_all();
+  }
+}
+
+Status Server::SwapIn(ModelEntry* entry, std::shared_ptr<ServingModel> next) {
+  std::shared_ptr<ServingModel> old;
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    old = std::move(entry->current);
+    entry->current = next;
+    entry->previous = old->detector;
+    ++entry->generation;
+  }
+  // From here every new acquire sees the new model. Mirror it into the
+  // registry so out-of-band Get() callers agree with the serve plane.
+  registry_->Put(entry->name, next->detector);
+
+  // Drain: wait until every request that acquired the old model has been
+  // answered (responses handed to the transport), then stop its batcher.
+  // active is monotonically nonincreasing now — old is unreachable.
+  {
+    std::unique_lock<std::mutex> lock(old->drain_mu);
+    old->drain_cv.wait(lock, [&] {
+      return old->active.load(std::memory_order_acquire) == 0;
+    });
+  }
+  old->batcher->Stop();
+  return Status::OK();
+}
+
+Status Server::ReloadModel(const std::string& name, const std::string& dir) {
+  std::string resolved;
+  ModelEntry* entry = ResolveEntry(name, &resolved);
+  if (entry == nullptr) {
+    return Status::NotFound(name.empty() ? "no single model to reload"
+                                         : "unknown model: " + name);
+  }
+  std::lock_guard<std::mutex> admin(entry->admin_mu);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_) {
+      return Status::FailedPrecondition("server shutting down");
+    }
+  }
+  BIRNN_ASSIGN_OR_RETURN(LoadedDetector detector, LoadDetectorBundle(dir));
+  auto next = std::make_shared<ServingModel>();
+  next->detector =
+      std::make_shared<const LoadedDetector>(std::move(detector));
+  next->batcher =
+      std::make_unique<MicroBatcher>(*next->detector, options_.batcher);
+  BIRNN_RETURN_IF_ERROR(SwapIn(entry, std::move(next)));
+  BIRNN_LOG(Info) << "serve: reloaded model \"" << resolved << "\" from "
+                  << dir << " (generation " << ModelGeneration(resolved)
+                  << ")";
+  return Status::OK();
+}
+
+Status Server::RollbackModel(const std::string& name) {
+  std::string resolved;
+  ModelEntry* entry = ResolveEntry(name, &resolved);
+  if (entry == nullptr) {
+    return Status::NotFound(name.empty() ? "no single model to roll back"
+                                         : "unknown model: " + name);
+  }
+  std::lock_guard<std::mutex> admin(entry->admin_mu);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_) {
+      return Status::FailedPrecondition("server shutting down");
+    }
+  }
+  std::shared_ptr<const LoadedDetector> previous;
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    previous = entry->previous;
+  }
+  if (previous == nullptr) {
+    return Status::FailedPrecondition(
+        "no previously-served bundle to roll back to");
+  }
+  auto next = std::make_shared<ServingModel>();
+  next->detector = std::move(previous);
+  next->batcher =
+      std::make_unique<MicroBatcher>(*next->detector, options_.batcher);
+  BIRNN_RETURN_IF_ERROR(SwapIn(entry, std::move(next)));
+  BIRNN_LOG(Info) << "serve: rolled back model \"" << resolved
+                  << "\" (generation " << ModelGeneration(resolved) << ")";
+  return Status::OK();
+}
+
+int64_t Server::ModelGeneration(const std::string& name) const {
+  const auto it = models_.find(name);
+  if (it == models_.end()) return 0;
+  std::lock_guard<std::mutex> lock(it->second->mu);
+  return it->second->generation;
 }
 
 std::string Server::HandleRequest(const Request& request) {
@@ -232,14 +427,28 @@ std::string Server::HandleRequest(const Request& request) {
   if (request.op == "ping") return PongResponse(request.id);
   if (request.op == "models") {
     std::vector<std::string> names;
-    names.reserve(batchers_.size());
-    for (const auto& [name, entry] : batchers_) names.push_back(name);
+    names.reserve(models_.size());
+    for (const auto& [name, entry] : models_) names.push_back(name);
     return ModelsResponse(request.id, names);
   }
 
   std::string resolved;
-  MicroBatcher* batcher = FindBatcher(request.model, &resolved);
-  if (batcher == nullptr) {
+  if (request.op == "reload" || request.op == "rollback") {
+    if (request.op == "reload" && request.dir.empty()) {
+      return ErrorResponse(
+          request.id,
+          Status::InvalidArgument("reload request needs a \"dir\""));
+    }
+    const Status status = request.op == "reload"
+                              ? ReloadModel(request.model, request.dir)
+                              : RollbackModel(request.model);
+    if (!status.ok()) return ErrorResponse(request.id, status);
+    ResolveEntry(request.model, &resolved);
+    return ReloadResponse(request.id, resolved, ModelGeneration(resolved));
+  }
+
+  std::shared_ptr<ServingModel> sm = AcquireModel(request.model, &resolved);
+  if (sm == nullptr) {
     const std::string why =
         request.model.empty()
             ? "no \"model\" given and more than one model is hosted"
@@ -247,22 +456,31 @@ std::string Server::HandleRequest(const Request& request) {
     return ErrorResponse(request.id, Status::NotFound(why));
   }
 
+  std::string response;
   if (request.op == "stats") {
-    return StatsResponse(request.id, resolved, batcher->stats());
+    response = StatsResponse(request.id, resolved, sm->batcher->stats(),
+                             ModelGeneration(resolved));
+  } else {
+    std::vector<CellVerdict> verdicts;
+    const Status status = sm->batcher->Detect(request.cells, &verdicts);
+    response = status.ok() ? OkDetectResponse(request.id, verdicts)
+                           : ErrorResponse(request.id, status);
   }
-
-  std::vector<CellVerdict> verdicts;
-  const Status status = batcher->Detect(request.cells, &verdicts);
-  if (!status.ok()) return ErrorResponse(request.id, status);
-  return OkDetectResponse(request.id, verdicts);
+  ReleaseModel(sm);
+  return response;
 }
 
 StatusOr<BatcherStats> Server::ModelStats(const std::string& name) const {
-  const auto it = batchers_.find(name);
-  if (it == batchers_.end()) {
+  const auto it = models_.find(name);
+  if (it == models_.end()) {
     return Status::NotFound("unknown model: " + name);
   }
-  return it->second.second->stats();
+  std::shared_ptr<ServingModel> sm;
+  {
+    std::lock_guard<std::mutex> lock(it->second->mu);
+    sm = it->second->current;
+  }
+  return sm->batcher->stats();
 }
 
 }  // namespace birnn::serve

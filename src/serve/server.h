@@ -1,6 +1,9 @@
 #ifndef BIRNN_SERVE_SERVER_H_
 #define BIRNN_SERVE_SERVER_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -11,11 +14,25 @@
 
 #include "serve/batcher.h"
 #include "serve/protocol.h"
+#include "serve/reactor.h"
 #include "serve/registry.h"
 #include "util/status.h"
 #include "util/threadpool.h"
 
 namespace birnn::serve {
+
+/// Transport for the serve plane.
+enum class ServeMode {
+  /// Epoll reactor (serve/reactor.h): a few event-loop threads multiplex
+  /// thousands of nonblocking connections; detect requests flow through the
+  /// micro-batcher asynchronously. The default.
+  kReactor,
+  /// The classic thread-per-connection blocking transport: one handler
+  /// thread per active connection, synchronous reads and writes. Kept as
+  /// the independently-simple baseline the reactor is byte-compared
+  /// against (tests, soak bench).
+  kBlocking,
+};
 
 struct ServerOptions {
   /// Bind address. Loopback by default — the service has no auth layer, so
@@ -24,42 +41,65 @@ struct ServerOptions {
   /// 0 binds an ephemeral port; read the actual one from port() after
   /// Start() (the tests and the CI smoke job rely on this).
   int port = 0;
-  /// Connection-handler threads; also the concurrent-connection bound
-  /// (later connections queue in the pool until a handler frees up).
-  /// Clamped to >= 1 — inline execution would deadlock the accept loop.
+  /// Transport (see ServeMode). Both speak the identical protocol and
+  /// produce byte-identical responses.
+  ServeMode mode = ServeMode::kReactor;
+  /// kBlocking only: connection-handler threads; also the concurrent-
+  /// connection bound (later connections queue in the pool until a handler
+  /// frees up). Clamped to >= 1.
   int io_threads = 4;
+  /// kReactor only: event-loop threads.
+  int reactor_threads = 2;
+  /// kReactor only: admission cap on concurrently open connections. Above
+  /// it new sockets get a typed OVERLOADED line and an immediate close.
+  int max_connections = 10000;
+  /// kReactor only: per-connection pending-output bound; above it the
+  /// reactor stops reading that connection until the backlog flushes
+  /// (writable-queue backpressure).
+  size_t max_output_backlog = 4u << 20;
+  /// kReactor only: bound on the graceful drain in Shutdown().
+  int drain_timeout_ms = 5000;
   /// Listen backlog for not-yet-accepted connections.
   int backlog = 64;
-  /// A request line longer than this kills its connection (bounds per-
-  /// connection memory against hostile input).
+  /// A request line longer than this is answered with a typed error and
+  /// kills its connection (bounds per-connection memory against hostile
+  /// input).
   int max_line_bytes = 1 << 20;
-  /// Micro-batching policy, applied to every hosted model.
+  /// Micro-batching policy, applied to every hosted model. batcher.replicas
+  /// engine replicas serve each model behind a shared verdict memo.
   BatcherOptions batcher;
 };
 
-/// Blocking-socket TCP server speaking the newline-delimited JSON protocol
-/// in serve/protocol.h. One accept thread hands connections to a
-/// util::ThreadPool of synchronous handlers; each detect request goes
-/// through the hosted model's MicroBatcher, so concurrent connections
-/// coalesce into shared forward batches.
+/// TCP server speaking the newline-delimited JSON protocol in
+/// serve/protocol.h over either transport (ServeMode). Each hosted model is
+/// served by a MicroBatcher (batcher.replicas engine replicas + shared
+/// verdict memo), so concurrent connections coalesce into shared forward
+/// batches.
 ///
-/// Shutdown() drains gracefully: stop accepting, wake handlers blocked in
-/// read (shutdown(SHUT_RD) on their sockets), wait for them to finish
-/// writing answers for everything already admitted, then stop the batchers.
-/// No admitted request is dropped.
-class Server {
+/// Hot reload: ReloadModel() loads a new bundle, atomically swaps it in
+/// (new requests go to the new model), drains the old one — every request
+/// that acquired the old model gets its response handed to the transport —
+/// then stops the old batcher. Zero in-flight requests are dropped.
+/// RollbackModel() swaps back to the previously-served weights the same
+/// way. Both are also reachable over the wire ("reload" / "rollback" ops).
+///
+/// Shutdown() drains gracefully in either mode: stop accepting, stop
+/// reading, answer and flush everything already admitted, then stop the
+/// batchers. No admitted request is dropped.
+class Server : public Reactor::Handler {
  public:
   /// `registry` must outlive the server. Models present at Start() get a
-  /// batcher each; models added to the registry later are served one-off
-  /// (no batching) until the server is restarted.
-  Server(const ModelRegistry* registry, ServerOptions options = {});
-  ~Server();
+  /// serving entry each; models added to the registry later are not served
+  /// until the server is restarted (but ReloadModel updates both the
+  /// serving entry and the registry).
+  Server(ModelRegistry* registry, ServerOptions options = {});
+  ~Server() override;
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens and starts the accept thread. Fails on bind errors or
-  /// an empty registry.
+  /// Binds, listens and starts the transport. Fails on bind errors or an
+  /// empty registry.
   Status Start();
 
   /// The bound port (resolves option port 0), or 0 before Start().
@@ -69,29 +109,83 @@ class Server {
   void Shutdown();
 
   /// Handles one already-parsed request and returns the response line
-  /// (without newline). Exposed for in-process use and tests — this is
-  /// exactly what a connection handler runs per line.
+  /// (without newline). Exposed for in-process use and tests — the
+  /// blocking transport runs exactly this per line; the reactor runs it
+  /// for every op except "detect" (which goes through the batcher
+  /// asynchronously) and "quit".
   std::string HandleRequest(const Request& request);
+
+  /// Loads the bundle at `dir` and hot-swaps it in under `name`: new
+  /// requests see the new model immediately, in-flight requests finish on
+  /// the old one, the old batcher is drained and stopped. Serialized per
+  /// model; concurrent requests are never dropped.
+  Status ReloadModel(const std::string& name, const std::string& dir);
+
+  /// Swaps back to the weights served before the last ReloadModel /
+  /// RollbackModel, with the same drain guarantees. FailedPrecondition if
+  /// nothing was ever replaced.
+  Status RollbackModel(const std::string& name);
+
+  /// Bundle generation currently served under `name` (1 at Start(),
+  /// incremented by every successful reload/rollback); 0 for unknown names.
+  int64_t ModelGeneration(const std::string& name) const;
 
   /// Aggregated stats for one hosted model; NotFound for unknown names.
   StatusOr<BatcherStats> ModelStats(const std::string& name) const;
 
+  /// Reactor::Handler — one framed request line. Public as an override;
+  /// not part of the server's own API.
+  void OnLine(const Reactor::ConnRef& conn, uint64_t seq,
+              std::string line) override;
+
  private:
+  /// One model's live serving state. Requests acquire the current
+  /// ServingModel, use its batcher, and release it; a reload swaps
+  /// `current` and waits for the old model's active count to hit zero
+  /// before stopping its batcher — that wait is what makes reload
+  /// drop-free.
+  struct ServingModel {
+    std::shared_ptr<const LoadedDetector> detector;
+    std::unique_ptr<MicroBatcher> batcher;
+    std::atomic<int64_t> active{0};
+    std::mutex drain_mu;
+    std::condition_variable drain_cv;
+  };
+
+  struct ModelEntry {
+    std::string name;
+    mutable std::mutex mu;  ///< guards current/previous/generation.
+    std::shared_ptr<ServingModel> current;
+    /// Weights served before the last swap; rollback target.
+    std::shared_ptr<const LoadedDetector> previous;
+    int64_t generation = 1;
+    /// Serializes reload/rollback/shutdown-stop (held across load + swap +
+    /// drain, so admin ops on one model never interleave).
+    std::mutex admin_mu;
+  };
+
   void AcceptLoop();
   void HandleConnection(int fd);
-  MicroBatcher* FindBatcher(const std::string& model, std::string* resolved);
+  ModelEntry* ResolveEntry(const std::string& model, std::string* resolved);
+  std::shared_ptr<ServingModel> AcquireModel(const std::string& model,
+                                             std::string* resolved);
+  static void ReleaseModel(const std::shared_ptr<ServingModel>& sm);
+  Status SwapIn(ModelEntry* entry, std::shared_ptr<ServingModel> next);
 
-  const ModelRegistry* registry_;
+  ModelRegistry* registry_;
   ServerOptions options_;
 
-  // Keeps each batcher's detector alive for the server's lifetime.
-  std::map<std::string,
-           std::pair<std::shared_ptr<const LoadedDetector>,
-                     std::unique_ptr<MicroBatcher>>>
-      batchers_;
+  /// Key set fixed at Start() (lock-free lookups); entries are internally
+  /// mutable for hot reload.
+  std::map<std::string, std::unique_ptr<ModelEntry>> models_;
 
   int listen_fd_ = -1;
   int port_ = 0;
+
+  // kReactor transport.
+  std::unique_ptr<Reactor> reactor_;
+
+  // kBlocking transport.
   std::thread accept_thread_;
   std::unique_ptr<ThreadPool> pool_;
 

@@ -207,6 +207,97 @@ TEST(MicroBatcherTest, StopAnswersEveryAdmittedRequest) {
   EXPECT_EQ(post.code(), StatusCode::kFailedPrecondition);
 }
 
+TEST(MicroBatcherTest, ReplicasAnswerBitIdenticallyToSoloRun) {
+  const LoadedDetector detector = MakeTinyDetector();
+  const std::vector<CellQuery> queries = MakeQueries(48, 0);
+
+  // Baseline: one replica, no memo, one cell at a time.
+  std::vector<CellVerdict> solo;
+  {
+    BatcherOptions opts;
+    opts.max_batch = 1;
+    opts.max_delay_us = 0;
+    opts.memo_capacity = 0;
+    MicroBatcher batcher(detector, opts);
+    for (const CellQuery& q : queries) {
+      std::vector<CellVerdict> one;
+      ASSERT_TRUE(batcher.Detect({q}, &one).ok());
+      solo.push_back(one[0]);
+    }
+  }
+
+  // 4 engine replicas + shared memo under concurrent load: bit-identical.
+  BatcherOptions opts;
+  opts.max_batch = 16;
+  opts.max_delay_us = 1000;
+  opts.replicas = 4;
+  MicroBatcher batcher(detector, opts);
+  const int kThreads = 8;
+  const int kRounds = 6;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const size_t begin = static_cast<size_t>((t * 13 + round * 7) % 40);
+        const size_t end = std::min(queries.size(), begin + 8);
+        const std::vector<CellQuery> slice(queries.begin() + begin,
+                                           queries.begin() + end);
+        const std::vector<CellVerdict> expected(solo.begin() + begin,
+                                                solo.begin() + end);
+        std::vector<CellVerdict> got;
+        if (!batcher.Detect(slice, &got).ok() ||
+            !BitIdentical(got, expected)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  const BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.requests, kThreads * kRounds);
+  // The workload repeats the same 48 cell contents across 8x6 requests, so
+  // the shared memo must have been doing real work.
+  EXPECT_GT(stats.memo_hits, 0);
+  EXPECT_GT(stats.memo_entries, 0);
+  EXPECT_LE(stats.memo_entries, 48);
+}
+
+TEST(MicroBatcherTest, MemoHitsAreBitExactAndBounded) {
+  const LoadedDetector detector = MakeTinyDetector();
+  BatcherOptions opts;
+  opts.max_batch = 8;
+  opts.max_delay_us = 0;
+  opts.memo_capacity = 16;  // tiny: forces evictions on a 48-content stream
+  MicroBatcher batcher(detector, opts);
+
+  const std::vector<CellQuery> queries = MakeQueries(48, 3);
+  std::vector<CellVerdict> first;
+  ASSERT_TRUE(batcher.Detect(queries, &first).ok());
+  // Re-asking the exact same cells must reproduce the same floats whether
+  // each answer comes from the memo or a fresh engine run.
+  for (int round = 0; round < 3; ++round) {
+    std::vector<CellVerdict> again;
+    ASSERT_TRUE(batcher.Detect(queries, &again).ok());
+    EXPECT_TRUE(BitIdentical(first, again)) << "round " << round;
+  }
+  EXPECT_LE(batcher.stats().memo_entries, 16 + 48);  // bounded, not exact LRU
+}
+
+TEST(MicroBatcherTest, MemoDisabledStillServes) {
+  const LoadedDetector detector = MakeTinyDetector();
+  BatcherOptions opts;
+  opts.memo_capacity = 0;
+  MicroBatcher batcher(detector, opts);
+  std::vector<CellVerdict> a, b;
+  ASSERT_TRUE(batcher.Detect(MakeQueries(6, 1), &a).ok());
+  ASSERT_TRUE(batcher.Detect(MakeQueries(6, 1), &b).ok());
+  EXPECT_TRUE(BitIdentical(a, b));
+  EXPECT_EQ(batcher.stats().memo_hits, 0);
+  EXPECT_EQ(batcher.stats().memo_entries, 0);
+}
+
 TEST(MicroBatcherTest, ConcurrentStopIsSafe) {
   const LoadedDetector detector = MakeTinyDetector();
   MicroBatcher batcher(detector);

@@ -7,14 +7,19 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <pthread.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/detector.h"
@@ -108,6 +113,106 @@ TEST(ProtocolTest, RejectsMalformedRequests) {
   EXPECT_TRUE(ParseRequest(R"({"op":"ping"})").ok());  // ops need no cells
 }
 
+TEST(ProtocolTest, ParsesReloadAndRollbackRequests) {
+  auto reload = ParseRequest(
+      R"({"id":"a","op":"reload","model":"m","dir":"/tmp/bundle.v2"})");
+  ASSERT_TRUE(reload.ok()) << reload.status().ToString();
+  EXPECT_EQ(reload->op, "reload");
+  EXPECT_EQ(reload->model, "m");
+  EXPECT_EQ(reload->dir, "/tmp/bundle.v2");
+
+  auto rollback = ParseRequest(R"({"op":"rollback"})");
+  ASSERT_TRUE(rollback.ok());
+  EXPECT_EQ(rollback->op, "rollback");
+  EXPECT_TRUE(rollback->dir.empty());
+
+  auto ack = JsonValue::Parse(ReloadResponse("a", "m", 7));
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack->GetString("status"), "OK");
+  EXPECT_EQ(ack->GetString("model"), "m");
+  EXPECT_EQ(ack->GetNumber("generation"), 7.0);
+}
+
+namespace {
+void IgnoreSigusr1(int) {}
+}  // namespace
+
+TEST(ProtocolTest, SendAllSurvivesShortWritesAndEintr) {
+  // A socketpair with minimal send buffer forces write() to go short; a
+  // stream of SIGUSR1s (installed without SA_RESTART) forces EINTR inside
+  // blocked writes. SendAll must still deliver every byte, in order.
+  struct sigaction action {};
+  struct sigaction saved {};
+  action.sa_handler = IgnoreSigusr1;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: write() really returns EINTR
+  ASSERT_EQ(0, sigaction(SIGUSR1, &action, &saved));
+
+  int pair[2];
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, pair));
+  const int sndbuf = 1;  // the kernel clamps this to its floor — tiny
+  ::setsockopt(pair[0], SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf));
+
+  std::string payload;
+  payload.reserve(1 << 20);
+  for (int i = 0; payload.size() < (1 << 20); ++i) {
+    payload += "chunk " + std::to_string(i) + " ";
+  }
+
+  std::atomic<bool> writer_done{false};
+  bool sent_ok = false;
+  std::thread writer([&] {
+    sent_ok = WriteResponseLine(pair[0], payload);
+    writer_done.store(true);
+    ::shutdown(pair[0], SHUT_WR);
+  });
+  const pthread_t writer_handle = writer.native_handle();
+
+  // Pepper the writer with signals while it fights the full socket.
+  std::thread interrupter([&] {
+    while (!writer_done.load()) {
+      pthread_kill(writer_handle, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  // Drain slowly enough that the send buffer stays full most of the time.
+  std::string received;
+  char chunk[512];
+  for (;;) {
+    const ssize_t n = ::read(pair[1], chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    received.append(chunk, static_cast<size_t>(n));
+  }
+  writer.join();
+  interrupter.join();
+
+  EXPECT_TRUE(sent_ok);
+  ASSERT_EQ(received.size(), payload.size() + 1);
+  EXPECT_EQ(received.back(), '\n');
+  received.pop_back();
+  EXPECT_EQ(received, payload);  // byte-exact despite every interruption
+  ::close(pair[0]);
+  ::close(pair[1]);
+  sigaction(SIGUSR1, &saved, nullptr);
+}
+
+TEST(ProtocolTest, SendAllReportsBrokenPipe) {
+  struct sigaction ignore {};
+  struct sigaction saved {};
+  ignore.sa_handler = SIG_IGN;
+  sigemptyset(&ignore.sa_mask);
+  ASSERT_EQ(0, sigaction(SIGPIPE, &ignore, &saved));
+  int pair[2];
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, pair));
+  ::close(pair[1]);
+  const std::string big(1 << 20, 'x');
+  EXPECT_FALSE(SendAll(pair[0], big.data(), big.size()));
+  ::close(pair[0]);
+  sigaction(SIGPIPE, &saved, nullptr);
+}
+
 TEST(ProtocolTest, JsonFloatRoundTripsBits) {
   for (const float v : {0.0f, 1.0f, 0.5f, 0.123456789f, 0.9999999f,
                         1.1754944e-38f, 0.33333334f}) {
@@ -151,6 +256,21 @@ TEST(RegistryTest, AddGetUnloadNames) {
   EXPECT_EQ(registry.Get("a"), nullptr);
   EXPECT_EQ(held->n_attrs(), 3);
   EXPECT_EQ(registry.Unload("a").code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, PutReplacesInPlace) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Add("m", MakeTinyDetector()).ok());
+  const auto before = registry.Get("m");
+  auto replacement =
+      std::make_shared<const LoadedDetector>(MakeTinyDetector());
+  registry.Put("m", replacement);
+  EXPECT_EQ(registry.Get("m"), replacement);
+  EXPECT_NE(registry.Get("m"), before);
+  EXPECT_EQ(registry.size(), 1);
+  // Put also creates entries that never existed.
+  registry.Put("fresh", replacement);
+  EXPECT_EQ(registry.size(), 2);
 }
 
 // ------------------------------------------------------------------- Bundle
