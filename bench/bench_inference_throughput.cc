@@ -28,6 +28,7 @@
 #include "data/encoding.h"
 #include "data/prepare.h"
 #include "datagen/datasets.h"
+#include "datagen/synthetic.h"
 #include "eval/report.h"
 #include "util/flags.h"
 #include "util/stopwatch.h"
@@ -109,11 +110,21 @@ int Run(int argc, char** argv) {
   flags.AddInt("eval-batch", 256, "cells per forward batch");
   flags.AddInt("threads", 0, "worker threads for the engine sweeps");
   flags.AddInt("bucket-quantum", 8, "length-bucket granularity");
+  flags.AddInt("synthetic-rows", 0,
+               "also sweep a synthetic duplicate-heavy table with this many "
+               "rows (0 = off; the table is materialized, so keep total "
+               "cells moderate here — bench_memo_footprint streams)");
+  flags.AddInt("synthetic-cols", 2, "synthetic table columns");
+  flags.AddInt("synthetic-uniques", 20000,
+               "distinct cell contents per synthetic column");
+  flags.AddInt("synthetic-naive-cells", 20000,
+               "naive-arm sample size on the synthetic table (extrapolated)");
   BenchConfig config =
       ParseCommonFlags(&flags, argc, argv, "bench_inference_throughput");
   const int eval_batch = flags.GetInt("eval-batch");
   const int threads = flags.GetInt("threads");
   const int quantum = flags.GetInt("bucket-quantum");
+  const int64_t synthetic_rows = flags.GetInt("synthetic-rows");
 
   std::cout << "=== Inference throughput (eval_batch=" << eval_batch
             << ", threads=" << threads << ", bucket_quantum=" << quantum
@@ -193,6 +204,101 @@ int Run(int argc, char** argv) {
               << FormatFixed(row.naive.seconds, 2) << "s memo="
               << FormatFixed(row.memo.seconds, 2) << "s bucketed="
               << FormatFixed(row.bucketed.seconds, 2) << "s\n";
+  }
+
+  // Optional duplicate-heavy synthetic table (warehouse-scale shape at
+  // bench-scale row counts). The naive arm runs on a prefix sample and is
+  // extrapolated — at these duplication factors the full naive sweep would
+  // dominate the bench by hours without adding information.
+  if (synthetic_rows > 0) {
+    datagen::SyntheticSpec spec;
+    spec.rows = synthetic_rows;
+    spec.cols = flags.GetInt("synthetic-cols");
+    spec.uniques_per_col = flags.GetInt("synthetic-uniques");
+    spec.seed = config.seed;
+    const datagen::SyntheticDataGen gen(spec);
+    data::EncodedDataset all;
+    gen.FillChunk(0, spec.rows, &all);
+
+    core::ModelConfig model_config;
+    model_config.vocab = all.vocab;
+    model_config.max_len = all.max_len;
+    model_config.n_attrs = all.n_attrs;
+    model_config.units = 16;
+    model_config.stacks = 1;
+    model_config.enriched = true;
+    model_config.seed = config.seed;
+    core::ErrorDetectionModel model(model_config);
+    model.CalibrateBatchNorm(all, eval_batch);
+
+    DatasetRow row;
+    row.dataset = "synthetic";
+    row.cells = all.num_cells();
+
+    const int64_t sample = std::min<int64_t>(
+        all.num_cells(),
+        std::max<int64_t>(flags.GetInt("synthetic-naive-cells"), eval_batch));
+    {
+      std::vector<int64_t> ids(static_cast<size_t>(sample));
+      for (int64_t i = 0; i < sample; ++i) ids[static_cast<size_t>(i)] = i;
+      const data::EncodedDataset head = data::TakeCells(all, ids);
+      NaiveSweep(model, head, eval_batch, &row.naive);
+    }
+
+    core::InferenceOptions memo_options;
+    memo_options.eval_batch = eval_batch;
+    memo_options.threads = threads;
+    core::InferenceStats memo_stats;
+    EngineSweep(model, all, memo_options, &row.memo, &memo_stats);
+    row.unique_cells = memo_stats.unique_cells;
+    row.dedup_factor = memo_stats.dedup_factor;
+
+    core::InferenceOptions bucket_options = memo_options;
+    bucket_options.bucketed = true;
+    bucket_options.bucket_quantum = quantum;
+    core::InferenceStats bucket_stats;
+    EngineSweep(model, all, bucket_options, &row.bucketed, &bucket_stats);
+    row.step_fraction =
+        bucket_stats.rnn_steps_dense > 0
+            ? static_cast<double>(bucket_stats.rnn_steps) /
+                  static_cast<double>(bucket_stats.rnn_steps_dense)
+            : 1.0;
+
+    // Naive covered only the sample prefix: compare thresholded labels on
+    // that prefix, probs bit-exactly between the engine arms (full sweep).
+    row.labels_match =
+        std::equal(row.naive.labels.begin(), row.naive.labels.end(),
+                   row.memo.labels.begin()) &&
+        row.bucketed.labels == row.memo.labels &&
+        row.bucketed.probs == row.memo.probs;
+    // Extrapolate the naive arm to the full cell count for the speedup
+    // columns (cells/sec is measured, seconds is scaled).
+    if (row.naive.cells_per_sec > 0) {
+      row.naive.seconds =
+          static_cast<double>(row.cells) / row.naive.cells_per_sec;
+    }
+    rows.push_back(row);
+
+    const double memo_speedup = row.naive.seconds > 0 && row.memo.seconds > 0
+                                    ? row.naive.seconds / row.memo.seconds
+                                    : 0.0;
+    const double bucket_speedup =
+        row.naive.seconds > 0 && row.bucketed.seconds > 0
+            ? row.naive.seconds / row.bucketed.seconds
+            : 0.0;
+    writer.AddRow({row.dataset, std::to_string(row.cells),
+                   FormatFixed(row.dedup_factor, 1) + "x",
+                   FormatFixed(row.naive.cells_per_sec, 0) + "*",
+                   FormatFixed(row.memo.cells_per_sec, 0),
+                   FormatFixed(memo_speedup, 1) + "x",
+                   FormatFixed(row.bucketed.cells_per_sec, 0),
+                   FormatFixed(bucket_speedup, 1) + "x",
+                   FormatFixed(100.0 * row.step_fraction, 0) + "%",
+                   row.labels_match ? "yes" : "NO"});
+    std::cerr << "[inference] synthetic rows=" << spec.rows << " cols="
+              << spec.cols << " uniques/col=" << spec.uniques_per_col
+              << " memo=" << FormatFixed(row.memo.seconds, 2)
+              << "s (naive extrapolated from " << sample << " cells)\n";
   }
   writer.Print(std::cout);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "core/content_index.h"
 #include "data/dictionary.h"
 #include "data/encoding.h"
 #include "raha/strategy.h"
@@ -161,6 +162,10 @@ StatusOr<DetectionReport> ErrorDetector::RunInternal(
     }
     trained->prepare = options_.prepare;
     trained->options = options_;
+    // Memo pre-size hint + provenance: the sweep already counted the
+    // distinct contents, the fingerprint is one extra hash pass.
+    trained->train_unique_cells = report.inference.unique_cells;
+    trained->content_fingerprint = DatasetContentFingerprint(all);
     trained->model = std::move(model_ptr);
   }
 

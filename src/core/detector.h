@@ -111,6 +111,14 @@ struct TrainedDetector {
   data::PrepareOptions prepare;
   /// Provenance: the options the detector was trained with.
   DetectorOptions options;
+  /// Distinct cell contents in the training table's whole-frame sweep (0
+  /// when unknown). Persisted in the bundle manifest so a serving process
+  /// can pre-size its verdict memo for the table it was trained on instead
+  /// of growing through rehashes on the first sweep.
+  int64_t train_unique_cells = 0;
+  /// core::DatasetContentFingerprint of the encoded training frame (0 when
+  /// unknown) — lets operators recognize which table a bundle came from.
+  uint64_t content_fingerprint = 0;
 };
 
 /// The paper's end-to-end system: data preparation -> trainset selection ->

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 
+#include "core/content_index.h"
 #include "obs/obs.h"
 #include "util/stopwatch.h"
 
@@ -42,25 +42,39 @@ void InferenceEngine::BuildPlan(const data::EncodedDataset& ds,
 
   if (options_.memoize) {
     // Dedup on (attr id, encoded chars, length_norm), first occurrence
-    // wins; the hash narrows, content equality confirms.
-    std::unordered_map<uint64_t, std::vector<int32_t>> by_hash;
-    by_hash.reserve(static_cast<size_t>(n));
+    // wins; the hash narrows, content equality confirms. Open-addressing
+    // flat table in two parallel arrays (no per-entry heap allocation,
+    // contiguous probes) sized up front for the worst case — every cell
+    // unique — at <= 0.75 load, so it never rehashes mid-plan. Distinct
+    // contents sharing a 64-bit hash simply occupy separate slots; the
+    // content-equality confirm keeps the dedup exact either way.
+    uint64_t slots = 64;
+    const uint64_t want =
+        static_cast<uint64_t>(n) + static_cast<uint64_t>(n) / 3 + 1;
+    while (slots < want) slots <<= 1;
+    const uint64_t mask = slots - 1;
+    std::vector<uint64_t> slot_hash(slots, 0);
+    std::vector<int32_t> slot_unique(slots, -1);
     for (int64_t k = 0; k < n; ++k) {
       const int64_t cell = indices[static_cast<size_t>(k)];
       const uint64_t h = ds.CellContentHash(cell);
-      std::vector<int32_t>& bucket = by_hash[h];
+      uint64_t s = h & mask;
       int32_t unique = -1;
-      for (const int32_t u : bucket) {
-        if (ds.CellContentEquals(
-                plan->unique_cells[static_cast<size_t>(u)], cell)) {
-          unique = u;
+      while (slot_unique[s] >= 0) {
+        if (slot_hash[s] == h &&
+            ds.CellContentEquals(
+                plan->unique_cells[static_cast<size_t>(slot_unique[s])],
+                cell)) {
+          unique = slot_unique[s];
           break;
         }
+        s = (s + 1) & mask;
       }
       if (unique < 0) {
         unique = static_cast<int32_t>(plan->unique_cells.size());
         plan->unique_cells.push_back(cell);
-        bucket.push_back(unique);
+        slot_hash[s] = h;
+        slot_unique[s] = unique;
       }
       plan->cell_to_unique[static_cast<size_t>(k)] = unique;
     }
@@ -285,6 +299,39 @@ void InferenceEngine::PredictProbs(const data::EncodedDataset& ds,
   for (size_t k = 0; k < use->size(); ++k) {
     (*p_error)[k] = p_unique[static_cast<size_t>(plan.cell_to_unique[k])];
   }
+}
+
+int64_t InferenceEngine::PredictProbsMemoized(const data::EncodedDataset& ds,
+                                              ContentMemo* memo,
+                                              std::vector<float>* p_error) {
+  const int64_t n = ds.num_cells();
+  p_error->assign(static_cast<size_t>(n), 0.0f);
+  if (memo == nullptr || !memo->enabled()) {
+    if (n > 0) PredictProbs(ds, {}, p_error);
+    return 0;
+  }
+  std::vector<uint8_t> hit(static_cast<size_t>(n), 0);
+  const int64_t hits = memo->Lookup(ds, p_error, &hit);
+  if (hits >= n) {
+    // Fully memo-served: no model work. Report an empty (zero-second)
+    // sweep so callers can sum stats().seconds unconditionally.
+    stats_ = InferenceStats{};
+    stats_.cells = n;
+    return hits;
+  }
+  std::vector<int64_t> miss;
+  miss.reserve(static_cast<size_t>(n - hits));
+  for (int64_t i = 0; i < n; ++i) {
+    if (!hit[static_cast<size_t>(i)]) miss.push_back(i);
+  }
+  const data::EncodedDataset miss_ds = data::TakeCells(ds, miss);
+  std::vector<float> miss_p;
+  PredictProbs(miss_ds, {}, &miss_p);
+  for (size_t k = 0; k < miss.size(); ++k) {
+    (*p_error)[static_cast<size_t>(miss[k])] = miss_p[k];
+    memo->Insert(miss_ds, static_cast<int64_t>(k), miss_p[k]);
+  }
+  return hits;
 }
 
 void InferenceEngine::Predict(const data::EncodedDataset& ds,

@@ -10,6 +10,8 @@
 
 namespace birnn::core {
 
+class ContentMemo;
+
 /// Configuration of the forward-only inference engine.
 struct InferenceOptions {
   /// Cells per forward batch (before the internal row padding).
@@ -97,6 +99,18 @@ class InferenceEngine {
   void PredictProbs(const data::EncodedDataset& ds,
                     const std::vector<int64_t>& indices,
                     std::vector<float>* p_error);
+
+  /// Whole-dataset probability sweep through a *cross-sweep* content memo
+  /// (content_index.h): memo hits are answered without touching the model,
+  /// only the miss subset is swept (and inserted), and `p_error` is
+  /// bit-identical to `PredictProbs(ds, {}, ...)` — a memoized verdict is
+  /// the same pure function of the cell's content key. Returns the memo
+  /// hit count; `stats()` afterwards describes the miss sweep (zeroed, with
+  /// `cells` set, when every cell hit). A null or disabled memo degrades to
+  /// a plain sweep.
+  int64_t PredictProbsMemoized(const data::EncodedDataset& ds,
+                               ContentMemo* memo,
+                               std::vector<float>* p_error);
 
   /// Thresholded per-cell predictions (p_error > 0.5) over every cell.
   void Predict(const data::EncodedDataset& ds, std::vector<uint8_t>* labels);

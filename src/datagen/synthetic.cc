@@ -1,0 +1,100 @@
+#include "datagen/synthetic.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace birnn::datagen {
+
+namespace {
+
+// splitmix64 finalizer: a cheap stateless counter hash with full avalanche.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+SyntheticDataGen::SyntheticDataGen(const SyntheticSpec& spec) : spec_(spec) {
+  assert(spec_.cols > 0 && spec_.uniques_per_col > 0);
+  assert(spec_.vocab >= 3 && spec_.max_len >= spec_.min_len);
+  const int max_len = spec_.max_len;
+  const int32_t alphabet = spec_.vocab - 1;  // usable char ids 1..vocab-1
+  // How many leading characters are needed to spell the unique id in base
+  // `alphabet`: guarantees pool entries are pairwise distinct within a
+  // column even when the tail characters collide.
+  int id_digits = 1;
+  for (int64_t span = alphabet; span < spec_.uniques_per_col;
+       span *= alphabet) {
+    ++id_digits;
+  }
+  pool_seqs_.assign(
+      static_cast<size_t>(spec_.cols) * spec_.uniques_per_col * max_len, 0);
+  pool_length_norm_.resize(
+      static_cast<size_t>(spec_.cols) * spec_.uniques_per_col);
+  for (int c = 0; c < spec_.cols; ++c) {
+    for (int64_t u = 0; u < spec_.uniques_per_col; ++u) {
+      const size_t entry = static_cast<size_t>(c) * spec_.uniques_per_col + u;
+      int32_t* seq = &pool_seqs_[entry * max_len];
+      const uint64_t h =
+          Mix64(spec_.seed ^ Mix64(static_cast<uint64_t>(c) * 0x10001ULL + 1) ^
+                Mix64(static_cast<uint64_t>(u) + 0xC0FFEEULL));
+      const int span = spec_.max_len - spec_.min_len + 1;
+      int len = spec_.min_len + static_cast<int>(h % static_cast<uint64_t>(span));
+      len = std::max(len, std::min(id_digits, max_len));
+      // Leading digits spell u (distinctness), the tail is hashed filler.
+      int64_t rem = u;
+      for (int t = 0; t < len; ++t) {
+        if (t < id_digits) {
+          seq[t] = 1 + static_cast<int32_t>(rem % alphabet);
+          rem /= alphabet;
+        } else {
+          seq[t] = 1 + static_cast<int32_t>(
+                           Mix64(h ^ static_cast<uint64_t>(t)) %
+                           static_cast<uint64_t>(alphabet));
+        }
+      }
+      // Same normalization shape as EncodeCells: length over the column
+      // maximum (here the spec maximum, identical for every cell of the
+      // column, so duplicates stay bit-identical).
+      pool_length_norm_[entry] =
+          static_cast<float>(len) / static_cast<float>(max_len);
+    }
+  }
+}
+
+void SyntheticDataGen::FillChunk(int64_t row_begin, int64_t n_rows,
+                                 data::EncodedDataset* out) const {
+  const int max_len = spec_.max_len;
+  const int cols = spec_.cols;
+  const int64_t n = n_rows * cols;
+  out->max_len = max_len;
+  out->vocab = spec_.vocab;
+  out->n_attrs = cols;
+  out->seqs.assign(static_cast<size_t>(n) * max_len, 0);
+  out->attrs.resize(static_cast<size_t>(n));
+  out->length_norm.resize(static_cast<size_t>(n));
+  out->labels.assign(static_cast<size_t>(n), 0);
+  out->row_ids.resize(static_cast<size_t>(n));
+  for (int64_t r = 0; r < n_rows; ++r) {
+    const int64_t row = row_begin + r;
+    for (int c = 0; c < cols; ++c) {
+      const int64_t i = r * cols + c;
+      const uint64_t pick =
+          Mix64(spec_.seed ^ Mix64(static_cast<uint64_t>(row) * 2654435761ULL) ^
+                Mix64(static_cast<uint64_t>(c) + 0xABCDULL));
+      const int64_t u =
+          static_cast<int64_t>(pick % static_cast<uint64_t>(spec_.uniques_per_col));
+      const size_t entry = static_cast<size_t>(c) * spec_.uniques_per_col + u;
+      std::copy_n(&pool_seqs_[entry * max_len], max_len,
+                  &out->seqs[static_cast<size_t>(i) * max_len]);
+      out->attrs[static_cast<size_t>(i)] = c;
+      out->length_norm[static_cast<size_t>(i)] = pool_length_norm_[entry];
+      out->row_ids[static_cast<size_t>(i)] = row;
+    }
+  }
+}
+
+}  // namespace birnn::datagen

@@ -1,0 +1,67 @@
+#ifndef BIRNN_DATAGEN_SYNTHETIC_H_
+#define BIRNN_DATAGEN_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/encoding.h"
+
+namespace birnn::datagen {
+
+/// Shape of a synthetic duplicate-heavy table used by the warehouse-scale
+/// memo benches: `rows * cols` cells drawn from `cols` pools of
+/// `uniques_per_col` distinct contents each, so the duplication factor is
+/// rows / uniques_per_col per column. Everything is derived from `seed`
+/// with counter-based hashing — generation is deterministic and
+/// position-independent, which lets benches stream arbitrary row ranges
+/// without materializing the whole table.
+struct SyntheticSpec {
+  int64_t rows = 1000000;
+  int cols = 2;
+  /// Distinct cell contents per column. Total distinct contents across the
+  /// table is cols * uniques_per_col (attribute id is part of content).
+  int64_t uniques_per_col = 50000;
+  int min_len = 6;
+  int max_len = 16;
+  /// Character vocabulary including the pad id 0 (ids 1..vocab-1 are used).
+  int vocab = 64;
+  uint64_t seed = 7;
+};
+
+/// Streaming generator of already-encoded synthetic cells. The per-column
+/// content pools are materialized once at construction (small: uniques *
+/// max_len ids); FillChunk then stamps out any row range by copying pool
+/// entries selected with a counter hash of (seed, col, row). Two cells
+/// referencing the same pool entry are bit-identical model inputs, so the
+/// memo layer sees exactly cols * uniques_per_col distinct contents no
+/// matter how many rows are swept.
+class SyntheticDataGen {
+ public:
+  explicit SyntheticDataGen(const SyntheticSpec& spec);
+
+  const SyntheticSpec& spec() const { return spec_; }
+
+  /// Distinct cell contents across the whole table (pool entries are
+  /// guaranteed pairwise distinct within and across columns).
+  int64_t total_unique_cells() const {
+    return spec_.uniques_per_col * spec_.cols;
+  }
+
+  /// Fills `out` with the cells of rows [row_begin, row_begin + n_rows),
+  /// row-major (all columns of a row before the next row). `out` is reset;
+  /// labels are 0 and row_ids are the absolute row indices. The same
+  /// (row_begin, n_rows) always produces the same bytes.
+  void FillChunk(int64_t row_begin, int64_t n_rows,
+                 data::EncodedDataset* out) const;
+
+ private:
+  SyntheticSpec spec_;
+  /// Pool entry u of column c lives at pool_seqs_[(c * uniques_per_col + u)
+  /// * max_len .. + max_len); 0-padded like EncodeCells output.
+  std::vector<int32_t> pool_seqs_;
+  std::vector<float> pool_length_norm_;
+};
+
+}  // namespace birnn::datagen
+
+#endif  // BIRNN_DATAGEN_SYNTHETIC_H_

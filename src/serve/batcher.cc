@@ -20,13 +20,30 @@ core::InferenceOptions MakeEngineOptions(const BatcherOptions& options) {
   return engine_options;
 }
 
+core::ContentMemoOptions MakeMemoOptions(const LoadedDetector& detector,
+                                         const BatcherOptions& options) {
+  core::ContentMemoOptions memo_options;
+  memo_options.capacity = std::max<int64_t>(0, options.memo_capacity);
+  memo_options.budget_bytes = std::max<int64_t>(0, options.memo_budget_bytes);
+  memo_options.spill = !options.memo_spill_dir.empty();
+  memo_options.spill_dir = options.memo_spill_dir;
+  // Pre-size from the bundle's training-table unique-cell count (when the
+  // manifest carries it): serving the table the detector was trained on is
+  // the common case, and starting at that population means the first sweep
+  // never grows the tables through rehashes.
+  memo_options.expected_entries =
+      std::min<int64_t>(detector.expected_unique_cells(),
+                        memo_options.capacity);
+  return memo_options;
+}
+
 }  // namespace
 
 MicroBatcher::MicroBatcher(const LoadedDetector& detector,
                            BatcherOptions options)
     : detector_(detector),
       options_(options),
-      memo_(options.memo_capacity) {
+      memo_(MakeMemoOptions(detector, options)) {
   options_.max_batch = std::max(1, options_.max_batch);
   options_.max_delay_us = std::max(0, options_.max_delay_us);
   options_.queue_capacity = std::max(1, options_.queue_capacity);
@@ -123,7 +140,12 @@ BatcherStats MicroBatcher::stats() const {
   stats.max_batch_cells = static_cast<int64_t>(std::llround(batch_cells.max));
   stats.batch_seconds = batch_seconds_.Snapshot().sum;
   stats.memo_hits = memo_hits_.Value();
-  stats.memo_entries = memo_.entries();
+  const core::ContentMemoStats memo = memo_.content().stats();
+  stats.memo_entries = memo.entries;
+  stats.memo_bytes = memo.bytes;
+  stats.memo_bloom_fp = memo.bloom_fps;
+  stats.memo_spilled_segments = memo.spilled_segments;
+  stats.memo_evictions = memo.evictions;
   return stats;
 }
 
@@ -185,40 +207,19 @@ void MicroBatcher::DispatchLoop() {
     }
 
     // The shared memo answers cells the service has predicted before (any
-    // replica, any earlier batch); only the leftovers touch the engine.
-    // Running the engine on the miss subset is exact: per-cell outputs are
-    // batch-composition independent.
-    const int64_t n_cells = batch->num_cells();
-    std::vector<float> probs(static_cast<size_t>(n_cells), 0.0f);
-    std::vector<uint8_t> hit(static_cast<size_t>(n_cells), 0);
-    const int64_t hits = memo_.enabled() ? memo_.Lookup(*batch, &probs, &hit)
-                                         : 0;
-    double batch_seconds = 0.0;
-    if (hits < n_cells) {
+    // replica, any earlier batch); only the leftovers touch the engine —
+    // the lookup / miss-subset-sweep / insert cycle lives in
+    // InferenceEngine::PredictProbsMemoized now, on top of the succinct
+    // content index. Exact: per-cell outputs are batch-composition
+    // independent, so serving the miss subset alone changes nothing.
+    std::vector<float> probs;
+    int64_t hits;
+    double batch_seconds;
+    {
       OBS_SPAN("serve/batch");
-      if (hits == 0) {
-        engine.PredictProbs(*batch, {}, &probs);
-      } else {
-        std::vector<int64_t> miss;
-        miss.reserve(static_cast<size_t>(n_cells - hits));
-        for (int64_t i = 0; i < n_cells; ++i) {
-          if (!hit[static_cast<size_t>(i)]) miss.push_back(i);
-        }
-        const data::EncodedDataset subset = data::TakeCells(*batch, miss);
-        std::vector<float> miss_probs;
-        engine.PredictProbs(subset, {}, &miss_probs);
-        for (size_t m = 0; m < miss.size(); ++m) {
-          probs[static_cast<size_t>(miss[m])] = miss_probs[m];
-        }
-      }
+      hits = engine.PredictProbsMemoized(*batch, memo_.content(), &probs);
+      // Zero when the batch was fully memo-served (no model work ran).
       batch_seconds = engine.stats().seconds;
-      if (memo_.enabled()) {
-        for (int64_t i = 0; i < n_cells; ++i) {
-          if (!hit[static_cast<size_t>(i)]) {
-            memo_.Insert(*batch, i, probs[static_cast<size_t>(i)]);
-          }
-        }
-      }
     }
     if (hits > 0) memo_hits_.Add(hits);
 

@@ -212,6 +212,15 @@ Status SaveDetectorBundle(const core::TrainedDetector& trained,
       << (trained.prepare.trim_leading_whitespace ? 1 : 0) << '\n';
   out << "prepare_treat_nan_as_empty "
       << (trained.prepare.treat_nan_as_empty ? 1 : 0) << '\n';
+  // Optional memo pre-size hint + provenance (ReadManifest ignores unknown
+  // keys, so old loaders skip these; omitted when the detector predates
+  // them, keeping the historical byte layout for such bundles).
+  if (trained.train_unique_cells > 0) {
+    out << "train_unique_cells " << trained.train_unique_cells << '\n';
+  }
+  if (trained.content_fingerprint != 0) {
+    out << "content_fingerprint " << trained.content_fingerprint << '\n';
+  }
   out << "chars " << trained.chars.num_chars();
   for (const int idx : trained.chars.index_table()) out << ' ' << idx;
   out << '\n';
@@ -322,6 +331,24 @@ StatusOr<LoadedDetector> LoadDetectorBundle(const std::string& dir) {
   det.prepare_.trim_leading_whitespace = trim != 0;
   det.prepare_.treat_nan_as_empty = nan_empty != 0;
 
+  // Optional keys (absent in pre-PR-8 bundles; both default to 0).
+  if (m.values.count("train_unique_cells") > 0) {
+    BIRNN_ASSIGN_OR_RETURN(int64_t unique_cells,
+                           m.GetInt("train_unique_cells"));
+    det.expected_unique_cells_ = std::max<int64_t>(0, unique_cells);
+  }
+  if (m.values.count("content_fingerprint") > 0) {
+    const std::string& text = m.values.at("content_fingerprint");
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0') {
+      return Status::InvalidArgument(
+          "manifest key content_fingerprint is not an integer: " + text);
+    }
+    det.content_fingerprint_ = static_cast<uint64_t>(v);
+  }
+
   det.model_ = std::make_unique<core::ErrorDetectionModel>(config);
   std::vector<nn::Parameter*> params = det.model_->Params();
   nn::Parameter bn_mean(kBnMeanName,
@@ -358,6 +385,8 @@ StatusOr<LoadedDetector> MakeLoadedDetector(core::TrainedDetector trained) {
   det.attr_names_ = std::move(trained.attr_names);
   det.attr_max_value_len_ = std::move(trained.attr_max_value_len);
   det.prepare_ = trained.prepare;
+  det.expected_unique_cells_ = std::max<int64_t>(0, trained.train_unique_cells);
+  det.content_fingerprint_ = trained.content_fingerprint;
   return det;
 }
 

@@ -41,6 +41,16 @@ class LoadedDetector {
   /// Index of a named attribute, or -1 if absent.
   int AttrIndex(const std::string& name) const;
 
+  /// Distinct cell contents in the table this detector was trained on (0
+  /// when the bundle predates the manifest key). The serve plane uses it to
+  /// pre-size the cross-request verdict memo, so the first whole-table
+  /// sweep never grows through rehashes.
+  int64_t expected_unique_cells() const { return expected_unique_cells_; }
+
+  /// core::DatasetContentFingerprint of the encoded training frame (0 when
+  /// unknown): identifies *which* table the bundle was trained on.
+  uint64_t content_fingerprint() const { return content_fingerprint_; }
+
   /// Encodes raw query cells into an EncodedDataset ready for the
   /// inference engine, replicating the training-time pipeline bit-exactly:
   /// leading-whitespace trim, truncation to the training max value length,
@@ -63,6 +73,8 @@ class LoadedDetector {
   std::vector<std::string> attr_names_;
   std::vector<int32_t> attr_max_value_len_;
   data::PrepareOptions prepare_;
+  int64_t expected_unique_cells_ = 0;
+  uint64_t content_fingerprint_ = 0;
 };
 
 /// Knobs for SaveDetectorBundle.

@@ -2,10 +2,9 @@
 #define BIRNN_SERVE_MEMO_H_
 
 #include <cstdint>
-#include <mutex>
-#include <unordered_map>
 #include <vector>
 
+#include "core/content_index.h"
 #include "data/encoding.h"
 
 namespace birnn::serve {
@@ -17,22 +16,32 @@ namespace birnn::serve {
 /// strings across millions of requests) is answered again without touching
 /// the model.
 ///
-/// Exactness: a cell's p_error is a pure function of its content key
-/// (attribute id, length_norm bit pattern, character sequence) — the same
-/// invariant that makes in-sweep memoization and micro-batch coalescing
-/// bit-identical (core/inference.h). Keys are FNV-1a hashes confirmed
-/// against the stored full content, so hash collisions cannot cross-wire
-/// verdicts. The cache must not outlive a weight change: it is owned by
-/// the MicroBatcher, and a hot bundle reload builds a fresh batcher.
+/// Since PR 8 this is a thin serve-facing facade over the succinct
+/// `core::ContentMemo` (content_index.h): blocked-bloom prefilter in front
+/// of every probe, open-addressing flat tables over a varint-packed content
+/// arena instead of a node-based hash map, and optional byte-budgeted
+/// operation with spill-to-disk segments. The exactness story is unchanged:
+/// a cell's p_error is a pure function of its content key (attribute id,
+/// length_norm bit pattern, character sequence), hashes are confirmed
+/// against the stored packed content, so collisions cannot cross-wire
+/// verdicts, and an evicted entry merely recomputes bit-identically. The
+/// cache must not outlive a weight change: it is owned by the MicroBatcher,
+/// and a hot bundle reload builds a fresh batcher.
 ///
-/// Thread safety: fully thread-safe; 16 mutex-striped shards keep replica
-/// dispatchers from contending. Capacity is bounded per shard — an
-/// overflowing shard is cleared whole (counted in `evictions`), so memory
-/// stays bounded under hostile unique-content floods.
+/// Thread safety: fully thread-safe; bloom negatives are answered lock-free
+/// and everything else goes through 16 mutex-striped shards, so replica
+/// dispatchers rarely contend.
 class VerdictMemo {
  public:
-  /// `capacity` bounds the total entry count (0 disables the cache).
-  explicit VerdictMemo(int64_t capacity);
+  /// `capacity` bounds the total entry count (0 disables the cache) — the
+  /// classic PR 7 constructor: unbudgeted, no spill, overflowing shards
+  /// dropped whole (counted in `evictions`).
+  explicit VerdictMemo(int64_t capacity)
+      : memo_(MakeLegacyOptions(capacity)) {}
+
+  /// Full control (byte budget, pre-size hint, spill directory).
+  explicit VerdictMemo(const core::ContentMemoOptions& options)
+      : memo_(options) {}
 
   VerdictMemo(const VerdictMemo&) = delete;
   VerdictMemo& operator=(const VerdictMemo&) = delete;
@@ -42,40 +51,34 @@ class VerdictMemo {
   /// Both vectors must already be sized to `ds.num_cells()`. Returns the
   /// hit count.
   int64_t Lookup(const data::EncodedDataset& ds, std::vector<float>* p,
-                 std::vector<uint8_t>* hit) const;
+                 std::vector<uint8_t>* hit) const {
+    return memo_.Lookup(ds, p, hit);
+  }
 
   /// Records cell `i` of `ds` -> `p_error`. Duplicate inserts of the same
   /// content are ignored (first value wins; all writers compute the same
   /// value anyway).
-  void Insert(const data::EncodedDataset& ds, int64_t i, float p_error);
+  void Insert(const data::EncodedDataset& ds, int64_t i, float p_error) {
+    memo_.Insert(ds, i, p_error);
+  }
 
-  int64_t entries() const;
-  int64_t evictions() const;
-  bool enabled() const { return capacity_ > 0; }
+  int64_t entries() const { return memo_.entries(); }
+  int64_t evictions() const { return memo_.evictions(); }
+  bool enabled() const { return memo_.enabled(); }
+
+  /// The underlying succinct index, for engine integration
+  /// (InferenceEngine::PredictProbsMemoized) and stats scraping.
+  core::ContentMemo* content() { return &memo_; }
+  const core::ContentMemo& content() const { return memo_; }
 
  private:
-  static constexpr int kShards = 16;
+  static core::ContentMemoOptions MakeLegacyOptions(int64_t capacity) {
+    core::ContentMemoOptions options;
+    options.capacity = capacity > 0 ? capacity : 0;
+    return options;
+  }
 
-  struct Entry {
-    uint32_t length_norm_bits = 0;
-    int32_t attr = 0;
-    float p_error = 0.0f;
-    std::vector<int32_t> seq;  ///< effective-length character ids.
-  };
-
-  struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<uint64_t, std::vector<Entry>> map;
-    int64_t entries = 0;
-    int64_t evictions = 0;
-  };
-
-  static bool Matches(const Entry& e, const data::EncodedDataset& ds,
-                      int64_t i);
-
-  int64_t capacity_ = 0;
-  int64_t shard_capacity_ = 0;
-  Shard shards_[kShards];
+  core::ContentMemo memo_;
 };
 
 }  // namespace birnn::serve

@@ -205,14 +205,16 @@ std::string StatsResponse(const std::string& id, const std::string& model,
   OpenResponse(id, "OK", &out);
   out.append(",\"model\":");
   AppendJsonString(model, &out);
-  char buf[640];
+  char buf[960];
   std::snprintf(buf, sizeof(buf),
                 ",\"generation\":%lld,"
                 "\"requests\":%lld,\"cells\":%lld,\"shed_requests\":%lld,"
                 "\"shed_cells\":%lld,\"rejected_requests\":%lld,"
                 "\"batches\":%lld,\"max_batch_cells\":%lld,"
                 "\"batch_seconds\":%.6f,"
-                "\"memo_hits\":%lld,\"memo_entries\":%lld",
+                "\"memo_hits\":%lld,\"memo_entries\":%lld,"
+                "\"memo_bytes\":%lld,\"memo_bloom_fp\":%lld,"
+                "\"memo_spilled_segments\":%lld,\"memo_evictions\":%lld",
                 static_cast<long long>(generation),
                 static_cast<long long>(stats.requests),
                 static_cast<long long>(stats.cells),
@@ -223,7 +225,11 @@ std::string StatsResponse(const std::string& id, const std::string& model,
                 static_cast<long long>(stats.max_batch_cells),
                 stats.batch_seconds,
                 static_cast<long long>(stats.memo_hits),
-                static_cast<long long>(stats.memo_entries));
+                static_cast<long long>(stats.memo_entries),
+                static_cast<long long>(stats.memo_bytes),
+                static_cast<long long>(stats.memo_bloom_fp),
+                static_cast<long long>(stats.memo_spilled_segments),
+                static_cast<long long>(stats.memo_evictions));
   out.append(buf);
   // The batcher-level fields above stay for back-compat; the registry block
   // adds the process-wide view (every layer's counters/gauges/histograms).

@@ -309,6 +309,21 @@ TEST(BundleTest, SaveLoadRoundTripIsBitExact) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(BundleTest, MemoPreSizeHintsSurviveTheManifestRoundTrip) {
+  // The batcher pre-sizes its verdict memo from the bundle's training-table
+  // unique-cell count; both optional manifest keys must round-trip.
+  const std::string dir = TempDir("birnn_bundle_presize");
+  core::TrainedDetector trained = MakeTinyTrained();
+  trained.train_unique_cells = 1234;
+  trained.content_fingerprint = 0xDEADBEEFCAFEF00DULL;
+  ASSERT_TRUE(SaveDetectorBundle(trained, dir).ok());
+  auto loaded = LoadDetectorBundle(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(1234, loaded->expected_unique_cells());
+  EXPECT_EQ(0xDEADBEEFCAFEF00DULL, loaded->content_fingerprint());
+  std::filesystem::remove_all(dir);
+}
+
 TEST(BundleTest, LoadFailsCleanlyOnBadInput) {
   EXPECT_FALSE(LoadDetectorBundle("/nonexistent/bundle/dir").ok());
 
