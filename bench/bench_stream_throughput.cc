@@ -1,0 +1,493 @@
+// Streaming (CDC) detection throughput: an open-loop delta generator
+// against stream::TableSession.
+//
+// Per dataset: train a detector offline (ErrorDetector), wrap it as a
+// stream-capable bundle, then drive three phases through a table session:
+//
+//   1. replay  — the whole dirty table arrives as inserts. The materialized
+//      verdict store must reproduce the offline DetectionReport bit for bit
+//      (the streaming acceptance invariant).
+//   2. churn   — `--deltas` pre-generated insert/update deltas. Updates hit
+//      Zipf-skewed hot rows (real CDC feeds concentrate on a few tuples,
+//      which is also what makes the content memo earn its keep); inserts
+//      append fresh tuples whose values are resampled from the table. The
+//      sequence is fixed before the timed loop starts — generation cost and
+//      apply cost never mix — and per-delta latency is recorded for p50/p99.
+//   3. drift   — one attribute starts receiving overlong values full of
+//      characters the train dictionary has never seen. The session must
+//      latch its max-length and OOV-rate alarms for that attribute and stay
+//      quiet on those dimensions everywhere else; fire accuracy is reported.
+//
+// After churn the harness re-detects the materialized table through the
+// batch path (TableSession::DetectAll) — that sweep is simultaneously the
+// zero-mismatch equivalence oracle and the naive "re-detect the whole table
+// per delta" baseline the incremental path is compared against. With --gate
+// the binary exits nonzero on any equivalence mismatch, a p99 delta latency
+// above --p99-gate-ms, an incremental speedup below --speedup-floor, or a
+// missed/false drift alarm. Writes BENCH_stream.json.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/detector.h"
+#include "datagen/datasets.h"
+#include "eval/report.h"
+#include "serve/bundle.h"
+#include "stream/session.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace birnn::bench {
+namespace {
+
+/// Discrete Zipf(s) over ranks [0, n): P(k) ∝ 1/(k+1)^s, drawn by binary
+/// search over a cumulative table (rebuilt lazily as n grows — the live-row
+/// set keeps growing while churn inserts land). Rank 0 is the hottest; the
+/// caller maps ranks onto row ids.
+class ZipfSampler {
+ public:
+  ZipfSampler(double s, uint64_t seed) : s_(s), rng_(seed) {}
+
+  int64_t Sample(int64_t n) {
+    if (static_cast<int64_t>(cdf_.size()) < n) Extend(n);
+    const double u = rng_.UniformDouble() * cdf_[static_cast<size_t>(n - 1)];
+    const auto it = std::lower_bound(cdf_.begin(),
+                                     cdf_.begin() + static_cast<size_t>(n), u);
+    return static_cast<int64_t>(it - cdf_.begin());
+  }
+
+  Rng* rng() { return &rng_; }
+
+ private:
+  void Extend(int64_t n) {
+    double total = cdf_.empty() ? 0.0 : cdf_.back();
+    cdf_.reserve(static_cast<size_t>(n));
+    for (int64_t k = static_cast<int64_t>(cdf_.size()); k < n; ++k) {
+      total += std::pow(static_cast<double>(k + 1), -s_);
+      cdf_.push_back(total);
+    }
+  }
+
+  double s_;
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+struct PhaseTiming {
+  int64_t deltas = 0;
+  double seconds = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+PhaseTiming Summarize(const std::vector<double>& latencies_ms,
+                      double seconds) {
+  PhaseTiming t;
+  t.deltas = static_cast<int64_t>(latencies_ms.size());
+  t.seconds = seconds;
+  std::vector<double> sorted = latencies_ms;
+  std::sort(sorted.begin(), sorted.end());
+  if (!sorted.empty()) {
+    t.p50_ms = sorted[sorted.size() / 2];
+    t.p99_ms = sorted[std::min(sorted.size() - 1, sorted.size() * 99 / 100)];
+  }
+  return t;
+}
+
+struct DatasetResult {
+  std::string dataset;
+  int64_t rows = 0;
+  int n_attrs = 0;
+  double train_seconds = 0.0;
+
+  PhaseTiming replay;
+  PhaseTiming churn;
+  double churn_cells_per_delta = 0.0;
+  double churn_memo_hit_rate = 0.0;
+  double deltas_per_sec = 0.0;
+
+  /// The naive baseline: one whole-table batch re-detection (what a
+  /// non-incremental design would pay per delta).
+  double full_detect_seconds = 0.0;
+  double speedup_vs_full = 0.0;
+
+  bool replay_matches_offline = false;
+  int64_t equivalence_mismatches = -1;
+
+  int drift_expected = 0;
+  int drift_fired = 0;
+  int drift_false_positives = 0;
+
+  std::vector<std::string> failures;
+};
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  AddCommonFlags(&flags, "BENCH_stream.json");
+  flags.AddInt("deltas", 2000, "churn-phase deltas per dataset");
+  flags.AddDouble("update-frac", 0.8,
+                  "fraction of churn deltas that are updates (rest insert)");
+  flags.AddDouble("zipf-s", 1.1, "Zipf exponent for hot-row selection");
+  flags.AddInt("drift-updates", 96,
+               "polluted updates fed to attribute 0 in the drift phase");
+  flags.AddBool("gate", false,
+                "exit nonzero on equivalence, latency, speedup or "
+                "drift-accuracy failures");
+  flags.AddDouble("p99-gate-ms", 250.0,
+                  "gate: churn p99 delta latency ceiling (ms)");
+  flags.AddDouble("speedup-floor", 20.0,
+                  "gate: per-delta re-scoring must beat naive whole-table "
+                  "re-detection by at least this factor");
+  BenchConfig config =
+      ParseCommonFlags(&flags, argc, argv, "bench_stream_throughput");
+  const int n_deltas = std::max(1, flags.GetInt("deltas"));
+  const double update_frac =
+      std::min(1.0, std::max(0.0, flags.GetDouble("update-frac")));
+  const double zipf_s = flags.GetDouble("zipf-s");
+  const int drift_updates = std::max(1, flags.GetInt("drift-updates"));
+  const bool gate = flags.GetBool("gate");
+
+  std::cout << "=== Streaming delta throughput (deltas=" << n_deltas
+            << ", update_frac=" << FormatFixed(update_frac, 2)
+            << ", zipf_s=" << FormatFixed(zipf_s, 2) << ") ===\n\n";
+
+  std::vector<DatasetResult> all;
+  eval::TableWriter writer({"Dataset", "Rows", "Deltas", "Deltas/s",
+                            "Cells/delta", "Memo hit", "p99 ms", "Full ms",
+                            "Speedup", "Equiv", "Drift"});
+
+  for (const std::string& dataset : DatasetList(config)) {
+    const datagen::DatasetPair pair = MakePair(dataset, config);
+    DatasetResult dr;
+    dr.dataset = dataset;
+    dr.rows = pair.dirty.num_rows();
+    dr.n_attrs = pair.dirty.num_columns();
+
+    core::DetectorOptions options;
+    options.model = "etsb";
+    options.n_label_tuples = config.n_label_tuples;
+    options.trainer.epochs = config.epochs;
+    options.seed = config.seed;
+    core::ErrorDetector detector(options);
+    core::TrainedDetector trained;
+    Stopwatch train_timer;
+    auto report = detector.Run(pair.dirty, pair.clean, &trained);
+    if (!report.ok()) {
+      std::cerr << dataset << ": training failed: "
+                << report.status().message() << "\n";
+      return 1;
+    }
+    dr.train_seconds = train_timer.ElapsedSeconds();
+
+    auto loaded = serve::MakeLoadedDetector(std::move(trained));
+    if (!loaded.ok()) {
+      std::cerr << dataset << ": " << loaded.status().message() << "\n";
+      return 1;
+    }
+    auto shared = std::make_shared<const serve::LoadedDetector>(
+        std::move(loaded).value());
+
+    stream::SessionOptions session_options;
+    // Arm drift detection even at reduced CI scales (tiny tables would
+    // otherwise never reach the production min_cells).
+    session_options.drift.min_cells = std::min<int64_t>(128, dr.rows);
+    // The drift phase asserts on the deterministic length/OOV dimensions;
+    // the rate dimensions depend on the trained model's verdicts and the
+    // resampled churn mix, so keep them out of the accuracy measurement.
+    session_options.drift.empty_rate_delta = 2.0f;
+    session_options.drift.error_rate_delta = 2.0f;
+    auto session = stream::TableSession::Create(shared, session_options);
+    if (!session.ok()) {
+      std::cerr << dataset << ": " << session.status().message() << "\n";
+      return 1;
+    }
+    stream::TableSession& s = **session;
+
+    // Phase 1: replay the dirty table as inserts.
+    {
+      std::vector<double> latencies_ms;
+      latencies_ms.reserve(static_cast<size_t>(dr.rows));
+      Stopwatch wall;
+      for (int64_t r = 0; r < dr.rows; ++r) {
+        std::vector<std::string> tuple;
+        tuple.reserve(static_cast<size_t>(dr.n_attrs));
+        for (int a = 0; a < dr.n_attrs; ++a) {
+          tuple.push_back(pair.dirty.cell(static_cast<int>(r), a));
+        }
+        Stopwatch one;
+        if (Status st = s.Insert(r, std::move(tuple)); !st.ok()) {
+          std::cerr << dataset << ": replay insert failed: " << st.message()
+                    << "\n";
+          return 1;
+        }
+        latencies_ms.push_back(one.ElapsedMillis());
+      }
+      dr.replay = Summarize(latencies_ms, wall.ElapsedSeconds());
+    }
+    const std::vector<uint8_t> replayed = s.MaterializedVerdicts();
+    dr.replay_matches_offline = replayed == report->predicted;
+    if (!dr.replay_matches_offline) {
+      dr.failures.push_back("replay-vs-offline mismatch");
+    }
+
+    // Phase 2: churn. Pre-generate the full delta sequence (open loop),
+    // then apply it back to back under the clock.
+    struct ChurnDelta {
+      bool is_update = false;
+      int64_t row = 0;
+      int attr = 0;
+      std::string value;
+      std::vector<std::string> values;
+    };
+    ZipfSampler zipf(zipf_s, config.seed + 17);
+    Rng* rng = zipf.rng();
+    std::vector<int64_t> live_rows;
+    live_rows.reserve(static_cast<size_t>(dr.rows) + n_deltas);
+    for (int64_t r = 0; r < dr.rows; ++r) live_rows.push_back(r);
+    // Hot ranks should not coincide with insertion order: shuffle once so
+    // rank 0 is an arbitrary row, as in a real feed.
+    rng->Shuffle(&live_rows);
+    int64_t next_row = dr.rows;
+    auto resample_value = [&](int attr) -> const std::string& {
+      const int64_t r = static_cast<int64_t>(
+          rng->UniformInt(static_cast<uint64_t>(dr.rows)));
+      return pair.dirty.cell(static_cast<int>(r), attr);
+    };
+    std::vector<ChurnDelta> churn;
+    churn.reserve(static_cast<size_t>(n_deltas));
+    for (int i = 0; i < n_deltas; ++i) {
+      ChurnDelta d;
+      d.is_update = rng->Bernoulli(update_frac);
+      if (d.is_update) {
+        d.row = live_rows[static_cast<size_t>(
+            zipf.Sample(static_cast<int64_t>(live_rows.size())))];
+        d.attr = static_cast<int>(
+            rng->UniformInt(static_cast<uint64_t>(dr.n_attrs)));
+        d.value = resample_value(d.attr);
+      } else {
+        d.row = next_row++;
+        d.values.reserve(static_cast<size_t>(dr.n_attrs));
+        for (int a = 0; a < dr.n_attrs; ++a) {
+          d.values.push_back(resample_value(a));
+        }
+        live_rows.push_back(d.row);
+      }
+      churn.push_back(std::move(d));
+    }
+
+    const stream::SessionStats before = s.stats();
+    {
+      std::vector<double> latencies_ms;
+      latencies_ms.reserve(churn.size());
+      Stopwatch wall;
+      for (ChurnDelta& d : churn) {
+        Stopwatch one;
+        Status st = d.is_update
+                        ? s.Update(d.row, d.attr, std::move(d.value))
+                        : s.Insert(d.row, std::move(d.values));
+        if (!st.ok()) {
+          std::cerr << dataset << ": churn delta failed: " << st.message()
+                    << "\n";
+          return 1;
+        }
+        latencies_ms.push_back(one.ElapsedMillis());
+      }
+      dr.churn = Summarize(latencies_ms, wall.ElapsedSeconds());
+    }
+    const stream::SessionStats after = s.stats();
+    const int64_t churn_cells = after.cells_scored - before.cells_scored;
+    dr.churn_cells_per_delta =
+        static_cast<double>(churn_cells) / static_cast<double>(n_deltas);
+    dr.churn_memo_hit_rate =
+        churn_cells > 0
+            ? static_cast<double>(after.memo_hits - before.memo_hits) /
+                  static_cast<double>(churn_cells)
+            : 0.0;
+    dr.deltas_per_sec =
+        dr.churn.seconds > 0
+            ? static_cast<double>(n_deltas) / dr.churn.seconds
+            : 0.0;
+
+    // Equivalence oracle + naive baseline in one sweep: re-detect the
+    // materialized table through the batch path.
+    Stopwatch full_timer;
+    auto batch = s.DetectAll();
+    dr.full_detect_seconds = full_timer.ElapsedSeconds();
+    if (!batch.ok()) {
+      std::cerr << dataset << ": DetectAll failed: "
+                << batch.status().message() << "\n";
+      return 1;
+    }
+    const std::vector<uint8_t> incremental = s.MaterializedVerdicts();
+    dr.equivalence_mismatches = 0;
+    if (incremental.size() != batch->size()) {
+      dr.equivalence_mismatches =
+          static_cast<int64_t>(incremental.size() + batch->size());
+    } else {
+      for (size_t i = 0; i < incremental.size(); ++i) {
+        if (incremental[i] != (*batch)[i]) ++dr.equivalence_mismatches;
+      }
+    }
+    if (dr.equivalence_mismatches != 0) {
+      dr.failures.push_back(
+          std::to_string(dr.equivalence_mismatches) +
+          " incremental-vs-batch verdict mismatch(es)");
+    }
+    const double mean_delta_seconds =
+        dr.churn.deltas > 0 ? dr.churn.seconds / dr.churn.deltas : 0.0;
+    dr.speedup_vs_full = mean_delta_seconds > 0
+                             ? dr.full_detect_seconds / mean_delta_seconds
+                             : 0.0;
+    if (gate && dr.speedup_vs_full < flags.GetDouble("speedup-floor")) {
+      dr.failures.push_back("speedup " + FormatFixed(dr.speedup_vs_full, 1) +
+                            "x below floor");
+    }
+    if (gate && dr.churn.p99_ms > flags.GetDouble("p99-gate-ms")) {
+      dr.failures.push_back("churn p99 " + FormatFixed(dr.churn.p99_ms, 2) +
+                            "ms above gate");
+    }
+
+    // Phase 3: drift. One attribute turns hostile — values twice its frozen
+    // maximum length made of characters the dictionary has never indexed —
+    // so exactly its max-length and OOV-rate alarms must latch. The
+    // shortest-valued attribute is polluted so the doubled length survives
+    // the preparation-time truncation cap and the alarm can actually fire.
+    {
+      int polluted = 0;
+      for (int a = 1; a < dr.n_attrs; ++a) {
+        const int32_t mx = shared->attr_max_value_len()[a];
+        if (mx > 0 && (shared->attr_max_value_len()[polluted] <= 0 ||
+                       mx < shared->attr_max_value_len()[polluted])) {
+          polluted = a;
+        }
+      }
+      const std::string junk(
+          std::max<size_t>(4, 2 * static_cast<size_t>(
+                                  shared->attr_max_value_len()[polluted])),
+          '\x01');
+      for (int i = 0; i < drift_updates; ++i) {
+        const int64_t row = live_rows[static_cast<size_t>(
+            zipf.Sample(static_cast<int64_t>(live_rows.size())))];
+        if (Status st = s.Update(row, polluted, junk); !st.ok()) {
+          std::cerr << dataset << ": drift update failed: " << st.message()
+                    << "\n";
+          return 1;
+        }
+      }
+      dr.drift_expected = 2;  // kMaxLen + kOovRate on the polluted attr.
+      for (const stream::DriftAlarm& alarm : s.drift_alarms()) {
+        const bool length_or_oov =
+            alarm.kind == stream::DriftKind::kMaxLen ||
+            alarm.kind == stream::DriftKind::kOovRate;
+        if (!length_or_oov) continue;
+        if (alarm.attr == polluted) {
+          ++dr.drift_fired;
+        } else {
+          ++dr.drift_false_positives;
+        }
+      }
+      if (gate && (dr.drift_fired != dr.drift_expected ||
+                   dr.drift_false_positives != 0)) {
+        dr.failures.push_back("drift alarms " +
+                              std::to_string(dr.drift_fired) + "/" +
+                              std::to_string(dr.drift_expected) + " fired, " +
+                              std::to_string(dr.drift_false_positives) +
+                              " false");
+      }
+    }
+
+    writer.AddRow(
+        {dataset, std::to_string(dr.rows), std::to_string(n_deltas),
+         FormatFixed(dr.deltas_per_sec, 0),
+         FormatFixed(dr.churn_cells_per_delta, 2),
+         FormatFixed(dr.churn_memo_hit_rate * 100.0, 0) + "%",
+         FormatFixed(dr.churn.p99_ms, 2),
+         FormatFixed(dr.full_detect_seconds * 1e3, 1),
+         FormatFixed(dr.speedup_vs_full, 0) + "x",
+         dr.replay_matches_offline && dr.equivalence_mismatches == 0 ? "yes"
+                                                                     : "NO",
+         std::to_string(dr.drift_fired) + "/" +
+             std::to_string(dr.drift_expected)});
+    std::cerr << "[stream] " << dataset << " rows=" << dr.rows
+              << " train=" << FormatFixed(dr.train_seconds, 1) << "s"
+              << " replay=" << FormatFixed(dr.replay.seconds, 2) << "s"
+              << (dr.failures.empty() ? "" : " FAIL") << "\n";
+    all.push_back(std::move(dr));
+  }
+  writer.Print(std::cout);
+
+  int failures = 0;
+  for (const DatasetResult& dr : all) {
+    for (const std::string& f : dr.failures) {
+      std::cout << "FAIL " << dr.dataset << ": " << f << "\n";
+      ++failures;
+    }
+  }
+  std::cout << (failures == 0 ? "\nall streaming checks passed\n"
+                              : "\n" + std::to_string(failures) +
+                                    " streaming check failure(s)\n");
+
+  if (!config.json_path.empty()) {
+    std::ofstream out(config.json_path);
+    JsonWriter json(out);
+    json.BeginObject();
+    json.Key("deltas").Int(n_deltas);
+    json.Key("update_frac").Number(update_frac);
+    json.Key("zipf_s").Number(zipf_s);
+    json.Key("drift_updates").Int(drift_updates);
+    json.Key("epochs").Int(config.epochs);
+    json.Key("scale").Number(config.scale);
+    json.Key("gates_passed").Bool(failures == 0);
+    json.Key("datasets").BeginArray();
+    for (const DatasetResult& dr : all) {
+      json.BeginObject();
+      json.Key("dataset").String(dr.dataset);
+      json.Key("rows").Int(dr.rows);
+      json.Key("n_attrs").Int(dr.n_attrs);
+      json.Key("train_seconds").Number(dr.train_seconds);
+      json.Key("replay_seconds").Number(dr.replay.seconds);
+      json.Key("replay_matches_offline").Bool(dr.replay_matches_offline);
+      json.Key("deltas_per_sec").Number(dr.deltas_per_sec);
+      json.Key("cells_per_delta").Number(dr.churn_cells_per_delta);
+      json.Key("memo_hit_rate").Number(dr.churn_memo_hit_rate);
+      json.Key("p50_delta_ms").Number(dr.churn.p50_ms);
+      json.Key("p99_delta_ms").Number(dr.churn.p99_ms);
+      json.Key("full_detect_ms").Number(dr.full_detect_seconds * 1e3);
+      json.Key("speedup_vs_full_redetect").Number(dr.speedup_vs_full);
+      json.Key("equivalence_mismatches").Int(dr.equivalence_mismatches);
+      json.Key("drift_alarms_expected").Int(dr.drift_expected);
+      json.Key("drift_alarms_fired").Int(dr.drift_fired);
+      json.Key("drift_false_positives").Int(dr.drift_false_positives);
+      json.Key("drift_fire_accuracy")
+          .Number(dr.drift_expected > 0
+                      ? static_cast<double>(dr.drift_fired) /
+                            static_cast<double>(dr.drift_expected)
+                      : 0.0);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Key("obs");
+    WriteObsJson(&json);
+    json.EndObject();
+    out << "\n";
+    std::cout << "wrote " << config.json_path << "\n";
+  }
+  WriteObsArtifacts(config);
+  return failures > 0 ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace birnn::bench
+
+int main(int argc, char** argv) { return birnn::bench::Run(argc, argv); }

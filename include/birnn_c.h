@@ -1,0 +1,116 @@
+/* birnn_c.h — embeddable C API for streaming error detection.
+ *
+ * A minimal, UDF-callable surface over the birnn detector: load a saved
+ * bundle once, open per-table streaming sessions against it, feed
+ * insert/update/delete deltas and read back per-cell verdicts — from any
+ * host that can call C (database UDFs, FFI bindings, plain C programs).
+ *
+ * Conventions:
+ *   - Opaque handles; every object is created by one birnn_* function and
+ *     released by its matching *_free (NULL-safe, like free()).
+ *   - Every fallible call returns a birnn_status code. No exceptions ever
+ *     cross this boundary; internal C++ errors are caught and mapped.
+ *   - On failure, birnn_last_error() returns a human-readable message for
+ *     the calling thread's most recent failing call.
+ *   - A session is thread-safe; a detector is immutable after load and may
+ *     back any number of concurrent sessions.
+ */
+
+#ifndef BIRNN_C_H_
+#define BIRNN_C_H_
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* Mirrors birnn::StatusCode (util/status.h). Values are ABI: they are
+ * frozen once released and new codes are only appended. */
+typedef enum birnn_status {
+  BIRNN_OK = 0,
+  BIRNN_INVALID_ARGUMENT = 1,
+  BIRNN_NOT_FOUND = 2,
+  BIRNN_OUT_OF_RANGE = 3,
+  BIRNN_FAILED_PRECONDITION = 4,
+  BIRNN_INTERNAL = 5,
+  BIRNN_UNIMPLEMENTED = 6,
+  BIRNN_IO_ERROR = 7,
+  BIRNN_OVERLOADED = 8,
+  /* Delta ops were attempted against a bundle that carries no frozen
+   * column statistics (pre-v3 manifest). Re-save the bundle from a
+   * current detector run. */
+  BIRNN_UNSUPPORTED_BUNDLE = 9
+} birnn_status;
+
+/* A trained detector reconstructed from a saved bundle directory. */
+typedef struct birnn_detector birnn_detector;
+
+/* A CDC streaming session over one detector (see stream/session.h). */
+typedef struct birnn_session birnn_session;
+
+/* The detector's answer for one cell of a materialized tuple. */
+typedef struct birnn_verdict {
+  int32_t is_error;  /* 1 = the cell is predicted erroneous. */
+  float p_error;     /* raw error probability in [0, 1]. */
+  uint64_t version;  /* delta sequence number that produced the verdict. */
+} birnn_verdict;
+
+/* Message for the calling thread's most recent failing birnn_* call, or ""
+ * if none failed yet. The pointer stays valid until the same thread's next
+ * failing call; never returns NULL. */
+const char* birnn_last_error(void);
+
+/* Loads a detector bundle (the manifest.txt/weights.ckpt directory written
+ * by the save tooling) into *out. */
+birnn_status birnn_detector_load(const char* bundle_dir,
+                                 birnn_detector** out);
+void birnn_detector_free(birnn_detector* detector);
+
+/* Number of attributes (columns) of the table the detector was trained
+ * on; -1 on a NULL detector. */
+int32_t birnn_detector_n_attrs(const birnn_detector* detector);
+
+/* 1 when the bundle carries the frozen column statistics streaming needs
+ * (manifest v3); 0 otherwise (sessions cannot be opened against it). */
+int32_t birnn_detector_stream_capable(const birnn_detector* detector);
+
+/* Opens a streaming session against a loaded detector. The detector may
+ * be freed while sessions are live; each session keeps it alive. Fails
+ * with BIRNN_UNSUPPORTED_BUNDLE unless birnn_detector_stream_capable(). */
+birnn_status birnn_session_create(const birnn_detector* detector,
+                                  birnn_session** out);
+void birnn_session_free(birnn_session* session);
+
+/* Inserts a full tuple: values[0..n_values) are the raw cell strings, one
+ * per attribute (n_values must equal birnn_detector_n_attrs). Every cell
+ * of the tuple is scored. Fails if row_id already exists. */
+birnn_status birnn_session_insert(birnn_session* session, int64_t row_id,
+                                  const char* const* values,
+                                  int32_t n_values);
+
+/* Updates one cell of an existing tuple; only that cell is re-scored. */
+birnn_status birnn_session_update(birnn_session* session, int64_t row_id,
+                                  int32_t attr, const char* value);
+
+/* Removes a tuple (and its verdicts). No cell is scored. */
+birnn_status birnn_session_delete_row(birnn_session* session,
+                                      int64_t row_id);
+
+/* Latest verdict for a materialized cell. */
+birnn_status birnn_session_verdict(const birnn_session* session,
+                                   int64_t row_id, int32_t attr,
+                                   birnn_verdict* out);
+
+/* Live materialized tuple count; -1 on a NULL session. */
+int64_t birnn_session_num_rows(const birnn_session* session);
+
+/* Drift alarms latched so far (live ingest statistics diverging from the
+ * bundle's frozen train-time baselines); -1 on a NULL session. */
+int64_t birnn_session_drift_alarms(const birnn_session* session);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* BIRNN_C_H_ */

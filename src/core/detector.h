@@ -119,6 +119,15 @@ struct TrainedDetector {
   /// core::DatasetContentFingerprint of the encoded training frame (0 when
   /// unknown) — lets operators recognize which table a bundle came from.
   uint64_t content_fingerprint = 0;
+  /// Frozen train-time column statistics (bundle manifest v3): per-attribute
+  /// empty-value rate over the prepared frame and per-attribute predicted-
+  /// error rate of the whole-table sweep. Streaming sessions diff their
+  /// live ingest statistics against these to raise drift alarms without
+  /// ever rescanning the training table. Both are sized n_attrs when
+  /// `has_frozen_stats` is set.
+  std::vector<float> attr_empty_rate;
+  std::vector<float> attr_error_rate;
+  bool has_frozen_stats = false;
 };
 
 /// The paper's end-to-end system: data preparation -> trainset selection ->

@@ -67,6 +67,39 @@ std::vector<int> CharIndex::Encode(const std::string& s) const {
   return out;
 }
 
+std::vector<int> CharIndex::Encode(const std::string& s,
+                                   int64_t* oov_chars) const {
+  std::vector<int> out;
+  out.reserve(s.size());
+  const int unknown = unknown_index();
+  int64_t oov = 0;
+  for (char c : s) {
+    const int idx = IndexOf(c);
+    if (idx == unknown) ++oov;
+    out.push_back(idx);
+  }
+  if (oov_chars != nullptr) *oov_chars += oov;
+  return out;
+}
+
+uint64_t CharIndex::Fingerprint() const {
+  constexpr uint64_t kOffset = 1469598103934665603ULL;
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  uint64_t h = kOffset;
+  const auto mix = [&h](uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (b * 8)) & 0xFFu;
+      h *= kPrime;
+    }
+  };
+  mix(static_cast<uint64_t>(static_cast<uint32_t>(num_chars_)));
+  for (int c = 0; c < 256; ++c) {
+    mix(static_cast<uint64_t>(
+        static_cast<uint32_t>(index_of_[static_cast<size_t>(c)])));
+  }
+  return h;
+}
+
 int AttributeIndex::IndexOf(const std::string& name) const {
   for (size_t i = 0; i < names_.size(); ++i) {
     if (names_[i] == name) return static_cast<int>(i);

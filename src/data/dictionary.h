@@ -42,6 +42,20 @@ class CharIndex {
   /// Encodes a string as a sequence of character indexes (no padding).
   std::vector<int> Encode(const std::string& s) const;
 
+  /// Encode with out-of-vocabulary accounting: characters absent from the
+  /// dictionary map to the reserved unknown_index() — deterministically,
+  /// never to a data-dependent slot — and `*oov_chars` is advanced by how
+  /// many such characters were seen. Streaming ingest uses the count to
+  /// detect character-distribution drift; the encoding itself is identical
+  /// to Encode(s).
+  std::vector<int> Encode(const std::string& s, int64_t* oov_chars) const;
+
+  /// Order-sensitive FNV-1a fingerprint of the dictionary's full state
+  /// (num_chars + the 256-entry index table). Two dictionaries encode every
+  /// string identically iff their fingerprints match; bundles persist it so
+  /// a streaming session can prove its encoder is the train-time one.
+  uint64_t Fingerprint() const;
+
   /// Number of distinct characters in the dictionary (paper's Table 2
   /// "Different Characters" column).
   int num_chars() const { return num_chars_; }

@@ -55,7 +55,8 @@ bool EncodedDataset::CellContentEquals(int64_t a, int64_t b) const {
                      sizeof(int32_t) * static_cast<size_t>(max_len)) == 0;
 }
 
-EncodedDataset EncodeCells(const CellFrame& frame, const CharIndex& chars) {
+EncodedDataset EncodeCells(const CellFrame& frame, const CharIndex& chars,
+                           int64_t* oov_chars) {
   EncodedDataset ds;
   ds.max_len = std::max(1, frame.MaxValueLength());
   ds.vocab = chars.vocab_size();
@@ -70,7 +71,7 @@ EncodedDataset EncodeCells(const CellFrame& frame, const CharIndex& chars) {
 
   int64_t i = 0;
   for (const auto& cell : frame.cells()) {
-    const std::vector<int> ids = chars.Encode(cell.value);
+    const std::vector<int> ids = chars.Encode(cell.value, oov_chars);
     BIRNN_CHECK_LE(ids.size(), static_cast<size_t>(ds.max_len));
     for (size_t t = 0; t < ids.size(); ++t) {
       ds.seqs[static_cast<size_t>(i) * ds.max_len + t] = ids[t];

@@ -51,7 +51,12 @@ struct EncodedDataset {
 
 /// Encodes every cell of `frame` using the value dictionary: character
 /// sequences padded with 0 ("end indicator") to the global maximum length.
-EncodedDataset EncodeCells(const CellFrame& frame, const CharIndex& chars);
+/// Characters outside `chars` map deterministically to the reserved
+/// unknown index and — when `oov_chars` is non-null — are counted, so a
+/// frame encoded against a foreign (e.g. train-time) dictionary cannot
+/// silently desync: every OOV occurrence is visible to the caller.
+EncodedDataset EncodeCells(const CellFrame& frame, const CharIndex& chars,
+                           int64_t* oov_chars = nullptr);
 
 /// Train/test split by tuple id: cells whose row_id is in `train_ids` form
 /// `train`, all other cells form `test` (the paper's setup: 20 labeled

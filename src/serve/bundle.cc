@@ -4,6 +4,7 @@
 
 #include <array>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -24,6 +25,12 @@ constexpr int kBundleVersion = 1;
 /// Version 2 = weights.ckpt may carry quantized shadow weights (checkpoint
 /// format v2). The manifest text is otherwise identical to v1.
 constexpr int kBundleVersionQuantized = 2;
+/// Version 3 = manifest additionally carries frozen train-time column
+/// statistics: a `char_fingerprint` line (dictionary integrity check) and
+/// one `attr_stats` line per attribute (empty/error-rate drift baselines).
+/// Streaming delta sessions require a v3 bundle; v1/v2 still load for
+/// batch detection.
+constexpr int kBundleVersionStream = 3;
 constexpr char kBnMeanName[] = "__bn/running_mean";
 constexpr char kBnVarName[] = "__bn/running_var";
 
@@ -37,6 +44,7 @@ std::string WeightsPath(const std::string& dir) {
 /// Key/value view of the manifest: single-valued lines keyed by their first
 /// token, plus the repeated `attr` lines collected separately.
 struct Manifest {
+  int version = 0;
   std::map<std::string, std::string> values;
   struct Attr {
     int index = 0;
@@ -44,6 +52,12 @@ struct Manifest {
     std::string name;
   };
   std::vector<Attr> attrs;
+  struct AttrStats {
+    int index = 0;
+    float empty_rate = 0.0f;
+    float error_rate = 0.0f;
+  };
+  std::vector<AttrStats> attr_stats;
 
   StatusOr<std::string> Get(const std::string& key) const {
     auto it = values.find(key);
@@ -80,12 +94,14 @@ StatusOr<Manifest> ReadManifest(const std::string& path) {
       int version = -1;
       ls >> version;
       if (key != kManifestHeader ||
-          (version != kBundleVersion && version != kBundleVersionQuantized)) {
+          (version != kBundleVersion && version != kBundleVersionQuantized &&
+           version != kBundleVersionStream)) {
         return Status::InvalidArgument(
-            "not a v" + std::to_string(kBundleVersion) + "/v" +
-            std::to_string(kBundleVersionQuantized) +
+            "not a v" + std::to_string(kBundleVersion) + "-v" +
+            std::to_string(kBundleVersionStream) +
             " detector bundle manifest: " + path);
       }
+      m.version = version;
       first = false;
       continue;
     }
@@ -96,6 +112,15 @@ StatusOr<Manifest> ReadManifest(const std::string& path) {
       std::getline(ls, attr.name);
       attr.name = TrimLeft(attr.name);
       m.attrs.push_back(std::move(attr));
+      continue;
+    }
+    if (key == "attr_stats") {
+      Manifest::AttrStats stats;
+      ls >> stats.index >> stats.empty_rate >> stats.error_rate;
+      if (!ls) {
+        return Status::InvalidArgument("malformed attr_stats line: " + line);
+      }
+      m.attr_stats.push_back(stats);
       continue;
     }
     std::string rest;
@@ -115,21 +140,67 @@ int LoadedDetector::AttrIndex(const std::string& name) const {
   return -1;
 }
 
+void LoadedDetector::InitQueryDataset(data::EncodedDataset* ds) const {
+  *ds = data::EncodedDataset();
+  ds->max_len = config_.max_len;
+  ds->vocab = config_.vocab;
+  ds->n_attrs = config_.n_attrs;
+}
+
+Status LoadedDetector::AppendQueryCell(int attr, const std::string& raw,
+                                       data::EncodedDataset* ds,
+                                       EncodedCellInfo* info) const {
+  if (attr < 0 || attr >= config_.n_attrs) {
+    return Status::InvalidArgument("attribute index out of range: " +
+                                   std::to_string(attr));
+  }
+  // The training-time prepare pipeline, replayed on one value: trim
+  // leading whitespace, truncate to the training max value length, then
+  // length_norm against the training frame's per-attribute maximum (the
+  // same float division as data::PrepareData).
+  std::string value = prepare_.trim_leading_whitespace ? TrimLeft(raw) : raw;
+  if (static_cast<int>(value.size()) > prepare_.max_value_len) {
+    value.resize(static_cast<size_t>(prepare_.max_value_len));
+  }
+  const int32_t mx = attr_max_value_len_[static_cast<size_t>(attr)];
+  const float length_norm =
+      mx == 0 ? 0.0f
+              : static_cast<float>(value.size()) / static_cast<float>(mx);
+  if (info != nullptr) {
+    info->prepared_len = static_cast<int>(value.size());
+    info->empty = value.empty() ||
+                  (prepare_.treat_nan_as_empty &&
+                   (value == "NaN" || value == "nan"));
+  }
+  // A novel value can exceed the training frame's global max_len (the
+  // padded sequence width the network was built for); only its first
+  // max_len characters can be represented.
+  if (static_cast<int>(value.size()) > ds->max_len) {
+    value.resize(static_cast<size_t>(ds->max_len));
+  }
+  int64_t oov = 0;
+  const std::vector<int> ids = chars_.Encode(value, &oov);
+  if (info != nullptr) info->oov_chars = oov;
+  const size_t base = ds->seqs.size();
+  ds->seqs.resize(base + static_cast<size_t>(ds->max_len), 0);
+  for (size_t t = 0; t < ids.size(); ++t) ds->seqs[base + t] = ids[t];
+  ds->attrs.push_back(attr);
+  ds->length_norm.push_back(length_norm);
+  ds->labels.push_back(0);
+  ds->row_ids.push_back(static_cast<int64_t>(ds->attrs.size()) - 1);
+  return Status::OK();
+}
+
 StatusOr<data::EncodedDataset> LoadedDetector::EncodeQueries(
     const std::vector<CellQuery>& cells) const {
   data::EncodedDataset ds;
-  ds.max_len = config_.max_len;
-  ds.vocab = config_.vocab;
-  ds.n_attrs = config_.n_attrs;
-  const int64_t n = static_cast<int64_t>(cells.size());
-  ds.seqs.assign(static_cast<size_t>(n) * ds.max_len, 0);
+  InitQueryDataset(&ds);
+  ds.seqs.reserve(cells.size() * static_cast<size_t>(ds.max_len));
   ds.attrs.reserve(cells.size());
   ds.length_norm.reserve(cells.size());
-  ds.labels.assign(cells.size(), 0);
+  ds.labels.reserve(cells.size());
   ds.row_ids.reserve(cells.size());
-
-  for (int64_t i = 0; i < n; ++i) {
-    const CellQuery& q = cells[static_cast<size_t>(i)];
+  for (const CellQuery& q : cells) {
     int attr = q.attr;
     if (attr < 0 && !q.attr_name.empty()) attr = AttrIndex(q.attr_name);
     if (attr < 0 || attr >= config_.n_attrs) {
@@ -138,33 +209,7 @@ StatusOr<data::EncodedDataset> LoadedDetector::EncodeQueries(
               ? "attribute index out of range: " + std::to_string(q.attr)
               : "unknown attribute: " + q.attr_name);
     }
-
-    // The training-time prepare pipeline, replayed on one value: trim
-    // leading whitespace, truncate to the training max value length, then
-    // length_norm against the training frame's per-attribute maximum (the
-    // same float division as data::PrepareData).
-    std::string value =
-        prepare_.trim_leading_whitespace ? TrimLeft(q.value) : q.value;
-    if (static_cast<int>(value.size()) > prepare_.max_value_len) {
-      value.resize(static_cast<size_t>(prepare_.max_value_len));
-    }
-    const int32_t mx = attr_max_value_len_[static_cast<size_t>(attr)];
-    const float length_norm =
-        mx == 0 ? 0.0f
-                : static_cast<float>(value.size()) / static_cast<float>(mx);
-    // A novel value can exceed the training frame's global max_len (the
-    // padded sequence width the network was built for); only its first
-    // max_len characters can be represented.
-    if (static_cast<int>(value.size()) > ds.max_len) {
-      value.resize(static_cast<size_t>(ds.max_len));
-    }
-    const std::vector<int> ids = chars_.Encode(value);
-    for (size_t t = 0; t < ids.size(); ++t) {
-      ds.seqs[static_cast<size_t>(i) * ds.max_len + t] = ids[t];
-    }
-    ds.attrs.push_back(attr);
-    ds.length_norm.push_back(length_norm);
-    ds.row_ids.push_back(i);
+    BIRNN_RETURN_IF_ERROR(AppendQueryCell(attr, q.value, &ds));
   }
   return ds;
 }
@@ -186,11 +231,20 @@ Status SaveDetectorBundle(const core::TrainedDetector& trained,
                            std::strerror(errno));
   }
 
+  if (trained.has_frozen_stats &&
+      (static_cast<int>(trained.attr_empty_rate.size()) != config.n_attrs ||
+       static_cast<int>(trained.attr_error_rate.size()) != config.n_attrs)) {
+    return Status::InvalidArgument(
+        "frozen column statistics do not match config.n_attrs");
+  }
+
   std::ofstream out(ManifestPath(dir));
   if (!out) return Status::IoError("cannot write " + ManifestPath(dir));
-  out << kManifestHeader << ' '
-      << (options.include_quantized ? kBundleVersionQuantized : kBundleVersion)
-      << '\n';
+  const int version = trained.has_frozen_stats
+                          ? kBundleVersionStream
+                          : (options.include_quantized ? kBundleVersionQuantized
+                                                       : kBundleVersion);
+  out << kManifestHeader << ' ' << version << '\n';
   out << "cell_type " << nn::CellTypeName(config.cell_type) << '\n';
   out << "vocab " << config.vocab << '\n';
   out << "max_len " << config.max_len << '\n';
@@ -228,6 +282,23 @@ Status SaveDetectorBundle(const core::TrainedDetector& trained,
     out << "attr " << a << ' '
         << trained.attr_max_value_len[static_cast<size_t>(a)] << ' '
         << trained.attr_names[static_cast<size_t>(a)] << '\n';
+  }
+  if (trained.has_frozen_stats) {
+    // v3 frozen column statistics: the dictionary fingerprint ties the
+    // `chars` line to the exact train-time index table (a corrupted or
+    // hand-edited manifest fails fast instead of silently desyncing the
+    // streaming encoder), and the per-attribute rates are the drift
+    // baselines. %.9g round-trips any float exactly.
+    out << "char_fingerprint " << trained.chars.Fingerprint() << '\n';
+    char buf[96];
+    for (int a = 0; a < config.n_attrs; ++a) {
+      std::snprintf(buf, sizeof(buf), "attr_stats %d %.9g %.9g", a,
+                    static_cast<double>(
+                        trained.attr_empty_rate[static_cast<size_t>(a)]),
+                    static_cast<double>(
+                        trained.attr_error_rate[static_cast<size_t>(a)]));
+      out << buf << '\n';
+    }
   }
   if (!out) return Status::IoError("write failed: " + ManifestPath(dir));
   out.close();
@@ -349,6 +420,42 @@ StatusOr<LoadedDetector> LoadDetectorBundle(const std::string& dir) {
     det.content_fingerprint_ = static_cast<uint64_t>(v);
   }
 
+  // v3: frozen column statistics. The dictionary fingerprint is verified
+  // against the reconstructed CharIndex — a v3 bundle whose chars line no
+  // longer matches its fingerprint is rejected rather than risking a
+  // streaming encoder that disagrees with the train-time one.
+  if (m.version >= kBundleVersionStream) {
+    BIRNN_ASSIGN_OR_RETURN(std::string fp_text, m.Get("char_fingerprint"));
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long fp = std::strtoull(fp_text.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0') {
+      return Status::InvalidArgument(
+          "manifest key char_fingerprint is not an integer: " + fp_text);
+    }
+    if (static_cast<uint64_t>(fp) != det.chars_.Fingerprint()) {
+      return Status::InvalidArgument(
+          "char_fingerprint does not match the manifest dictionary");
+    }
+    det.attr_empty_rate_.assign(static_cast<size_t>(config.n_attrs), -1.0f);
+    det.attr_error_rate_.assign(static_cast<size_t>(config.n_attrs), -1.0f);
+    for (const Manifest::AttrStats& stats : m.attr_stats) {
+      if (stats.index < 0 || stats.index >= config.n_attrs) {
+        return Status::InvalidArgument("attr_stats line out of range");
+      }
+      det.attr_empty_rate_[static_cast<size_t>(stats.index)] =
+          stats.empty_rate;
+      det.attr_error_rate_[static_cast<size_t>(stats.index)] =
+          stats.error_rate;
+    }
+    for (const float r : det.attr_empty_rate_) {
+      if (r < 0.0f) {
+        return Status::InvalidArgument("manifest missing attr_stats line");
+      }
+    }
+    det.has_frozen_stats_ = true;
+  }
+
   det.model_ = std::make_unique<core::ErrorDetectionModel>(config);
   std::vector<nn::Parameter*> params = det.model_->Params();
   nn::Parameter bn_mean(kBnMeanName,
@@ -387,6 +494,18 @@ StatusOr<LoadedDetector> MakeLoadedDetector(core::TrainedDetector trained) {
   det.prepare_ = trained.prepare;
   det.expected_unique_cells_ = std::max<int64_t>(0, trained.train_unique_cells);
   det.content_fingerprint_ = trained.content_fingerprint;
+  if (trained.has_frozen_stats) {
+    if (static_cast<int>(trained.attr_empty_rate.size()) !=
+            trained.config.n_attrs ||
+        static_cast<int>(trained.attr_error_rate.size()) !=
+            trained.config.n_attrs) {
+      return Status::InvalidArgument(
+          "frozen column statistics do not match config.n_attrs");
+    }
+    det.attr_empty_rate_ = std::move(trained.attr_empty_rate);
+    det.attr_error_rate_ = std::move(trained.attr_error_rate);
+    det.has_frozen_stats_ = true;
+  }
   return det;
 }
 

@@ -22,6 +22,15 @@ struct CellQuery {
   std::string value;
 };
 
+/// Accounting of one AppendQueryCell call: what the frozen prepare pipeline
+/// saw before encoding. Streaming sessions fold these into their live
+/// column statistics (rolling max length, empty rate, OOV-char rate).
+struct EncodedCellInfo {
+  int prepared_len = 0;   ///< value length after trim + truncation.
+  bool empty = false;     ///< prepared value has no content (incl. "NaN").
+  int64_t oov_chars = 0;  ///< characters outside the train dictionary.
+};
+
 /// A detector reconstructed from a bundle: the trained model plus
 /// everything needed to encode serving-time cells exactly as the training
 /// frame's cells were encoded (dictionary, per-attribute length_norm
@@ -51,6 +60,45 @@ class LoadedDetector {
   /// unknown): identifies *which* table the bundle was trained on.
   uint64_t content_fingerprint() const { return content_fingerprint_; }
 
+  /// Frozen train-time statistics (bundle manifest v3). A detector carries
+  /// them when it came from a current ErrorDetector run or a v3 bundle;
+  /// streaming sessions require them (typed UNSUPPORTED_BUNDLE otherwise)
+  /// so a delta's length_norm/encoding is provably the train-time one and
+  /// drift alarms have baselines to diff against.
+  bool stream_capable() const { return has_frozen_stats_; }
+  /// data::CharIndex::Fingerprint of the train-time dictionary.
+  uint64_t char_fingerprint() const { return chars_.Fingerprint(); }
+  /// Longest value_x per attribute over the training frame — the frozen
+  /// length_norm denominators.
+  const std::vector<int32_t>& attr_max_value_len() const {
+    return attr_max_value_len_;
+  }
+  /// Per-attribute empty-value rate of the prepared training frame (empty
+  /// when !stream_capable()).
+  const std::vector<float>& attr_empty_rate() const {
+    return attr_empty_rate_;
+  }
+  /// Per-attribute predicted-error rate of the training table's
+  /// whole-table sweep (empty when !stream_capable()).
+  const std::vector<float>& attr_error_rate() const {
+    return attr_error_rate_;
+  }
+  const data::PrepareOptions& prepare() const { return prepare_; }
+
+  /// Prepares `ds` to receive AppendQueryCell cells (clears it and installs
+  /// the detector's max_len / vocab / n_attrs shape).
+  void InitQueryDataset(data::EncodedDataset* ds) const;
+
+  /// Encodes one raw cell exactly as EncodeQueries does — the frozen
+  /// prepare pipeline replayed on a single value — and appends it to `ds`
+  /// (which must have been InitQueryDataset'd or previously appended to by
+  /// this detector). `info`, when non-null, receives the prepared length,
+  /// emptiness and OOV-character count the streaming statistics need.
+  /// Fails on an out-of-range attribute index.
+  Status AppendQueryCell(int attr, const std::string& value,
+                         data::EncodedDataset* ds,
+                         EncodedCellInfo* info = nullptr) const;
+
   /// Encodes raw query cells into an EncodedDataset ready for the
   /// inference engine, replicating the training-time pipeline bit-exactly:
   /// leading-whitespace trim, truncation to the training max value length,
@@ -75,6 +123,9 @@ class LoadedDetector {
   data::PrepareOptions prepare_;
   int64_t expected_unique_cells_ = 0;
   uint64_t content_fingerprint_ = 0;
+  std::vector<float> attr_empty_rate_;
+  std::vector<float> attr_error_rate_;
+  bool has_frozen_stats_ = false;
 };
 
 /// Knobs for SaveDetectorBundle.
@@ -102,8 +153,10 @@ Status SaveDetectorBundle(const core::TrainedDetector& trained,
                           const BundleSaveOptions& options = {});
 
 /// Reconstructs a detector from a bundle directory without retraining.
-/// Accepts v1 and v2 bundles; quantized shadow weights in a v2 bundle are
-/// installed into the model, making int8/bf16 sweeps start instantly.
+/// Accepts v1-v3 bundles; quantized shadow weights in a v2+ bundle are
+/// installed into the model, making int8/bf16 sweeps start instantly, and
+/// a v3 bundle's frozen column statistics make the detector
+/// stream_capable().
 StatusOr<LoadedDetector> LoadDetectorBundle(const std::string& dir);
 
 /// Builds a LoadedDetector directly from in-memory trained artifacts

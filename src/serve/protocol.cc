@@ -24,8 +24,76 @@ StatusOr<Request> ParseRequest(const std::string& line) {
   if (request.op != "detect" && request.op != "ping" &&
       request.op != "models" && request.op != "stats" &&
       request.op != "quit" && request.op != "reload" &&
-      request.op != "rollback") {
+      request.op != "rollback" && request.op != "delta") {
     return Status::InvalidArgument("unknown op: " + request.op);
+  }
+  if (request.op == "delta") {
+    const JsonValue* deltas = doc.Find("deltas");
+    if (deltas == nullptr || !deltas->is_array()) {
+      return Status::InvalidArgument(
+          "delta request needs a \"deltas\" array");
+    }
+    request.deltas.reserve(deltas->items().size());
+    for (const JsonValue& item : deltas->items()) {
+      if (!item.is_object()) {
+        return Status::InvalidArgument("each delta must be a JSON object");
+      }
+      stream::Delta delta;
+      const std::string kind = item.GetString("kind");
+      if (kind == "insert") {
+        delta.kind = stream::DeltaKind::kInsert;
+      } else if (kind == "update") {
+        delta.kind = stream::DeltaKind::kUpdate;
+      } else if (kind == "delete") {
+        delta.kind = stream::DeltaKind::kDelete;
+      } else {
+        return Status::InvalidArgument(
+            "delta \"kind\" must be insert, update or delete");
+      }
+      const JsonValue* row = item.Find("row");
+      if (row == nullptr || !row->is_number() ||
+          row->as_number() != std::floor(row->as_number())) {
+        return Status::InvalidArgument("delta needs an integer \"row\"");
+      }
+      delta.row_id = static_cast<int64_t>(row->as_number());
+      if (delta.kind == stream::DeltaKind::kInsert) {
+        const JsonValue* values = item.Find("values");
+        if (values == nullptr || !values->is_array()) {
+          return Status::InvalidArgument(
+              "insert delta needs a \"values\" array");
+        }
+        delta.values.reserve(values->items().size());
+        for (const JsonValue& v : values->items()) {
+          if (!v.is_string()) {
+            return Status::InvalidArgument(
+                "insert delta values must be strings");
+          }
+          delta.values.push_back(v.as_string());
+        }
+      } else if (delta.kind == stream::DeltaKind::kUpdate) {
+        const JsonValue* attr = item.Find("attr");
+        if (attr == nullptr || !attr->is_number()) {
+          // CDC feeds address columns positionally, so delta attrs are
+          // numeric only (unlike detect cells, which also take names).
+          return Status::InvalidArgument(
+              "update delta needs a numeric \"attr\"");
+        }
+        const double idx = attr->as_number();
+        if (idx != std::floor(idx) || idx < 0 || idx > 1e6) {
+          return Status::InvalidArgument(
+              "update delta \"attr\" index out of range");
+        }
+        delta.attr = static_cast<int>(idx);
+        const JsonValue* value = item.Find("value");
+        if (value == nullptr || !value->is_string()) {
+          return Status::InvalidArgument(
+              "update delta needs a string \"value\"");
+        }
+        delta.value = value->as_string();
+      }
+      request.deltas.push_back(std::move(delta));
+    }
+    return request;
   }
   if (request.op != "detect") return request;
 
@@ -75,6 +143,7 @@ std::string StatusCodeToProtocolString(StatusCode code) {
     case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kOverloaded: return "OVERLOADED";
+    case StatusCode::kUnsupportedBundle: return "UNSUPPORTED_BUNDLE";
     default: return "UNKNOWN";
   }
 }
@@ -200,7 +269,8 @@ std::string ModelsResponse(const std::string& id,
 }
 
 std::string StatsResponse(const std::string& id, const std::string& model,
-                          const BatcherStats& stats, int64_t generation) {
+                          const BatcherStats& stats, int64_t generation,
+                          const stream::SessionStats* stream_stats) {
   std::string out;
   OpenResponse(id, "OK", &out);
   out.append(",\"model\":");
@@ -231,10 +301,58 @@ std::string StatsResponse(const std::string& id, const std::string& model,
                 static_cast<long long>(stats.memo_spilled_segments),
                 static_cast<long long>(stats.memo_evictions));
   out.append(buf);
+  if (stream_stats != nullptr) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\"deltas\":%lld,\"delta_inserts\":%lld,"
+                  "\"delta_updates\":%lld,\"delta_deletes\":%lld,"
+                  "\"delta_cells_scored\":%lld,\"delta_memo_hits\":%lld,"
+                  "\"stream_rows\":%lld,\"drift_alarms\":%lld,"
+                  "\"stream_version\":%llu",
+                  static_cast<long long>(stream_stats->deltas),
+                  static_cast<long long>(stream_stats->inserts),
+                  static_cast<long long>(stream_stats->updates),
+                  static_cast<long long>(stream_stats->deletes),
+                  static_cast<long long>(stream_stats->cells_scored),
+                  static_cast<long long>(stream_stats->memo_hits),
+                  static_cast<long long>(stream_stats->rows),
+                  static_cast<long long>(stream_stats->drift_alarms),
+                  static_cast<unsigned long long>(stream_stats->version));
+    out.append(buf);
+  }
   // The batcher-level fields above stay for back-compat; the registry block
   // adds the process-wide view (every layer's counters/gauges/histograms).
   out.append(",\"registry\":");
   AppendRegistrySnapshot(&out);
+  out.push_back('}');
+  return out;
+}
+
+std::string DeltaResponse(const std::string& id, int64_t applied,
+                          const std::vector<DeltaCellVerdict>& verdicts,
+                          int64_t drift_alarms) {
+  std::string out;
+  out.reserve(96 + verdicts.size() * 72);
+  OpenResponse(id, "OK", &out);
+  out.append(",\"applied\":");
+  out.append(std::to_string(applied));
+  out.append(",\"verdicts\":[");
+  for (size_t i = 0; i < verdicts.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    const DeltaCellVerdict& v = verdicts[i];
+    out.append("{\"row\":");
+    out.append(std::to_string(v.row_id));
+    out.append(",\"attr\":");
+    out.append(std::to_string(v.attr));
+    out.append(",\"p_error\":");
+    out.append(JsonFloat(v.verdict.p_error));
+    out.append(",\"error\":");
+    out.append(v.verdict.is_error ? "true" : "false");
+    out.append(",\"version\":");
+    out.append(std::to_string(v.verdict.version));
+    out.push_back('}');
+  }
+  out.append("],\"drift_alarms\":");
+  out.append(std::to_string(drift_alarms));
   out.push_back('}');
   return out;
 }

@@ -6,6 +6,7 @@
 
 #include "serve/batcher.h"
 #include "serve/bundle.h"
+#include "stream/session.h"
 #include "util/status.h"
 
 namespace birnn::serve {
@@ -19,11 +20,29 @@ namespace birnn::serve {
 ///   - "op" defaults to "detect"; other ops: "ping", "models", "stats",
 ///     "quit" (asks the server to close this connection, no response),
 ///     "reload" (hot-swap the model from the bundle at "dir"), "rollback"
-///     (swap back to the previously-served bundle).
+///     (swap back to the previously-served bundle), "delta" (stream CDC
+///     records into the model's table session).
 ///   - "model" may be omitted when the server hosts exactly one model.
 ///   - "attr" is an attribute name (string) or index (number).
 ///   - "id" is echoed verbatim in the response (any string; optional).
 ///   - "dir" is the bundle directory for "reload"; ignored otherwise.
+///
+/// Delta request (op "delta"; requires a stream-capable v3 bundle, else the
+/// response is a typed UNSUPPORTED_BUNDLE error):
+///   {"op": "delta", "model": "beers", "deltas": [
+///     {"kind": "insert", "row": 41, "values": ["Pale Ale", "Chicago"]},
+///     {"kind": "update", "row": 41, "attr": 1, "value": "Evanston"},
+///     {"kind": "delete", "row": 40}]}
+///   - "kind" is "insert" (full tuple in "values", one string per
+///     attribute), "update" (numeric "attr" + string "value") or "delete".
+///   - "attr" is numeric for deltas: CDC feeds address columns by index.
+///   - Deltas apply in order; the first failing delta aborts the rest and
+///     the response reports the error (earlier deltas stay applied).
+///   Response: {"id":..., "status":"OK", "applied":3, "verdicts":[
+///     {"row":41, "attr":0, "p_error":0.93, "error":true, "version":7},
+///     ...], "drift_alarms":0}
+///   with one verdict per re-scored cell (the whole tuple for an insert,
+///   one cell for an update, none for a delete).
 ///
 /// Response:
 ///   {"id": "r1", "status": "OK",
@@ -38,6 +57,7 @@ struct Request {
   std::string model;
   std::string dir;  ///< bundle directory ("reload" only).
   std::vector<CellQuery> cells;
+  std::vector<stream::Delta> deltas;  ///< "delta" only.
 };
 
 /// Parses one request line. A parse failure reports InvalidArgument; the
@@ -55,9 +75,24 @@ std::string ErrorResponse(const std::string& id, const Status& status);
 std::string PongResponse(const std::string& id);
 std::string ModelsResponse(const std::string& id,
                            const std::vector<std::string>& names);
+/// `stream_stats` (optional) appends the model's table-session counters
+/// (deltas, re-scored cells, memo hits, drift alarms, live rows).
 std::string StatsResponse(const std::string& id, const std::string& model,
-                          const BatcherStats& stats,
-                          int64_t generation = 0);
+                          const BatcherStats& stats, int64_t generation = 0,
+                          const stream::SessionStats* stream_stats = nullptr);
+
+/// One re-scored cell of a delta request.
+struct DeltaCellVerdict {
+  int64_t row_id = 0;
+  int attr = 0;
+  stream::CellVerdict verdict;
+};
+
+/// Acknowledges an applied delta batch: per-cell verdicts for every
+/// re-scored cell plus the session's latched drift-alarm total.
+std::string DeltaResponse(const std::string& id, int64_t applied,
+                          const std::vector<DeltaCellVerdict>& verdicts,
+                          int64_t drift_alarms);
 /// Acknowledges a successful "reload" or "rollback": echoes the resolved
 /// model name and the bundle generation now being served.
 std::string ReloadResponse(const std::string& id, const std::string& model,

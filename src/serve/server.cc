@@ -458,8 +458,21 @@ std::string Server::HandleRequest(const Request& request) {
 
   std::string response;
   if (request.op == "stats") {
+    // Include the table-session counters when the model has streamed.
+    stream::SessionStats stream_stats;
+    bool has_session = false;
+    {
+      std::lock_guard<std::mutex> session_lock(sm->session_mu);
+      if (sm->session != nullptr) {
+        stream_stats = sm->session->stats();
+        has_session = true;
+      }
+    }
     response = StatsResponse(request.id, resolved, sm->batcher->stats(),
-                             ModelGeneration(resolved));
+                             ModelGeneration(resolved),
+                             has_session ? &stream_stats : nullptr);
+  } else if (request.op == "delta") {
+    response = HandleDelta(request, sm);
   } else {
     std::vector<CellVerdict> verdicts;
     const Status status = sm->batcher->Detect(request.cells, &verdicts);
@@ -468,6 +481,48 @@ std::string Server::HandleRequest(const Request& request) {
   }
   ReleaseModel(sm);
   return response;
+}
+
+std::string Server::HandleDelta(const Request& request,
+                                const std::shared_ptr<ServingModel>& sm) {
+  OBS_SPAN("serve/delta");
+  OBS_COUNTER_ADD("serve/deltas", static_cast<int64_t>(request.deltas.size()));
+  stream::TableSession* session = nullptr;
+  {
+    std::lock_guard<std::mutex> session_lock(sm->session_mu);
+    if (sm->session == nullptr) {
+      auto created = stream::TableSession::Create(sm->detector,
+                                                  options_.stream_session);
+      if (!created.ok()) return ErrorResponse(request.id, created.status());
+      sm->session = std::move(*created);
+    }
+    session = sm->session.get();
+  }
+  // The session is internally synchronized; deltas of one request apply in
+  // order, interleaving atomically with other connections' deltas.
+  std::vector<DeltaCellVerdict> verdicts;
+  std::vector<std::pair<int, stream::CellVerdict>> affected;
+  int64_t applied = 0;
+  for (const stream::Delta& delta : request.deltas) {
+    const Status status = session->Apply(delta, &affected);
+    if (!status.ok()) {
+      return ErrorResponse(
+          request.id,
+          Status(status.code(), status.message() + " (after " +
+                                    std::to_string(applied) +
+                                    " applied delta(s))"));
+    }
+    ++applied;
+    for (const auto& [attr, verdict] : affected) {
+      DeltaCellVerdict v;
+      v.row_id = delta.row_id;
+      v.attr = attr;
+      v.verdict = verdict;
+      verdicts.push_back(v);
+    }
+  }
+  return DeltaResponse(request.id, applied, verdicts,
+                       session->stats().drift_alarms);
 }
 
 StatusOr<BatcherStats> Server::ModelStats(const std::string& name) const {

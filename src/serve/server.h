@@ -16,6 +16,7 @@
 #include "serve/protocol.h"
 #include "serve/reactor.h"
 #include "serve/registry.h"
+#include "stream/session.h"
 #include "util/status.h"
 #include "util/threadpool.h"
 
@@ -68,6 +69,10 @@ struct ServerOptions {
   /// Micro-batching policy, applied to every hosted model. batcher.replicas
   /// engine replicas serve each model behind a shared verdict memo.
   BatcherOptions batcher;
+  /// Streaming ("delta" op) policy, applied to every per-model table
+  /// session. Sessions are created lazily on the first delta and reset by
+  /// reload/rollback (a swapped-in bundle starts from an empty table).
+  stream::SessionOptions stream_session;
 };
 
 /// TCP server speaking the newline-delimited JSON protocol in
@@ -147,6 +152,11 @@ class Server : public Reactor::Handler {
   struct ServingModel {
     std::shared_ptr<const LoadedDetector> detector;
     std::unique_ptr<MicroBatcher> batcher;
+    /// Lazily-created streaming table session for "delta" ops (requires a
+    /// stream-capable bundle). Lives and dies with this ServingModel, so a
+    /// reload/rollback swap implicitly resets the streamed table.
+    std::mutex session_mu;  ///< guards session creation.
+    std::unique_ptr<stream::TableSession> session;
     std::atomic<int64_t> active{0};
     std::mutex drain_mu;
     std::condition_variable drain_cv;
@@ -166,6 +176,10 @@ class Server : public Reactor::Handler {
 
   void AcceptLoop();
   void HandleConnection(int fd);
+  /// Applies a delta batch to the model's table session (creating it on
+  /// first use) and renders the response line.
+  std::string HandleDelta(const Request& request,
+                          const std::shared_ptr<ServingModel>& sm);
   ModelEntry* ResolveEntry(const std::string& model, std::string* resolved);
   std::shared_ptr<ServingModel> AcquireModel(const std::string& model,
                                              std::string* resolved);

@@ -1,0 +1,78 @@
+/* Plain-C translation unit exercising the embeddable C API end to end:
+ * load a bundle, open a session, stream insert/update/delete deltas, read
+ * verdicts back and hit the error paths. Compiled as C99 (no C++ anywhere)
+ * to prove the header and ABI really are C-consumable; driven from
+ * stream_test.cc, which checks the returned step code is 0. */
+
+#include <string.h>
+
+#include "birnn_c.h"
+
+/* Returns 0 on success, or the 1-based number of the failing step. */
+int birnn_capi_smoke(const char* bundle_dir) {
+  birnn_detector* detector = NULL;
+  birnn_session* session = NULL;
+  birnn_verdict verdict;
+  const char* values[16];
+  int32_t n_attrs;
+  int32_t i;
+  uint64_t insert_version;
+
+  if (birnn_detector_load(bundle_dir, &detector) != BIRNN_OK) return 1;
+  if (!birnn_detector_stream_capable(detector)) return 2;
+  n_attrs = birnn_detector_n_attrs(detector);
+  if (n_attrs <= 0 || n_attrs > 16) return 3;
+
+  if (birnn_session_create(detector, &session) != BIRNN_OK) return 4;
+  /* The session keeps the detector alive on its own. */
+  birnn_detector_free(detector);
+  detector = NULL;
+
+  for (i = 0; i < n_attrs; ++i) values[i] = "abc 12";
+  if (birnn_session_insert(session, 7, values, n_attrs) != BIRNN_OK) {
+    return 5;
+  }
+  if (birnn_session_num_rows(session) != 1) return 6;
+
+  if (birnn_session_verdict(session, 7, 0, &verdict) != BIRNN_OK) return 7;
+  if (verdict.is_error != 0 && verdict.is_error != 1) return 8;
+  if (verdict.p_error < 0.0f || verdict.p_error > 1.0f) return 9;
+  if (verdict.version == 0) return 10;
+  insert_version = verdict.version;
+
+  if (birnn_session_update(session, 7, 0, "zz 9") != BIRNN_OK) return 11;
+  if (birnn_session_verdict(session, 7, 0, &verdict) != BIRNN_OK) return 12;
+  if (verdict.version <= insert_version) return 13;
+
+  /* Error paths surface typed codes and a message, never crashes. */
+  if (birnn_session_insert(session, 7, values, n_attrs) !=
+      BIRNN_FAILED_PRECONDITION) {
+    return 14;
+  }
+  if (strlen(birnn_last_error()) == 0) return 15;
+  if (birnn_session_update(session, 99, 0, "x") != BIRNN_NOT_FOUND) {
+    return 16;
+  }
+  if (birnn_session_verdict(session, 7, 999, &verdict) !=
+      BIRNN_INVALID_ARGUMENT) {
+    return 17;
+  }
+
+  if (birnn_session_delete_row(session, 7) != BIRNN_OK) return 18;
+  if (birnn_session_verdict(session, 7, 0, &verdict) != BIRNN_NOT_FOUND) {
+    return 19;
+  }
+  if (birnn_session_num_rows(session) != 0) return 20;
+  if (birnn_session_drift_alarms(session) < 0) return 21;
+
+  /* NULL-handle hygiene: free is NULL-safe, queries degrade. */
+  birnn_session_free(session);
+  birnn_session_free(NULL);
+  birnn_detector_free(NULL);
+  if (birnn_detector_n_attrs(NULL) != -1) return 22;
+  if (birnn_session_num_rows(NULL) != -1) return 23;
+  if (birnn_session_create(NULL, &session) != BIRNN_INVALID_ARGUMENT) {
+    return 24;
+  }
+  return 0;
+}
