@@ -109,6 +109,93 @@ int64_t birnn_session_num_rows(const birnn_session* session);
  * bundle's frozen train-time baselines); -1 on a NULL session. */
 int64_t birnn_session_drift_alarms(const birnn_session* session);
 
+/* Re-arms drift detection: clears every latched alarm and restarts the
+ * live statistics windows, so the stream is judged fresh against the
+ * serving bundle's baselines (call after swapping in an adapted
+ * detector). Returns the number of alarms cleared; -1 on NULL. */
+int64_t birnn_session_reset_drift_alarms(birnn_session* session);
+
+/* Tuples currently held in the session's adaptation reservoir (the most
+ * recently ingested rows, the fine-tune sample source); -1 on NULL. */
+int64_t birnn_session_reservoir_rows(const birnn_session* session);
+
+/* ------------------------------------------------------------------------
+ * Drift-triggered adaptation (adapt/controller.h): fine-tune the detector
+ * on the session's reservoir and promote the candidate only if it
+ * beats-or-matches the incumbent on a held-back validation slice.
+ * ---------------------------------------------------------------------- */
+
+typedef struct birnn_adapt_options {
+  /* Fewest reservoir tuples worth fine-tuning on; below it the run is
+   * skipped. */
+  int64_t min_reservoir_rows;
+  /* Fraction of reservoir tuples held back as the gate's validation
+   * slice (split by tuple, deterministically). */
+  double validation_fraction;
+  /* Replication factor for training cells of drifted attributes. */
+  int32_t drift_boost;
+  /* Warm fine-tune schedule (short, reduced LR). */
+  int32_t fine_tune_epochs;
+  float learning_rate;
+  /* 1 = only recalibrate batch-norm statistics, no gradient steps. */
+  int32_t bn_only;
+  /* Promotion gate: candidate F1 must be >= incumbent F1 - f1_band. */
+  double f1_band;
+  uint64_t seed;
+  /* Fine-tune worker threads (0 = run on the calling thread). */
+  int32_t train_threads;
+  /* Optional directory to save a promoted candidate as a full bundle
+   * (manifest v3, re-quantized shadow weights); NULL = don't save. */
+  const char* candidate_dir;
+} birnn_adapt_options;
+
+/* Fills *options with the library defaults (always call this first so new
+ * fields appended later keep working). */
+void birnn_adapt_options_init(birnn_adapt_options* options);
+
+/* Supervision callback: return 0 (clean) or 1 (error) for a reservoir
+ * cell, or a negative value to let the library fall back to the cell's
+ * own stored verdict (self-training). */
+typedef int32_t (*birnn_adapt_label_fn)(void* ctx, int64_t row_id,
+                                        int32_t attr);
+
+/* Values of birnn_adapt_result.outcome. */
+typedef enum birnn_adapt_outcome {
+  BIRNN_ADAPT_PROMOTED = 0, /* candidate passed the gate. */
+  BIRNN_ADAPT_REJECTED = 1, /* gate failed; incumbent untouched. */
+  BIRNN_ADAPT_SKIPPED = 2   /* nothing attempted (reservoir too small). */
+} birnn_adapt_outcome;
+
+typedef struct birnn_adapt_result {
+  int32_t outcome; /* one of birnn_adapt_outcome. */
+  double incumbent_f1;
+  double candidate_f1;
+  int64_t reservoir_rows;
+  int64_t train_cells;
+  int64_t validation_cells;
+  /* 1 when the candidate's validation sweep reproduced bit-exactly (a
+   * gate requirement). */
+  int32_t deterministic_eval;
+} birnn_adapt_result;
+
+/* Runs one adaptation attempt: fine-tunes a copy of `incumbent` on the
+ * session's reservoir (labels from the callback, or the stored verdicts
+ * when `labels` is NULL / returns negative) and gates it on a held-back
+ * validation slice. `gate_labels` (optional) supervises only the gate — a
+ * trusted label source that can reject a candidate trained on bad labels.
+ * On BIRNN_ADAPT_PROMOTED, *promoted receives a new detector handle (free
+ * it like any other; open fresh sessions against it) and the session's
+ * drift alarms are reset; otherwise *promoted is NULL. `result` may be
+ * NULL if the caller only wants the status. */
+birnn_status birnn_adapt_run(const birnn_detector* incumbent,
+                             birnn_session* session,
+                             const birnn_adapt_options* options,
+                             birnn_adapt_label_fn labels, void* labels_ctx,
+                             birnn_adapt_label_fn gate_labels,
+                             void* gate_labels_ctx,
+                             birnn_adapt_result* result,
+                             birnn_detector** promoted);
+
 #ifdef __cplusplus
 } /* extern "C" */
 #endif

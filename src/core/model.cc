@@ -358,9 +358,12 @@ std::vector<nn::Parameter*> ErrorDetectionModel::Params() {
   return out;
 }
 
-ModelSnapshot ErrorDetectionModel::Snapshot() {
+ModelSnapshot ErrorDetectionModel::Snapshot() const {
+  // Params() is non-const only because it hands out mutable Parameter
+  // pointers; snapshotting just copies their values (ConstParams idiom).
   ModelSnapshot s;
-  s.params = nn::SnapshotParams(Params());
+  s.params = nn::SnapshotParams(
+      const_cast<ErrorDetectionModel*>(this)->Params());
   s.bn_mean = batch_norm_->running_mean();
   s.bn_var = batch_norm_->running_var();
   return s;

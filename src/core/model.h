@@ -214,7 +214,7 @@ class ErrorDetectionModel {
   std::vector<const nn::Parameter*> ConstParams() const;
 
   /// Checkpointing of weights + batch-norm running stats.
-  ModelSnapshot Snapshot();
+  ModelSnapshot Snapshot() const;
   void Restore(const ModelSnapshot& snapshot);
 
   const ModelConfig& config() const { return config_; }

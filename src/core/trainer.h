@@ -2,6 +2,7 @@
 #define BIRNN_CORE_TRAINER_H_
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "core/model.h"
@@ -15,6 +16,11 @@ namespace birnn::core {
 /// weights whenever the epoch's train loss improves.
 struct TrainerOptions {
   int epochs = 120;
+  /// First epoch index to run (exclusive upper bound stays `epochs`). A
+  /// warm-start resume sets this to the epoch count already completed: Fit
+  /// burns that many shuffle rounds before the loop so the minibatch order
+  /// stream continues exactly where the interrupted run left off.
+  int start_epoch = 0;
   float learning_rate = 1e-3f;
   float rmsprop_rho = 0.9f;
   /// Batch size as a fraction of the trainset (paper: 1/4).
@@ -28,6 +34,12 @@ struct TrainerOptions {
   /// trainset badly enough to flip inference wholesale; calibration removes
   /// that failure mode (documented in DESIGN.md).
   bool calibrate_batchnorm = true;
+
+  /// Restore the best-train-loss checkpoint at the end of Fit (the paper's
+  /// callback behaviour). Off leaves the final-epoch weights in place —
+  /// what a mid-run checkpoint/resume split needs for bit-identity, and
+  /// what the adapt fine-tune uses (its gate judges the candidate as-is).
+  bool restore_best = true;
 
   /// Record test accuracy per epoch (Fig. 6/7). Costs one inference sweep
   /// per epoch over up to `test_eval_max_cells` test cells. The per-epoch
@@ -71,6 +83,22 @@ struct TrainHistory {
   double train_seconds = 0.0;   ///< wall-clock time of Fit().
 };
 
+/// Optimizer + checkpoint state that outlives one Fit call. Exported when a
+/// run is interrupted and imported by the resuming Fit so that
+/// (Fit epochs [0,k) → save → load → Fit epochs [k,E)) produces weights
+/// bit-identical to one uninterrupted Fit over [0,E) — proven in
+/// trainer_test. The RNG itself is not stored: the resuming Fit replays
+/// `start_epoch` shuffle rounds, which reproduces both the generator state
+/// and the in-place permutation of the minibatch order.
+struct TrainState {
+  /// RMSprop squared-gradient cache, in `model->Params()` order.
+  std::vector<nn::Tensor> rms_cache;
+  /// Best-train-loss checkpoint tracking (for `restore_best`).
+  double best_loss = std::numeric_limits<double>::infinity();
+  int best_epoch = -1;
+  ModelSnapshot best;  ///< valid when `best_epoch >= 0`.
+};
+
 /// Trains an ErrorDetectionModel on an encoded trainset.
 class Trainer {
  public:
@@ -80,9 +108,14 @@ class Trainer {
   /// `track_test_accuracy` is set, records test accuracy every epoch. On
   /// return the model holds the best-train-loss weights (checkpoint
   /// restore), matching the paper's callback behaviour.
+  ///
+  /// `state` (optional, in/out) warm-starts the optimizer and checkpoint
+  /// tracking from a previous Fit segment and receives the end-of-run
+  /// state back; pair it with `options.start_epoch` for an exact resume.
   TrainHistory Fit(ErrorDetectionModel* model,
                    const data::EncodedDataset& train,
-                   const data::EncodedDataset* test = nullptr);
+                   const data::EncodedDataset* test = nullptr,
+                   TrainState* state = nullptr);
 
  private:
   TrainerOptions options_;

@@ -84,6 +84,10 @@ class LoadedDetector {
     return attr_error_rate_;
   }
   const data::PrepareOptions& prepare() const { return prepare_; }
+  /// The frozen train-time character dictionary — a fine-tuned candidate
+  /// bundle keeps it verbatim so encodings stay comparable across
+  /// generations (adapt/controller.h).
+  const data::CharIndex& chars() const { return chars_; }
 
   /// Prepares `ds` to receive AppendQueryCell cells (clears it and installs
   /// the detector's max_len / vocab / n_attrs shape).

@@ -24,8 +24,65 @@ StatusOr<Request> ParseRequest(const std::string& line) {
   if (request.op != "detect" && request.op != "ping" &&
       request.op != "models" && request.op != "stats" &&
       request.op != "quit" && request.op != "reload" &&
-      request.op != "rollback" && request.op != "delta") {
+      request.op != "rollback" && request.op != "delta" &&
+      request.op != "adapt") {
     return Status::InvalidArgument("unknown op: " + request.op);
+  }
+  if (request.op == "adapt") {
+    const auto parse_labels = [&doc](const char* key,
+                                     std::vector<AdaptLabel>* out,
+                                     bool* present) -> Status {
+      const JsonValue* labels = doc.Find(key);
+      if (labels == nullptr) return Status::OK();
+      if (present != nullptr) *present = true;
+      if (!labels->is_array()) {
+        return Status::InvalidArgument(std::string("\"") + key +
+                                       "\" must be an array");
+      }
+      out->reserve(labels->items().size());
+      for (const JsonValue& item : labels->items()) {
+        if (!item.is_object()) {
+          return Status::InvalidArgument("each label must be a JSON object");
+        }
+        AdaptLabel label;
+        const JsonValue* row = item.Find("row");
+        if (row == nullptr || !row->is_number() ||
+            row->as_number() != std::floor(row->as_number())) {
+          return Status::InvalidArgument("label needs an integer \"row\"");
+        }
+        label.row_id = static_cast<int64_t>(row->as_number());
+        const JsonValue* attr = item.Find("attr");
+        if (attr == nullptr || !attr->is_number()) {
+          return Status::InvalidArgument("label needs a numeric \"attr\"");
+        }
+        const double idx = attr->as_number();
+        if (idx != std::floor(idx) || idx < 0 || idx > 1e6) {
+          return Status::InvalidArgument(
+              "label \"attr\" index out of range");
+        }
+        label.attr = static_cast<int>(idx);
+        const JsonValue* value = item.Find("label");
+        if (value == nullptr || !value->is_number() ||
+            (value->as_number() != 0 && value->as_number() != 1)) {
+          return Status::InvalidArgument("label needs a 0/1 \"label\"");
+        }
+        label.label = static_cast<int>(value->as_number());
+        out->push_back(label);
+      }
+      return Status::OK();
+    };
+    BIRNN_RETURN_IF_ERROR(
+        parse_labels("labels", &request.labels, nullptr));
+    BIRNN_RETURN_IF_ERROR(parse_labels("gate_labels", &request.gate_labels,
+                                       &request.has_gate_labels));
+    const JsonValue* bn_only = doc.Find("bn_only");
+    if (bn_only != nullptr) {
+      if (!bn_only->is_bool()) {
+        return Status::InvalidArgument("\"bn_only\" must be a boolean");
+      }
+      request.adapt_bn_only = bn_only->as_bool() ? 1 : 0;
+    }
+    return request;
   }
   if (request.op == "delta") {
     const JsonValue* deltas = doc.Find("deltas");
@@ -270,7 +327,8 @@ std::string ModelsResponse(const std::string& id,
 
 std::string StatsResponse(const std::string& id, const std::string& model,
                           const BatcherStats& stats, int64_t generation,
-                          const stream::SessionStats* stream_stats) {
+                          const stream::SessionStats* stream_stats,
+                          const AdaptLineage* adapt) {
   std::string out;
   OpenResponse(id, "OK", &out);
   out.append(",\"model\":");
@@ -307,6 +365,7 @@ std::string StatsResponse(const std::string& id, const std::string& model,
                   "\"delta_updates\":%lld,\"delta_deletes\":%lld,"
                   "\"delta_cells_scored\":%lld,\"delta_memo_hits\":%lld,"
                   "\"stream_rows\":%lld,\"drift_alarms\":%lld,"
+                  "\"drift_resets\":%lld,\"reservoir_rows\":%lld,"
                   "\"stream_version\":%llu",
                   static_cast<long long>(stream_stats->deltas),
                   static_cast<long long>(stream_stats->inserts),
@@ -316,7 +375,18 @@ std::string StatsResponse(const std::string& id, const std::string& model,
                   static_cast<long long>(stream_stats->memo_hits),
                   static_cast<long long>(stream_stats->rows),
                   static_cast<long long>(stream_stats->drift_alarms),
+                  static_cast<long long>(stream_stats->drift_resets),
+                  static_cast<long long>(stream_stats->reservoir_rows),
                   static_cast<unsigned long long>(stream_stats->version));
+    out.append(buf);
+  }
+  if (adapt != nullptr) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\"adapt_attempts\":%lld,\"adapt_promotions\":%lld,"
+                  "\"adapt_rejections\":%lld",
+                  static_cast<long long>(adapt->attempts),
+                  static_cast<long long>(adapt->promotions),
+                  static_cast<long long>(adapt->rejections));
     out.append(buf);
   }
   // The batcher-level fields above stay for back-compat; the registry block
@@ -365,6 +435,38 @@ std::string ReloadResponse(const std::string& id, const std::string& model,
   AppendJsonString(model, &out);
   out.append(",\"generation\":");
   out.append(std::to_string(generation));
+  out.push_back('}');
+  return out;
+}
+
+std::string AdaptResponse(const std::string& id, const std::string& model,
+                          const AdaptResponseFields& fields) {
+  std::string out;
+  OpenResponse(id, "OK", &out);
+  out.append(",\"model\":");
+  AppendJsonString(model, &out);
+  out.append(",\"outcome\":");
+  AppendJsonString(fields.outcome, &out);
+  out.append(",\"promoted\":");
+  out.append(fields.promoted ? "true" : "false");
+  out.append(",\"generation\":");
+  out.append(std::to_string(fields.generation));
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                ",\"incumbent_f1\":%.9g,\"candidate_f1\":%.9g",
+                fields.incumbent_f1, fields.candidate_f1);
+  out.append(buf);
+  std::snprintf(buf, sizeof(buf),
+                ",\"train_cells\":%lld,\"validation_cells\":%lld,"
+                "\"reservoir_rows\":%lld",
+                static_cast<long long>(fields.train_cells),
+                static_cast<long long>(fields.validation_cells),
+                static_cast<long long>(fields.reservoir_rows));
+  out.append(buf);
+  out.append(",\"deterministic_eval\":");
+  out.append(fields.deterministic_eval ? "true" : "false");
+  out.append(",\"reason\":");
+  AppendJsonString(fields.reason, &out);
   out.push_back('}');
   return out;
 }

@@ -7,11 +7,15 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <filesystem>
+#include <map>
 #include <utility>
 
+#include "adapt/controller.h"
 #include "obs/obs.h"
 #include "serve/protocol.h"
 #include "util/logging.h"
@@ -446,6 +450,7 @@ std::string Server::HandleRequest(const Request& request) {
     ResolveEntry(request.model, &resolved);
     return ReloadResponse(request.id, resolved, ModelGeneration(resolved));
   }
+  if (request.op == "adapt") return HandleAdapt(request);
 
   std::shared_ptr<ServingModel> sm = AcquireModel(request.model, &resolved);
   if (sm == nullptr) {
@@ -468,9 +473,17 @@ std::string Server::HandleRequest(const Request& request) {
         has_session = true;
       }
     }
+    int64_t generation = 0;
+    AdaptLineage lineage;
+    {
+      ModelEntry* entry = ResolveEntry(request.model, &resolved);
+      std::lock_guard<std::mutex> lock(entry->mu);
+      generation = entry->generation;
+      lineage = entry->adapt;
+    }
     response = StatsResponse(request.id, resolved, sm->batcher->stats(),
-                             ModelGeneration(resolved),
-                             has_session ? &stream_stats : nullptr);
+                             generation,
+                             has_session ? &stream_stats : nullptr, &lineage);
   } else if (request.op == "delta") {
     response = HandleDelta(request, sm);
   } else {
@@ -523,6 +536,140 @@ std::string Server::HandleDelta(const Request& request,
   }
   return DeltaResponse(request.id, applied, verdicts,
                        session->stats().drift_alarms);
+}
+
+namespace {
+
+/// Wraps an "adapt" request's explicit label list into a LabelFn; cells
+/// without an entry report -1 (fall back to their stored verdicts).
+adapt::LabelFn MakeLabelOracle(const std::vector<AdaptLabel>& labels) {
+  if (labels.empty()) return nullptr;
+  auto map = std::make_shared<std::map<std::pair<int64_t, int>, int>>();
+  for (const AdaptLabel& label : labels) {
+    (*map)[{label.row_id, label.attr}] = label.label;
+  }
+  return [map](int64_t row_id, int attr) {
+    const auto it = map->find({row_id, attr});
+    return it == map->end() ? -1 : it->second;
+  };
+}
+
+}  // namespace
+
+std::string Server::HandleAdapt(const Request& request) {
+  OBS_SPAN("serve/adapt");
+  std::string resolved;
+  ModelEntry* entry = ResolveEntry(request.model, &resolved);
+  if (entry == nullptr) {
+    const std::string why =
+        request.model.empty()
+            ? "no \"model\" given and more than one model is hosted"
+            : "unknown model: " + request.model;
+    return ErrorResponse(request.id, Status::NotFound(why));
+  }
+  // Adaptation is an admin op: admin_mu serializes it against
+  // reload/rollback/shutdown and pins entry->current, so no refcount is
+  // taken here — taking one would deadlock our own promotion drain.
+  std::lock_guard<std::mutex> admin(entry->admin_mu);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_) {
+      return ErrorResponse(request.id,
+                           Status::FailedPrecondition("server shutting down"));
+    }
+  }
+  std::shared_ptr<ServingModel> sm;
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    sm = entry->current;
+  }
+  stream::TableSession* session = nullptr;
+  {
+    std::lock_guard<std::mutex> session_lock(sm->session_mu);
+    session = sm->session.get();
+  }
+  if (session == nullptr) {
+    return ErrorResponse(
+        request.id, Status::FailedPrecondition(
+                        "no table session: stream \"delta\" records first so "
+                        "the reservoir has tuples to adapt on"));
+  }
+
+  adapt::ControllerOptions copts = options_.adapt;
+  if (request.adapt_bn_only >= 0) copts.bn_only = request.adapt_bn_only != 0;
+  // Candidate bundles land in a per-attempt directory so a promotion never
+  // overwrites the bundle a previous generation was loaded from.
+  static std::atomic<uint64_t> adapt_counter{0};
+  const std::string attempt_tag =
+      resolved + "-adapt-" + std::to_string(::getpid()) + "-" +
+      std::to_string(adapt_counter.fetch_add(1) + 1);
+  const std::filesystem::path base =
+      options_.adapt_bundle_dir.empty()
+          ? std::filesystem::temp_directory_path()
+          : std::filesystem::path(options_.adapt_bundle_dir);
+  std::error_code ec;
+  std::filesystem::create_directories(base, ec);
+  if (ec) {
+    return ErrorResponse(
+        request.id, Status::Internal("cannot create adapt bundle dir " +
+                                     base.string() + ": " + ec.message()));
+  }
+  copts.candidate_dir = (base / attempt_tag).string();
+
+  adapt::Controller controller(sm->detector, copts);
+  StatusOr<adapt::AdaptReport> report = controller.TriggerAdaptation(
+      session, MakeLabelOracle(request.labels),
+      request.has_gate_labels ? MakeLabelOracle(request.gate_labels)
+                              : adapt::LabelFn());
+  if (!report.ok()) return ErrorResponse(request.id, report.status());
+
+  if (report->outcome == adapt::AdaptOutcome::kPromoted) {
+    // Promote through the reload path: load the saved candidate bundle
+    // back (so serving always runs exactly what was persisted) and swap it
+    // in with the standard drain — zero dropped in-flight requests. The
+    // fresh ServingModel starts with no table session: the streamed table
+    // and its drift baselines re-arm under the new generation.
+    StatusOr<LoadedDetector> loaded = LoadDetectorBundle(report->candidate_dir);
+    if (!loaded.ok()) return ErrorResponse(request.id, loaded.status());
+    auto next = std::make_shared<ServingModel>();
+    next->detector =
+        std::make_shared<const LoadedDetector>(std::move(*loaded));
+    next->batcher =
+        std::make_unique<MicroBatcher>(*next->detector, options_.batcher);
+    const Status status = SwapIn(entry, std::move(next));
+    if (!status.ok()) return ErrorResponse(request.id, status);
+  }
+
+  AdaptResponseFields fields;
+  fields.outcome = adapt::AdaptOutcomeName(report->outcome);
+  fields.promoted = report->outcome == adapt::AdaptOutcome::kPromoted;
+  fields.incumbent_f1 = report->incumbent_f1;
+  fields.candidate_f1 = report->candidate_f1;
+  fields.train_cells = report->train_cells;
+  fields.validation_cells = report->validation_cells;
+  fields.reservoir_rows = report->reservoir_rows;
+  fields.deterministic_eval = report->deterministic_eval;
+  fields.reason = report->reason;
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (report->outcome != adapt::AdaptOutcome::kSkipped) {
+      ++entry->adapt.attempts;
+    }
+    if (report->outcome == adapt::AdaptOutcome::kPromoted) {
+      ++entry->adapt.promotions;
+    } else if (report->outcome == adapt::AdaptOutcome::kRejected) {
+      ++entry->adapt.rejections;
+    }
+    fields.generation = entry->generation;
+  }
+  if (fields.promoted) {
+    BIRNN_LOG(Info) << "serve: adapted model \"" << resolved
+                    << "\" promoted (generation " << fields.generation
+                    << ", F1 " << fields.incumbent_f1 << " -> "
+                    << fields.candidate_f1 << ", bundle "
+                    << report->candidate_dir << ")";
+  }
+  return AdaptResponse(request.id, resolved, fields);
 }
 
 StatusOr<BatcherStats> Server::ModelStats(const std::string& name) const {

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "adapt/controller.h"
 #include "serve/batcher.h"
 #include "serve/protocol.h"
 #include "serve/reactor.h"
@@ -73,6 +74,15 @@ struct ServerOptions {
   /// session. Sessions are created lazily on the first delta and reset by
   /// reload/rollback (a swapped-in bundle starts from an empty table).
   stream::SessionOptions stream_session;
+  /// Adaptation ("adapt" op) policy: fine-tune schedule, reservoir
+  /// thresholds and the promotion gate band. `adapt.candidate_dir` is
+  /// ignored — the server derives a per-promotion directory from
+  /// `adapt_bundle_dir` instead.
+  adapt::ControllerOptions adapt;
+  /// Where promoted candidate bundles are written (one subdirectory per
+  /// promotion). Empty = a per-promotion directory under the system temp
+  /// dir.
+  std::string adapt_bundle_dir;
 };
 
 /// TCP server speaking the newline-delimited JSON protocol in
@@ -169,6 +179,8 @@ class Server : public Reactor::Handler {
     /// Weights served before the last swap; rollback target.
     std::shared_ptr<const LoadedDetector> previous;
     int64_t generation = 1;
+    /// Adaptation lineage, mirrored into the `stats` response.
+    AdaptLineage adapt;
     /// Serializes reload/rollback/shutdown-stop (held across load + swap +
     /// drain, so admin ops on one model never interleave).
     std::mutex admin_mu;
@@ -180,6 +192,10 @@ class Server : public Reactor::Handler {
   /// first use) and renders the response line.
   std::string HandleDelta(const Request& request,
                           const std::shared_ptr<ServingModel>& sm);
+  /// Runs one drift-adaptation attempt on the model's table session and,
+  /// on a promoted candidate, hot-swaps the saved bundle in through the
+  /// same drain path as reload (zero dropped in-flight requests).
+  std::string HandleAdapt(const Request& request);
   ModelEntry* ResolveEntry(const std::string& model, std::string* resolved);
   std::shared_ptr<ServingModel> AcquireModel(const std::string& model,
                                              std::string* resolved);

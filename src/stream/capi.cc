@@ -5,84 +5,25 @@
 
 #include "birnn_c.h"
 
-#include <exception>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "serve/bundle.h"
+#include "stream/capi_internal.h"
 #include "stream/session.h"
 #include "util/status.h"
 
-struct birnn_detector {
-  std::shared_ptr<const birnn::serve::LoadedDetector> impl;
-};
-
-struct birnn_session {
-  std::unique_ptr<birnn::stream::TableSession> impl;
-};
-
-namespace {
-
-thread_local std::string g_last_error;
-
-birnn_status MapCode(birnn::StatusCode code) {
-  using birnn::StatusCode;
-  switch (code) {
-    case StatusCode::kOk:
-      return BIRNN_OK;
-    case StatusCode::kInvalidArgument:
-      return BIRNN_INVALID_ARGUMENT;
-    case StatusCode::kNotFound:
-      return BIRNN_NOT_FOUND;
-    case StatusCode::kOutOfRange:
-      return BIRNN_OUT_OF_RANGE;
-    case StatusCode::kFailedPrecondition:
-      return BIRNN_FAILED_PRECONDITION;
-    case StatusCode::kInternal:
-      return BIRNN_INTERNAL;
-    case StatusCode::kUnimplemented:
-      return BIRNN_UNIMPLEMENTED;
-    case StatusCode::kIoError:
-      return BIRNN_IO_ERROR;
-    case StatusCode::kOverloaded:
-      return BIRNN_OVERLOADED;
-    case StatusCode::kUnsupportedBundle:
-      return BIRNN_UNSUPPORTED_BUNDLE;
-  }
-  return BIRNN_INTERNAL;
-}
-
-birnn_status Fail(birnn_status code, std::string message) {
-  g_last_error = std::move(message);
-  return code;
-}
-
-birnn_status FromStatus(const birnn::Status& status) {
-  if (status.ok()) return BIRNN_OK;
-  return Fail(MapCode(status.code()), status.message());
-}
-
-/// Runs `fn` (returning birnn_status) under a catch-all: C++ exceptions
-/// become BIRNN_INTERNAL instead of unwinding into the C caller.
-template <typename Fn>
-birnn_status Guarded(Fn&& fn) noexcept {
-  try {
-    return fn();
-  } catch (const std::exception& e) {
-    return Fail(BIRNN_INTERNAL, std::string("internal exception: ") +
-                                    e.what());
-  } catch (...) {
-    return Fail(BIRNN_INTERNAL, "internal exception");
-  }
-}
-
-}  // namespace
+using birnn::capi::Fail;
+using birnn::capi::FromStatus;
+using birnn::capi::Guarded;
 
 extern "C" {
 
-const char* birnn_last_error(void) { return g_last_error.c_str(); }
+const char* birnn_last_error(void) {
+  return birnn::capi::g_last_error.c_str();
+}
 
 birnn_status birnn_detector_load(const char* bundle_dir,
                                  birnn_detector** out) {
@@ -205,6 +146,16 @@ int64_t birnn_session_num_rows(const birnn_session* session) {
 int64_t birnn_session_drift_alarms(const birnn_session* session) {
   if (session == nullptr || session->impl == nullptr) return -1;
   return session->impl->stats().drift_alarms;
+}
+
+int64_t birnn_session_reset_drift_alarms(birnn_session* session) {
+  if (session == nullptr || session->impl == nullptr) return -1;
+  return session->impl->ResetDriftAlarms();
+}
+
+int64_t birnn_session_reservoir_rows(const birnn_session* session) {
+  if (session == nullptr || session->impl == nullptr) return -1;
+  return session->impl->stats().reservoir_rows;
 }
 
 }  // extern "C"

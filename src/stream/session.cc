@@ -81,7 +81,9 @@ Status TableSession::Apply(
       BIRNN_RETURN_IF_ERROR(
           ScoreCellsLocked(cells, version_ + 1, &row, affected));
       ++version_;
-      rows_.emplace(delta.row_id, std::move(row));
+      auto [row_it, inserted] = rows_.emplace(delta.row_id, std::move(row));
+      (void)inserted;
+      TouchReservoirLocked(delta.row_id, row_it->second);
       ++stats_.deltas;
       ++stats_.inserts;
       stats_.rows = static_cast<int64_t>(rows_.size());
@@ -105,6 +107,7 @@ Status TableSession::Apply(
                                              affected));
       ++version_;
       it->second.values[static_cast<size_t>(delta.attr)] = delta.value;
+      TouchReservoirLocked(delta.row_id, it->second);
       ++stats_.deltas;
       ++stats_.updates;
       stats_.version = version_;
@@ -119,6 +122,12 @@ Status TableSession::Apply(
                                 std::to_string(delta.row_id));
       }
       rows_.erase(it);
+      auto res_it = reservoir_index_.find(delta.row_id);
+      if (res_it != reservoir_index_.end()) {
+        reservoir_.erase(res_it->second);
+        reservoir_index_.erase(res_it);
+        stats_.reservoir_rows = static_cast<int64_t>(reservoir_.size());
+      }
       ++version_;
       ++stats_.deltas;
       ++stats_.deletes;
@@ -297,9 +306,67 @@ StatusOr<std::vector<uint8_t>> TableSession::DetectAll() {
   return labels;
 }
 
+void TableSession::TouchReservoirLocked(int64_t row_id, const RowState& row) {
+  if (options_.reservoir_capacity <= 0) return;
+  ReservoirRow snap;
+  snap.row_id = row_id;
+  snap.values = row.values;
+  snap.verdicts.reserve(row.verdicts.size());
+  for (const CellVerdict& v : row.verdicts) {
+    snap.verdicts.push_back(v.is_error ? 1 : 0);
+  }
+  auto it = reservoir_index_.find(row_id);
+  if (it != reservoir_index_.end()) {
+    *it->second = std::move(snap);
+    // Refresh recency: move the tuple to the most-recent end.
+    reservoir_.splice(reservoir_.end(), reservoir_, it->second);
+  } else {
+    reservoir_.push_back(std::move(snap));
+    reservoir_index_[row_id] = std::prev(reservoir_.end());
+    while (static_cast<int64_t>(reservoir_.size()) >
+           options_.reservoir_capacity) {
+      reservoir_index_.erase(reservoir_.front().row_id);
+      reservoir_.pop_front();
+    }
+  }
+  stats_.reservoir_rows = static_cast<int64_t>(reservoir_.size());
+}
+
 std::vector<DriftAlarm> TableSession::drift_alarms() const {
   std::lock_guard<std::mutex> lock(mu_);
   return alarms_;
+}
+
+std::vector<int> TableSession::DriftedAttrs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> attrs;
+  for (const DriftAlarm& a : alarms_) {
+    if (std::find(attrs.begin(), attrs.end(), a.attr) == attrs.end()) {
+      attrs.push_back(a.attr);
+    }
+  }
+  std::sort(attrs.begin(), attrs.end());
+  return attrs;
+}
+
+int64_t TableSession::ResetDriftAlarms() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t cleared = static_cast<int64_t>(alarms_.size());
+  alarms_.clear();
+  std::fill(alarm_latched_.begin(), alarm_latched_.end(), 0);
+  // Restart the live windows too: the whole point of a reset is to judge
+  // the stream fresh (e.g. against a newly promoted bundle's baselines),
+  // not to re-fire instantly on the pre-reset tail.
+  live_.assign(live_.size(), LiveAttrStats{});
+  stats_.drift_alarms = 0;
+  ++stats_.drift_resets;
+  OBS_COUNTER_ADD("stream.drift_resets", 1);
+  return cleared;
+}
+
+std::vector<ReservoirRow> TableSession::ReservoirSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<ReservoirRow>(reservoir_.begin(), reservoir_.end());
 }
 
 SessionStats TableSession::stats() const {

@@ -2,10 +2,12 @@
 #define BIRNN_STREAM_SESSION_H_
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/content_index.h"
@@ -84,6 +86,20 @@ struct SessionOptions {
   core::InferenceOptions inference;
   core::ContentMemoOptions memo;
   DriftOptions drift;
+  /// Most-recently-touched tuples kept for drift-triggered adaptation
+  /// (adapt/controller.h): inserts and updates capture the tuple's current
+  /// values + verdicts, deletes drop it, and the least recently touched
+  /// tuple is evicted past this capacity. 0 disables the reservoir.
+  int64_t reservoir_capacity = 4096;
+};
+
+/// One tuple snapshot in the adaptation reservoir: the values as last
+/// ingested and the detector's verdict flags for them (the pseudo-labels a
+/// fine-tune falls back to when no human label is available).
+struct ReservoirRow {
+  int64_t row_id = 0;
+  std::vector<std::string> values;
+  std::vector<uint8_t> verdicts;  ///< is_error flag per attribute.
 };
 
 /// Rolling per-attribute ingest statistics, diffed against the bundle's
@@ -112,7 +128,9 @@ struct SessionStats {
   /// without touching the model.
   int64_t memo_hits = 0;
   int64_t rows = 0;          ///< live materialized tuples.
-  int64_t drift_alarms = 0;  ///< alarms latched so far.
+  int64_t drift_alarms = 0;  ///< alarms currently latched.
+  int64_t drift_resets = 0;  ///< ResetDriftAlarms calls so far.
+  int64_t reservoir_rows = 0;  ///< tuples held in the adaptation reservoir.
   uint64_t version = 0;      ///< last applied delta's sequence number.
 };
 
@@ -171,6 +189,20 @@ class TableSession {
   /// Alarms latched so far (order of first firing).
   std::vector<DriftAlarm> drift_alarms() const;
 
+  /// Distinct attributes with at least one latched alarm, ascending — the
+  /// signal the adapt controller biases its fine-tune sample toward.
+  std::vector<int> DriftedAttrs() const;
+
+  /// Re-arms drift detection: drops every latched alarm AND restarts the
+  /// live per-attribute statistics windows, so the next `min_cells`
+  /// streamed cells are judged fresh (against whatever baselines the
+  /// serving bundle carries — after a promotion that is the new bundle's).
+  /// Returns the number of alarms cleared.
+  int64_t ResetDriftAlarms();
+
+  /// The adaptation reservoir, least → most recently touched.
+  std::vector<ReservoirRow> ReservoirSnapshot() const;
+
   SessionStats stats() const;
   LiveAttrStats live_attr_stats(int attr) const;
 
@@ -198,6 +230,10 @@ class TableSession {
   void CheckDriftLocked(int attr);
   void LatchAlarmLocked(int attr, DriftKind kind, float frozen, float live);
 
+  /// Captures (or refreshes) `row_id`'s tuple in the reservoir, evicting
+  /// the least recently touched tuple past capacity. Caller holds mu_.
+  void TouchReservoirLocked(int64_t row_id, const RowState& row);
+
   std::shared_ptr<const serve::LoadedDetector> detector_;
   SessionOptions options_;
 
@@ -212,6 +248,11 @@ class TableSession {
   /// Latched (attr * 4 + kind) alarm flags + the alarms in firing order.
   std::vector<uint8_t> alarm_latched_;
   std::vector<DriftAlarm> alarms_;
+  /// Adaptation reservoir: least → most recently touched tuple snapshots,
+  /// with an id index for in-place refresh and delete.
+  std::list<ReservoirRow> reservoir_;
+  std::unordered_map<int64_t, std::list<ReservoirRow>::iterator>
+      reservoir_index_;
 };
 
 }  // namespace birnn::stream

@@ -1,0 +1,576 @@
+// adapt subsystem tests: the session's LRU reservoir and drift-alarm
+// reset/re-arm, the adapt::Controller (skip / promote / reject outcomes,
+// deterministic reports, tuple-level train/gate split, candidate bundle
+// round trip), the serve-plane "adapt" op end to end over both transports
+// (promotion bumps the generation, rollback restores byte-identical
+// serving), concurrency under TSAN, and the birnn_adapt_* C API driven
+// from a plain-C translation unit.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adapt/controller.h"
+#include "core/model.h"
+#include "serve/bundle.h"
+#include "serve/json.h"
+#include "serve/protocol.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "stream/session.h"
+
+extern "C" int birnn_capi_adapt_smoke(const char* bundle_dir,
+                                      const char* candidate_dir);
+
+namespace birnn::adapt {
+namespace {
+
+// Same hand-built streaming-capable detector as stream_test.cc: frozen
+// column statistics without paying for a training run.
+core::TrainedDetector MakeTinyTrained() {
+  core::TrainedDetector trained;
+  trained.chars = data::CharIndex::BuildFromStrings(
+      {"abcdefghijklmnopqrstuvwxyz0123456789 .-"});
+  core::ModelConfig config;
+  config.vocab = trained.chars.vocab_size();
+  config.max_len = 12;
+  config.n_attrs = 3;
+  config.char_emb_dim = 8;
+  config.units = 8;
+  config.stacks = 1;
+  config.enriched = true;
+  config.attr_emb_dim = 4;
+  config.attr_units = 4;
+  config.length_dense_dim = 8;
+  config.hidden_dense_dim = 8;
+  config.seed = 99;
+  trained.config = config;
+  trained.model = std::make_unique<core::ErrorDetectionModel>(config);
+  trained.attr_names = {"id", "name", "score"};
+  trained.attr_max_value_len = {8, 12, 6};
+  trained.attr_empty_rate = {0.0f, 0.0f, 0.0f};
+  trained.attr_error_rate = {0.0f, 0.0f, 0.0f};
+  trained.has_frozen_stats = true;
+  return trained;
+}
+
+std::shared_ptr<const serve::LoadedDetector> MakeTinyShared() {
+  auto loaded = serve::MakeLoadedDetector(MakeTinyTrained());
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+  return std::make_shared<const serve::LoadedDetector>(
+      std::move(loaded).value());
+}
+
+std::string TempDir(const char* name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// Drift thresholds that the '#'-flood below reliably trips (see the
+// matching stream_test.cc case); the error-rate dimension stays quiet
+// because the untrained tiny model's verdicts are arbitrary.
+stream::SessionOptions DriftySessionOptions() {
+  stream::SessionOptions options;
+  options.drift.min_cells = 4;
+  options.drift.max_len_growth = 1.25f;
+  options.drift.oov_rate_threshold = 0.05f;
+  options.drift.empty_rate_delta = 0.5f;
+  options.drift.error_rate_delta = 1.1f;
+  return options;
+}
+
+void InsertInDistributionRows(stream::TableSession* s, int64_t first_row,
+                              int n_rows) {
+  for (int64_t r = first_row; r < first_row + n_rows; ++r) {
+    ASSERT_TRUE(s->Insert(r, {"abc", "name", "12"}).ok());
+  }
+}
+
+// Floods attribute 0 with long out-of-dictionary values until the length
+// and OOV alarms latch.
+void InduceDriftOnAttr0(stream::TableSession* s) {
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(s->Update(0, 0, "####toolong#").ok());
+  }
+  ASSERT_GT(s->stats().drift_alarms, 0);
+}
+
+// --------------------------------------------------------------- Reservoir
+
+TEST(ReservoirTest, KeepsMostRecentlyTouchedTuples) {
+  stream::SessionOptions options;
+  options.reservoir_capacity = 3;
+  auto session = stream::TableSession::Create(MakeTinyShared(), options);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  stream::TableSession& s = **session;
+
+  InsertInDistributionRows(&s, 0, 5);
+  EXPECT_EQ(s.stats().reservoir_rows, 3);
+  std::vector<stream::ReservoirRow> snapshot = s.ReservoirSnapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].row_id, 2);
+  EXPECT_EQ(snapshot[1].row_id, 3);
+  EXPECT_EQ(snapshot[2].row_id, 4);
+  EXPECT_EQ(snapshot[0].values.size(), 3u);
+  EXPECT_EQ(snapshot[0].verdicts.size(), 3u);
+
+  // An update refreshes the captured values and re-touches the tuple.
+  ASSERT_TRUE(s.Update(2, 0, "zz").ok());
+  snapshot = s.ReservoirSnapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].row_id, 3);
+  EXPECT_EQ(snapshot[2].row_id, 2);
+  EXPECT_EQ(snapshot[2].values[0], "zz");
+
+  // Eviction drops the least recently touched tuple (row 3 after the
+  // touch above).
+  ASSERT_TRUE(s.Insert(5, {"abc", "name", "12"}).ok());
+  snapshot = s.ReservoirSnapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].row_id, 4);
+  EXPECT_EQ(snapshot[1].row_id, 2);
+  EXPECT_EQ(snapshot[2].row_id, 5);
+
+  // A delete removes the tuple from the reservoir too.
+  ASSERT_TRUE(s.Delete(2).ok());
+  EXPECT_EQ(s.stats().reservoir_rows, 2);
+  snapshot = s.ReservoirSnapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].row_id, 4);
+  EXPECT_EQ(snapshot[1].row_id, 5);
+}
+
+TEST(ReservoirTest, ZeroCapacityDisablesTheReservoir) {
+  stream::SessionOptions options;
+  options.reservoir_capacity = 0;
+  auto session = stream::TableSession::Create(MakeTinyShared(), options);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  InsertInDistributionRows(session->get(), 0, 4);
+  EXPECT_EQ((*session)->stats().reservoir_rows, 0);
+  EXPECT_TRUE((*session)->ReservoirSnapshot().empty());
+}
+
+// -------------------------------------------------------- Drift re-arming
+
+TEST(DriftResetTest, ResetClearsAlarmsAndReArmsAgainstFreshWindows) {
+  auto session =
+      stream::TableSession::Create(MakeTinyShared(), DriftySessionOptions());
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  stream::TableSession& s = **session;
+
+  InsertInDistributionRows(&s, 0, 6);
+  EXPECT_EQ(s.stats().drift_alarms, 0);
+  EXPECT_TRUE(s.DriftedAttrs().empty());
+  InduceDriftOnAttr0(&s);
+  EXPECT_EQ(s.DriftedAttrs(), std::vector<int>{0});
+
+  const int64_t cleared = s.ResetDriftAlarms();
+  EXPECT_GT(cleared, 0);
+  EXPECT_EQ(s.stats().drift_alarms, 0);
+  EXPECT_EQ(s.stats().drift_resets, 1);
+  EXPECT_TRUE(s.drift_alarms().empty());
+  EXPECT_TRUE(s.DriftedAttrs().empty());
+
+  // The live windows restarted: the same drift pattern latches again.
+  InduceDriftOnAttr0(&s);
+  EXPECT_EQ(s.DriftedAttrs(), std::vector<int>{0});
+  EXPECT_EQ(s.ResetDriftAlarms(), cleared);
+  EXPECT_EQ(s.stats().drift_resets, 2);
+}
+
+// -------------------------------------------------------------- Controller
+
+ControllerOptions FastPromoteOptions() {
+  ControllerOptions options;
+  options.min_reservoir_rows = 2;
+  options.bn_only = true;  // no gradient steps: fast and deterministic
+  options.f1_band = 1.0;   // F1 <= 1, so the gate always passes
+  return options;
+}
+
+TEST(ControllerTest, SkipsWhenTheReservoirIsTooSmall) {
+  auto session = stream::TableSession::Create(MakeTinyShared());
+  ASSERT_TRUE(session.ok());
+  InsertInDistributionRows(session->get(), 0, 3);
+
+  Controller controller(MakeTinyShared());  // default min_reservoir_rows=16
+  auto report = controller.TriggerAdaptation(session->get());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->outcome, AdaptOutcome::kSkipped);
+  EXPECT_NE(report->reason.find("reservoir"), std::string::npos);
+  EXPECT_EQ(report->reservoir_rows, 3);
+  // Nothing was attempted: a skip never counts against the lineage.
+  EXPECT_EQ(controller.attempts(), 0);
+}
+
+TEST(ControllerTest, MaybeAdaptSkipsWithoutLatchedAlarms) {
+  auto session = stream::TableSession::Create(MakeTinyShared());
+  ASSERT_TRUE(session.ok());
+  InsertInDistributionRows(session->get(), 0, 20);
+
+  Controller controller(MakeTinyShared(), FastPromoteOptions());
+  EXPECT_FALSE(controller.ShouldAdapt(**session));
+  auto report = controller.MaybeAdapt(session->get());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->outcome, AdaptOutcome::kSkipped);
+  EXPECT_NE(report->reason.find("no drift alarms"), std::string::npos);
+  EXPECT_EQ(controller.attempts(), 0);
+}
+
+TEST(ControllerTest, PromotesWithinBandResetsAlarmsAndSavesTheBundle) {
+  auto session =
+      stream::TableSession::Create(MakeTinyShared(), DriftySessionOptions());
+  ASSERT_TRUE(session.ok());
+  stream::TableSession& s = **session;
+  InsertInDistributionRows(&s, 0, 12);
+  InduceDriftOnAttr0(&s);
+
+  ControllerOptions options = FastPromoteOptions();
+  options.candidate_dir = TempDir("birnn_adapt_candidate");
+  auto incumbent = MakeTinyShared();
+  Controller controller(incumbent, options);
+  EXPECT_TRUE(controller.ShouldAdapt(s));
+
+  auto report = controller.TriggerAdaptation(session->get());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->outcome, AdaptOutcome::kPromoted);
+  EXPECT_TRUE(report->deterministic_eval);
+  EXPECT_EQ(report->generation, 1);
+  EXPECT_EQ(report->reservoir_rows, 12);
+  EXPECT_GT(report->train_cells, 0);
+  EXPECT_GT(report->validation_cells, 0);
+  ASSERT_EQ(report->drifted_attrs.size(), 1u);
+  EXPECT_EQ(report->drifted_attrs[0], 0);
+  EXPECT_EQ(controller.attempts(), 1);
+  EXPECT_EQ(controller.promotions(), 1);
+  EXPECT_EQ(controller.rejections(), 0);
+
+  // The candidate replaced the incumbent and the trigger was consumed.
+  EXPECT_NE(controller.current().get(), incumbent.get());
+  EXPECT_EQ(s.stats().drift_alarms, 0);
+  EXPECT_EQ(s.stats().drift_resets, 1);
+
+  // The saved candidate is a full stream-capable v3 bundle with the
+  // incumbent's frozen encoding and freshly recomputed column statistics.
+  EXPECT_EQ(report->candidate_dir, options.candidate_dir);
+  auto loaded = serve::LoadDetectorBundle(options.candidate_dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->stream_capable());
+  EXPECT_EQ(loaded->n_attrs(), 3);
+  EXPECT_EQ(loaded->char_fingerprint(), incumbent->char_fingerprint());
+  std::filesystem::remove_all(options.candidate_dir);
+}
+
+TEST(ControllerTest, RejectsWhenTheGateFailsAndKeepsTheIncumbent) {
+  auto session =
+      stream::TableSession::Create(MakeTinyShared(), DriftySessionOptions());
+  ASSERT_TRUE(session.ok());
+  stream::TableSession& s = **session;
+  InsertInDistributionRows(&s, 0, 12);
+  InduceDriftOnAttr0(&s);
+  const int64_t alarms_before = s.stats().drift_alarms;
+
+  ControllerOptions options = FastPromoteOptions();
+  options.f1_band = -2.0;  // candidate_f1 - 2 >= incumbent_f1 is impossible
+  auto incumbent = MakeTinyShared();
+  Controller controller(incumbent, options);
+  auto report = controller.TriggerAdaptation(session->get());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->outcome, AdaptOutcome::kRejected);
+  EXPECT_NE(report->reason.find("below incumbent"), std::string::npos);
+  EXPECT_EQ(controller.attempts(), 1);
+  EXPECT_EQ(controller.rejections(), 1);
+  EXPECT_EQ(controller.promotions(), 0);
+
+  // Rejection leaves everything untouched: same incumbent, alarms still
+  // latched (the trigger was not consumed), no bundle written.
+  EXPECT_EQ(controller.current().get(), incumbent.get());
+  EXPECT_EQ(s.stats().drift_alarms, alarms_before);
+  EXPECT_EQ(s.stats().drift_resets, 0);
+  EXPECT_TRUE(report->candidate_dir.empty());
+}
+
+TEST(ControllerTest, ReportsAreDeterministicAcrossIdenticalRuns) {
+  auto make_session = [] {
+    auto session = stream::TableSession::Create(MakeTinyShared());
+    EXPECT_TRUE(session.ok());
+    for (int64_t r = 0; r < 10; ++r) {
+      EXPECT_TRUE((*session)
+                      ->Insert(r, {"abc" + std::to_string(r % 3), "name",
+                                   std::to_string(10 + r)})
+                      .ok());
+    }
+    return std::move(*session);
+  };
+  auto a = make_session();
+  auto b = make_session();
+  Controller ca(MakeTinyShared(), FastPromoteOptions());
+  Controller cb(MakeTinyShared(), FastPromoteOptions());
+  auto ra = ca.TriggerAdaptation(a.get());
+  auto rb = cb.TriggerAdaptation(b.get());
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->outcome, rb->outcome);
+  EXPECT_EQ(ra->incumbent_f1, rb->incumbent_f1);  // bit-exact
+  EXPECT_EQ(ra->candidate_f1, rb->candidate_f1);
+  EXPECT_EQ(ra->train_cells, rb->train_cells);
+  EXPECT_EQ(ra->validation_cells, rb->validation_cells);
+}
+
+TEST(ControllerTest, GateAndFineTuneOraclesSeeDisjointTuples) {
+  auto session = stream::TableSession::Create(MakeTinyShared());
+  ASSERT_TRUE(session.ok());
+  InsertInDistributionRows(session->get(), 0, 12);
+
+  ControllerOptions options = FastPromoteOptions();
+  options.drift_boost = 1;  // no replication: train_cells == oracle calls
+  auto label_rows = std::make_shared<std::set<int64_t>>();
+  auto gate_rows = std::make_shared<std::set<int64_t>>();
+  auto label_calls = std::make_shared<int64_t>(0);
+  auto gate_calls = std::make_shared<int64_t>(0);
+  const LabelFn labels = [=](int64_t row_id, int) {
+    label_rows->insert(row_id);
+    ++*label_calls;
+    return -1;  // defer to the stored verdicts
+  };
+  const LabelFn gate = [=](int64_t row_id, int) {
+    gate_rows->insert(row_id);
+    ++*gate_calls;
+    return -1;
+  };
+  Controller controller(MakeTinyShared(), options);
+  auto report = controller.TriggerAdaptation(session->get(), labels, gate);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->outcome, AdaptOutcome::kPromoted);
+
+  // The gate oracle judged exactly the validation slice, the fine-tune
+  // oracle exactly the training sample, and no tuple fed both.
+  EXPECT_EQ(*gate_calls, report->validation_cells);
+  EXPECT_EQ(*label_calls, report->train_cells);
+  for (const int64_t row : *gate_rows) {
+    EXPECT_EQ(label_rows->count(row), 0u) << "tuple " << row << " leaked";
+  }
+  EXPECT_EQ(static_cast<int64_t>(label_rows->size() + gate_rows->size()),
+            report->reservoir_rows);
+}
+
+TEST(ControllerTest, ConcurrentDeltasDuringAdaptationAreRaceFree) {
+  auto session =
+      stream::TableSession::Create(MakeTinyShared(), DriftySessionOptions());
+  ASSERT_TRUE(session.ok());
+  stream::TableSession& s = **session;
+  InsertInDistributionRows(&s, 0, 16);
+  InduceDriftOnAttr0(&s);
+
+  std::thread writer([&s] {
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(s.Update(i % 16, 1, "name" + std::to_string(i)).ok());
+      (void)s.stats();
+    }
+  });
+  Controller controller(MakeTinyShared(), FastPromoteOptions());
+  auto report = controller.TriggerAdaptation(session->get());
+  writer.join();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->outcome, AdaptOutcome::kSkipped);
+}
+
+// ------------------------------------------------------ Serve-plane adapt
+
+TEST(ProtocolAdaptTest, ParsesAdaptRequest) {
+  auto req = serve::ParseRequest(
+      R"({"id":"a1","op":"adapt","model":"m",)"
+      R"("labels":[{"row":41,"attr":0,"label":1},{"row":7,"attr":2,"label":0}],)"
+      R"("gate_labels":[{"row":3,"attr":1,"label":1}],"bn_only":true})");
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_EQ(req->op, "adapt");
+  ASSERT_EQ(req->labels.size(), 2u);
+  EXPECT_EQ(req->labels[0].row_id, 41);
+  EXPECT_EQ(req->labels[0].attr, 0);
+  EXPECT_EQ(req->labels[0].label, 1);
+  EXPECT_TRUE(req->has_gate_labels);
+  ASSERT_EQ(req->gate_labels.size(), 1u);
+  EXPECT_EQ(req->gate_labels[0].row_id, 3);
+  EXPECT_EQ(req->adapt_bn_only, 1);
+
+  // Omitted keys keep server defaults.
+  auto bare = serve::ParseRequest(R"({"op":"adapt"})");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_TRUE(bare->labels.empty());
+  EXPECT_FALSE(bare->has_gate_labels);
+  EXPECT_EQ(bare->adapt_bn_only, -1);
+
+  EXPECT_FALSE(
+      serve::ParseRequest(R"({"op":"adapt","labels":[{"attr":0}]})").ok());
+  EXPECT_FALSE(
+      serve::ParseRequest(
+          R"({"op":"adapt","labels":[{"row":1,"attr":0,"label":7}]})")
+          .ok());
+}
+
+int ConnectTo(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(0,
+            ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)));
+  return fd;
+}
+
+std::string RoundTrip(int fd, const std::string& line) {
+  const std::string framed = line + "\n";
+  EXPECT_EQ(static_cast<ssize_t>(framed.size()),
+            ::write(fd, framed.data(), framed.size()));
+  std::string response;
+  char c = 0;
+  while (::read(fd, &c, 1) == 1) {
+    if (c == '\n') break;
+    response.push_back(c);
+  }
+  return response;
+}
+
+class AdaptOverSocketsTest
+    : public ::testing::TestWithParam<serve::ServeMode> {};
+
+TEST_P(AdaptOverSocketsTest, PromotionBumpsGenerationAndRollbackRestores) {
+  const std::string bundle_dir = TempDir("birnn_adapt_serve_bundle");
+  ASSERT_TRUE(serve::SaveDetectorBundle(MakeTinyTrained(), bundle_dir).ok());
+  serve::ModelRegistry registry;
+  {
+    auto loaded = serve::MakeLoadedDetector(MakeTinyTrained());
+    ASSERT_TRUE(loaded.ok());
+    ASSERT_TRUE(registry.Add("tiny", std::move(loaded).value()).ok());
+  }
+  serve::ServerOptions options;
+  options.mode = GetParam();
+  options.adapt.min_reservoir_rows = 2;
+  options.adapt.bn_only = true;
+  options.adapt.f1_band = 1.0;
+  options.adapt_bundle_dir = TempDir("birnn_adapt_serve_candidates");
+  serve::Server server(&registry, options);
+  ASSERT_TRUE(server.Start().ok());
+  const int fd = ConnectTo(server.port());
+
+  // Adapting before any delta is a typed precondition failure.
+  auto early = serve::JsonValue::Parse(RoundTrip(fd, R"({"op":"adapt"})"));
+  ASSERT_TRUE(early.ok());
+  EXPECT_EQ(early->GetString("status"), "FAILED_PRECONDITION");
+
+  for (int r = 0; r < 8; ++r) {
+    auto d = serve::JsonValue::Parse(RoundTrip(
+        fd, R"({"op":"delta","deltas":[{"kind":"insert","row":)" +
+                std::to_string(r) + R"(,"values":["abc","name","12"]}]})"));
+    ASSERT_TRUE(d.ok());
+    ASSERT_EQ(d->GetString("status"), "OK");
+  }
+  const std::string detect_request =
+      R"({"id":"q","op":"detect","cells":[{"attr":0,"value":"abc"},)"
+      R"({"attr":1,"value":"name"}]})";
+  const std::string before = RoundTrip(fd, detect_request);
+
+  auto adapted =
+      serve::JsonValue::Parse(RoundTrip(fd, R"({"id":"a","op":"adapt"})"));
+  ASSERT_TRUE(adapted.ok()) << adapted.status().ToString();
+  ASSERT_EQ(adapted->GetString("status"), "OK");
+  EXPECT_EQ(adapted->GetString("outcome"), "promoted");
+  ASSERT_NE(adapted->Find("promoted"), nullptr);
+  EXPECT_TRUE(adapted->Find("promoted")->as_bool());
+  ASSERT_NE(adapted->Find("generation"), nullptr);
+  EXPECT_EQ(adapted->Find("generation")->as_number(), 2.0);
+  ASSERT_NE(adapted->Find("deterministic_eval"), nullptr);
+  EXPECT_TRUE(adapted->Find("deterministic_eval")->as_bool());
+
+  // Lineage counters surface in stats; the swapped-in model starts with a
+  // fresh (absent) table session.
+  auto stats =
+      serve::JsonValue::Parse(RoundTrip(fd, R"({"op":"stats"})"));
+  ASSERT_TRUE(stats.ok());
+  ASSERT_NE(stats->Find("adapt_attempts"), nullptr);
+  EXPECT_EQ(stats->Find("adapt_attempts")->as_number(), 1.0);
+  EXPECT_EQ(stats->Find("adapt_promotions")->as_number(), 1.0);
+  EXPECT_EQ(stats->Find("adapt_rejections")->as_number(), 0.0);
+  EXPECT_EQ(stats->Find("generation")->as_number(), 2.0);
+  EXPECT_EQ(stats->Find("stream_rows"), nullptr);
+
+  // Detection keeps working on the adapted generation, and rollback
+  // restores the incumbent's serving byte for byte.
+  const std::string after = RoundTrip(fd, detect_request);
+  EXPECT_FALSE(after.empty());
+  auto rolled =
+      serve::JsonValue::Parse(RoundTrip(fd, R"({"op":"rollback"})"));
+  ASSERT_TRUE(rolled.ok());
+  ASSERT_EQ(rolled->GetString("status"), "OK");
+  EXPECT_EQ(RoundTrip(fd, detect_request), before);
+
+  ::close(fd);
+  server.Shutdown();
+  std::filesystem::remove_all(bundle_dir);
+  std::filesystem::remove_all(options.adapt_bundle_dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothTransports, AdaptOverSocketsTest,
+                         ::testing::Values(serve::ServeMode::kBlocking,
+                                           serve::ServeMode::kReactor));
+
+TEST(ServeAdaptTest, TooSmallReservoirReportsSkippedWithoutLineage) {
+  serve::ModelRegistry registry;
+  {
+    auto loaded = serve::MakeLoadedDetector(MakeTinyTrained());
+    ASSERT_TRUE(loaded.ok());
+    ASSERT_TRUE(registry.Add("tiny", std::move(loaded).value()).ok());
+  }
+  serve::Server server(&registry);  // default min_reservoir_rows = 16
+  ASSERT_TRUE(server.Start().ok());
+  const int fd = ConnectTo(server.port());
+  for (int r = 0; r < 2; ++r) {
+    RoundTrip(fd, R"({"op":"delta","deltas":[{"kind":"insert","row":)" +
+                      std::to_string(r) +
+                      R"(,"values":["abc","name","12"]}]})");
+  }
+  auto response =
+      serve::JsonValue::Parse(RoundTrip(fd, R"({"op":"adapt"})"));
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->GetString("status"), "OK");
+  EXPECT_EQ(response->GetString("outcome"), "skipped");
+  EXPECT_FALSE(response->Find("promoted")->as_bool());
+  EXPECT_EQ(response->Find("generation")->as_number(), 1.0);
+  auto stats = serve::JsonValue::Parse(RoundTrip(fd, R"({"op":"stats"})"));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->Find("adapt_attempts")->as_number(), 0.0);
+  ::close(fd);
+  server.Shutdown();
+}
+
+// ------------------------------------------------------------------- C API
+
+TEST(CApiAdaptTest, RoundTripFromPlainC) {
+  const std::string bundle_dir = TempDir("birnn_adapt_capi_bundle");
+  const std::string candidate_dir = TempDir("birnn_adapt_capi_candidate");
+  ASSERT_TRUE(serve::SaveDetectorBundle(MakeTinyTrained(), bundle_dir).ok());
+  EXPECT_EQ(birnn_capi_adapt_smoke(bundle_dir.c_str(), candidate_dir.c_str()),
+            0);
+  // The C-driven promotion saved a loadable candidate bundle.
+  auto loaded = serve::LoadDetectorBundle(candidate_dir);
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::filesystem::remove_all(bundle_dir);
+  std::filesystem::remove_all(candidate_dir);
+}
+
+}  // namespace
+}  // namespace birnn::adapt

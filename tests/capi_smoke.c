@@ -76,3 +76,79 @@ int birnn_capi_smoke(const char* bundle_dir) {
   }
   return 0;
 }
+
+/* Fine-tune oracle: defer every cell to its stored verdict. */
+static int32_t defer_to_verdicts(void* ctx, int64_t row_id, int32_t attr) {
+  (void)ctx;
+  (void)row_id;
+  (void)attr;
+  return -1;
+}
+
+/* Drives the drift-adaptation loop a host engine (database UDF, FFI
+ * binding) would run: stream tuples, trigger adaptation, receive the
+ * promoted detector handle. Returns 0 on success, or the 1-based number
+ * of the failing step; driven from adapt_test.cc. */
+int birnn_capi_adapt_smoke(const char* bundle_dir,
+                           const char* candidate_dir) {
+  birnn_detector* detector = NULL;
+  birnn_detector* promoted = NULL;
+  birnn_session* session = NULL;
+  birnn_adapt_options options;
+  birnn_adapt_result result;
+  const char* values[3];
+  int64_t r;
+
+  if (birnn_detector_load(bundle_dir, &detector) != BIRNN_OK) return 1;
+  if (birnn_session_create(detector, &session) != BIRNN_OK) return 2;
+
+  values[0] = "abc";
+  values[1] = "name";
+  values[2] = "12";
+  for (r = 0; r < 8; ++r) {
+    if (birnn_session_insert(session, r, values, 3) != BIRNN_OK) return 3;
+  }
+  if (birnn_session_reservoir_rows(session) != 8) return 4;
+  if (birnn_session_reset_drift_alarms(session) < 0) return 5;
+  if (birnn_session_reset_drift_alarms(NULL) != -1) return 6;
+  if (birnn_session_reservoir_rows(NULL) != -1) return 7;
+
+  birnn_adapt_options_init(&options);
+  if (options.min_reservoir_rows <= 0) return 8;
+  if (options.f1_band < 0.0) return 9;
+  options.min_reservoir_rows = 2;
+  options.bn_only = 1;   /* batch-norm recalibration only: fast */
+  options.f1_band = 1.0; /* F1 <= 1, so the gate always passes */
+  options.candidate_dir = candidate_dir;
+
+  if (birnn_adapt_run(detector, session, &options, defer_to_verdicts, NULL,
+                      NULL, NULL, &result, &promoted) != BIRNN_OK) {
+    return 10;
+  }
+  if (result.outcome != BIRNN_ADAPT_PROMOTED) return 11;
+  if (promoted == NULL) return 12;
+  if (!birnn_detector_stream_capable(promoted)) return 13;
+  if (result.deterministic_eval != 1) return 14;
+  if (result.reservoir_rows != 8) return 15;
+  if (result.train_cells <= 0 || result.validation_cells <= 0) return 16;
+
+  /* Error paths surface typed codes, never crashes. A scratch out-param
+   * keeps the promoted handle above intact. */
+  {
+    birnn_detector* scratch = NULL;
+    if (birnn_adapt_run(NULL, session, &options, NULL, NULL, NULL, NULL,
+                        &result, &scratch) != BIRNN_INVALID_ARGUMENT) {
+      return 17;
+    }
+    if (birnn_adapt_run(detector, NULL, &options, NULL, NULL, NULL, NULL,
+                        &result, &scratch) != BIRNN_INVALID_ARGUMENT) {
+      return 18;
+    }
+    if (scratch != NULL) return 19;
+  }
+
+  birnn_session_free(session);
+  birnn_detector_free(promoted);
+  birnn_detector_free(detector);
+  return 0;
+}

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "data/dictionary.h"
 #include "data/encoding.h"
 #include "data/prepare.h"
+#include "util/threadpool.h"
 
 namespace birnn::data {
 namespace {
@@ -216,6 +219,106 @@ TEST(EncodingTest, SplitByRowIds) {
   for (int64_t r : train.row_ids) EXPECT_EQ(r, 1);
   for (int64_t r : test.row_ids) EXPECT_NE(r, 1);
   EXPECT_EQ(train.max_len, all.max_len);
+}
+
+// ---------------------------------------------------------- OOV counting
+
+TEST(DictionaryOovTest, CountsOutOfVocabularyCharactersExactly) {
+  const CharIndex chars = CharIndex::BuildFromStrings({"abc"});
+  int64_t oov = 0;
+  const std::vector<int> ids = chars.Encode("abcd#", &oov);
+  EXPECT_EQ(oov, 2);  // 'd' and '#' were never seen
+  ASSERT_EQ(ids.size(), 5u);
+  EXPECT_EQ(ids[3], chars.unknown_index());
+  EXPECT_EQ(ids[4], chars.unknown_index());
+  // The counting overload encodes identically to the plain one.
+  EXPECT_EQ(ids, chars.Encode("abcd#"));
+
+  // The counter accumulates across calls rather than resetting.
+  chars.Encode("##", &oov);
+  EXPECT_EQ(oov, 4);
+
+  // Empty value: nothing encoded, nothing counted.
+  int64_t none = 0;
+  EXPECT_TRUE(chars.Encode("", &none).empty());
+  EXPECT_EQ(none, 0);
+  // All-in-dictionary value leaves the counter untouched.
+  chars.Encode("cba", &none);
+  EXPECT_EQ(none, 0);
+}
+
+TEST(EncodingOovTest, OwnDictionaryHasNoMissesForeignCountsEveryOne) {
+  auto frame = PrepareData(MakeDirty(), MakeClean());
+  ASSERT_TRUE(frame.ok());
+
+  // A frame encoded against its own dictionary cannot miss.
+  int64_t oov = 0;
+  EncodeCells(*frame, CharIndex::Build(*frame), &oov);
+  EXPECT_EQ(oov, 0);
+
+  // Against a foreign dictionary, every prepared character that is not in
+  // it counts — empty cells (including the ""-valued one in MakeDirty)
+  // contribute nothing.
+  const CharIndex foreign = CharIndex::BuildFromStrings({"e3"});
+  int64_t expected = 0;
+  for (const CellRecord& cell : frame->cells()) {
+    for (const char c : cell.value) {
+      if (c != 'e' && c != '3') ++expected;
+    }
+  }
+  EXPECT_GT(expected, 0);
+  int64_t misses = 0;
+  const EncodedDataset ds = EncodeCells(*frame, foreign, &misses);
+  EXPECT_EQ(misses, expected);
+  EXPECT_EQ(ds.num_cells(), frame->num_cells());
+
+  // A null counter is allowed and changes nothing about the encoding.
+  const EncodedDataset quiet = EncodeCells(*frame, foreign, nullptr);
+  EXPECT_EQ(quiet.seqs, ds.seqs);
+}
+
+TEST(EncodingOovTest, CountsAreDeterministicUnderTheThreadPool) {
+  auto frame = PrepareData(MakeDirty(), MakeClean());
+  ASSERT_TRUE(frame.ok());
+  const CharIndex foreign = CharIndex::BuildFromStrings({"e3"});
+  int64_t serial = 0;
+  EncodeCells(*frame, foreign, &serial);
+
+  // Concurrent encodes with per-task counters: every task sees exactly the
+  // serial count, independent of scheduling.
+  constexpr int kTasks = 8;
+  std::array<int64_t, kTasks> counts{};
+  ThreadPool pool(4);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&frame, &foreign, &counts, i] {
+      EncodeCells(*frame, foreign, &counts[static_cast<size_t>(i)]);
+    });
+  }
+  pool.Wait();
+  for (const int64_t count : counts) EXPECT_EQ(count, serial);
+}
+
+TEST(EncodingOovTest, EmptinessAndOovAreIndependentDimensions) {
+  // treat_nan_as_empty (the default) flags a literal "NaN" as empty but
+  // keeps the bytes: the 'empty' drift dimension and the character-level
+  // OOV dimension account separately, so the flag must not hide the
+  // characters from OOV counting.
+  Table dirty(std::vector<std::string>{"a"});
+  EXPECT_TRUE(dirty.AppendRow({"NaN"}).ok());
+  EXPECT_TRUE(dirty.AppendRow({""}).ok());
+  Table clean(std::vector<std::string>{"a"});
+  EXPECT_TRUE(clean.AppendRow({"x"}).ok());
+  EXPECT_TRUE(clean.AppendRow({"x"}).ok());
+  auto frame = PrepareData(dirty, clean);
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame->cells()[0].empty);
+  EXPECT_EQ(frame->cells()[0].value, "NaN");
+  ASSERT_TRUE(frame->cells()[1].empty);
+
+  const CharIndex foreign = CharIndex::BuildFromStrings({"x"});
+  int64_t misses = 0;
+  EncodeCells(*frame, foreign, &misses);
+  EXPECT_EQ(misses, 3);  // 'N','a','N' — the truly-empty "" adds nothing
 }
 
 TEST(EncodingTest, TakeCellsPreservesOrder) {
